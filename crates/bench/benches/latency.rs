@@ -1,0 +1,84 @@
+//! E10 companion bench: simulator event-loop throughput.
+//!
+//! The latency *results* are virtual-time (experiment E10 in `repro`);
+//! what costs wall-clock is pushing events through the queue and FIFO
+//! channels. This bench measures events/second for message chains and
+//! broadcast fan-outs so regressions in the simulator core are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cvc_sim::prelude::*;
+
+/// Node that forwards a hop-counted token around a ring until it dies.
+struct RingHop {
+    next: NodeId,
+}
+
+impl Node<u64> for RingHop {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+        if msg > 0 {
+            ctx.send(self.next, msg - 1);
+        }
+    }
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_ring");
+    for hops in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(hops));
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut sim: Simulator<u64, RingHop> =
+                    Simulator::new(LatencyModel::Constant(100), 1);
+                for i in 0..8usize {
+                    sim.add_node(RingHop { next: (i + 1) % 8 });
+                }
+                sim.inject_send(0, 1, hops);
+                sim.run();
+                std::hint::black_box(sim.events_processed())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Node that re-broadcasts a token to all peers a fixed number of rounds.
+struct Fanout {
+    peers: Vec<NodeId>,
+}
+
+impl Node<u64> for Fanout {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+        if msg > 0 && ctx.me == 0 {
+            for &p in &self.peers {
+                ctx.send(p, msg - 1);
+            }
+        } else if msg > 0 {
+            ctx.send(0, msg - 1);
+        }
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_fanout");
+    for n in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Simulator<u64, Fanout> =
+                    Simulator::new(LatencyModel::Uniform { lo: 50, hi: 5_000 }, 2);
+                sim.add_node(Fanout {
+                    peers: (1..=n).collect(),
+                });
+                for _ in 0..n {
+                    sim.add_node(Fanout { peers: vec![] });
+                }
+                sim.inject_send(1, 0, 6);
+                sim.run();
+                std::hint::black_box(sim.events_processed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_fanout);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E6 companion bench: full simulated sessions, per deployment and scale.
+//!
+//! The sessions run entirely in virtual time, so the measured wall-clock
+//! is pure processing cost: transformation, concurrency checks, message
+//! encoding accounting, and the event queue.
+//!
+//! A multi-seed *throughput* group shards independent sessions across
+//! threads with `crossbeam::scope` — sessions share nothing, making this
+//! the embarrassingly-parallel outer loop the hpc guides recommend
+//! parallelising (rather than the inherently sequential event loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cvc_reduce::session::{run_session, Deployment, SessionConfig};
+use parking_lot::Mutex;
+
+fn bench_deployments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    for n in [4usize, 16] {
+        for deployment in [
+            Deployment::StarCvc,
+            Deployment::MeshFullVc,
+            Deployment::RelayStar,
+        ] {
+            let cfg = SessionConfig::small(deployment, n, 7);
+            let ops = (n * cfg.workload.ops_per_site) as u64;
+            g.throughput(Throughput::Elements(ops));
+            g.bench_with_input(BenchmarkId::new(deployment.label(), n), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let r = run_session(cfg);
+                    assert!(r.converged);
+                    std::hint::black_box(r.net.bytes)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_parallel_seeds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_sweep");
+    g.sample_size(10);
+    let seeds: Vec<u64> = (0..16).collect();
+    g.throughput(Throughput::Elements(seeds.len() as u64));
+    g.bench_function("star_16_seeds_sequential", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &s in &seeds {
+                let r = run_session(&SessionConfig::small(Deployment::StarCvc, 4, s));
+                total += r.net.bytes;
+            }
+            std::hint::black_box(total)
+        })
+    });
+    g.bench_function("star_16_seeds_crossbeam", |b| {
+        b.iter(|| {
+            let total = Mutex::new(0u64);
+            let shards = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(seeds.len());
+            crossbeam::scope(|scope| {
+                for chunk in seeds.chunks(seeds.len().div_ceil(shards)) {
+                    let total = &total;
+                    scope.spawn(move |_| {
+                        let mut local = 0u64;
+                        for &s in chunk {
+                            let r = run_session(&SessionConfig::small(Deployment::StarCvc, 4, s));
+                            local += r.net.bytes;
+                        }
+                        *total.lock() += local;
+                    });
+                }
+            })
+            .expect("no shard panicked");
+            std::hint::black_box(total.into_inner())
+        })
+    });
+    g.finish();
+}
+
+fn bench_gc_ablation(c: &mut Criterion) {
+    // Design-choice ablation: auto-GC trades per-op retain() work for
+    // bounded buffers; on long sessions it should not cost more than a few
+    // percent (and saves memory).
+    let mut g = c.benchmark_group("session_gc");
+    g.sample_size(10);
+    for auto_gc in [false, true] {
+        let mut cfg = SessionConfig::small(Deployment::StarCvc, 6, 13);
+        cfg.workload.ops_per_site = 60;
+        cfg.auto_gc = auto_gc;
+        let label = if auto_gc { "auto_gc" } else { "no_gc" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_session(&cfg);
+                assert!(r.converged);
+                std::hint::black_box(r.max_history_len)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deployments,
+    bench_parallel_seeds,
+    bench_gc_ablation
+);
+criterion_main!(benches);

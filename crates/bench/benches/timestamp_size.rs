@@ -1,0 +1,101 @@
+//! E4 companion bench: cost of encoding/decoding timestamped messages.
+//!
+//! The paper's claim is about *size*; this bench shows the time side of
+//! the same coin — compressed 2-element stamps encode in constant time
+//! while full-vector stamps pay O(N) per message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_core::vector::VectorClock;
+use cvc_ot::pos::PosOp;
+use cvc_ot::seq::SeqOp;
+use cvc_ot::ttf::TtfOp;
+use cvc_reduce::msg::{ClientOpMsg, EditorMsg, MeshOpMsg};
+use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
+
+fn cvc_msg() -> EditorMsg {
+    EditorMsg::ClientOp(ClientOpMsg {
+        origin: SiteId(3),
+        stamp: CompressedStamp::new(120, 37),
+        op: SeqOp::from_pos(&PosOp::insert(20, "hello"), 64),
+        cursor: None,
+    })
+}
+
+fn mesh_msg(n: usize) -> EditorMsg {
+    EditorMsg::MeshOp(MeshOpMsg {
+        origin: SiteId(3),
+        vector: VectorClock::from_entries((0..n as u64).collect()),
+        op: TtfOp::Insert {
+            pos: 20,
+            ch: 'x',
+            site: 3,
+        },
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    let msg = cvc_msg();
+    g.bench_function("cvc_2elem", |b| {
+        let mut buf = Vec::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            msg.encode(&mut buf);
+            std::hint::black_box(buf.len())
+        });
+    });
+    for n in [8usize, 64, 512] {
+        let msg = mesh_msg(n);
+        g.bench_with_input(BenchmarkId::new("full_vector", n), &msg, |b, msg| {
+            let mut buf = Vec::with_capacity(4096);
+            b.iter(|| {
+                buf.clear();
+                msg.encode(&mut buf);
+                std::hint::black_box(buf.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    let mut buf = Vec::new();
+    cvc_msg().encode(&mut buf);
+    g.bench_function("cvc_2elem", |b| {
+        b.iter(|| {
+            let mut slice = &buf[..];
+            std::hint::black_box(EditorMsg::decode(&mut slice).expect("decode"))
+        });
+    });
+    for n in [8usize, 64, 512] {
+        let mut buf = Vec::new();
+        mesh_msg(n).encode(&mut buf);
+        g.bench_with_input(BenchmarkId::new("full_vector", n), &buf, |b, buf| {
+            b.iter(|| {
+                let mut slice = &buf[..];
+                std::hint::black_box(EditorMsg::decode(&mut slice).expect("decode"))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire_size(c: &mut Criterion) {
+    // wire_bytes is called on every simulated send; it must be cheap.
+    let mut g = c.benchmark_group("wire_size");
+    let msg = cvc_msg();
+    g.bench_function("cvc_2elem", |b| {
+        b.iter(|| std::hint::black_box(msg.wire_bytes()))
+    });
+    let msg = mesh_msg(128);
+    g.bench_function("full_vector_128", |b| {
+        b.iter(|| std::hint::black_box(msg.wire_bytes()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_wire_size);
+criterion_main!(benches);

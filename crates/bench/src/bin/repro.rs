@@ -1,0 +1,48 @@
+//! Reproduce the paper's figures and quantified claims.
+//!
+//! ```text
+//! repro all          # run every experiment
+//! repro e3           # one experiment (e1..e10)
+//! repro list         # what exists
+//! ```
+
+use cvc_bench::experiments;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let out = match arg.as_str() {
+        "all" => experiments::run_all(),
+        "e1" => experiments::e1_topology(),
+        "e2" => experiments::e2_fig2(),
+        "e3" => experiments::e3_fig3(),
+        "e4" => experiments::e4_timestamp_size(),
+        "e5" => experiments::e5_storage(),
+        "e6" => experiments::e6_session_overhead(),
+        "e7" => experiments::e7_throughput(),
+        "e8" => experiments::e8_oracle(),
+        "e9" => experiments::e9_ablation(),
+        "e10" => experiments::e10_latency(),
+        "e11" => experiments::e11_membership(),
+        "e12" => experiments::e12_composing(),
+        "e13" => experiments::e13_bandwidth(),
+        "list" => "e1  topology message mapping (Fig. 1)\n\
+             e2  divergence & intention violation (Fig. 2)\n\
+             e3  compressed clock walkthrough (Fig. 3)\n\
+             e4  timestamp size vs N\n\
+             e5  clock storage per site\n\
+             e6  whole-session wire cost\n\
+             e7  processing throughput\n\
+             e8  verdicts vs causality oracle\n\
+             e9  ablation: stamps without OT\n\
+             e10 delivery latency: the star's extra hop\n\
+             e11 dynamic membership (extension)\n\
+             e12 composing clients (extension)\n\
+             e13 bandwidth-limited links (extension)"
+            .to_string(),
+        other => {
+            eprintln!("unknown experiment {other:?}; try `repro list`");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

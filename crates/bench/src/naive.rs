@@ -1,0 +1,197 @@
+//! Experiment E9's "broken scheme" model: 2-element stamps on a star
+//! topology whose centre relays **without transforming**.
+//!
+//! Section 6 of the paper: *"If the notifier propagates operations as-is
+//! (i.e., without transformation), the causality relationships among these
+//! operations would still remain N-dimensional and have to be timestamped
+//! by N-element vector clocks."* This module makes that claim measurable:
+//! it runs the compressed-stamp bookkeeping over a non-transforming relay
+//! and counts how often the formula (5) verdict contradicts ground truth
+//! (a [`CausalityOracle`] over the *original* operations — without
+//! transformation there are no redefined site-0 operations to reason
+//! about).
+//!
+//! No documents are involved: mis-capturing causality is a clock-level
+//! failure, and showing it needs only events and stamps.
+
+use cvc_core::formulas::formula5_client;
+use cvc_core::oracle::{CausalityOracle, OpRef};
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_core::timestamp::OriginAtClient;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Outcome of a naive-scheme run.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveReport {
+    /// Operations generated.
+    pub ops: u64,
+    /// Formula (5) verdicts evaluated at clients.
+    pub checks: u64,
+    /// Verdicts contradicting the oracle.
+    pub disagreements: u64,
+    /// Of those: scheme said "causally ordered", truth "concurrent" —
+    /// the dangerous direction (a needed transformation gets skipped).
+    pub missed_concurrency: u64,
+    /// Scheme said "concurrent", truth "ordered" (spurious transforms).
+    pub spurious_concurrency: u64,
+}
+
+impl NaiveReport {
+    /// Fraction of checks that were wrong.
+    pub fn error_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.disagreements as f64 / self.checks as f64
+        }
+    }
+}
+
+struct NaiveClient {
+    recv: u64,
+    local: u64,
+    hb: Vec<(OpRef, CompressedStamp, OriginAtClient)>,
+}
+
+/// Run the naive scheme with `n` clients, `ops_per_client` operations each,
+/// over a random interleaving drawn from `seed`.
+pub fn run_naive_relay(n: usize, ops_per_client: usize, seed: u64) -> NaiveReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut report = NaiveReport::default();
+    let mut oracle = CausalityOracle::new();
+
+    let mut clients: Vec<NaiveClient> = (0..n)
+        .map(|_| NaiveClient {
+            recv: 0,
+            local: 0,
+            hb: Vec::new(),
+        })
+        .collect();
+    // Relay state: count received per origin, plus FIFO queues.
+    let mut relay_recv = vec![0u64; n];
+    let mut up: Vec<VecDeque<(OpRef, CompressedStamp)>> = vec![VecDeque::new(); n];
+    let mut down: Vec<VecDeque<(OpRef, CompressedStamp)>> = vec![VecDeque::new(); n];
+    let mut budget = vec![ops_per_client; n];
+
+    loop {
+        let mut actions: Vec<(u8, usize)> = Vec::new();
+        for i in 0..n {
+            if budget[i] > 0 {
+                actions.push((0, i));
+            }
+            if !up[i].is_empty() {
+                actions.push((1, i));
+            }
+            if !down[i].is_empty() {
+                actions.push((2, i));
+            }
+        }
+        if actions.is_empty() {
+            break;
+        }
+        let (kind, i) = actions[rng.gen_range(0..actions.len())];
+        let site = SiteId(i as u32 + 1);
+        match kind {
+            0 => {
+                budget[i] -= 1;
+                report.ops += 1;
+                let c = &mut clients[i];
+                c.local += 1;
+                let stamp = CompressedStamp::new(c.recv, c.local);
+                let op = oracle.record_generation(site, format!("{site}#{}", c.local));
+                c.hb.push((op, stamp, OriginAtClient::Local));
+                up[i].push_back((op, stamp));
+            }
+            1 => {
+                // Relay receives and forwards AS-IS (no transformation).
+                let (op, _) = up[i].pop_front().expect("nonempty");
+                oracle.record_execution(SiteId(0), op);
+                relay_recv[i] += 1;
+                for j in 0..n {
+                    if j != i {
+                        // The relay still computes the paper's formulas
+                        // (1)/(2) — counting needs no OT. The stamps are
+                        // well-defined; they just no longer capture
+                        // causality.
+                        let t1: u64 = relay_recv
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != j)
+                            .map(|(_, &v)| v)
+                            .sum();
+                        let stamp = CompressedStamp::new(t1, relay_recv[j]);
+                        down[j].push_back((op, stamp));
+                    }
+                }
+            }
+            2 => {
+                let (op, stamp) = down[i].pop_front().expect("nonempty");
+                let c = &mut clients[i];
+                for &(ob, ob_stamp, origin) in &c.hb {
+                    let verdict = formula5_client(stamp, ob_stamp, origin);
+                    let truth = oracle.concurrent(op, ob);
+                    report.checks += 1;
+                    if verdict != truth {
+                        report.disagreements += 1;
+                        if truth {
+                            report.missed_concurrency += 1;
+                        } else {
+                            report.spurious_concurrency += 1;
+                        }
+                    }
+                }
+                c.recv += 1;
+                oracle.record_execution(site, op);
+                c.hb.push((op, stamp, OriginAtClient::FromNotifier));
+            }
+            _ => unreachable!(),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole point: without central transformation the 2-element
+    /// scheme mis-detects causality.
+    #[test]
+    fn naive_scheme_miscaptures_causality() {
+        let mut total_disagreements = 0;
+        for seed in 0..5 {
+            let r = run_naive_relay(4, 15, seed);
+            assert!(r.checks > 0);
+            total_disagreements += r.disagreements;
+        }
+        assert!(
+            total_disagreements > 0,
+            "the naive scheme should err on some interleaving"
+        );
+    }
+
+    /// The dangerous direction must be present: concurrency the scheme
+    /// fails to see (transformations that would be skipped).
+    #[test]
+    fn naive_scheme_misses_concurrency() {
+        let mut missed = 0;
+        for seed in 0..10 {
+            missed += run_naive_relay(4, 15, seed).missed_concurrency;
+        }
+        assert!(missed > 0);
+    }
+
+    #[test]
+    fn error_rate_is_bounded_fraction() {
+        let r = run_naive_relay(3, 10, 1);
+        let rate = r.error_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert_eq!(
+            r.disagreements,
+            r.missed_concurrency + r.spurious_concurrency
+        );
+    }
+}

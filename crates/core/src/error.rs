@@ -1,0 +1,81 @@
+//! Error types for clock operations.
+
+use crate::site::SiteId;
+use std::fmt;
+
+/// Result alias for clock operations.
+pub type Result<T> = std::result::Result<T, ClockError>;
+
+/// Errors raised by clock maintenance and comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockError {
+    /// Two vector clocks of different widths were compared.
+    DimensionMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A site id outside the session's `0..=N` range was used.
+    UnknownSite {
+        /// The offending site.
+        site: SiteId,
+        /// Number of client sites in the session.
+        n_clients: usize,
+    },
+    /// A message violated the FIFO delivery assumption the paper's
+    /// simplified formulas (5) and (7) rely on.
+    FifoViolation {
+        /// Site whose channel misbehaved.
+        site: SiteId,
+        /// Sequence number expected next.
+        expected: u64,
+        /// Sequence number observed.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockError::DimensionMismatch { left, right } => {
+                write!(f, "vector clock dimension mismatch: {left} vs {right}")
+            }
+            ClockError::UnknownSite { site, n_clients } => {
+                write!(f, "{site} outside session with {n_clients} client sites")
+            }
+            ClockError::FifoViolation {
+                site,
+                expected,
+                got,
+            } => write!(
+                f,
+                "FIFO violation on channel of {site}: expected seq {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ClockError::DimensionMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = ClockError::UnknownSite {
+            site: SiteId(9),
+            n_clients: 4,
+        };
+        assert!(e.to_string().contains("site 9"));
+        let e = ClockError::FifoViolation {
+            site: SiteId(1),
+            expected: 2,
+            got: 4,
+        };
+        assert!(e.to_string().contains("expected seq 2"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Fowler–Zwaenepoel direct-dependency tracking ("causal distributed
+//! breakpoints", ICDCS 1990) — the *other* compression family the paper's
+//! introduction cites (its bibliography’s reference 7).
+//!
+//! Online, each message carries a **single integer** (the sender's event
+//! index): the minimum possible. Each process records only its *direct*
+//! dependencies — for each peer, the highest event index received directly
+//! from it. The full vector time of an event is **not** available online;
+//! it must be reconstructed after the fact by a transitive walk over every
+//! process's dependency log.
+//!
+//! That trade-off is exactly why the paper rejects this family for
+//! real-time group editors: "the computational overhead for calculating
+//! the vector time for each event can be too large for an on-line
+//! computation … mainly applicable for trace-based off-line analysis"
+//! (Section 1). We implement both halves so the E4 comparison can show the
+//! online cost (1 integer) *and* tests can verify the offline
+//! reconstruction equals real vector clocks — correct, but only after the
+//! fact.
+
+use crate::error::{ClockError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The online payload: the sender's id and its event index for the send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FzStamp {
+    /// Sending process (0-based).
+    pub sender: u32,
+    /// Sender's event index of the send event (1-based).
+    pub index: u64,
+}
+
+impl FzStamp {
+    /// Integers on the wire: the event index. (The sender id travels in
+    /// the message envelope anyway, as it does for every scheme.)
+    pub fn wire_integers(&self) -> usize {
+        1
+    }
+}
+
+/// One logged event of a process, with its direct dependencies at that
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FzEvent {
+    /// Direct-dependency vector snapshot: `dd[j]` = highest event index
+    /// received *directly* from process `j` so far (own entry = own index).
+    pub direct: Vec<u64>,
+}
+
+/// A process running Fowler–Zwaenepoel direct-dependency tracking.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FzProcess {
+    me: usize,
+    /// Direct-dependency vector (own entry counts own events).
+    direct: Vec<u64>,
+    /// Log of every event's direct-dependency snapshot (the trace that
+    /// offline reconstruction consumes).
+    log: Vec<FzEvent>,
+}
+
+impl FzProcess {
+    /// A fresh process `me` (0-based) of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n, "process index {me} out of range for {n}");
+        FzProcess {
+            me,
+            direct: vec![0; n],
+            log: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> usize {
+        self.me
+    }
+
+    /// Events logged so far.
+    pub fn event_count(&self) -> u64 {
+        self.direct[self.me]
+    }
+
+    /// The per-event trace (for offline reconstruction).
+    pub fn log(&self) -> &[FzEvent] {
+        &self.log
+    }
+
+    /// Storage held online: the direct-dependency vector (`N` integers;
+    /// the log is trace data written to stable storage, not clock state).
+    pub fn storage_integers(&self) -> usize {
+        self.direct.len()
+    }
+
+    fn record_event(&mut self) {
+        self.direct[self.me] += 1;
+        self.log.push(FzEvent {
+            direct: self.direct.clone(),
+        });
+    }
+
+    /// A purely local event.
+    pub fn local_event(&mut self) {
+        self.record_event();
+    }
+
+    /// Send to a peer: logs the send event, returns the 1-integer stamp.
+    pub fn send(&mut self) -> FzStamp {
+        self.record_event();
+        FzStamp {
+            sender: self.me as u32,
+            index: self.direct[self.me],
+        }
+    }
+
+    /// Receive a stamped message: records the direct dependency and logs
+    /// the receive event.
+    pub fn receive(&mut self, stamp: FzStamp) -> Result<()> {
+        let s = stamp.sender as usize;
+        if s >= self.direct.len() {
+            return Err(ClockError::DimensionMismatch {
+                left: s,
+                right: self.direct.len(),
+            });
+        }
+        self.direct[s] = self.direct[s].max(stamp.index);
+        self.record_event();
+        Ok(())
+    }
+}
+
+/// Offline reconstruction: compute the **full vector time** of
+/// `(process, event_index)` from every process's trace, by the transitive
+/// closure of direct dependencies. This is the expensive step the paper
+/// deems unusable online.
+pub fn reconstruct_vector(traces: &[&[FzEvent]], process: usize, event_index: u64) -> Vec<u64> {
+    let n = traces.len();
+    let mut vector = vec![0u64; n];
+    // Worklist of (process, event index) pairs whose dependencies still
+    // need folding in.
+    let mut work = vec![(process, event_index)];
+    while let Some((p, idx)) = work.pop() {
+        if idx == 0 || idx <= vector[p] {
+            continue; // already covered
+        }
+        vector[p] = idx;
+        let ev = &traces[p][(idx - 1) as usize];
+        for (j, &dep) in ev.direct.iter().enumerate() {
+            if j != p && dep > vector[j] {
+                work.push((j, dep));
+            }
+        }
+    }
+    vector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive FZ and a plain full-vector protocol side by side; the offline
+    /// reconstruction must equal the true vector time of every event.
+    #[test]
+    fn reconstruction_matches_true_vector_clocks() {
+        let n = 4;
+        let script: &[(usize, usize)] = &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (1, 0),
+            (0, 2),
+            (2, 1),
+            (3, 1),
+            (1, 3),
+        ];
+        let mut fz: Vec<FzProcess> = (0..n).map(|i| FzProcess::new(i, n)).collect();
+        let mut full: Vec<Vec<u64>> = vec![vec![0; n]; n];
+        // True vector time per (process, event index).
+        let mut truth: Vec<Vec<Vec<u64>>> = vec![Vec::new(); n];
+        for &(s, d) in script {
+            let stamp = fz[s].send();
+            full[s][s] += 1;
+            truth[s].push(full[s].clone());
+            let snapshot = full[s].clone();
+            fz[d].receive(stamp).unwrap();
+            full[d][d] += 1;
+            for k in 0..n {
+                if k != d {
+                    full[d][k] = full[d][k].max(snapshot[k]);
+                }
+            }
+            truth[d].push(full[d].clone());
+        }
+        let traces: Vec<&[FzEvent]> = fz.iter().map(|p| p.log()).collect();
+        for p in 0..n {
+            for (e, expected) in truth[p].iter().enumerate() {
+                let got = reconstruct_vector(&traces, p, (e + 1) as u64);
+                assert_eq!(&got, expected, "process {p} event {}", e + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn online_cost_is_one_integer() {
+        let mut p = FzProcess::new(0, 64);
+        let stamp = p.send();
+        assert_eq!(stamp.wire_integers(), 1);
+        assert_eq!(p.storage_integers(), 64);
+    }
+
+    #[test]
+    fn direct_dependencies_do_not_chase_transitives() {
+        // a → b → c: c's direct vector knows b but NOT a (that's the whole
+        // point — transitivity is resolved offline).
+        let mut a = FzProcess::new(0, 3);
+        let mut b = FzProcess::new(1, 3);
+        let mut c = FzProcess::new(2, 3);
+        let s1 = a.send();
+        b.receive(s1).unwrap();
+        let s2 = b.send();
+        c.receive(s2).unwrap();
+        let last = c.log().last().unwrap();
+        assert_eq!(last.direct[1], 2, "direct dep on b");
+        assert_eq!(last.direct[0], 0, "no direct dep on a");
+        // …but reconstruction recovers it.
+        let traces: Vec<&[FzEvent]> = vec![a.log(), b.log(), c.log()];
+        let v = reconstruct_vector(&traces, 2, c.event_count());
+        assert_eq!(v, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn receive_validates_sender() {
+        let mut p = FzProcess::new(0, 2);
+        assert!(p
+            .receive(FzStamp {
+                sender: 5,
+                index: 1
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn local_events_advance_the_log() {
+        let mut p = FzProcess::new(1, 2);
+        p.local_event();
+        p.local_event();
+        assert_eq!(p.event_count(), 2);
+        assert_eq!(p.log().len(), 2);
+        let traces: Vec<&[FzEvent]> = vec![&[], p.log()];
+        assert_eq!(reconstruct_vector(&traces, 1, 2), vec![0, 2]);
+    }
+}

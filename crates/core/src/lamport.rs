@@ -1,0 +1,83 @@
+//! Lamport scalar clocks.
+//!
+//! Included as the cheapest classical baseline: a single integer per
+//! message. Lamport clocks are *consistent* with causality
+//! (`a → b ⇒ C(a) < C(b)`) but cannot *characterise* it — two concurrent
+//! events may get ordered stamps — so they cannot drive operational
+//! transformation. The overhead benchmarks use them as the floor that the
+//! paper's 2-element scheme nearly reaches while still capturing causality
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// A Lamport logical clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportClock {
+    time: u64,
+}
+
+impl LamportClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current clock value.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Advance for a local event and return its timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.time += 1;
+        self.time
+    }
+
+    /// Merge a received timestamp (`max(local, remote) + 1`) and return the
+    /// receive event's timestamp.
+    pub fn observe(&mut self, remote: u64) -> u64 {
+        self.time = self.time.max(remote) + 1;
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let mut c = LamportClock::new();
+        c.tick();
+        let t = c.observe(10);
+        assert_eq!(t, 11);
+        // Remote behind local: still advances by one.
+        let t = c.observe(3);
+        assert_eq!(t, 12);
+    }
+
+    #[test]
+    fn consistency_with_causality_on_a_chain() {
+        // send at A, receive at B, send at B, receive at C: stamps increase.
+        let (mut a, mut b, mut c) = (
+            LamportClock::new(),
+            LamportClock::new(),
+            LamportClock::new(),
+        );
+        let t1 = a.tick();
+        let t2 = b.observe(t1);
+        let t3 = b.tick();
+        let t4 = c.observe(t3);
+        assert!(t1 < t2 && t2 < t3 && t3 < t4);
+    }
+}

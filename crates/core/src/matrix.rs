@@ -1,0 +1,136 @@
+//! Matrix clocks.
+//!
+//! The heavyweight end of the classical spectrum: each of the `N` sites
+//! keeps `N` vectors (what it knows about what every other site knows),
+//! `O(N²)` state and `O(N²)` message payload. Matrix clocks support
+//! discarding-obsolete-information decisions (e.g. garbage-collecting
+//! history buffers, which REDUCE-style systems need); we include them so the
+//! storage/overhead benchmarks can show the full range:
+//! `2` (paper) ≪ `N` (vector) ≪ `N²` (matrix).
+
+use crate::error::{ClockError, Result};
+use crate::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+
+/// An `N×N` matrix clock for site `me` (0-based index).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixClock {
+    me: usize,
+    rows: Vec<VectorClock>,
+}
+
+impl MatrixClock {
+    /// A zeroed matrix clock for site `me` in a system of `n` sites.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n, "site index {me} out of range for {n} sites");
+        MatrixClock {
+            me,
+            rows: (0..n).map(|_| VectorClock::new(n)).collect(),
+        }
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// This site's own row — its current vector clock.
+    pub fn own_row(&self) -> &VectorClock {
+        &self.rows[self.me]
+    }
+
+    /// Row `i`: what this site knows about site `i`'s vector clock.
+    pub fn row(&self, i: usize) -> &VectorClock {
+        &self.rows[i]
+    }
+
+    /// Record a local event; returns the matrix to attach to an outgoing
+    /// message (the full matrix — the `O(N²)` payload).
+    pub fn tick(&mut self) -> Vec<VectorClock> {
+        let me = self.me;
+        self.rows[me].record_local(me);
+        self.rows.clone()
+    }
+
+    /// Merge a received matrix from site `from`, then record the receive
+    /// event.
+    pub fn observe(&mut self, from: usize, remote: &[VectorClock]) -> Result<()> {
+        if remote.len() != self.width() {
+            return Err(ClockError::DimensionMismatch {
+                left: self.width(),
+                right: remote.len(),
+            });
+        }
+        for (row, rrow) in self.rows.iter_mut().zip(remote) {
+            row.merge(rrow)?;
+        }
+        // Our own row learns everything the sender knew (the sender's own
+        // row is its vector clock at send time), then records the receive
+        // event itself.
+        let me = self.me;
+        let sender_row = remote[from].clone();
+        self.rows[me].merge(&sender_row)?;
+        self.rows[me].record_local(me);
+        Ok(())
+    }
+
+    /// Lower bound on what every site is known to know about site `k`'s
+    /// events: `min_i M[i][k]`. Events of site `k` up to this count are
+    /// known everywhere and may be garbage-collected from history buffers.
+    pub fn min_known(&self, k: usize) -> u64 {
+        self.rows.iter().map(|r| r.get(k)).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_updates_own_entry() {
+        let mut m = MatrixClock::new(0, 3);
+        m.tick();
+        m.tick();
+        assert_eq!(m.own_row().get(0), 2);
+        assert_eq!(m.row(1).get(0), 0);
+    }
+
+    #[test]
+    fn observe_merges_knowledge() {
+        let mut a = MatrixClock::new(0, 2);
+        let mut b = MatrixClock::new(1, 2);
+        let payload = a.tick(); // a:[1,0]
+        b.observe(0, &payload).unwrap();
+        assert_eq!(b.own_row().get(0), 1); // b knows a's event
+        assert_eq!(b.own_row().get(1), 1); // b's receive event
+        assert_eq!(b.row(0).get(0), 1); // b knows a knows a's event
+    }
+
+    #[test]
+    fn min_known_supports_gc_decisions() {
+        let mut a = MatrixClock::new(0, 2);
+        let mut b = MatrixClock::new(1, 2);
+        let p1 = a.tick();
+        b.observe(0, &p1).unwrap();
+        // a doesn't yet know that b knows; GC bound for site 0 is 0 at a.
+        assert_eq!(a.min_known(0), 0);
+        let p2 = b.tick();
+        a.observe(1, &p2).unwrap();
+        // Now a knows b's row records a's first event.
+        assert_eq!(a.min_known(0), 1);
+    }
+
+    #[test]
+    fn observe_rejects_wrong_width() {
+        let mut a = MatrixClock::new(0, 2);
+        let bad = vec![VectorClock::new(3); 3];
+        assert!(a.observe(1, &bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constructor_validates_site_index() {
+        let _ = MatrixClock::new(5, 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Site identifiers.
+//!
+//! The paper's system model: a session has `N` collaborating *client* sites
+//! identified `1..=N`, plus the central *notifier* identified as site `0`
+//! (Section 3.2). We keep that numbering verbatim so the worked example in
+//! the paper (Fig. 3) can be followed line by line.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a collaborating site.
+///
+/// `SiteId(0)` is reserved for the notifier at the centre of the star
+/// (the "REDUCE notifier" of the paper's Fig. 1); `SiteId(1..=N)` are the
+/// client sites running the editor replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// The notifier at the centre of the star topology (site 0 in the paper).
+pub const NOTIFIER: SiteId = SiteId(0);
+
+impl SiteId {
+    /// True iff this is the central notifier (site 0).
+    #[inline]
+    pub fn is_notifier(self) -> bool {
+        self == NOTIFIER
+    }
+
+    /// Index of a *client* site into a dense `0..N` array (site 1 maps to 0).
+    ///
+    /// # Panics
+    /// Panics if called on the notifier, which has no client index.
+    #[inline]
+    pub fn client_index(self) -> usize {
+        assert!(
+            !self.is_notifier(),
+            "the notifier (site 0) has no client index"
+        );
+        (self.0 - 1) as usize
+    }
+
+    /// Inverse of [`SiteId::client_index`].
+    #[inline]
+    pub fn from_client_index(idx: usize) -> Self {
+        SiteId(u32::try_from(idx + 1).expect("client index fits in u32"))
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_notifier() {
+            write!(f, "site 0 (notifier)")
+        } else {
+            write!(f, "site {}", self.0)
+        }
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notifier_is_site_zero() {
+        assert!(NOTIFIER.is_notifier());
+        assert!(!SiteId(1).is_notifier());
+        assert_eq!(NOTIFIER, SiteId(0));
+    }
+
+    #[test]
+    fn client_index_round_trips() {
+        for i in 1..100u32 {
+            let s = SiteId(i);
+            assert_eq!(SiteId::from_client_index(s.client_index()), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no client index")]
+    fn notifier_has_no_client_index() {
+        let _ = NOTIFIER.client_index();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NOTIFIER.to_string(), "site 0 (notifier)");
+        assert_eq!(SiteId(3).to_string(), "site 3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_id() {
+        assert!(NOTIFIER < SiteId(1));
+        assert!(SiteId(1) < SiteId(2));
+    }
+}

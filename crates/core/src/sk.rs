@@ -1,0 +1,259 @@
+//! Singhal–Kshemkalyani dynamic vector-clock compression (IPL 1992).
+//!
+//! The "early compressing technique" the paper compares against (reference 13 of its
+//! bibliography). Idea: between two successive sends to the *same*
+//! destination, usually only a few vector entries changed, so carry only the
+//! changed `(index, value)` pairs. The receiver merges them into its own
+//! full vector. Requires FIFO channels (same assumption as the paper).
+//!
+//! Cost profile, which our benchmarks measure empirically:
+//!
+//! * message payload: between `1` and `N` pairs — `O(N)` worst case, and
+//!   every pair is *two* integers (index + value), so even the best case
+//!   costs as much as the paper's whole timestamp;
+//! * storage: **three** `N`-vectors per site (`vt`, `LS` "last sent",
+//!   `LU` "last update") versus the paper's single 2-element vector at
+//!   clients. The paper's Section 6 cites exactly this 3×`N` figure.
+
+use crate::error::{ClockError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The compressed payload of one message: only the entries that changed
+/// since the previous send to the same destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkMessage {
+    /// `(vector index, value)` pairs, ascending by index.
+    pub entries: Vec<(u32, u64)>,
+}
+
+impl SkMessage {
+    /// Number of `(index, value)` pairs carried.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are carried (possible when resending with no new
+    /// local knowledge — the local entry always changes on send, so in
+    /// practice this does not occur).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Integers on the wire: two per pair (index + value).
+    pub fn wire_integers(&self) -> usize {
+        self.entries.len() * 2
+    }
+}
+
+/// A process running the Singhal–Kshemkalyani protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkProcess {
+    me: usize,
+    /// Full vector clock (event-count convention).
+    vt: Vec<u64>,
+    /// `LS[j]`: value of `vt[me]` when we last sent to `j`.
+    last_sent: Vec<u64>,
+    /// `LU[k]`: value of `vt[me]` when entry `k` last changed.
+    last_update: Vec<u64>,
+}
+
+impl SkProcess {
+    /// A fresh process `me` (0-based) in a system of `n` processes.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n, "process index {me} out of range for {n} processes");
+        SkProcess {
+            me,
+            vt: vec![0; n],
+            last_sent: vec![0; n],
+            last_update: vec![0; n],
+        }
+    }
+
+    /// This process's index.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.me
+    }
+
+    /// Current full vector (for comparison with a ground-truth vector run).
+    #[inline]
+    pub fn vector(&self) -> &[u64] {
+        &self.vt
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.vt.len()
+    }
+
+    /// Record a purely local event.
+    pub fn local_event(&mut self) {
+        self.vt[self.me] += 1;
+        self.last_update[self.me] = self.vt[self.me];
+    }
+
+    /// Send to `dest`: advances the local clock, returns the compressed
+    /// entry set `{(k, vt[k]) | LU[k] > LS[dest]}`.
+    pub fn send(&mut self, dest: usize) -> Result<SkMessage> {
+        if dest >= self.width() || dest == self.me {
+            return Err(ClockError::DimensionMismatch {
+                left: dest,
+                right: self.width(),
+            });
+        }
+        // The send is itself an event.
+        self.vt[self.me] += 1;
+        self.last_update[self.me] = self.vt[self.me];
+
+        let threshold = self.last_sent[dest];
+        let entries: Vec<(u32, u64)> = self
+            .last_update
+            .iter()
+            .enumerate()
+            .filter(|&(_, &lu)| lu > threshold)
+            .map(|(k, _)| (k as u32, self.vt[k]))
+            .collect();
+        self.last_sent[dest] = self.vt[self.me];
+        Ok(SkMessage { entries })
+    }
+
+    /// Receive a compressed message sent by `from`.
+    pub fn receive(&mut self, _from: usize, msg: &SkMessage) -> Result<()> {
+        // The receive is itself an event.
+        self.vt[self.me] += 1;
+        let now = self.vt[self.me];
+        self.last_update[self.me] = now;
+        for &(k, v) in &msg.entries {
+            let k = k as usize;
+            if k >= self.width() {
+                return Err(ClockError::DimensionMismatch {
+                    left: k,
+                    right: self.width(),
+                });
+            }
+            if v > self.vt[k] {
+                self.vt[k] = v;
+                self.last_update[k] = now;
+            }
+        }
+        Ok(())
+    }
+
+    /// Storage overhead in integers: the figure the paper's Section 6
+    /// quotes ("three full vectors of N elements by every process").
+    pub fn storage_integers(&self) -> usize {
+        3 * self.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run SK processes and plain full-vector processes side by side on the
+    /// same event script and require identical vectors throughout.
+    fn assert_matches_full_vectors(script: &[(usize, usize)], n: usize) {
+        let mut sk: Vec<SkProcess> = (0..n).map(|i| SkProcess::new(i, n)).collect();
+        let mut full: Vec<Vec<u64>> = vec![vec![0; n]; n];
+        for &(src, dst) in script {
+            let msg = sk[src].send(dst).unwrap();
+            sk[dst].receive(src, &msg).unwrap();
+
+            // Ground truth full-vector protocol.
+            full[src][src] += 1;
+            let snapshot = full[src].clone();
+            full[dst][dst] += 1;
+            for k in 0..n {
+                if k != dst {
+                    full[dst][k] = full[dst][k].max(snapshot[k]);
+                }
+            }
+            assert_eq!(sk[src].vector(), &full[src][..], "sender {src} diverged");
+            assert_eq!(sk[dst].vector(), &full[dst][..], "receiver {dst} diverged");
+        }
+    }
+
+    #[test]
+    fn first_send_carries_only_changed_entries() {
+        let mut p = SkProcess::new(0, 4);
+        let m = p.send(1).unwrap();
+        // Only our own entry has ever changed.
+        assert_eq!(m.entries, vec![(0, 1)]);
+        assert_eq!(m.wire_integers(), 2);
+    }
+
+    #[test]
+    fn repeat_sends_to_same_destination_shrink() {
+        let mut a = SkProcess::new(0, 8);
+        let m1 = a.send(1).unwrap();
+        let m2 = a.send(1).unwrap();
+        // Second send still carries our entry (it changed at send), nothing
+        // else.
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2.entries, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn knowledge_propagates_transitively() {
+        let mut a = SkProcess::new(0, 3);
+        let mut b = SkProcess::new(1, 3);
+        let mut c = SkProcess::new(2, 3);
+        let m = a.send(1).unwrap();
+        b.receive(0, &m).unwrap();
+        let m = b.send(2).unwrap();
+        // b must forward what it learned about a.
+        assert!(m.entries.iter().any(|&(k, _)| k == 0));
+        c.receive(1, &m).unwrap();
+        assert_eq!(c.vector()[0], 1);
+    }
+
+    #[test]
+    fn sends_to_distinct_destinations_repeat_entries() {
+        // After learning about many processes, a fresh destination gets the
+        // whole changed set — the O(N) worst case.
+        let n = 6;
+        let mut procs: Vec<SkProcess> = (0..n).map(|i| SkProcess::new(i, n)).collect();
+        // Everyone sends to process 0 so it learns about all.
+        for i in 1..n {
+            let m = procs[i].send(0).unwrap();
+            procs[0].receive(i, &m).unwrap();
+        }
+        // First send from 0 to 5 now carries entries for all n processes.
+        let m = procs[0].send(5).unwrap();
+        assert_eq!(m.len(), n);
+        assert_eq!(m.wire_integers(), 2 * n);
+    }
+
+    #[test]
+    fn agrees_with_full_vector_protocol_on_scripts() {
+        assert_matches_full_vectors(&[(0, 1), (1, 2), (2, 0), (0, 2), (1, 0)], 3);
+        assert_matches_full_vectors(
+            &[
+                (0, 1),
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 0),
+                (0, 3),
+                (1, 2),
+                (2, 1),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn storage_is_three_vectors() {
+        let p = SkProcess::new(0, 10);
+        assert_eq!(p.storage_integers(), 30);
+    }
+
+    #[test]
+    fn send_validates_destination() {
+        let mut p = SkProcess::new(0, 2);
+        assert!(p.send(0).is_err());
+        assert!(p.send(2).is_err());
+    }
+}

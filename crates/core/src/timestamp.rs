@@ -1,0 +1,175 @@
+//! Timestamps as they appear on the wire and in history buffers.
+//!
+//! Section 3.3 of the paper distinguishes two timestamping duties:
+//!
+//! * **propagated** operations always carry a 2-element
+//!   [`CompressedStamp`] — in both
+//!   directions of every client↔notifier link;
+//! * **buffered** operations (saved in a history buffer after execution)
+//!   carry their original 2-element stamp at client sites, but the full
+//!   `N`-element state-vector snapshot at the notifier, because the notifier
+//!   must later re-compress that snapshot differently per checking context
+//!   (Section 4.2).
+//!
+//! [`Timestamp`] unifies both so generic code (wire codecs, metrics) can
+//! handle either; [`BufferedStamp`] is the history-buffer form.
+
+use crate::site::SiteId;
+use crate::state_vector::CompressedStamp;
+use crate::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Either a compressed 2-element stamp or a full `N`-element vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Timestamp {
+    /// The paper's 2-element compressed state vector.
+    Compressed(CompressedStamp),
+    /// A full vector timestamp (baselines, and the notifier's buffered ops).
+    Full(VectorClock),
+}
+
+impl Timestamp {
+    /// Number of integer elements this timestamp carries — the quantity the
+    /// paper's overhead claim is about.
+    pub fn element_count(&self) -> usize {
+        match self {
+            Timestamp::Compressed(_) => 2,
+            Timestamp::Full(v) => v.width(),
+        }
+    }
+
+    /// The compressed stamp, if this is one.
+    pub fn as_compressed(&self) -> Option<CompressedStamp> {
+        match self {
+            Timestamp::Compressed(c) => Some(*c),
+            Timestamp::Full(_) => None,
+        }
+    }
+
+    /// The full vector, if this is one.
+    pub fn as_full(&self) -> Option<&VectorClock> {
+        match self {
+            Timestamp::Compressed(_) => None,
+            Timestamp::Full(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timestamp::Compressed(c) => c.fmt(f),
+            Timestamp::Full(v) => v.fmt(f),
+        }
+    }
+}
+
+impl From<CompressedStamp> for Timestamp {
+    fn from(c: CompressedStamp) -> Self {
+        Timestamp::Compressed(c)
+    }
+}
+
+impl From<VectorClock> for Timestamp {
+    fn from(v: VectorClock) -> Self {
+        Timestamp::Full(v)
+    }
+}
+
+/// Where a history-buffered operation at a *client* site came from.
+///
+/// This determines the element `y` used by the client-side concurrency check
+/// (formula (5)): `y = 1` if the buffered operation was propagated from the
+/// notifier, `y = 2` if it was generated locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OriginAtClient {
+    /// The operation arrived from the notifier (a transformed `O'`).
+    FromNotifier,
+    /// The operation was generated at this client site.
+    Local,
+}
+
+impl OriginAtClient {
+    /// The paper's `y` index for formula (5).
+    #[inline]
+    pub fn y_index(self) -> usize {
+        match self {
+            OriginAtClient::FromNotifier => 1,
+            OriginAtClient::Local => 2,
+        }
+    }
+}
+
+/// Timestamp attached to an operation saved in a history buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferedStamp {
+    /// Client-site HB entry: the original 2-element propagation stamp plus
+    /// its origin classification.
+    AtClient {
+        /// The 2-element stamp the operation carried (or, for local
+        /// operations, the site's state vector right after executing it).
+        stamp: CompressedStamp,
+        /// Whether the operation was local or came from the notifier.
+        origin: OriginAtClient,
+    },
+    /// Notifier HB entry: the full state-vector snapshot taken right after
+    /// executing the operation, plus the client the operation originally
+    /// came from (`y` in formula (6)/(7)).
+    AtNotifier {
+        /// `N`-element snapshot of `SV_0` after executing the operation.
+        vector: VectorClock,
+        /// Original generating client site (`y`).
+        origin: SiteId,
+    },
+}
+
+impl BufferedStamp {
+    /// Element count held in the buffer (storage overhead accounting).
+    pub fn element_count(&self) -> usize {
+        match self {
+            BufferedStamp::AtClient { .. } => 2,
+            BufferedStamp::AtNotifier { vector, .. } => vector.width(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts() {
+        let c = Timestamp::Compressed(CompressedStamp::new(1, 2));
+        assert_eq!(c.element_count(), 2);
+        let f = Timestamp::Full(VectorClock::new(17));
+        assert_eq!(f.element_count(), 17);
+        let b = BufferedStamp::AtNotifier {
+            vector: VectorClock::new(5),
+            origin: SiteId(3),
+        };
+        assert_eq!(b.element_count(), 5);
+        let b = BufferedStamp::AtClient {
+            stamp: CompressedStamp::new(0, 0),
+            origin: OriginAtClient::Local,
+        };
+        assert_eq!(b.element_count(), 2);
+    }
+
+    #[test]
+    fn y_index_matches_formula_5() {
+        assert_eq!(OriginAtClient::FromNotifier.y_index(), 1);
+        assert_eq!(OriginAtClient::Local.y_index(), 2);
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        let c: Timestamp = CompressedStamp::new(3, 1).into();
+        assert_eq!(c.as_compressed().unwrap().as_pair(), (3, 1));
+        assert!(c.as_full().is_none());
+        let v: Timestamp = VectorClock::from_entries(vec![1, 2]).into();
+        assert!(v.as_compressed().is_none());
+        assert_eq!(v.as_full().unwrap().entries(), &[1, 2]);
+        assert_eq!(v.to_string(), "[1,2]");
+    }
+}

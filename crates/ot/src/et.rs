@@ -1,0 +1,279 @@
+//! Exclusion transformation (ET) for positional operations.
+//!
+//! `et_op(O, B)` is the inverse concern of IT: `O` is defined on the state
+//! *after* `B` executed, and we rewrite it onto the state *before* `B` —
+//! "excluding" `B`'s effect. The GOT control algorithm (Sun et al.,
+//! TOCHI '98) needs ET to transpose history buffers; our GOT engine uses it
+//! when re-anchoring operations during undo/do/redo.
+//!
+//! ET is famously partial: if `O` acts on characters that only exist
+//! because `B` inserted them, there *is* no equivalent operation on the
+//! pre-`B` state. Those cases return [`EtError`] — and the engines are
+//! structured so they never hit them (an operation concurrent with `B` can
+//! never reference `B`'s characters; see the crate docs of `cvc-reduce`).
+//!
+//! The reversibility property `IT(ET(O,B),B) = O` holds everywhere ET is
+//! defined except at tie positions, where insert ordering is ambiguous by
+//! nature; the property tests pin down exactly that boundary.
+
+use crate::pos::PosOp;
+use std::fmt;
+
+/// Why an exclusion transformation was impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EtError {
+    /// `O` inserts strictly inside text that `B` itself inserted.
+    InsertInsideInsert,
+    /// `O` deletes characters that `B` inserted.
+    DeleteOverlapsInsert,
+}
+
+impl fmt::Display for EtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtError::InsertInsideInsert => {
+                write!(
+                    f,
+                    "operation inserts inside text created by the excluded op"
+                )
+            }
+            EtError::DeleteOverlapsInsert => {
+                write!(f, "operation deletes text created by the excluded op")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EtError {}
+
+/// Substring by character indices `[from, to)`.
+fn char_substr(s: &str, from: usize, to: usize) -> String {
+    s.chars().skip(from).take(to.saturating_sub(from)).collect()
+}
+
+/// Exclusion-transform `op` (defined after `against`) onto the state before
+/// `against`. Returns a sequential list (a delete that spanned the excluded
+/// delete's restore point splits in two).
+pub fn et_op(op: &PosOp, against: &PosOp) -> Result<Vec<PosOp>, EtError> {
+    if against.is_noop() {
+        return Ok(vec![op.clone()]);
+    }
+    if op.is_noop() {
+        return Ok(Vec::new());
+    }
+    match (op, against) {
+        (PosOp::Insert { pos: p1, text: s1 }, PosOp::Insert { pos: p2, .. }) => {
+            let l2 = against.len();
+            if *p1 <= *p2 {
+                Ok(vec![op.clone()])
+            } else if *p1 >= *p2 + l2 {
+                Ok(vec![PosOp::insert(*p1 - l2, s1.clone())])
+            } else {
+                Err(EtError::InsertInsideInsert)
+            }
+        }
+        (PosOp::Delete { pos: p1, text: d1 }, PosOp::Insert { pos: p2, .. }) => {
+            let l1 = op.len();
+            let l2 = against.len();
+            if *p1 + l1 <= *p2 {
+                Ok(vec![op.clone()])
+            } else if *p1 >= *p2 + l2 {
+                Ok(vec![PosOp::delete(*p1 - l2, d1.clone())])
+            } else {
+                Err(EtError::DeleteOverlapsInsert)
+            }
+        }
+        (PosOp::Insert { pos: p1, text: s1 }, PosOp::Delete { pos: p2, .. }) => {
+            let l2 = against.len();
+            if *p1 <= *p2 {
+                Ok(vec![op.clone()])
+            } else {
+                Ok(vec![PosOp::insert(*p1 + l2, s1.clone())])
+            }
+        }
+        (PosOp::Delete { pos: p1, text: d1 }, PosOp::Delete { pos: p2, .. }) => {
+            let l1 = op.len();
+            let l2 = against.len();
+            if *p1 + l1 <= *p2 {
+                Ok(vec![op.clone()])
+            } else if *p1 >= *p2 {
+                Ok(vec![PosOp::delete(*p1 + l2, d1.clone())])
+            } else {
+                // The delete spans the point where the excluded delete's
+                // text gets restored: split around it.
+                let k = *p2 - *p1;
+                Ok(vec![
+                    PosOp::delete(*p1, char_substr(d1, 0, k)),
+                    PosOp::delete(*p1 + l2, char_substr(d1, k, l1)),
+                ])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::TextBuffer;
+    use crate::it::{it_op, Side};
+
+    fn apply_all(doc: &str, ops: &[PosOp]) -> String {
+        let mut buf = TextBuffer::from_str(doc);
+        for op in ops {
+            op.apply(&mut buf)
+                .unwrap_or_else(|e| panic!("{op} on {buf:?}: {e}"));
+        }
+        buf.to_string()
+    }
+
+    /// Reversibility: IT(ET(O,B),B) == O when ET succeeds with a single
+    /// non-tied op.
+    fn assert_rp(op: &PosOp, against: &PosOp) {
+        let ex = et_op(op, against).unwrap();
+        assert_eq!(ex.len(), 1, "RP check needs a non-splitting case");
+        let back = it_op(&ex[0], against, Side::Left);
+        assert_eq!(back, vec![op.clone()], "RP violated: O={op}, B={against}");
+    }
+
+    #[test]
+    fn exclude_insert_from_later_insert() {
+        // B inserted "12" at 1 ("ABCDE" → "A12BCDE"); O inserts at 5.
+        let b = PosOp::insert(1, "12");
+        let o = PosOp::insert(5, "x");
+        assert_eq!(et_op(&o, &b).unwrap(), vec![PosOp::insert(3, "x")]);
+        assert_rp(&o, &b);
+    }
+
+    #[test]
+    fn exclude_insert_from_earlier_insert() {
+        let b = PosOp::insert(4, "zz");
+        let o = PosOp::insert(2, "x");
+        assert_eq!(et_op(&o, &b).unwrap(), vec![o.clone()]);
+        assert_rp(&o, &b);
+    }
+
+    #[test]
+    fn insert_inside_excluded_insert_is_undefined() {
+        let b = PosOp::insert(1, "1234");
+        let o = PosOp::insert(3, "x"); // strictly inside "1234"
+        assert_eq!(et_op(&o, &b), Err(EtError::InsertInsideInsert));
+    }
+
+    #[test]
+    fn delete_of_excluded_inserts_text_is_undefined() {
+        let b = PosOp::insert(1, "123");
+        let o = PosOp::delete(2, "23"); // removes chars B created
+        assert_eq!(et_op(&o, &b), Err(EtError::DeleteOverlapsInsert));
+    }
+
+    #[test]
+    fn exclude_delete_restores_offsets() {
+        // B deleted "cd" at 2 of "abcdef" → "abef"; O inserts at 3 (before
+        // "f"); excluding B, that position is 5.
+        let b = PosOp::delete(2, "cd");
+        let o = PosOp::insert(3, "x");
+        assert_eq!(et_op(&o, &b).unwrap(), vec![PosOp::insert(5, "x")]);
+        assert_rp(&o, &b);
+        // Insert strictly before the deleted region: unchanged.
+        let o2 = PosOp::insert(1, "y");
+        assert_eq!(et_op(&o2, &b).unwrap(), vec![o2.clone()]);
+        assert_rp(&o2, &b);
+    }
+
+    #[test]
+    fn exclude_delete_from_delete_after() {
+        // "abcdef": B = Del(1,"bc") → "adef"; O = Del(2,"ef").
+        let b = PosOp::delete(1, "bc");
+        let o = PosOp::delete(2, "ef");
+        assert_eq!(et_op(&o, &b).unwrap(), vec![PosOp::delete(4, "ef")]);
+        assert_rp(&o, &b);
+    }
+
+    #[test]
+    fn exclude_delete_from_delete_before() {
+        let b = PosOp::delete(4, "ef");
+        let o = PosOp::delete(1, "bc");
+        assert_eq!(et_op(&o, &b).unwrap(), vec![o.clone()]);
+        assert_rp(&o, &b);
+    }
+
+    #[test]
+    fn delete_spanning_restore_point_splits() {
+        // "abcdef": B = Del(2,"cd") → "abef"; O = Del(1,"be") spans the
+        // point where "cd" returns. Excluded form: Del(1,"b") + Del(4,"e")
+        // on "abcdef" — wait, sequentially: Del(1,"b") → "acdef", then
+        // Del(3,"e") → "acdf". Check effect equivalence below.
+        let b = PosOp::delete(2, "cd");
+        let o = PosOp::delete(1, "be");
+        let ex = et_op(&o, &b).unwrap();
+        assert_eq!(ex, vec![PosOp::delete(1, "b"), PosOp::delete(3, "e")]);
+        // Effect: (S0 ∘ ex) ∘ restore-nothing should equal S0 ∘ B ∘ O with
+        // B's text back… simplest check: S0 ∘ ex ∘ B' == S0 ∘ B ∘ O where
+        // B' = IT(B, ex-list) — done piecewise here because ex has 2 ops:
+        // S0 ∘ B ∘ O = "af". S0 ∘ ex = "acdf"; deleting "cd" at 1 → "af".
+        assert_eq!(apply_all("abcdef", &[b.clone(), o.clone()]), "af");
+        let mut both = ex.clone();
+        both.push(PosOp::delete(1, "cd"));
+        assert_eq!(apply_all("abcdef", &both), "af");
+    }
+
+    #[test]
+    fn noop_exclusions() {
+        let op = PosOp::insert(2, "x");
+        let noop = PosOp::delete(0, "");
+        assert_eq!(et_op(&op, &noop).unwrap(), vec![op.clone()]);
+        assert!(et_op(&noop, &op).unwrap().is_empty());
+    }
+
+    /// Systematic RP sweep: for every (op, against) pair where ET is
+    /// defined, yields one op, and involves no tie position, IT must take
+    /// it back exactly.
+    #[test]
+    fn reversibility_sweep() {
+        let doc = "abcdefgh";
+        let n = doc.chars().count();
+        let mut against_ops = Vec::new();
+        for p in 0..=n {
+            against_ops.push(PosOp::insert(p, "UV"));
+        }
+        for p in 0..n {
+            for l in 1..=(n - p).min(3) {
+                against_ops.push(PosOp::delete(p, char_substr(doc, p, p + l)));
+            }
+        }
+        for b in &against_ops {
+            // Build the post-B document, then enumerate ops on it.
+            let mut post = TextBuffer::from_str(doc);
+            b.apply(&mut post).unwrap();
+            let post_s = post.to_string();
+            let m = post.len();
+            let mut ops = Vec::new();
+            for p in 0..=m {
+                ops.push(PosOp::insert(p, "x"));
+            }
+            for p in 0..m {
+                ops.push(PosOp::delete(p, char_substr(&post_s, p, p + 1)));
+            }
+            for o in &ops {
+                if let Ok(ex) = et_op(o, b) {
+                    if ex.len() != 1 {
+                        continue;
+                    }
+                    let back = it_op(&ex[0], b, Side::Left);
+                    // Tie positions are legitimately ambiguous; skip them.
+                    let tie = match (o, b) {
+                        (PosOp::Insert { pos: p1, .. }, _) => {
+                            *p1 == b.pos() || *p1 == b.end() || ex[0].pos() == b.pos()
+                        }
+                        (PosOp::Delete { pos: p1, .. }, _) => {
+                            *p1 == b.pos() || *p1 == b.end() || ex[0].pos() == b.pos()
+                        }
+                    };
+                    if !tie {
+                        assert_eq!(back, vec![o.clone()], "RP failed: O={o} B={b}");
+                    }
+                }
+            }
+        }
+    }
+}

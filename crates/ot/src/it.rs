@@ -1,0 +1,309 @@
+//! Inclusion transformation (IT) for positional operations.
+//!
+//! `it_op(O, B, side)` rewrites operation `O` — defined on the same document
+//! state as `B` — into an equivalent form defined on the state *after* `B`
+//! executed. This is the transformation the paper's Section 2.3 example
+//! performs: `IT(Delete[3,2], Insert["12",1]) = Delete[3,4]`.
+//!
+//! The result is a *list* of operations applied in sequence, because
+//! including an insert that lands strictly inside a delete's range splits
+//! the delete in two (Sun et al., TOCHI '98 handle the same case by
+//! operation splitting). All other cases yield zero (annihilated) or one
+//! operation.
+//!
+//! Ties between two inserts at the same position are broken by [`Side`]:
+//! the engines derive it deterministically from site ids so every replica
+//! breaks ties identically.
+
+use crate::pos::PosOp;
+use serde::{Deserialize, Serialize};
+
+/// Tie-break priority for insert–insert position conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// The transformed operation keeps the earlier position (its text ends
+    /// up *before* the other insert's text).
+    Left,
+    /// The transformed operation yields (its text ends up *after*).
+    Right,
+}
+
+impl Side {
+    /// The opposite priority — what the other operation of the pair uses.
+    #[inline]
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Substring by *character* indices `[from, to)`.
+fn char_substr(s: &str, from: usize, to: usize) -> String {
+    s.chars().skip(from).take(to.saturating_sub(from)).collect()
+}
+
+/// Inclusion-transform `op` against `against` (both defined on the same
+/// state); the result applies on the state after `against`.
+pub fn it_op(op: &PosOp, against: &PosOp, side: Side) -> Vec<PosOp> {
+    if against.is_noop() {
+        return vec![op.clone()];
+    }
+    if op.is_noop() {
+        return Vec::new();
+    }
+    match (op, against) {
+        (PosOp::Insert { pos: p1, text: s1 }, PosOp::Insert { pos: p2, text: _ }) => {
+            let l2 = against.len();
+            let new_pos = if *p1 < *p2 || (*p1 == *p2 && side == Side::Left) {
+                *p1
+            } else {
+                *p1 + l2
+            };
+            vec![PosOp::insert(new_pos, s1.clone())]
+        }
+        (PosOp::Insert { pos: p1, text: s1 }, PosOp::Delete { pos: p2, .. }) => {
+            let l2 = against.len();
+            let new_pos = if *p1 <= *p2 {
+                *p1
+            } else if *p1 >= *p2 + l2 {
+                *p1 - l2
+            } else {
+                // Insertion point fell inside the deleted range: collapse to
+                // the deletion point (the surrounding context is gone).
+                *p2
+            };
+            vec![PosOp::insert(new_pos, s1.clone())]
+        }
+        (PosOp::Delete { pos: p1, text: d1 }, PosOp::Insert { pos: p2, .. }) => {
+            let l1 = op.len();
+            let l2 = against.len();
+            if *p2 >= *p1 + l1 {
+                vec![op.clone()]
+            } else if *p2 <= *p1 {
+                vec![PosOp::delete(*p1 + l2, d1.clone())]
+            } else {
+                // The insert lands strictly inside the deleted range: split.
+                let k = *p2 - *p1;
+                vec![
+                    PosOp::delete(*p1, char_substr(d1, 0, k)),
+                    PosOp::delete(*p1 + l2, char_substr(d1, k, l1)),
+                ]
+            }
+        }
+        (PosOp::Delete { pos: p1, text: d1 }, PosOp::Delete { pos: p2, .. }) => {
+            let l1 = op.len();
+            let l2 = against.len();
+            if *p1 >= *p2 + l2 {
+                vec![PosOp::delete(*p1 - l2, d1.clone())]
+            } else if *p1 + l1 <= *p2 {
+                vec![op.clone()]
+            } else {
+                // Overlap: the overlapped characters are already gone.
+                let a = (*p1).max(*p2);
+                let b = (*p1 + l1).min(*p2 + l2);
+                let mut remaining = char_substr(d1, 0, a - *p1);
+                remaining.push_str(&char_substr(d1, b - *p1, l1));
+                let new_pos = (*p1).min(*p2);
+                if remaining.is_empty() {
+                    Vec::new() // fully annihilated
+                } else {
+                    vec![PosOp::delete(new_pos, remaining)]
+                }
+            }
+        }
+    }
+}
+
+/// Transform the pair `(a, b)` (same base state) into `(a', b')` such that
+/// `base ∘ a ∘ b' = base ∘ b ∘ a'` (the TP1 diamond). `side` is `a`'s
+/// insert-tie priority; `b` gets the flipped priority.
+pub fn transform_pair(a: &PosOp, b: &PosOp, side: Side) -> (Vec<PosOp>, Vec<PosOp>) {
+    (it_op(a, b, side), it_op(b, a, side.flip()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::TextBuffer;
+
+    /// Apply a sequential op list.
+    fn apply_all(doc: &str, ops: &[PosOp]) -> String {
+        let mut buf = TextBuffer::from_str(doc);
+        for op in ops {
+            op.apply(&mut buf)
+                .unwrap_or_else(|e| panic!("{op} on {buf:?}: {e}"));
+        }
+        buf.to_string()
+    }
+
+    /// TP1 on a concrete base document.
+    fn assert_tp1(doc: &str, a: &PosOp, b: &PosOp) {
+        let (a1, b1) = transform_pair(a, b, Side::Left);
+        let mut left = vec![a.clone()];
+        left.extend(b1);
+        let mut right = vec![b.clone()];
+        right.extend(a1);
+        assert_eq!(
+            apply_all(doc, &left),
+            apply_all(doc, &right),
+            "TP1 violated for a={a}, b={b} on {doc:?}"
+        );
+    }
+
+    #[test]
+    fn paper_example_delete_against_insert() {
+        // IT(O2, O1) with O1 = Insert["12",1], O2 = Delete[3,2] → Delete[3,4].
+        let o1 = PosOp::insert(1, "12");
+        let o2 = PosOp::delete(2, "CDE");
+        let t = it_op(&o2, &o1, Side::Left);
+        assert_eq!(t, vec![PosOp::delete(4, "CDE")]);
+        // Executing O1 then O2' on "ABCDE" yields the intention-preserved
+        // "A12B".
+        assert_eq!(apply_all("ABCDE", &[o1.clone(), t[0].clone()]), "A12B");
+        // And the other diamond leg: O2 then IT(O1, O2).
+        let t1 = it_op(&o1, &o2, Side::Right);
+        assert_eq!(apply_all("ABCDE", &[o2, t1[0].clone()]), "A12B");
+    }
+
+    #[test]
+    fn insert_insert_tie_break() {
+        let a = PosOp::insert(2, "xx");
+        let b = PosOp::insert(2, "yy");
+        assert_eq!(it_op(&a, &b, Side::Left), vec![PosOp::insert(2, "xx")]);
+        assert_eq!(it_op(&a, &b, Side::Right), vec![PosOp::insert(4, "xx")]);
+        assert_tp1("abcdef", &a, &b);
+    }
+
+    #[test]
+    fn insert_shifts_after_earlier_insert() {
+        let a = PosOp::insert(4, "x");
+        let b = PosOp::insert(1, "long");
+        assert_eq!(it_op(&a, &b, Side::Left), vec![PosOp::insert(8, "x")]);
+        assert_tp1("abcdef", &a, &b);
+    }
+
+    #[test]
+    fn insert_inside_delete_collapses() {
+        let a = PosOp::insert(3, "X");
+        let b = PosOp::delete(1, "bcde");
+        assert_eq!(it_op(&a, &b, Side::Left), vec![PosOp::insert(1, "X")]);
+        assert_tp1("abcdefg", &a, &b);
+    }
+
+    #[test]
+    fn insert_at_delete_boundaries() {
+        let del = PosOp::delete(2, "cd");
+        // At the left edge: stays.
+        assert_eq!(
+            it_op(&PosOp::insert(2, "X"), &del, Side::Left),
+            vec![PosOp::insert(2, "X")]
+        );
+        // At the right edge: shifts left by the deleted length.
+        assert_eq!(
+            it_op(&PosOp::insert(4, "X"), &del, Side::Left),
+            vec![PosOp::insert(2, "X")]
+        );
+        assert_tp1("abcdef", &PosOp::insert(2, "X"), &del);
+        assert_tp1("abcdef", &PosOp::insert(4, "X"), &del);
+    }
+
+    #[test]
+    fn delete_splits_around_interior_insert() {
+        // Delete "bcde" from "abcdef" while "XY" is inserted at position 3.
+        let a = PosOp::delete(1, "bcde");
+        let b = PosOp::insert(3, "XY");
+        let t = it_op(&a, &b, Side::Left);
+        assert_eq!(t, vec![PosOp::delete(1, "bc"), PosOp::delete(3, "de")]);
+        // Effect check: base "abcdef" → after b: "abcXYdef"; apply t: "aXYf".
+        assert_eq!(apply_all("abcXYdef", &t), "aXYf");
+        assert_tp1("abcdef", &a, &b);
+    }
+
+    #[test]
+    fn delete_before_and_after_insert() {
+        let ins = PosOp::insert(4, "ZZ");
+        // Entirely before the insert point: unchanged.
+        let d = PosOp::delete(1, "bc");
+        assert_eq!(it_op(&d, &ins, Side::Left), vec![d.clone()]);
+        // Entirely after: shifted right.
+        let d2 = PosOp::delete(4, "ef");
+        assert_eq!(it_op(&d2, &ins, Side::Left), vec![PosOp::delete(6, "ef")]);
+        assert_tp1("abcdefgh", &d, &ins);
+        assert_tp1("abcdefgh", &d2, &ins);
+    }
+
+    #[test]
+    fn delete_delete_disjoint() {
+        let a = PosOp::delete(5, "fg");
+        let b = PosOp::delete(1, "bc");
+        assert_eq!(it_op(&a, &b, Side::Left), vec![PosOp::delete(3, "fg")]);
+        assert_eq!(it_op(&b, &a, Side::Left), vec![b.clone()]);
+        assert_tp1("abcdefgh", &a, &b);
+    }
+
+    #[test]
+    fn delete_delete_partial_overlap() {
+        // a deletes [2,6) "cdef", b deletes [4,8) "efgh" of "abcdefghij".
+        let a = PosOp::delete(2, "cdef");
+        let b = PosOp::delete(4, "efgh");
+        let ta = it_op(&a, &b, Side::Left);
+        assert_eq!(ta, vec![PosOp::delete(2, "cd")]);
+        let tb = it_op(&b, &a, Side::Left);
+        assert_eq!(tb, vec![PosOp::delete(2, "gh")]);
+        assert_tp1("abcdefghij", &a, &b);
+    }
+
+    #[test]
+    fn delete_delete_containment_annihilates() {
+        // b swallows a completely.
+        let a = PosOp::delete(3, "de");
+        let b = PosOp::delete(1, "bcdefg");
+        assert!(it_op(&a, &b, Side::Left).is_empty());
+        // a shrinks b from both ends.
+        let tb = it_op(&b, &a, Side::Left);
+        assert_eq!(tb, vec![PosOp::delete(1, "bcfg")]);
+        assert_tp1("abcdefgh", &a, &b);
+    }
+
+    #[test]
+    fn identical_deletes_annihilate_both_ways() {
+        let a = PosOp::delete(2, "cde");
+        let b = PosOp::delete(2, "cde");
+        assert!(it_op(&a, &b, Side::Left).is_empty());
+        assert!(it_op(&b, &a, Side::Right).is_empty());
+        assert_tp1("abcdefg", &a, &b);
+    }
+
+    #[test]
+    fn noops_transform_trivially() {
+        let noop = PosOp::insert(3, "");
+        let op = PosOp::insert(1, "x");
+        assert_eq!(it_op(&op, &noop, Side::Left), vec![op.clone()]);
+        assert!(it_op(&noop, &op, Side::Left).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_tp1_over_small_positions() {
+        // Every combination of insert/delete at every position of a small
+        // document — the diamond must close for all of them.
+        let doc = "abcdef";
+        let n = doc.chars().count();
+        let mut ops = Vec::new();
+        for p in 0..=n {
+            ops.push(PosOp::insert(p, "X"));
+            ops.push(PosOp::insert(p, "YZ"));
+        }
+        for p in 0..n {
+            for l in 1..=(n - p).min(3) {
+                ops.push(PosOp::delete(p, char_substr(doc, p, p + l)));
+            }
+        }
+        for a in &ops {
+            for b in &ops {
+                assert_tp1(doc, a, b);
+            }
+        }
+    }
+}

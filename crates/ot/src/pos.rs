@@ -1,0 +1,323 @@
+//! Paper-literal positional operations.
+//!
+//! The paper writes operations as `Insert["12", 1]` (insert string at
+//! position) and `Delete[3, 2]` (delete a count of characters from a
+//! position). [`PosOp`] mirrors that, with one production hardening: a
+//! delete carries the text it removes, so that
+//!
+//! * applying it can *verify* it removes what was intended (catching
+//!   transformation bugs at the earliest possible moment),
+//! * it is invertible (needed for the GOT engine's undo/do/redo), and
+//! * exclusion transformation can restore exact content.
+
+use crate::buffer::TextBuffer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A positional text operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosOp {
+    /// Insert `text` so its first character lands at `pos`.
+    Insert {
+        /// Target character position.
+        pos: usize,
+        /// Text to insert (non-empty for a meaningful op).
+        text: String,
+    },
+    /// Delete `text.chars().count()` characters starting at `pos`; `text`
+    /// records what the generator saw there.
+    Delete {
+        /// First character position to remove.
+        pos: usize,
+        /// The removed content.
+        text: String,
+    },
+}
+
+/// Errors applying a positional operation to a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// Position (or range end) exceeds the document length.
+    OutOfBounds {
+        /// Offending position.
+        pos: usize,
+        /// Characters involved.
+        len: usize,
+        /// Document length at application time.
+        doc_len: usize,
+    },
+    /// A delete found different content than it recorded — a transformation
+    /// or convergence bug surfaced at application time.
+    ContentMismatch {
+        /// What the operation expected to remove.
+        expected: String,
+        /// What the document actually held.
+        found: String,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::OutOfBounds { pos, len, doc_len } => {
+                write!(
+                    f,
+                    "op at {pos} (len {len}) out of bounds for doc of {doc_len}"
+                )
+            }
+            ApplyError::ContentMismatch { expected, found } => {
+                write!(f, "delete expected {expected:?} but found {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl PosOp {
+    /// `Insert[text, pos]`.
+    pub fn insert(pos: usize, text: impl Into<String>) -> Self {
+        PosOp::Insert {
+            pos,
+            text: text.into(),
+        }
+    }
+
+    /// `Delete[text, pos]` with known content.
+    pub fn delete(pos: usize, text: impl Into<String>) -> Self {
+        PosOp::Delete {
+            pos,
+            text: text.into(),
+        }
+    }
+
+    /// The paper's `Delete[count, pos]`: read the doomed text from `buf`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn delete_span(buf: &TextBuffer, pos: usize, count: usize) -> Self {
+        PosOp::Delete {
+            pos,
+            text: buf.slice(pos, count),
+        }
+    }
+
+    /// Character position the operation acts at.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        match self {
+            PosOp::Insert { pos, .. } | PosOp::Delete { pos, .. } => *pos,
+        }
+    }
+
+    /// Characters inserted or removed.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // `is_noop` is the domain term
+    pub fn len(&self) -> usize {
+        match self {
+            PosOp::Insert { text, .. } | PosOp::Delete { text, .. } => text.chars().count(),
+        }
+    }
+
+    /// True for a zero-length (identity) operation.
+    #[inline]
+    pub fn is_noop(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One past the last position touched (`pos + len`).
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.pos() + self.len()
+    }
+
+    /// The operation's text payload.
+    #[inline]
+    pub fn text(&self) -> &str {
+        match self {
+            PosOp::Insert { text, .. } | PosOp::Delete { text, .. } => text,
+        }
+    }
+
+    /// True for inserts.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, PosOp::Insert { .. })
+    }
+
+    /// Apply to a buffer, verifying bounds and (for deletes) content.
+    pub fn apply(&self, buf: &mut TextBuffer) -> Result<(), ApplyError> {
+        match self {
+            PosOp::Insert { pos, text } => {
+                if *pos > buf.len() {
+                    return Err(ApplyError::OutOfBounds {
+                        pos: *pos,
+                        len: text.chars().count(),
+                        doc_len: buf.len(),
+                    });
+                }
+                buf.insert_str(*pos, text);
+                Ok(())
+            }
+            PosOp::Delete { pos, text } => {
+                let n = text.chars().count();
+                if pos + n > buf.len() {
+                    return Err(ApplyError::OutOfBounds {
+                        pos: *pos,
+                        len: n,
+                        doc_len: buf.len(),
+                    });
+                }
+                let found = buf.slice(*pos, n);
+                if &found != text {
+                    return Err(ApplyError::ContentMismatch {
+                        expected: text.clone(),
+                        found,
+                    });
+                }
+                buf.delete_range(*pos, n);
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply *without* verifying delete content — executing the operation
+    /// "in its original form" the way the paper's Fig. 2 scenario does
+    /// before any consistency maintenance is added. Deletes remove whatever
+    /// currently occupies the range (this is how intention violation
+    /// happens); bounds are still enforced.
+    pub fn apply_blind(&self, buf: &mut TextBuffer) -> Result<String, ApplyError> {
+        match self {
+            PosOp::Insert { pos, text } => {
+                if *pos > buf.len() {
+                    return Err(ApplyError::OutOfBounds {
+                        pos: *pos,
+                        len: text.chars().count(),
+                        doc_len: buf.len(),
+                    });
+                }
+                buf.insert_str(*pos, text);
+                Ok(String::new())
+            }
+            PosOp::Delete { pos, text } => {
+                let n = text.chars().count();
+                if pos + n > buf.len() {
+                    return Err(ApplyError::OutOfBounds {
+                        pos: *pos,
+                        len: n,
+                        doc_len: buf.len(),
+                    });
+                }
+                Ok(buf.delete_range(*pos, n))
+            }
+        }
+    }
+
+    /// The inverse operation (undo), valid on the post-state of `self`.
+    pub fn inverse(&self) -> PosOp {
+        match self {
+            PosOp::Insert { pos, text } => PosOp::Delete {
+                pos: *pos,
+                text: text.clone(),
+            },
+            PosOp::Delete { pos, text } => PosOp::Insert {
+                pos: *pos,
+                text: text.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for PosOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosOp::Insert { pos, text } => write!(f, "Insert[{text:?}, {pos}]"),
+            PosOp::Delete { pos, text } => {
+                write!(f, "Delete[{}, {pos}] (={text:?})", text.chars().count())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_intention_example_original_order() {
+        // "ABCDE": O1 = Insert["12", 1]; O2 = Delete[3, 2] → "A12B" when
+        // O2 is transformed; untransformed execution gives "A1DE".
+        let mut doc = TextBuffer::from_str("ABCDE");
+        let o1 = PosOp::insert(1, "12");
+        let o2 = PosOp::delete_span(&doc, 2, 3);
+        assert_eq!(o2.text(), "CDE");
+        o1.apply(&mut doc).unwrap();
+        // Applying O2 verbatim now fails the content check — precisely the
+        // intention violation the paper describes ("A1DE").
+        let err = o2.apply(&mut doc).unwrap_err();
+        assert!(matches!(err, ApplyError::ContentMismatch { .. }));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut doc = TextBuffer::from_str("hello world");
+        let op = PosOp::delete_span(&doc, 5, 6);
+        op.apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "hello");
+        op.inverse().apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "hello world");
+
+        let op = PosOp::insert(5, ", big");
+        op.apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "hello, big world");
+        op.inverse().apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "hello world");
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut doc = TextBuffer::from_str("ab");
+        assert!(matches!(
+            PosOp::insert(3, "x").apply(&mut doc),
+            Err(ApplyError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            PosOp::delete(1, "bc").apply(&mut doc),
+            Err(ApplyError::OutOfBounds { .. })
+        ));
+        assert_eq!(doc.to_string(), "ab", "failed ops must not mutate");
+    }
+
+    #[test]
+    fn accessors() {
+        let op = PosOp::insert(3, "xy");
+        assert_eq!(op.pos(), 3);
+        assert_eq!(op.len(), 2);
+        assert_eq!(op.end(), 5);
+        assert!(op.is_insert());
+        assert!(!op.is_noop());
+        assert!(PosOp::insert(0, "").is_noop());
+        assert_eq!(op.to_string(), "Insert[\"xy\", 3]");
+        let del = PosOp::delete(1, "ab");
+        assert!(!del.is_insert());
+        assert!(del.to_string().starts_with("Delete[2, 1]"));
+    }
+
+    #[test]
+    fn delete_span_reads_content() {
+        let doc = TextBuffer::from_str("ABCDE");
+        let op = PosOp::delete_span(&doc, 2, 3);
+        assert_eq!(op, PosOp::delete(2, "CDE"));
+    }
+
+    #[test]
+    fn unicode_positions() {
+        let mut doc = TextBuffer::from_str("αβγ");
+        PosOp::insert(2, "δ").apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "αβδγ");
+        let op = PosOp::delete_span(&doc, 1, 2);
+        op.apply(&mut doc).unwrap();
+        assert_eq!(doc.to_string(), "αγ");
+        assert_eq!(op.text(), "βδ");
+    }
+}

@@ -1,0 +1,150 @@
+//! Reusable transformation-property checkers.
+//!
+//! These are the correctness conditions the OT literature names:
+//!
+//! * **TP1** (convergence property 1): for concurrent `a`, `b` defined on
+//!   the same state `S`, `S ∘ a ∘ IT(b,a) = S ∘ b ∘ IT(a,b)`. Required by
+//!   every integration algorithm; sufficient on its own when a central
+//!   serializer orders operations (the paper's star topology — its whole
+//!   architecture leans on this).
+//! * **TP2** (convergence property 2): `IT(IT(c,a), IT(b,a)) =
+//!   IT(IT(c,b), IT(a,b))` — transformation paths commute. Needed only by
+//!   fully-distributed integration, and satisfied by our TTF layer.
+//!
+//! The checkers return `Result<(), Violation>` with the witness states so
+//! property tests produce actionable failures, and so experiment E8/E9 can
+//! *count* violations rather than abort.
+
+use crate::seq::SeqOp;
+use crate::ttf::{it_ttf, TtfDoc, TtfOp};
+use std::fmt;
+
+/// A property violation with human-readable witnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which property failed.
+    pub property: &'static str,
+    /// Left-hand witness (state or op).
+    pub left: String,
+    /// Right-hand witness.
+    pub right: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violated: left={} right={}",
+            self.property, self.left, self.right
+        )
+    }
+}
+
+/// TP1 for sequence operations on a concrete document.
+pub fn seq_tp1(doc: &str, a: &SeqOp, b: &SeqOp) -> Result<(), Violation> {
+    let (a1, b1) = SeqOp::transform(a, b).map_err(|e| Violation {
+        property: "TP1(seq)/transform",
+        left: e.to_string(),
+        right: String::new(),
+    })?;
+    let left = b1
+        .apply(&a.apply(doc).expect("a applies to doc"))
+        .expect("b' applies after a");
+    let right = a1
+        .apply(&b.apply(doc).expect("b applies to doc"))
+        .expect("a' applies after b");
+    if left == right {
+        Ok(())
+    } else {
+        Err(Violation {
+            property: "TP1(seq)",
+            left,
+            right,
+        })
+    }
+}
+
+/// TP1 for TTF operations on a concrete model document.
+pub fn ttf_tp1(doc: &TtfDoc, a: &TtfOp, b: &TtfOp) -> Result<(), Violation> {
+    let mut left = doc.clone();
+    left.apply(a).expect("a applies");
+    left.apply(&it_ttf(b, a)).expect("IT(b,a) applies");
+    let mut right = doc.clone();
+    right.apply(b).expect("b applies");
+    right.apply(&it_ttf(a, b)).expect("IT(a,b) applies");
+    if left == right {
+        Ok(())
+    } else {
+        Err(Violation {
+            property: "TP1(ttf)",
+            left: left.visible_text(),
+            right: right.visible_text(),
+        })
+    }
+}
+
+/// TP2 for TTF operations (syntactic equality of transformed ops, which is
+/// exactly what distributed integration relies on).
+pub fn ttf_tp2(a: &TtfOp, b: &TtfOp, c: &TtfOp) -> Result<(), Violation> {
+    let left = it_ttf(&it_ttf(c, a), &it_ttf(b, a));
+    let right = it_ttf(&it_ttf(c, b), &it_ttf(a, b));
+    if left == right {
+        Ok(())
+    } else {
+        Err(Violation {
+            property: "TP2(ttf)",
+            left: left.to_string(),
+            right: right.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::PosOp;
+
+    #[test]
+    fn seq_tp1_passes_on_paper_example() {
+        let a = SeqOp::from_pos(&PosOp::insert(1, "12"), 5);
+        let b = SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5);
+        assert!(seq_tp1("ABCDE", &a, &b).is_ok());
+    }
+
+    #[test]
+    fn seq_tp1_reports_transform_errors() {
+        let a = SeqOp::identity(3);
+        let b = SeqOp::identity(4);
+        let err = seq_tp1("abc", &a, &b).unwrap_err();
+        assert_eq!(err.property, "TP1(seq)/transform");
+    }
+
+    #[test]
+    fn ttf_properties_pass_on_samples() {
+        let doc = TtfDoc::from_str("hello");
+        let a = TtfOp::Insert {
+            pos: 2,
+            ch: 'x',
+            site: 1,
+        };
+        let b = TtfOp::Delete { pos: 4 };
+        let c = TtfOp::Insert {
+            pos: 2,
+            ch: 'y',
+            site: 2,
+        };
+        assert!(ttf_tp1(&doc, &a, &b).is_ok());
+        assert!(ttf_tp2(&a, &b, &c).is_ok());
+    }
+
+    #[test]
+    fn violation_displays_witnesses() {
+        let v = Violation {
+            property: "TP1(test)",
+            left: "abc".into(),
+            right: "abd".into(),
+        };
+        assert!(v.to_string().contains("TP1(test)"));
+        assert!(v.to_string().contains("abd"));
+    }
+}

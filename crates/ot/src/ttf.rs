@@ -1,0 +1,488 @@
+//! Tombstone Transformation Functions (TTF) — the transformation layer for
+//! the *fully-distributed* baseline deployment.
+//!
+//! The original REDUCE/GROVE-style peer-to-peer integration algorithms need
+//! transformation functions satisfying both TP1 and TP2; plain positional
+//! character functions famously violate TP2 (the "dOPT puzzle" lineage). The
+//! TTF approach (Oster et al.) fixes this by never physically removing
+//! characters: a delete merely marks a *tombstone*, so character cells never
+//! shift left and the troublesome delete/insert interactions disappear.
+//! TTF's IT functions satisfy TP1 **and** TP2, which our property tests
+//! verify exhaustively and randomly.
+//!
+//! * The **model** document ([`TtfDoc`]) holds every character ever
+//!   inserted, dead or alive.
+//! * The **view** is the subsequence of visible cells — what the user sees
+//!   and what positional operations address. [`TtfDoc::visible_to_model_char`]
+//!   and friends convert between the two spaces.
+//!
+//! [`transpose`] provides the exclusion-flavoured primitive the GOTO-style
+//! history-buffer reordering needs; within that algorithm's usage (both
+//! operations concurrent, the excluded one executed first) it is total.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of the model document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtfCell {
+    /// The character.
+    pub ch: char,
+    /// False once deleted (tombstone).
+    pub visible: bool,
+}
+
+/// A TTF character operation, addressed in *model* coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TtfOp {
+    /// Insert `ch` so it becomes the cell at model position `pos`.
+    Insert {
+        /// Model position.
+        pos: usize,
+        /// Character inserted.
+        ch: char,
+        /// Generating site — the insert/insert tie-breaker.
+        site: u32,
+    },
+    /// Mark the cell at model position `pos` as a tombstone (idempotent).
+    Delete {
+        /// Model position.
+        pos: usize,
+    },
+}
+
+impl TtfOp {
+    /// Model position the operation addresses.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        match self {
+            TtfOp::Insert { pos, .. } | TtfOp::Delete { pos } => *pos,
+        }
+    }
+}
+
+impl fmt::Display for TtfOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtfOp::Insert { pos, ch, site } => write!(f, "Ins({ch:?}@{pos} by s{site})"),
+            TtfOp::Delete { pos } => write!(f, "Del(@{pos})"),
+        }
+    }
+}
+
+/// Errors applying a TTF operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TtfError {
+    /// Model position out of range.
+    OutOfBounds {
+        /// Offending model position.
+        pos: usize,
+        /// Model length at application time.
+        model_len: usize,
+    },
+    /// `transpose` was asked to pull a delete across the insert that
+    /// created the deleted cell — impossible for genuinely concurrent
+    /// operations, so reaching this indicates an engine bug.
+    DeleteOfExcludedInsert,
+}
+
+impl fmt::Display for TtfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtfError::OutOfBounds { pos, model_len } => {
+                write!(f, "model position {pos} out of bounds (len {model_len})")
+            }
+            TtfError::DeleteOfExcludedInsert => {
+                write!(f, "cannot exclude an insert from a delete of its own cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TtfError {}
+
+/// The model document: every cell ever inserted, with tombstones.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtfDoc {
+    cells: Vec<TtfCell>,
+}
+
+impl TtfDoc {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed a document with initial visible text (e.g. the session's shared
+    /// starting state).
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
+    pub fn from_str(text: &str) -> Self {
+        TtfDoc {
+            cells: text
+                .chars()
+                .map(|ch| TtfCell { ch, visible: true })
+                .collect(),
+        }
+    }
+
+    /// Model length (including tombstones).
+    #[inline]
+    pub fn model_len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Visible length (the user-perceived document length).
+    pub fn visible_len(&self) -> usize {
+        self.cells.iter().filter(|c| c.visible).count()
+    }
+
+    /// The visible text.
+    pub fn visible_text(&self) -> String {
+        self.cells
+            .iter()
+            .filter(|c| c.visible)
+            .map(|c| c.ch)
+            .collect()
+    }
+
+    /// Fraction of cells that are tombstones (memory-overhead metric for
+    /// the ablation benchmarks).
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let dead = self.cells.iter().filter(|c| !c.visible).count();
+        dead as f64 / self.cells.len() as f64
+    }
+
+    /// Apply an operation.
+    pub fn apply(&mut self, op: &TtfOp) -> Result<(), TtfError> {
+        match op {
+            TtfOp::Insert { pos, ch, .. } => {
+                if *pos > self.cells.len() {
+                    return Err(TtfError::OutOfBounds {
+                        pos: *pos,
+                        model_len: self.cells.len(),
+                    });
+                }
+                self.cells.insert(
+                    *pos,
+                    TtfCell {
+                        ch: *ch,
+                        visible: true,
+                    },
+                );
+                Ok(())
+            }
+            TtfOp::Delete { pos } => {
+                if *pos >= self.cells.len() {
+                    return Err(TtfError::OutOfBounds {
+                        pos: *pos,
+                        model_len: self.cells.len(),
+                    });
+                }
+                // Idempotent: deleting a tombstone is a no-op, which is what
+                // makes concurrent identical deletes commute.
+                self.cells[*pos].visible = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Model position of the `v`-th visible cell; `v == visible_len()`
+    /// maps to the end of the model. Used to convert a user-level insert
+    /// position.
+    pub fn visible_to_model_insert(&self, v: usize) -> usize {
+        let mut seen = 0usize;
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.visible {
+                if seen == v {
+                    return i;
+                }
+                seen += 1;
+            }
+        }
+        assert!(
+            v == seen,
+            "visible position {v} out of bounds (visible len {seen})"
+        );
+        self.cells.len()
+    }
+
+    /// Model position of the `v`-th visible cell (`v < visible_len()`).
+    /// Used to convert a user-level delete position.
+    pub fn visible_to_model_char(&self, v: usize) -> usize {
+        let mut seen = 0usize;
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.visible {
+                if seen == v {
+                    return i;
+                }
+                seen += 1;
+            }
+        }
+        panic!("visible position {v} out of bounds (visible len {seen})");
+    }
+
+    /// Visible index of the model cell at `m` (counting visible cells
+    /// strictly before it).
+    pub fn model_to_visible(&self, m: usize) -> usize {
+        self.cells[..m].iter().filter(|c| c.visible).count()
+    }
+}
+
+/// TTF inclusion transformation: rewrite `op` to apply after `against`
+/// (both defined on the same model state). Total, and satisfies TP1 + TP2.
+pub fn it_ttf(op: &TtfOp, against: &TtfOp) -> TtfOp {
+    match (op, against) {
+        (
+            TtfOp::Insert {
+                pos: p1,
+                ch,
+                site: s1,
+            },
+            TtfOp::Insert {
+                pos: p2, site: s2, ..
+            },
+        ) => {
+            let shifted = *p1 > *p2 || (*p1 == *p2 && s1 > s2);
+            TtfOp::Insert {
+                pos: if shifted { *p1 + 1 } else { *p1 },
+                ch: *ch,
+                site: *s1,
+            }
+        }
+        // Deletes never move cells: inserts pass through untouched.
+        (TtfOp::Insert { .. }, TtfOp::Delete { .. }) => *op,
+        (TtfOp::Delete { pos: p1 }, TtfOp::Insert { pos: p2, .. }) => TtfOp::Delete {
+            pos: if *p1 >= *p2 { *p1 + 1 } else { *p1 },
+        },
+        // Tombstoning is idempotent: a delete is unaffected by any delete.
+        (TtfOp::Delete { .. }, TtfOp::Delete { .. }) => *op,
+    }
+}
+
+/// Transpose an executed pair: given `a` then `b` (where `b`'s form already
+/// includes `a`'s effect and the two are *concurrent*), produce
+/// `(b_excl, a_incl)` so that executing `b_excl` then `a_incl` reaches the
+/// same state. This is the primitive GOTO-style history reordering uses.
+pub fn transpose(a: &TtfOp, b: &TtfOp) -> Result<(TtfOp, TtfOp), TtfError> {
+    let b_excl = et_ttf(b, a)?;
+    let a_incl = it_ttf(a, &b_excl);
+    Ok((b_excl, a_incl))
+}
+
+/// TTF exclusion transformation: rewrite `op` (defined after `against`)
+/// onto the state before `against`. Total except for deleting the excluded
+/// insert's own cell, which cannot occur between concurrent operations.
+fn et_ttf(op: &TtfOp, against: &TtfOp) -> Result<TtfOp, TtfError> {
+    match (op, against) {
+        (TtfOp::Insert { pos: p1, ch, site }, TtfOp::Insert { pos: p2, .. }) => Ok(TtfOp::Insert {
+            pos: if *p1 > *p2 { *p1 - 1 } else { *p1 },
+            ch: *ch,
+            site: *site,
+        }),
+        (_, TtfOp::Delete { .. }) => Ok(*op),
+        (TtfOp::Delete { pos: p1 }, TtfOp::Insert { pos: p2, .. }) => {
+            if *p1 == *p2 {
+                return Err(TtfError::DeleteOfExcludedInsert);
+            }
+            Ok(TtfOp::Delete {
+                pos: if *p1 > *p2 { *p1 - 1 } else { *p1 },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(pos: usize, ch: char, site: u32) -> TtfOp {
+        TtfOp::Insert { pos, ch, site }
+    }
+
+    fn del(pos: usize) -> TtfOp {
+        TtfOp::Delete { pos }
+    }
+
+    #[test]
+    fn apply_and_view() {
+        let mut d = TtfDoc::from_str("abc");
+        d.apply(&ins(1, 'X', 1)).unwrap();
+        assert_eq!(d.visible_text(), "aXbc");
+        d.apply(&del(2)).unwrap();
+        assert_eq!(d.visible_text(), "aXc");
+        assert_eq!(d.model_len(), 4);
+        assert_eq!(d.visible_len(), 3);
+        assert!((d.tombstone_ratio() - 0.25).abs() < 1e-12);
+        // Deleting a tombstone is a no-op.
+        d.apply(&del(2)).unwrap();
+        assert_eq!(d.visible_text(), "aXc");
+    }
+
+    #[test]
+    fn coordinate_conversions() {
+        let mut d = TtfDoc::from_str("abcd");
+        d.apply(&del(1)).unwrap(); // "acd", model a·b̶·c·d
+        assert_eq!(d.visible_text(), "acd");
+        assert_eq!(d.visible_to_model_char(0), 0); // a
+        assert_eq!(d.visible_to_model_char(1), 2); // c
+        assert_eq!(d.visible_to_model_char(2), 3); // d
+        assert_eq!(d.visible_to_model_insert(1), 2); // before c
+        assert_eq!(d.visible_to_model_insert(3), 4); // append
+        assert_eq!(d.model_to_visible(2), 1);
+        assert_eq!(d.model_to_visible(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn visible_char_bounds_checked() {
+        let d = TtfDoc::from_str("ab");
+        let _ = d.visible_to_model_char(2);
+    }
+
+    /// TP1: for concurrent a, b on the same state,
+    /// S∘a∘IT(b,a) == S∘b∘IT(a,b).
+    fn assert_tp1(doc: &TtfDoc, a: &TtfOp, b: &TtfOp) {
+        let mut left = doc.clone();
+        left.apply(a).unwrap();
+        left.apply(&it_ttf(b, a)).unwrap();
+        let mut right = doc.clone();
+        right.apply(b).unwrap();
+        right.apply(&it_ttf(a, b)).unwrap();
+        assert_eq!(left, right, "TP1 violated: a={a}, b={b}");
+    }
+
+    /// TP2: IT(IT(c,a), IT(b,a)) == IT(IT(c,b), IT(a,b)).
+    fn assert_tp2(a: &TtfOp, b: &TtfOp, c: &TtfOp) {
+        let left = it_ttf(&it_ttf(c, a), &it_ttf(b, a));
+        let right = it_ttf(&it_ttf(c, b), &it_ttf(a, b));
+        assert_eq!(left, right, "TP2 violated: a={a}, b={b}, c={c}");
+    }
+
+    #[test]
+    fn tp1_exhaustive_small() {
+        let mut doc = TtfDoc::from_str("abcde");
+        doc.apply(&del(2)).unwrap(); // include a tombstone in the state
+        let n = doc.model_len();
+        let mut ops = Vec::new();
+        for p in 0..=n {
+            ops.push(ins(p, 'x', 1));
+            ops.push(ins(p, 'y', 2));
+        }
+        for p in 0..n {
+            ops.push(del(p));
+        }
+        for a in &ops {
+            for b in &ops {
+                // Concurrent ops from the same site don't exist; skip
+                // same-site insert pairs at equal positions (the tie-break
+                // needs distinct sites).
+                if let (TtfOp::Insert { site: s1, .. }, TtfOp::Insert { site: s2, .. }) = (a, b) {
+                    if s1 == s2 {
+                        continue;
+                    }
+                }
+                assert_tp1(&doc, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn tp2_exhaustive_small() {
+        let n = 4;
+        let mut ops = Vec::new();
+        for p in 0..=n {
+            ops.push(ins(p, 'x', 1));
+            ops.push(ins(p, 'y', 2));
+            ops.push(ins(p, 'z', 3));
+        }
+        for p in 0..n {
+            ops.push(del(p));
+        }
+        for a in &ops {
+            for b in &ops {
+                for c in &ops {
+                    // Distinct sites for any insert pair involved in ties.
+                    let sites: Vec<u32> = [a, b, c]
+                        .iter()
+                        .filter_map(|o| match o {
+                            TtfOp::Insert { site, .. } => Some(*site),
+                            _ => None,
+                        })
+                        .collect();
+                    let mut uniq = sites.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    if uniq.len() != sites.len() {
+                        continue;
+                    }
+                    assert_tp2(a, b, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let doc = TtfDoc::from_str("abcd");
+        // Concurrent pair: a executed first, b transformed against a.
+        let cases = [
+            (ins(1, 'P', 1), ins(3, 'Q', 2)),
+            (ins(2, 'P', 1), del(1)),
+            (del(0), ins(2, 'Q', 2)),
+            (del(1), del(3)),
+            (ins(2, 'P', 2), ins(2, 'Q', 3)),
+        ];
+        for (a, b_orig) in cases {
+            let b = it_ttf(&b_orig, &a); // b's executed form after a
+            let mut direct = doc.clone();
+            direct.apply(&a).unwrap();
+            direct.apply(&b).unwrap();
+
+            let (b_excl, a_incl) = transpose(&a, &b).unwrap();
+            let mut swapped = doc.clone();
+            swapped.apply(&b_excl).unwrap();
+            swapped.apply(&a_incl).unwrap();
+            assert_eq!(direct, swapped, "transpose broke a={a}, b={b}");
+            // And the excluded form is the original concurrent form.
+            assert_eq!(b_excl, b_orig);
+        }
+    }
+
+    #[test]
+    fn transpose_rejects_impossible_exclusion() {
+        // b deletes the cell a inserted — not a concurrent pair.
+        let a = ins(2, 'P', 1);
+        let b = del(2);
+        assert_eq!(transpose(&a, &b), Err(TtfError::DeleteOfExcludedInsert));
+    }
+
+    #[test]
+    fn concurrent_deletes_of_same_char_converge() {
+        let doc = TtfDoc::from_str("abc");
+        let a = del(1);
+        let b = del(1);
+        let mut left = doc.clone();
+        left.apply(&a).unwrap();
+        left.apply(&it_ttf(&b, &a)).unwrap();
+        let mut right = doc.clone();
+        right.apply(&b).unwrap();
+        right.apply(&it_ttf(&a, &b)).unwrap();
+        assert_eq!(left.visible_text(), "ac");
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn insert_tie_break_is_by_site() {
+        let doc = TtfDoc::from_str("ab");
+        let a = ins(1, 'X', 1);
+        let b = ins(1, 'Y', 2);
+        let mut left = doc.clone();
+        left.apply(&a).unwrap();
+        left.apply(&it_ttf(&b, &a)).unwrap();
+        // Lower site id wins the earlier position.
+        assert_eq!(left.visible_text(), "aXYb");
+    }
+}

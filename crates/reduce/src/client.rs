@@ -1,0 +1,736 @@
+//! The client-site state machine of the star/CVC deployment.
+//!
+//! A [`Client`] is one "REDUCE applet" of the paper's Fig. 1: it holds a
+//! replica of the shared document, a 2-element compressed state vector, a
+//! history buffer of executed operations, and the bridge that reconciles
+//! its stream with the notifier's.
+//!
+//! It is a *pure state machine*: [`Client::local_edit`] returns the message
+//! to propagate and [`Client::on_server_op`] consumes a delivered message —
+//! the caller (simulator node wrapper, scripted scenario, or test) moves
+//! the messages. This keeps the paper's worked example drivable with exact
+//! control over arrival orders.
+//!
+//! Every remote integration runs the paper's concurrency check (formula
+//! (5)) over the history buffer *and* the bridge's sequence arithmetic, and
+//! asserts they select the same concurrent set — the two formulations are
+//! equivalent, and the engine checks that equivalence on every single
+//! operation it processes.
+
+use crate::bridge::{Bridge, BridgeError, BridgeRole};
+use crate::error::ProtocolError;
+use crate::metrics::SiteMetrics;
+use crate::msg::{ClientOpMsg, ServerOpMsg};
+use cvc_core::formulas::formula5_client;
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::{ClientStateVector, CompressedStamp};
+use cvc_core::timestamp::OriginAtClient;
+use cvc_ot::cursor::{transform_cursor, Bias};
+use cvc_ot::pos::PosOp;
+use cvc_ot::seq::SeqOp;
+use std::collections::HashMap;
+
+/// Undo depth retained per client: each local operation keeps its
+/// current-frame inverse until this many newer ones exist (typical editor
+/// depth; bounds both memory and the per-op stack-maintenance cost).
+pub const MAX_UNDO_DEPTH: usize = 100;
+
+/// One executed operation remembered in a client's history buffer,
+/// timestamped per Section 3.3 ("a buffered operation is timestamped with
+/// its original 2-element propagation timestamp").
+#[derive(Debug, Clone)]
+pub struct ClientHbEntry {
+    /// The 2-element stamp the operation carried.
+    pub stamp: CompressedStamp,
+    /// Local operation or one propagated from the notifier.
+    pub origin: OriginAtClient,
+    /// The executed form.
+    pub op: SeqOp,
+}
+
+/// A collaborating client site (site `i ≠ 0`).
+#[derive(Debug, Clone)]
+pub struct Client {
+    site: SiteId,
+    sv: ClientStateVector,
+    doc: String,
+    bridge: Bridge,
+    hb: Vec<ClientHbEntry>,
+    /// Highest `T[2]` seen on a server op: the notifier has integrated our
+    /// local operations up to this sequence number.
+    acked_local: u64,
+    /// Inverses of this site's not-yet-undone local operations, each kept
+    /// transformed into the *current* document frame (updated on every
+    /// executed operation). Independent of the history buffer, so undo
+    /// composes with garbage collection.
+    undo_stack: Vec<SeqOp>,
+    /// Inverses of undos (redo candidates), maintained the same way;
+    /// cleared by any fresh local edit, as in conventional editors.
+    redo_stack: Vec<SeqOp>,
+    /// This user's caret position (drives the telepointer we send).
+    caret: usize,
+    /// Whether local operations carry the caret (telepointer presence).
+    share_caret: bool,
+    /// Last known caret of each remote user, in this replica's frame.
+    remote_carets: HashMap<u32, usize>,
+    metrics: SiteMetrics,
+}
+
+impl Client {
+    /// A client for `site` starting from the shared `initial` document.
+    pub fn new(site: SiteId, initial: &str) -> Self {
+        assert!(!site.is_notifier(), "clients cannot be site 0");
+        Client {
+            site,
+            sv: ClientStateVector::new(),
+            doc: initial.to_owned(),
+            bridge: Bridge::new(BridgeRole::Client),
+            hb: Vec::new(),
+            acked_local: 0,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+            caret: 0,
+            share_caret: true,
+            remote_carets: HashMap::new(),
+            metrics: SiteMetrics::new(),
+        }
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Current document content.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// Current state vector (`SV_i`).
+    pub fn state_vector(&self) -> ClientStateVector {
+        self.sv
+    }
+
+    /// History buffer (`HB_i`).
+    pub fn history(&self) -> &[ClientHbEntry] {
+        &self.hb
+    }
+
+    /// Cost counters.
+    pub fn metrics(&self) -> &SiteMetrics {
+        &self.metrics
+    }
+
+    /// This user's caret position.
+    pub fn caret(&self) -> usize {
+        self.caret
+    }
+
+    /// Move this user's caret (bounded by the document length).
+    pub fn set_caret(&mut self, pos: usize) {
+        self.caret = pos.min(self.doc_len());
+    }
+
+    /// Enable/disable telepointer presence on outgoing operations
+    /// (enabled by default; costs ~2 bytes per message). The byte-exact
+    /// overhead experiments turn it off to measure the paper's bare
+    /// protocol.
+    pub fn set_share_caret(&mut self, on: bool) {
+        self.share_caret = on;
+    }
+
+    /// Last known remote carets `(site id, position)`, in this replica's
+    /// current frame.
+    pub fn remote_carets(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.remote_carets.iter().map(|(&s, &p)| (s, p))
+    }
+
+    /// Document length in characters.
+    pub fn doc_len(&self) -> usize {
+        self.doc.chars().count()
+    }
+
+    /// Generate and execute a local operation; returns the timestamped
+    /// message to send to the notifier.
+    ///
+    /// # Panics
+    /// Panics if `op` does not fit the current document.
+    pub fn local_edit(&mut self, op: SeqOp) -> ClientOpMsg {
+        // A fresh edit invalidates the redo chain (standard editor rule).
+        self.redo_stack.clear();
+        self.local_edit_inner(op, UndoKind::Fresh)
+    }
+
+    fn local_edit_inner(&mut self, op: SeqOp, kind: UndoKind) -> ClientOpMsg {
+        let inverse = op
+            .invert(&self.doc)
+            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+        self.doc = op
+            .apply(&self.doc)
+            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+        // Our caret rides our own edit; remote carets shift around it.
+        self.caret = transform_cursor(self.caret, &op, Bias::After);
+        for c in self.remote_carets.values_mut() {
+            *c = transform_cursor(*c, &op, Bias::Before);
+        }
+        // Rule 3: executing a local op bumps SV_i[2]; the *current* value
+        // then timestamps the op.
+        self.sv.record_local();
+        let stamp = self.sv.stamp();
+        let seq = self.bridge.record_send(op.clone());
+        debug_assert_eq!(
+            seq,
+            stamp.get(2),
+            "bridge sequence must equal SV_i[2] (paper Section 3.3)"
+        );
+        for inv in self.undo_stack.iter_mut().chain(&mut self.redo_stack) {
+            let (i2, _) = SeqOp::transform(inv, &op).expect("stack rides local ops");
+            *inv = i2;
+        }
+        match kind {
+            UndoKind::Fresh | UndoKind::Redo => self.undo_stack.push(inverse),
+            UndoKind::Undo => self.redo_stack.push(inverse),
+        }
+        if self.undo_stack.len() > MAX_UNDO_DEPTH {
+            self.undo_stack.remove(0);
+        }
+        if self.redo_stack.len() > MAX_UNDO_DEPTH {
+            self.redo_stack.remove(0);
+        }
+        self.hb.push(ClientHbEntry {
+            stamp,
+            origin: OriginAtClient::Local,
+            op: op.clone(),
+        });
+        self.metrics.ops_generated += 1;
+        self.metrics.messages_sent += 1;
+        self.metrics.stamp_integers_sent += 2;
+        let msg = ClientOpMsg {
+            origin: self.site,
+            stamp,
+            op,
+            cursor: self.share_caret.then_some(self.caret as u64),
+        };
+        self.metrics.stamp_bytes_sent +=
+            crate::msg::EditorMsg::ClientOp(msg.clone()).stamp_bytes() as u64;
+        self.metrics.bytes_sent +=
+            cvc_sim::wire::WireSize::wire_bytes(&crate::msg::EditorMsg::ClientOp(msg.clone()))
+                as u64;
+        msg
+    }
+
+    /// Convenience: insert `text` at character position `pos` (the caret
+    /// lands after the inserted text).
+    pub fn insert(&mut self, pos: usize, text: &str) -> ClientOpMsg {
+        self.caret = pos;
+        let op = SeqOp::from_pos(&PosOp::insert(pos, text), self.doc_len());
+        self.local_edit(op)
+    }
+
+    /// Convenience: delete `count` characters from position `pos`.
+    pub fn delete(&mut self, pos: usize, count: usize) -> ClientOpMsg {
+        self.caret = pos;
+        let text: String = self.doc.chars().skip(pos).take(count).collect();
+        assert_eq!(text.chars().count(), count, "delete range out of bounds");
+        let op = SeqOp::from_pos(&PosOp::delete(pos, text), self.doc_len());
+        self.local_edit(op)
+    }
+
+    /// Undo this site's most recent not-yet-undone local operation
+    /// (beyond-paper extension; the user-level undo the REDUCE lineage
+    /// later developed as ANYUNDO).
+    ///
+    /// The inverse of each local operation is captured at execution time
+    /// and kept inclusion-transformed into the **current** document frame
+    /// as later operations (local or remote) execute — so undoing cancels
+    /// exactly the *surviving* effect of the original, even when remote
+    /// edits landed in between. The undo is issued as an ordinary local
+    /// operation: timestamping, propagation, and convergence need nothing
+    /// new, and the undo itself can be undone (redo). Works with
+    /// [`Client::gc`] enabled (the stack is independent of the history
+    /// buffer).
+    ///
+    /// Returns the message to send, or `None` when there is nothing to
+    /// undo (or the target's effect was already entirely cancelled).
+    pub fn undo_last_local(&mut self) -> Option<ClientOpMsg> {
+        let undo_op = self.undo_stack.pop()?;
+        if undo_op.is_noop() {
+            return None;
+        }
+        // The undo is itself a local op; its inverse lands on the redo
+        // stack (not back on the undo stack — "undo everything" must
+        // terminate).
+        Some(self.local_edit_inner(undo_op, UndoKind::Undo))
+    }
+
+    /// Re-apply the most recently undone operation (transformed to the
+    /// current frame). Any fresh local edit clears the redo chain.
+    pub fn redo_last(&mut self) -> Option<ClientOpMsg> {
+        let redo_op = self.redo_stack.pop()?;
+        if redo_op.is_noop() {
+            return None;
+        }
+        Some(self.local_edit_inner(redo_op, UndoKind::Redo))
+    }
+
+    /// Garbage-collect history-buffer entries that can never again be
+    /// judged concurrent with a future server operation.
+    ///
+    /// Two facts bound the useful history at a client (both direct reads
+    /// of formula (5) under FIFO):
+    ///
+    /// * an entry that *came from the notifier* is causally before every
+    ///   future server op, so it is dead the moment it is buffered;
+    /// * a *local* entry with sequence number `s` is dead once some server
+    ///   op carried `T[2] ≥ s` — every later server op carries a
+    ///   monotonically non-decreasing `T[2]`.
+    ///
+    /// The live working set is therefore exactly the bridge's pending
+    /// list: a client's memory is bounded by its in-flight operations, not
+    /// by session length. Returns the number of entries collected.
+    /// Note: collection renumbers [`Client::history`] indices, so callers
+    /// correlating [`ClientIntegration::checked`] with entries must not
+    /// collect between integration and inspection.
+    pub fn gc(&mut self) -> usize {
+        let before = self.hb.len();
+        let acked = self.acked_local;
+        self.hb
+            .retain(|e| e.origin == OriginAtClient::Local && e.stamp.get(2) > acked);
+        before - self.hb.len()
+    }
+
+    /// Integrate an operation propagated from the notifier.
+    ///
+    /// # Panics
+    /// Panics on protocol violations; use [`Client::try_on_server_op`]
+    /// to handle them.
+    pub fn on_server_op(&mut self, msg: ServerOpMsg) -> ClientIntegration {
+        let site = self.site;
+        self.try_on_server_op(msg)
+            .unwrap_or_else(|e| panic!("protocol violation at {site}: {e}"))
+    }
+
+    /// Fallible integration: detects broken FIFO assumptions before they
+    /// can corrupt the replica.
+    ///
+    /// The compressed stamps make the checks cheap: a server op must carry
+    /// `T[1]` exactly one past the operations received so far (the
+    /// notifier's stream to this client is sequential), and can never ack
+    /// more local operations than were generated.
+    pub fn try_on_server_op(
+        &mut self,
+        msg: ServerOpMsg,
+    ) -> Result<ClientIntegration, ProtocolError> {
+        let expected = self.sv.received() + 1;
+        if msg.stamp.get(1) != expected {
+            return Err(ProtocolError::FifoViolation {
+                site: self.site,
+                expected,
+                got: msg.stamp.get(1),
+            });
+        }
+        if msg.stamp.get(2) > self.sv.generated() {
+            return Err(ProtocolError::AckOverrun {
+                site: self.site,
+                sent: self.sv.generated(),
+                acked: msg.stamp.get(2),
+            });
+        }
+        // Paper concurrency check (formula (5)) over the whole HB.
+        let mut checked = Vec::with_capacity(self.hb.len());
+        let mut concurrent_local = 0usize;
+        for entry in &self.hb {
+            let verdict = formula5_client(msg.stamp, entry.stamp, entry.origin);
+            checked.push(verdict);
+            if verdict {
+                debug_assert_eq!(
+                    entry.origin,
+                    OriginAtClient::Local,
+                    "only local ops can be concurrent with a server op at a client"
+                );
+                concurrent_local += 1;
+            }
+        }
+        self.metrics.concurrency_checks += checked.len() as u64;
+        self.metrics.concurrent_verdicts += concurrent_local as u64;
+
+        // Bridge integration: ops acked by T_O[2] = SV_0[i] are causal
+        // context; the rest are the concurrent set. The author's caret
+        // rides the same transform chain.
+        let (integrated, remote_cursor) = self
+            .bridge
+            .integrate_with_cursor(
+                msg.op,
+                msg.stamp.get(2),
+                msg.cursor.map(|(_, c)| c as usize),
+            )
+            .map_err(|e| match e {
+                BridgeError::AckOverrun { sent, acked } => ProtocolError::AckOverrun {
+                    site: self.site,
+                    sent,
+                    acked,
+                },
+                BridgeError::Transform(e) => ProtocolError::BadOperation(e),
+            })?;
+        debug_assert_eq!(
+            integrated.concurrent_with, concurrent_local,
+            "formula (5) and bridge pruning must select the same concurrent set"
+        );
+        self.metrics.transforms += integrated.concurrent_with as u64;
+
+        self.doc = integrated
+            .op
+            .apply(&self.doc)
+            .map_err(ProtocolError::BadOperation)?;
+        for inv in self.undo_stack.iter_mut().chain(&mut self.redo_stack) {
+            let (i2, _) =
+                SeqOp::transform(inv, &integrated.op).map_err(ProtocolError::BadOperation)?;
+            *inv = i2;
+        }
+        // Rule 2: executing a notifier op bumps SV_i[1].
+        self.sv.record_from_notifier();
+        self.acked_local = self.acked_local.max(msg.stamp.get(2));
+        // Presence: every caret shifts under the executed remote op; the
+        // author's caret is then overwritten by the transported one.
+        self.caret = transform_cursor(self.caret, &integrated.op, Bias::Before);
+        for c in self.remote_carets.values_mut() {
+            *c = transform_cursor(*c, &integrated.op, Bias::Before);
+        }
+        if let (Some((owner, _)), Some(pos)) = (msg.cursor, remote_cursor) {
+            self.remote_carets.insert(owner, pos);
+        }
+        self.hb.push(ClientHbEntry {
+            stamp: msg.stamp,
+            origin: OriginAtClient::FromNotifier,
+            op: integrated.op.clone(),
+        });
+        self.metrics.ops_executed_remote += 1;
+        Ok(ClientIntegration {
+            executed: integrated.op,
+            checked,
+        })
+    }
+}
+
+/// How a local operation relates to the undo machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UndoKind {
+    /// An ordinary user edit.
+    Fresh,
+    /// An undo: its inverse becomes a redo candidate.
+    Undo,
+    /// A redo: its inverse goes back on the undo stack.
+    Redo,
+}
+
+/// Outcome of integrating one server operation at a client.
+#[derive(Debug, Clone)]
+pub struct ClientIntegration {
+    /// The executed (transformed) form of the arriving operation.
+    pub executed: SeqOp,
+    /// Formula (5) verdict per history-buffer entry (index-aligned with
+    /// [`Client::history`] *before* the new operation was appended).
+    pub checked: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_edit_stamps_follow_the_paper() {
+        let mut c = Client::new(SiteId(2), "ABCDE");
+        // Fig. 3: O2 at site 2 is stamped [0,1].
+        let msg = c.delete(2, 3);
+        assert_eq!(msg.stamp.as_pair(), (0, 1));
+        assert_eq!(c.doc(), "AB");
+        assert_eq!(c.history().len(), 1);
+        assert_eq!(c.state_vector().stamp().as_pair(), (0, 1));
+    }
+
+    #[test]
+    fn server_op_without_concurrency_applies_verbatim() {
+        let mut c = Client::new(SiteId(3), "ABCDE");
+        // Fig. 3: O2' arrives at site 3 (empty HB) stamped [1,0].
+        let op = SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5);
+        let outcome = c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 0),
+            op: op.clone(),
+            cursor: None,
+        });
+        assert_eq!(outcome.executed, op);
+        assert!(outcome.checked.is_empty());
+        assert_eq!(c.doc(), "AB");
+        assert_eq!(c.state_vector().stamp().as_pair(), (1, 0));
+        assert_eq!(c.metrics().transforms, 0);
+    }
+
+    #[test]
+    fn concurrent_server_op_is_transformed() {
+        // The paper's site-1 walkthrough: O1 = Insert["12",1] local, then
+        // O2' = Delete[3,2] arrives stamped [1,0].
+        let mut c = Client::new(SiteId(1), "ABCDE");
+        let m = c.insert(1, "12");
+        assert_eq!(m.stamp.as_pair(), (0, 1));
+        assert_eq!(c.doc(), "A12BCDE");
+        let o2 = SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5);
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 0),
+            op: o2,
+            cursor: None,
+        });
+        assert_eq!(c.doc(), "A12B", "intention-preserved result");
+        assert_eq!(c.metrics().transforms, 1);
+        assert_eq!(c.metrics().concurrent_verdicts, 1);
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn metrics_count_stamp_overhead() {
+        let mut c = Client::new(SiteId(1), "");
+        c.insert(0, "hello");
+        let m = c.metrics();
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.stamp_integers_sent, 2);
+        assert!(m.stamp_bytes_sent >= 2);
+        assert!(m.bytes_sent > m.stamp_bytes_sent);
+    }
+
+    #[test]
+    fn fifo_gap_is_detected() {
+        let mut c = Client::new(SiteId(1), "ab");
+        // First server op must carry T[1] = 1.
+        let err = c
+            .try_on_server_op(ServerOpMsg {
+                stamp: CompressedStamp::new(2, 0),
+                op: SeqOp::identity(2),
+                cursor: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::FifoViolation {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        ));
+        // Replay/regression (T[1] = 0 after nothing) also rejected.
+        let err = c
+            .try_on_server_op(ServerOpMsg {
+                stamp: CompressedStamp::new(0, 0),
+                op: SeqOp::identity(2),
+                cursor: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::FifoViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn ack_overrun_is_detected() {
+        let mut c = Client::new(SiteId(1), "ab");
+        let err = c
+            .try_on_server_op(ServerOpMsg {
+                stamp: CompressedStamp::new(1, 3),
+                op: SeqOp::identity(2),
+                cursor: None,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::AckOverrun {
+                sent: 0,
+                acked: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gc_keeps_only_unacked_local_ops() {
+        let mut c = Client::new(SiteId(1), "abc");
+        c.insert(0, "x"); // local #1
+        c.insert(0, "y"); // local #2
+                          // Server op acking local #1.
+                          // Its frame: the 3 initial chars plus the acked local #1.
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 1),
+            op: SeqOp::identity(4),
+            cursor: None,
+        });
+        assert_eq!(c.history().len(), 3);
+        let collected = c.gc();
+        // The server entry and local #1 die; local #2 survives.
+        assert_eq!(collected, 2);
+        assert_eq!(c.history().len(), 1);
+        assert_eq!(c.history()[0].stamp.as_pair(), (0, 2));
+        // Integration still works after collection.
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(2, 2),
+            op: SeqOp::identity(5),
+            cursor: None,
+        });
+        assert_eq!(c.gc(), 2);
+        assert_eq!(c.history().len(), 0);
+    }
+
+    #[test]
+    fn undo_reverses_last_local_op() {
+        let mut c = Client::new(SiteId(1), "hello");
+        c.insert(5, " world");
+        assert_eq!(c.doc(), "hello world");
+        let msg = c.undo_last_local().expect("something to undo");
+        assert_eq!(c.doc(), "hello");
+        // The undo is an ordinary local op with the next stamp.
+        assert_eq!(msg.stamp.as_pair(), (0, 2));
+        // Redo restores the text…
+        c.redo_last().expect("redo");
+        assert_eq!(c.doc(), "hello world");
+        // …and can itself be undone again.
+        c.undo_last_local().expect("undo the redo");
+        assert_eq!(c.doc(), "hello");
+        // A fresh edit clears the redo chain.
+        c.insert(5, "!");
+        assert!(c.redo_last().is_none());
+    }
+
+    #[test]
+    fn undo_survives_interleaved_remote_edits() {
+        let mut c = Client::new(SiteId(1), "abc");
+        c.insert(1, "XY"); // -> "aXYbc"
+                           // A remote op lands after ours: server inserts "!" at the end.
+                           // Its frame includes our acked op (T[2] = 1).
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 1),
+            op: SeqOp::from_pos(&PosOp::insert(5, "!"), 5),
+            cursor: None,
+        });
+        assert_eq!(c.doc(), "aXYbc!");
+        // Undo must remove exactly "XY", leaving the remote "!" alone.
+        c.undo_last_local().expect("undo");
+        assert_eq!(c.doc(), "abc!");
+    }
+
+    #[test]
+    fn undo_skips_fully_cancelled_ops() {
+        let mut c = Client::new(SiteId(1), "abcd");
+        c.insert(2, "Z"); // "abZcd"
+                          // A remote op deletes our Z (concurrent server op that, once
+                          // transformed, removes it): simulate via a server op whose frame
+                          // has seen our op (acked) and deletes position 2.
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 1),
+            op: SeqOp::from_pos(&PosOp::delete(2, "Z"), 5),
+            cursor: None,
+        });
+        assert_eq!(c.doc(), "abcd");
+        // Undoing the insert has no surviving effect.
+        assert!(c.undo_last_local().is_none());
+        assert_eq!(c.doc(), "abcd");
+        // And there is nothing further to undo.
+        assert!(c.undo_last_local().is_none());
+    }
+
+    #[test]
+    fn undo_depth_is_bounded() {
+        let mut c = Client::new(SiteId(1), "");
+        for k in 0..(MAX_UNDO_DEPTH + 50) {
+            c.insert(k, "x");
+        }
+        // Only MAX_UNDO_DEPTH undos are available; each removes one char.
+        let mut undone = 0;
+        while c.undo_last_local().is_some() {
+            undone += 1;
+        }
+        assert_eq!(undone, MAX_UNDO_DEPTH);
+        assert_eq!(c.doc_len(), 50);
+    }
+
+    #[test]
+    fn undo_targets_deletes_too() {
+        let mut c = Client::new(SiteId(1), "delete me not");
+        c.delete(6, 3); // removes " me"
+        assert_eq!(c.doc(), "delete not");
+        c.undo_last_local().expect("undo");
+        assert_eq!(c.doc(), "delete me not");
+    }
+
+    #[test]
+    fn telepointers_propagate_and_transform() {
+        use crate::notifier::Notifier;
+        let initial = "hello world";
+        let mut notifier = Notifier::new(2, initial);
+        let mut alice = Client::new(SiteId(1), initial);
+        let mut bob = Client::new(SiteId(2), initial);
+
+        // Bob types at the end; his caret lands after the insert.
+        let msg = bob.insert(11, "!!");
+        assert_eq!(bob.caret(), 13);
+        assert_eq!(msg.cursor, Some(13));
+        let out = notifier.on_client_op(msg);
+        let (_, smsg) = out.broadcasts.into_iter().next().unwrap();
+        assert_eq!(smsg.cursor, Some((2, 13)));
+        alice.on_server_op(smsg);
+        // Alice now sees bob's caret.
+        let carets: Vec<(u32, usize)> = alice.remote_carets().collect();
+        assert_eq!(carets, vec![(2, 13)]);
+
+        // Alice types at position 0; bob's remembered caret shifts right.
+        alice.insert(0, ">> ");
+        let carets: Vec<(u32, usize)> = alice.remote_carets().collect();
+        assert_eq!(carets, vec![(2, 16)]);
+        assert_eq!(alice.caret(), 3);
+    }
+
+    #[test]
+    fn telepointer_rides_concurrent_transform() {
+        use crate::notifier::Notifier;
+        // Bob's caret crosses the wire while alice edits concurrently
+        // *before* it; the transported caret must land shifted.
+        let initial = "abc";
+        let mut notifier = Notifier::new(2, initial);
+        let mut alice = Client::new(SiteId(1), initial);
+        let mut bob = Client::new(SiteId(2), initial);
+
+        let from_bob = bob.insert(3, "Z"); // caret 4
+        let from_alice = alice.insert(0, "XX"); // concurrent, caret 2
+                                                // Alice's op reaches the notifier first.
+        let out_a = notifier.on_client_op(from_alice);
+        let out_b = notifier.on_client_op(from_bob);
+        // Bob's caret, transformed through alice's concurrent op at the
+        // notifier: 4 + 2 = 6.
+        let to_alice = out_b
+            .broadcasts
+            .iter()
+            .find(|(d, _)| *d == SiteId(1))
+            .unwrap()
+            .1
+            .clone();
+        assert_eq!(to_alice.cursor, Some((2, 6)));
+        alice.on_server_op(to_alice);
+        assert_eq!(alice.remote_carets().collect::<Vec<_>>(), vec![(2, 6)]);
+        // And bob learns alice's caret (transported unchanged; bob's own
+        // pending op was acked inside the notifier's stamp? no — bob's op
+        // was concurrent, so alice's caret transforms through it at bob).
+        let to_bob = out_a.broadcasts.into_iter().next().unwrap().1;
+        bob.on_server_op(to_bob);
+        assert_eq!(bob.doc(), "XXabcZ");
+        assert_eq!(bob.remote_carets().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn delete_validates_range() {
+        let mut c = Client::new(SiteId(1), "ab");
+        c.delete(1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be site 0")]
+    fn site_zero_is_not_a_client() {
+        let _ = Client::new(SiteId(0), "");
+    }
+}

@@ -1,0 +1,508 @@
+//! Editor wire messages with byte-exact encoding.
+//!
+//! Three deployments share one message enum so a single simulator type
+//! parameter covers them all:
+//!
+//! * **Star / CVC** (the paper): [`ClientOpMsg`] carries a 2-element
+//!   compressed stamp up to the notifier; [`ServerOpMsg`] carries a
+//!   2-element stamp back down. *No message in the paper's deployment ever
+//!   carries more than two timestamp integers* — that is the claim under
+//!   test.
+//! * **Mesh / full vector** (classic REDUCE baseline): [`MeshOpMsg`]
+//!   carries an `N`-element vector.
+//! * **Relay star** (ablation E9: star topology *without* the transforming
+//!   notifier): reuses [`MeshOpMsg`] — without central transformation the
+//!   causality stays `N`-dimensional and the stamp must stay `N` wide,
+//!   which is precisely the paper's Section 6 point.
+//!
+//! Encodings are hand-rolled varint formats (see `cvc_sim::wire`) so the
+//! overhead experiments measure real bytes. `stamp_bytes()` splits the
+//! timestamp portion out of the total for the overhead-fraction reports.
+
+use bytes::{Buf, BufMut};
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_core::vector::VectorClock;
+use cvc_ot::seq::{Component, SeqOp};
+use cvc_ot::ttf::TtfOp;
+use cvc_sim::wire::{
+    get_string, get_varint, put_string, put_varint, string_len, varint_len, WireDecode, WireEncode,
+    WireError, WireSize,
+};
+
+const TAG_CLIENT_OP: u8 = 1;
+const TAG_SERVER_OP: u8 = 2;
+const TAG_MESH_OP: u8 = 3;
+const TAG_SERVER_ACK: u8 = 4;
+
+const COMP_RETAIN: u8 = 0;
+const COMP_INSERT: u8 = 1;
+const COMP_DELETE: u8 = 2;
+
+const TTF_INSERT: u8 = 0;
+const TTF_DELETE: u8 = 1;
+
+/// Client → notifier: an original local operation (star/CVC deployment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOpMsg {
+    /// Generating client site.
+    pub origin: SiteId,
+    /// The paper's 2-element propagation timestamp (`T_O = SV_i`).
+    pub stamp: CompressedStamp,
+    /// The operation, in its original (generation-context) form.
+    pub op: SeqOp,
+    /// The author's caret after this operation (telepointer presence;
+    /// position on the operation's post-state).
+    pub cursor: Option<u64>,
+}
+
+/// Notifier → client: a transformed operation (star/CVC deployment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOpMsg {
+    /// The destination-specific compressed stamp (formulas (1)–(2)).
+    pub stamp: CompressedStamp,
+    /// The transformed operation `O'`, in the notifier's frame.
+    pub op: SeqOp,
+    /// Telepointer: the authoring user and their caret on the operation's
+    /// post-state (presence metadata, not causality metadata — the
+    /// timestamp above stays two integers).
+    pub cursor: Option<(u32, u64)>,
+}
+
+/// Full-vector-stamped character operation (mesh and relay-star
+/// deployments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshOpMsg {
+    /// Generating site.
+    pub origin: SiteId,
+    /// Full `N`-element operation-count vector at generation.
+    pub vector: VectorClock,
+    /// The TTF character operation, original form.
+    pub op: TtfOp,
+}
+
+/// Notifier → originating client: a bare acknowledgement that the client's
+/// `acked`-th operation has been integrated. Used only by the *composing*
+/// client mode (a beyond-paper extension modelled on ShareDB/Wave clients);
+/// the paper's streaming clients need no acks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerAckMsg {
+    /// Operations received from this client so far (`SV_0[i]`).
+    pub acked: u64,
+}
+
+/// Any editor message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditorMsg {
+    /// Star/CVC upstream.
+    ClientOp(ClientOpMsg),
+    /// Star/CVC downstream.
+    ServerOp(ServerOpMsg),
+    /// Mesh or relay-star operation.
+    MeshOp(MeshOpMsg),
+    /// Star/CVC downstream acknowledgement (composing mode only).
+    ServerAck(ServerAckMsg),
+}
+
+impl EditorMsg {
+    /// Bytes of the encoded message that are timestamp data.
+    pub fn stamp_bytes(&self) -> usize {
+        match self {
+            EditorMsg::ClientOp(m) => stamp_wire_len(m.stamp),
+            EditorMsg::ServerOp(m) => stamp_wire_len(m.stamp),
+            EditorMsg::MeshOp(m) => vector_wire_len(&m.vector),
+            EditorMsg::ServerAck(m) => varint_len(m.acked),
+        }
+    }
+
+    /// Integer elements of timestamp data carried.
+    pub fn stamp_integers(&self) -> usize {
+        match self {
+            EditorMsg::ClientOp(_) | EditorMsg::ServerOp(_) => 2,
+            EditorMsg::MeshOp(m) => m.vector.width(),
+            EditorMsg::ServerAck(_) => 1,
+        }
+    }
+}
+
+fn stamp_wire_len(s: CompressedStamp) -> usize {
+    varint_len(s.t1) + varint_len(s.t2)
+}
+
+fn put_stamp<B: BufMut>(buf: &mut B, s: CompressedStamp) {
+    put_varint(buf, s.t1);
+    put_varint(buf, s.t2);
+}
+
+fn get_stamp<B: Buf>(buf: &mut B) -> Result<CompressedStamp, WireError> {
+    Ok(CompressedStamp::new(get_varint(buf)?, get_varint(buf)?))
+}
+
+fn vector_wire_len(v: &VectorClock) -> usize {
+    varint_len(v.width() as u64) + v.entries().iter().map(|&e| varint_len(e)).sum::<usize>()
+}
+
+fn put_vector<B: BufMut>(buf: &mut B, v: &VectorClock) {
+    put_varint(buf, v.width() as u64);
+    for &e in v.entries() {
+        put_varint(buf, e);
+    }
+}
+
+fn get_vector<B: Buf>(buf: &mut B) -> Result<VectorClock, WireError> {
+    let n = get_varint(buf)? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(get_varint(buf)?);
+    }
+    Ok(VectorClock::from_entries(entries))
+}
+
+fn seq_op_wire_len(op: &SeqOp) -> usize {
+    let mut len = varint_len(op.components().len() as u64);
+    for c in op.components() {
+        len += 1; // component tag
+        len += match c {
+            Component::Retain(n) | Component::Delete(n) => varint_len(*n as u64),
+            Component::Insert(s) => string_len(s),
+        };
+    }
+    len
+}
+
+fn put_seq_op<B: BufMut>(buf: &mut B, op: &SeqOp) {
+    put_varint(buf, op.components().len() as u64);
+    for c in op.components() {
+        match c {
+            Component::Retain(n) => {
+                buf.put_u8(COMP_RETAIN);
+                put_varint(buf, *n as u64);
+            }
+            Component::Insert(s) => {
+                buf.put_u8(COMP_INSERT);
+                put_string(buf, s);
+            }
+            Component::Delete(n) => {
+                buf.put_u8(COMP_DELETE);
+                put_varint(buf, *n as u64);
+            }
+        }
+    }
+}
+
+fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
+    let n = get_varint(buf)? as usize;
+    let mut op = SeqOp::new();
+    for _ in 0..n {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            COMP_RETAIN => {
+                op.retain(get_varint(buf)? as usize);
+            }
+            COMP_INSERT => {
+                op.insert(&get_string(buf)?);
+            }
+            COMP_DELETE => {
+                op.delete(get_varint(buf)? as usize);
+            }
+            t => return Err(WireError::BadTag(t)),
+        }
+    }
+    Ok(op)
+}
+
+fn opt_cursor_len(c: &Option<u64>) -> usize {
+    1 + c.map_or(0, varint_len)
+}
+
+fn put_opt_cursor<B: BufMut>(buf: &mut B, c: &Option<u64>) {
+    match c {
+        None => buf.put_u8(0),
+        Some(v) => {
+            buf.put_u8(1);
+            put_varint(buf, *v);
+        }
+    }
+}
+
+fn get_opt_cursor<B: Buf>(buf: &mut B) -> Result<Option<u64>, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(get_varint(buf)?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn opt_owned_cursor_len(c: &Option<(u32, u64)>) -> usize {
+    1 + c.map_or(0, |(s, v)| varint_len(u64::from(s)) + varint_len(v))
+}
+
+fn put_opt_owned_cursor<B: BufMut>(buf: &mut B, c: &Option<(u32, u64)>) {
+    match c {
+        None => buf.put_u8(0),
+        Some((s, v)) => {
+            buf.put_u8(1);
+            put_varint(buf, u64::from(*s));
+            put_varint(buf, *v);
+        }
+    }
+}
+
+fn get_opt_owned_cursor<B: Buf>(buf: &mut B) -> Result<Option<(u32, u64)>, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some((get_varint(buf)? as u32, get_varint(buf)?))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn ttf_op_wire_len(op: &TtfOp) -> usize {
+    1 + match op {
+        TtfOp::Insert { pos, ch, site } => {
+            varint_len(*pos as u64) + varint_len(*ch as u64) + varint_len(u64::from(*site))
+        }
+        TtfOp::Delete { pos } => varint_len(*pos as u64),
+    }
+}
+
+fn put_ttf_op<B: BufMut>(buf: &mut B, op: &TtfOp) {
+    match op {
+        TtfOp::Insert { pos, ch, site } => {
+            buf.put_u8(TTF_INSERT);
+            put_varint(buf, *pos as u64);
+            put_varint(buf, *ch as u64);
+            put_varint(buf, u64::from(*site));
+        }
+        TtfOp::Delete { pos } => {
+            buf.put_u8(TTF_DELETE);
+            put_varint(buf, *pos as u64);
+        }
+    }
+}
+
+fn get_ttf_op<B: Buf>(buf: &mut B) -> Result<TtfOp, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        TTF_INSERT => {
+            let pos = get_varint(buf)? as usize;
+            let ch = char::from_u32(get_varint(buf)? as u32).ok_or(WireError::BadUtf8)?;
+            let site = get_varint(buf)? as u32;
+            Ok(TtfOp::Insert { pos, ch, site })
+        }
+        TTF_DELETE => Ok(TtfOp::Delete {
+            pos: get_varint(buf)? as usize,
+        }),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+impl WireSize for EditorMsg {
+    fn wire_bytes(&self) -> usize {
+        1 + match self {
+            EditorMsg::ClientOp(m) => {
+                varint_len(u64::from(m.origin.0))
+                    + stamp_wire_len(m.stamp)
+                    + seq_op_wire_len(&m.op)
+                    + opt_cursor_len(&m.cursor)
+            }
+            EditorMsg::ServerOp(m) => {
+                stamp_wire_len(m.stamp) + seq_op_wire_len(&m.op) + opt_owned_cursor_len(&m.cursor)
+            }
+            EditorMsg::MeshOp(m) => {
+                varint_len(u64::from(m.origin.0))
+                    + vector_wire_len(&m.vector)
+                    + ttf_op_wire_len(&m.op)
+            }
+            EditorMsg::ServerAck(m) => varint_len(m.acked),
+        }
+    }
+}
+
+impl WireEncode for EditorMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            EditorMsg::ClientOp(m) => {
+                buf.put_u8(TAG_CLIENT_OP);
+                put_varint(buf, u64::from(m.origin.0));
+                put_stamp(buf, m.stamp);
+                put_seq_op(buf, &m.op);
+                put_opt_cursor(buf, &m.cursor);
+            }
+            EditorMsg::ServerOp(m) => {
+                buf.put_u8(TAG_SERVER_OP);
+                put_stamp(buf, m.stamp);
+                put_seq_op(buf, &m.op);
+                put_opt_owned_cursor(buf, &m.cursor);
+            }
+            EditorMsg::MeshOp(m) => {
+                buf.put_u8(TAG_MESH_OP);
+                put_varint(buf, u64::from(m.origin.0));
+                put_vector(buf, &m.vector);
+                put_ttf_op(buf, &m.op);
+            }
+            EditorMsg::ServerAck(m) => {
+                buf.put_u8(TAG_SERVER_ACK);
+                put_varint(buf, m.acked);
+            }
+        }
+    }
+}
+
+impl WireDecode for EditorMsg {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            TAG_CLIENT_OP => Ok(EditorMsg::ClientOp(ClientOpMsg {
+                origin: SiteId(get_varint(buf)? as u32),
+                stamp: get_stamp(buf)?,
+                op: get_seq_op(buf)?,
+                cursor: get_opt_cursor(buf)?,
+            })),
+            TAG_SERVER_OP => Ok(EditorMsg::ServerOp(ServerOpMsg {
+                stamp: get_stamp(buf)?,
+                op: get_seq_op(buf)?,
+                cursor: get_opt_owned_cursor(buf)?,
+            })),
+            TAG_MESH_OP => Ok(EditorMsg::MeshOp(MeshOpMsg {
+                origin: SiteId(get_varint(buf)? as u32),
+                vector: get_vector(buf)?,
+                op: get_ttf_op(buf)?,
+            })),
+            TAG_SERVER_ACK => Ok(EditorMsg::ServerAck(ServerAckMsg {
+                acked: get_varint(buf)?,
+            })),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvc_ot::pos::PosOp;
+
+    fn sample_seq_op() -> SeqOp {
+        SeqOp::from_pos(&PosOp::insert(3, "hello"), 10)
+    }
+
+    fn round_trip(msg: &EditorMsg) {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(
+            buf.len(),
+            msg.wire_bytes(),
+            "wire_bytes must match actual encoding for {msg:?}"
+        );
+        let mut slice = &buf[..];
+        let back = EditorMsg::decode(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "decode must consume all bytes");
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn client_op_round_trip() {
+        round_trip(&EditorMsg::ClientOp(ClientOpMsg {
+            origin: SiteId(2),
+            stamp: CompressedStamp::new(0, 1),
+            op: sample_seq_op(),
+            cursor: None,
+        }));
+    }
+
+    #[test]
+    fn server_op_round_trip() {
+        round_trip(&EditorMsg::ServerOp(ServerOpMsg {
+            stamp: CompressedStamp::new(300, 7),
+            op: SeqOp::from_pos(&PosOp::delete(2, "CDE"), 8),
+            cursor: None,
+        }));
+    }
+
+    #[test]
+    fn mesh_op_round_trip() {
+        round_trip(&EditorMsg::MeshOp(MeshOpMsg {
+            origin: SiteId(5),
+            vector: VectorClock::from_entries(vec![1, 0, 200, 3, 4]),
+            op: TtfOp::Insert {
+                pos: 12,
+                ch: '字',
+                site: 5,
+            },
+        }));
+        round_trip(&EditorMsg::MeshOp(MeshOpMsg {
+            origin: SiteId(1),
+            vector: VectorClock::from_entries(vec![0, 0]),
+            op: TtfOp::Delete { pos: 0 },
+        }));
+    }
+
+    #[test]
+    fn compressed_stamps_cost_constant_integers() {
+        let msg = EditorMsg::ServerOp(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 0),
+            op: sample_seq_op(),
+            cursor: None,
+        });
+        assert_eq!(msg.stamp_integers(), 2);
+        // Small counters: 2 bytes of stamp total.
+        assert_eq!(msg.stamp_bytes(), 2);
+    }
+
+    #[test]
+    fn mesh_stamp_grows_with_n() {
+        let op = TtfOp::Delete { pos: 1 };
+        for n in [2usize, 8, 64, 512] {
+            let msg = EditorMsg::MeshOp(MeshOpMsg {
+                origin: SiteId(1),
+                vector: VectorClock::new(n),
+                op,
+            });
+            assert_eq!(msg.stamp_integers(), n);
+            // width prefix + n single-byte zeros
+            assert_eq!(msg.stamp_bytes(), varint_len(n as u64) + n);
+        }
+    }
+
+    #[test]
+    fn server_ack_round_trip() {
+        round_trip(&EditorMsg::ServerAck(ServerAckMsg { acked: 300 }));
+        let msg = EditorMsg::ServerAck(ServerAckMsg { acked: 5 });
+        assert_eq!(msg.wire_bytes(), 2); // tag + 1-byte varint
+        assert_eq!(msg.stamp_integers(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(EditorMsg::decode(&mut empty), Err(WireError::Truncated));
+        let mut bad: &[u8] = &[0x7f];
+        assert_eq!(EditorMsg::decode(&mut bad), Err(WireError::BadTag(0x7f)));
+        // Truncated mid-payload.
+        let msg = EditorMsg::ServerOp(ServerOpMsg {
+            stamp: CompressedStamp::new(1, 1),
+            op: sample_seq_op(),
+            cursor: None,
+        });
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                EditorMsg::decode(&mut slice).is_err() || !slice.is_empty(),
+                "cut at {cut} decoded cleanly"
+            );
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The notifier — site 0 of the paper's star topology.
+//!
+//! The notifier "not only maps between N-way communication and 2-way
+//! communication, but also converts between N-dimension causality and
+//! 2-dimension causality" (Section 3.1). Concretely, for every arriving
+//! client operation it:
+//!
+//! 1. runs the paper's concurrency check — formula (7) — against its
+//!    history buffer of full-vector-stamped executed operations;
+//! 2. transforms the operation against the concurrent ones (via its
+//!    per-client bridge, which provably selects the same set — asserted on
+//!    every operation);
+//! 3. executes the transformed form on its own replica;
+//! 4. buffers it stamped with the **full** `N`-element state-vector
+//!    snapshot (Section 3.3, "timestamping buffered operations");
+//! 5. re-broadcasts it to every other client, stamped with the
+//!    **destination-specific compressed** 2-element vector of formulas
+//!    (1)–(2).
+//!
+//! Step 5's per-destination stamps are asserted equal to the bridge
+//! counters, which is the constructive proof that the Jupiter-style
+//! two-counter protocol and the paper's compressed state vectors are the
+//! same thing.
+
+use crate::bridge::{Bridge, BridgeError, BridgeRole};
+use crate::error::ProtocolError;
+use crate::metrics::SiteMetrics;
+use crate::msg::{ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
+use cvc_core::formulas::formula7_dynamic;
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::{CompressedStamp, NotifierStateVector};
+use cvc_core::vector::VectorClock;
+use cvc_ot::seq::SeqOp;
+use cvc_sim::wire::WireSize;
+
+/// One executed operation in the notifier's history buffer, stamped with
+/// the full state-vector snapshot taken right after executing it.
+#[derive(Debug, Clone)]
+pub struct NotifierHbEntry {
+    /// `N`-element snapshot of `SV_0`.
+    pub vector: VectorClock,
+    /// The client the operation originally came from (`y` in formula (7)).
+    pub origin: SiteId,
+    /// The executed (transformed) form.
+    pub op: SeqOp,
+}
+
+/// The central notifier process.
+#[derive(Debug, Clone)]
+pub struct Notifier {
+    sv: NotifierStateVector,
+    doc: String,
+    bridges: Vec<Bridge>,
+    hb: Vec<NotifierHbEntry>,
+    /// Highest `T[1]` seen from each client: how many of our broadcasts it
+    /// has integrated. Drives history-buffer garbage collection.
+    acked_by: Vec<u64>,
+    /// Operations the notifier had executed when each client joined —
+    /// those reached the client inside its join snapshot, so its broadcast
+    /// stream (and the stamps on it) starts counting after them. Zero for
+    /// founding members.
+    join_offsets: Vec<u64>,
+    /// False once a client has left; departed ids are never reused.
+    active: Vec<bool>,
+    /// Send a [`ServerAckMsg`] back to each operation's origin (needed by
+    /// composing clients; the paper's streaming clients ignore acks).
+    send_acks: bool,
+    metrics: SiteMetrics,
+}
+
+impl Notifier {
+    /// A notifier for a session of `n_clients` client sites starting from
+    /// the shared `initial` document.
+    pub fn new(n_clients: usize, initial: &str) -> Self {
+        Notifier {
+            sv: NotifierStateVector::new(n_clients),
+            doc: initial.to_owned(),
+            bridges: (0..n_clients)
+                .map(|_| Bridge::new(BridgeRole::Notifier))
+                .collect(),
+            hb: Vec::new(),
+            acked_by: vec![0; n_clients],
+            join_offsets: vec![0; n_clients],
+            active: vec![true; n_clients],
+            send_acks: false,
+            metrics: SiteMetrics::new(),
+        }
+    }
+
+    /// Enable per-operation acknowledgements to the origin (for sessions
+    /// with composing clients).
+    pub fn set_send_acks(&mut self, on: bool) {
+        self.send_acks = on;
+    }
+
+    /// Admit a new client mid-session (beyond-paper extension; the web
+    /// demonstrator allowed "an arbitrary number of users to participate").
+    ///
+    /// The join is linearised at the notifier: the newcomer receives the
+    /// current document as its initial state and a fresh site id; the
+    /// notifier starts counting its broadcast stream to the newcomer from
+    /// zero (see `formula7_dynamic` in `cvc-core`). Operations in flight
+    /// from older clients integrate normally and reach the newcomer as
+    /// ordinary broadcasts.
+    pub fn add_client(&mut self) -> (SiteId, String) {
+        let site = self.sv.grow();
+        self.bridges.push(Bridge::new(BridgeRole::Notifier));
+        self.acked_by.push(0);
+        self.join_offsets.push(self.sv.total());
+        self.active.push(true);
+        (site, self.doc.clone())
+    }
+
+    /// Remove a client from the session: no further broadcasts go to it
+    /// and operations arriving from it are rejected. Its counters remain
+    /// (site ids are never reused).
+    pub fn remove_client(&mut self, site: SiteId) {
+        assert!(
+            !site.is_notifier() && site.client_index() < self.n_clients(),
+            "cannot remove unknown {site}"
+        );
+        self.active[site.client_index()] = false;
+    }
+
+    /// Whether `site` is currently a member.
+    pub fn is_active(&self, site: SiteId) -> bool {
+        !site.is_notifier()
+            && site.client_index() < self.n_clients()
+            && self.active[site.client_index()]
+    }
+
+    /// Number of currently active clients.
+    pub fn active_clients(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of client sites.
+    pub fn n_clients(&self) -> usize {
+        self.bridges.len()
+    }
+
+    /// Current document content.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// Current full state vector (`SV_0`).
+    pub fn state_vector(&self) -> &NotifierStateVector {
+        &self.sv
+    }
+
+    /// History buffer (`HB_0`).
+    pub fn history(&self) -> &[NotifierHbEntry] {
+        &self.hb
+    }
+
+    /// Cost counters.
+    pub fn metrics(&self) -> &SiteMetrics {
+        &self.metrics
+    }
+
+    /// How many of our broadcasts each client has acknowledged (highest
+    /// `T[1]` seen from it) — the information that gates history-buffer
+    /// garbage collection.
+    pub fn acked_by(&self) -> &[u64] {
+        &self.acked_by
+    }
+
+    /// Garbage-collect history-buffer entries that can never again be
+    /// judged concurrent with a future arriving operation.
+    ///
+    /// A buffered entry `Ob` (from site `y`) is checked by formula (7)
+    /// against a future op from site `x ≠ y` as
+    /// `Σ_{j≠x} T_Ob[j] > T_Oa[1]`; that sum is `Ob`'s position in the
+    /// notifier's broadcast stream to `x`. Once client `x` has acknowledged
+    /// receiving that many broadcasts (its `T[1]` is monotone), the verdict
+    /// is false forever. An entry is dead when that holds for **every**
+    /// client other than its origin (the origin's checks are always false
+    /// by the `x = y` rule). Returns the number of entries collected.
+    ///
+    /// Note: collection renumbers [`Notifier::history`] indices; callers
+    /// correlating [`NotifierIntegration::checked`] with entries must not
+    /// collect between integration and inspection.
+    pub fn gc(&mut self) -> usize {
+        let before = self.hb.len();
+        let acked_by = &self.acked_by;
+        let offsets = &self.join_offsets;
+        let active = &self.active;
+        self.hb.retain(|e| {
+            !(0..acked_by.len()).all(|idx| {
+                let y = SiteId::from_client_index(idx);
+                let stream_pos = if idx < e.vector.width() {
+                    e.vector.total_except(idx)
+                } else {
+                    e.vector.total()
+                }
+                .saturating_sub(offsets[idx]);
+                y == e.origin || !active[idx] || acked_by[idx] >= stream_pos
+            })
+        });
+        before - self.hb.len()
+    }
+
+    /// Integrate an arriving client operation; the result carries the
+    /// broadcast messages, one per destination client (everyone except the
+    /// origin).
+    pub fn on_client_op(&mut self, msg: ClientOpMsg) -> NotifierIntegration {
+        let x = msg.origin;
+        self.try_on_client_op(msg)
+            .unwrap_or_else(|e| panic!("operation from unknown {x}: protocol violation: {e}"))
+    }
+
+    /// Fallible integration: validates the origin, the per-channel FIFO
+    /// counter (`T[2]` must be exactly one past the operations received
+    /// from that client), and the acknowledgement bound (`T[1]` cannot
+    /// exceed the operations sent to that client).
+    pub fn try_on_client_op(
+        &mut self,
+        msg: ClientOpMsg,
+    ) -> Result<NotifierIntegration, ProtocolError> {
+        let x = msg.origin;
+        if x.is_notifier() || x.client_index() >= self.n_clients() {
+            return Err(ProtocolError::UnknownSite {
+                site: x,
+                n_clients: self.n_clients(),
+            });
+        }
+        if !self.active[x.client_index()] {
+            return Err(ProtocolError::DepartedSite { site: x });
+        }
+        let expected = self.sv.received_from(x).expect("origin validated above") + 1;
+        if msg.stamp.get(2) != expected {
+            return Err(ProtocolError::FifoViolation {
+                site: x,
+                expected,
+                got: msg.stamp.get(2),
+            });
+        }
+        let sent_to_x = self.bridges[x.client_index()].my_count();
+        if msg.stamp.get(1) > sent_to_x {
+            return Err(ProtocolError::AckOverrun {
+                site: x,
+                sent: sent_to_x,
+                acked: msg.stamp.get(1),
+            });
+        }
+
+        self.acked_by[x.client_index()] = self.acked_by[x.client_index()].max(msg.stamp.get(1));
+
+        // Paper concurrency check: formula (7) over HB_0.
+        let mut checked = Vec::with_capacity(self.hb.len());
+        let mut concurrent = 0usize;
+        let offset_x = self.join_offsets[x.client_index()];
+        for entry in &self.hb {
+            let verdict = formula7_dynamic(msg.stamp, x, &entry.vector, entry.origin, offset_x);
+            checked.push(verdict);
+            if verdict {
+                concurrent += 1;
+            }
+        }
+        self.metrics.concurrency_checks += checked.len() as u64;
+        self.metrics.concurrent_verdicts += concurrent as u64;
+
+        // Bridge integration: T_O[1] acks the server ops the client had
+        // seen; the pending remainder is the concurrent set.
+        let (integrated, cursor) = self.bridges[x.client_index()]
+            .integrate_with_cursor(msg.op, msg.stamp.get(1), msg.cursor.map(|c| c as usize))
+            .map_err(|e| match e {
+                BridgeError::AckOverrun { sent, acked } => ProtocolError::AckOverrun {
+                    site: x,
+                    sent,
+                    acked,
+                },
+                BridgeError::Transform(e) => ProtocolError::BadOperation(e),
+            })?;
+        debug_assert_eq!(
+            integrated.concurrent_with, concurrent,
+            "formula (7) and bridge pruning must select the same concurrent set"
+        );
+        self.metrics.transforms += integrated.concurrent_with as u64;
+
+        // Execute on the notifier replica.
+        self.doc = integrated
+            .op
+            .apply(&self.doc)
+            .map_err(ProtocolError::BadOperation)?;
+        self.sv.record_receive(x);
+        self.metrics.ops_executed_remote += 1;
+
+        // Buffer with the full snapshot (Section 3.3).
+        self.hb.push(NotifierHbEntry {
+            vector: self.sv.snapshot(),
+            origin: x,
+            op: integrated.op.clone(),
+        });
+
+        // Re-broadcast with per-destination compressed stamps.
+        let mut out = Vec::with_capacity(self.active_clients().saturating_sub(1));
+        for idx in 0..self.n_clients() {
+            let dest = SiteId::from_client_index(idx);
+            if dest == x || !self.active[idx] {
+                continue;
+            }
+            let seq = self.bridges[idx].record_send(integrated.op.clone());
+            // Formulas (1)/(2), shifted by the destination's join offset
+            // (zero for founding members — then this IS compress_for).
+            let base = self.sv.compress_for(dest);
+            let stamp = CompressedStamp::new(base.get(1) - self.join_offsets[idx], base.get(2));
+            // Formulas (1)/(2) coincide with the bridge counters: T[1] is
+            // the count of ops sent to `dest` (this one included), T[2] the
+            // count received from `dest`.
+            debug_assert_eq!(stamp.get(1), seq, "formula (1) vs bridge my_count");
+            debug_assert_eq!(
+                stamp.get(2),
+                self.bridges[idx].their_count(),
+                "formula (2) vs bridge their_count"
+            );
+            let smsg = ServerOpMsg {
+                stamp,
+                op: integrated.op.clone(),
+                cursor: cursor.map(|c| (x.0, c as u64)),
+            };
+            let wire = EditorMsg::ServerOp(smsg.clone());
+            self.metrics.messages_sent += 1;
+            self.metrics.stamp_integers_sent += wire.stamp_integers() as u64;
+            self.metrics.stamp_bytes_sent += wire.stamp_bytes() as u64;
+            self.metrics.bytes_sent += wire.wire_bytes() as u64;
+            out.push((dest, smsg));
+        }
+        let ack = if self.send_acks {
+            let msg = ServerAckMsg {
+                acked: self.sv.received_from(x).expect("origin validated above"),
+            };
+            let wire = EditorMsg::ServerAck(msg);
+            self.metrics.messages_sent += 1;
+            self.metrics.stamp_integers_sent += wire.stamp_integers() as u64;
+            self.metrics.stamp_bytes_sent += wire.stamp_bytes() as u64;
+            self.metrics.bytes_sent += wire.wire_bytes() as u64;
+            Some((x, msg))
+        } else {
+            None
+        };
+        Ok(NotifierIntegration {
+            executed: integrated.op,
+            checked,
+            broadcasts: out,
+            ack,
+        })
+    }
+}
+
+/// Outcome of integrating one client operation at the notifier.
+#[derive(Debug, Clone)]
+pub struct NotifierIntegration {
+    /// The executed (transformed) form `O'`.
+    pub executed: SeqOp,
+    /// Formula (7) verdict per history-buffer entry (index-aligned with
+    /// [`Notifier::history`] *before* the new operation was appended).
+    pub checked: Vec<bool>,
+    /// Per-destination re-broadcast messages.
+    pub broadcasts: Vec<(SiteId, ServerOpMsg)>,
+    /// Acknowledgement to the origin (only when acks are enabled).
+    pub ack: Option<(SiteId, ServerAckMsg)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvc_core::state_vector::CompressedStamp;
+    use cvc_ot::pos::PosOp;
+
+    fn client_msg(origin: u32, stamp: (u64, u64), op: SeqOp) -> ClientOpMsg {
+        ClientOpMsg {
+            origin: SiteId(origin),
+            stamp: CompressedStamp::new(stamp.0, stamp.1),
+            op,
+            cursor: None,
+        }
+    }
+
+    #[test]
+    fn first_op_broadcasts_with_fig3_stamps() {
+        let mut n = Notifier::new(3, "ABCDE");
+        // Fig. 3: O2 = Delete[3,2] from site 2, stamped [0,1].
+        let o2 = SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5);
+        let out = n.on_client_op(client_msg(2, (0, 1), o2)).broadcasts;
+        assert_eq!(n.doc(), "AB");
+        assert_eq!(n.state_vector().to_string(), "[0,1,0]");
+        // Propagated to sites 1 and 3 with stamp [1,0] each.
+        let stamps: Vec<_> = out.iter().map(|(d, m)| (d.0, m.stamp.as_pair())).collect();
+        assert_eq!(stamps, vec![(1, (1, 0)), (3, (1, 0))]);
+        // Buffered with the full vector [0,1,0].
+        assert_eq!(n.history().len(), 1);
+        assert_eq!(n.history()[0].vector.entries(), &[0, 1, 0]);
+        assert_eq!(n.history()[0].origin, SiteId(2));
+    }
+
+    #[test]
+    fn concurrent_op_is_transformed_at_the_notifier() {
+        let mut n = Notifier::new(3, "ABCDE");
+        let o2 = SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5);
+        n.on_client_op(client_msg(2, (0, 1), o2));
+        // Fig. 3: O1 = Insert["12",1] from site 1 stamped [0,1] — concurrent
+        // with O2'.
+        let o1 = SeqOp::from_pos(&PosOp::insert(1, "12"), 5);
+        let out = n.on_client_op(client_msg(1, (0, 1), o1)).broadcasts;
+        assert_eq!(n.doc(), "A12B");
+        assert_eq!(n.metrics().transforms, 1);
+        assert_eq!(n.metrics().concurrent_verdicts, 1);
+        // Fig. 3 stamps: to site 2 [1,1]; to site 3 [2,0].
+        let stamps: Vec<_> = out.iter().map(|(d, m)| (d.0, m.stamp.as_pair())).collect();
+        assert_eq!(stamps, vec![(2, (1, 1)), (3, (2, 0))]);
+        assert_eq!(n.history()[1].vector.entries(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn causally_dependent_op_is_not_transformed() {
+        let mut n = Notifier::new(2, "ab");
+        let first = SeqOp::from_pos(&PosOp::insert(2, "c"), 2);
+        let out = n.on_client_op(client_msg(1, (0, 1), first)).broadcasts;
+        assert_eq!(out.len(), 1);
+        // Site 2 receives it ([1,0]) and replies with a dependent op
+        // stamped [1,1].
+        let dependent = SeqOp::from_pos(&PosOp::insert(3, "d"), 3);
+        let out = n.on_client_op(client_msg(2, (1, 1), dependent)).broadcasts;
+        assert_eq!(n.doc(), "abcd");
+        assert_eq!(n.metrics().transforms, 0);
+        assert_eq!(out[0].0, SiteId(1));
+        assert_eq!(out[0].1.stamp.as_pair(), (1, 1));
+    }
+
+    #[test]
+    fn gc_collects_fully_acknowledged_entries() {
+        let mut n = Notifier::new(3, "abc");
+        // Op from site 1; broadcast to 2 and 3 (their stream position 1).
+        let op = SeqOp::from_pos(&PosOp::insert(3, "d"), 3);
+        n.on_client_op(client_msg(1, (0, 1), op));
+        assert_eq!(n.history().len(), 1);
+        // Nothing acked yet: entry must stay.
+        assert_eq!(n.gc(), 0);
+        // Site 2 acks receiving 1 broadcast by sending its own op.
+        let op2 = SeqOp::from_pos(&PosOp::insert(4, "e"), 4);
+        n.on_client_op(client_msg(2, (1, 1), op2));
+        assert_eq!(n.gc(), 0, "site 3 still has not acked");
+        // Site 3 acks both broadcasts.
+        let op3 = SeqOp::from_pos(&PosOp::insert(5, "f"), 5);
+        n.on_client_op(client_msg(3, (2, 1), op3));
+        // Entry 1 (origin site 1): site 2 acked ≥1, site 3 acked ≥2 → dead.
+        // Entry 2 (origin site 2): site 1 acked 0 < 1 → alive.
+        // Entry 3 (origin site 3): site 1 acked 0 < its position → alive.
+        assert_eq!(n.gc(), 1);
+        assert_eq!(n.history().len(), 2);
+        // And the session continues to work after collection.
+        let op1b = SeqOp::from_pos(&PosOp::insert(0, "g"), 6);
+        let out = n.on_client_op(client_msg(1, (2, 2), op1b));
+        assert_eq!(out.broadcasts.len(), 2);
+        assert_eq!(n.doc(), "gabcdef");
+    }
+
+    #[test]
+    fn late_join_gets_snapshot_and_fresh_counters() {
+        let mut n = Notifier::new(2, "ab");
+        // Two ops happen before the join.
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "c"), 2),
+        ));
+        n.on_client_op(client_msg(
+            2,
+            (1, 1),
+            SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
+        ));
+        let (site, snapshot) = n.add_client();
+        assert_eq!(site, SiteId(3));
+        assert_eq!(snapshot, "abcd");
+        assert_eq!(n.n_clients(), 3);
+        assert_eq!(n.active_clients(), 3);
+
+        // The newcomer's first op is stamped [0,1] — counters start at the
+        // join point.
+        let out = n.on_client_op(client_msg(
+            3,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(4, "e"), 4),
+        ));
+        // Snapshot-era entries are NOT concurrent with it.
+        assert_eq!(out.checked, vec![false, false]);
+        assert_eq!(n.doc(), "abcde");
+        // Broadcasts to the founders use un-shifted stamps...
+        let stamps: Vec<(u32, (u64, u64))> = out
+            .broadcasts
+            .iter()
+            .map(|(d, m)| (d.0, m.stamp.as_pair()))
+            .collect();
+        assert_eq!(stamps, vec![(1, (2, 1)), (2, (2, 1))]);
+        // ...and the next broadcast TO the newcomer counts from its join:
+        // an op from site 1 (which has seen 1 broadcast + generated 1 op).
+        // Site 1's replica at this point: "ab" + its "c" + broadcast "d"
+        // (it has NOT yet seen the newcomer's "e").
+        let out = n.on_client_op(client_msg(
+            1,
+            (1, 2),
+            SeqOp::from_pos(&PosOp::insert(4, "f"), 4),
+        ));
+        let to_newcomer = out
+            .broadcasts
+            .iter()
+            .find(|(d, _)| *d == SiteId(3))
+            .expect("newcomer gets broadcasts");
+        assert_eq!(to_newcomer.1.stamp.as_pair(), (1, 1));
+    }
+
+    #[test]
+    fn genuine_concurrency_with_a_newcomer_is_detected() {
+        let mut n = Notifier::new(2, "ab");
+        let (site3, snapshot) = n.add_client();
+        assert_eq!(snapshot, "ab");
+        // Site 1 and the newcomer generate concurrently.
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(0, "x"), 2),
+        ));
+        let out = n.on_client_op(client_msg(
+            site3.0,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "y"), 2),
+        ));
+        assert_eq!(out.checked, vec![true], "post-join ops are concurrent");
+        assert_eq!(n.doc(), "xaby");
+    }
+
+    #[test]
+    fn departed_clients_are_rejected_and_skipped() {
+        let mut n = Notifier::new(3, "ab");
+        n.remove_client(SiteId(2));
+        assert!(!n.is_active(SiteId(2)));
+        assert_eq!(n.active_clients(), 2);
+        // Ops from the departed site bounce.
+        let err = n
+            .try_on_client_op(client_msg(2, (0, 1), SeqOp::identity(2)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::DepartedSite { .. }
+        ));
+        // Broadcasts skip it.
+        let out = n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(0, "x"), 2),
+        ));
+        let dests: Vec<u32> = out.broadcasts.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(dests, vec![3]);
+    }
+
+    #[test]
+    fn gc_ignores_departed_clients() {
+        let mut n = Notifier::new(3, "ab");
+        let op = SeqOp::from_pos(&PosOp::insert(2, "c"), 2);
+        n.on_client_op(client_msg(1, (0, 1), op));
+        // Site 3 never acks — but it leaves, so the entry only waits for
+        // site 2.
+        n.remove_client(SiteId(3));
+        assert_eq!(n.gc(), 0, "site 2 has not acked yet");
+        let op2 = SeqOp::from_pos(&PosOp::insert(3, "d"), 3);
+        n.on_client_op(client_msg(2, (1, 1), op2));
+        assert_eq!(n.gc(), 1, "entry 1 is acked by every remaining client");
+    }
+
+    #[test]
+    fn unknown_origin_is_rejected() {
+        let mut n = Notifier::new(2, "");
+        let err = n
+            .try_on_client_op(client_msg(7, (0, 1), SeqOp::identity(0)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::UnknownSite { .. }
+        ));
+    }
+
+    #[test]
+    fn fifo_gap_from_client_is_rejected() {
+        let mut n = Notifier::new(2, "ab");
+        // First op from site 1 must carry T[2] = 1; a gap (T[2] = 2) means
+        // a message was lost or reordered.
+        let err = n
+            .try_on_client_op(client_msg(1, (0, 2), SeqOp::identity(2)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::FifoViolation {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ack_overrun_from_client_is_rejected() {
+        let mut n = Notifier::new(2, "ab");
+        // Site 1 claims to have received 3 server ops; none were sent.
+        let err = n
+            .try_on_client_op(client_msg(1, (3, 1), SeqOp::identity(2)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::AckOverrun {
+                sent: 0,
+                acked: 3,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,462 @@
+//! Exact reproductions of the paper's Figures 2 and 3.
+//!
+//! * [`fig2_report`] replays the paper's Fig. 2 scenario with operations
+//!   executed **in their original forms** (no transformation), producing
+//!   the two inconsistency problems of Section 2.2: *divergence* (the four
+//!   sites end with different documents) and *intention violation* (the
+//!   "ABCDE" / `Insert["12",1]` / `Delete[3,2]` example lands on "A1DE"
+//!   instead of the intended "A12B").
+//! * [`fig3_walkthrough`] replays the same scenario through the real
+//!   star/CVC engine, delivering messages in exactly the order of Fig. 3,
+//!   and records **every number printed in the paper's Section 5**: the
+//!   generation stamps `[0,1]`, `[0,1]`, `[1,1]`, `[1,2]`; the
+//!   per-destination propagation stamps `[1,0] [1,1] [2,0] [2,1] [3,1]`;
+//!   the buffered full vectors `[0,1,0] [1,1,0] [1,1,1] [1,2,1]`; and all
+//!   fourteen concurrency verdicts. Tests assert each against the paper's
+//!   text; `repro e3` prints the transcript.
+//!
+//! Concrete operations (the paper leaves O3/O4 abstract; any choice
+//! exercises the same control flow):
+//! `O1 = Insert["12",1]`, `O2 = Delete[3,2]` (the Section 2.2 pair),
+//! `O4 = Insert["xy",2]` generated at site 3 on "AB",
+//! `O3 = Insert["z",4]` generated at site 2 on "A12B".
+
+use crate::client::Client;
+use crate::msg::ServerOpMsg;
+use crate::notifier::Notifier;
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_ot::buffer::TextBuffer;
+use cvc_ot::pos::PosOp;
+
+/// The shared initial document of the running example.
+pub const INITIAL_DOC: &str = "ABCDE";
+
+/// Result of the Fig. 2 (no consistency maintenance) replay.
+#[derive(Debug, Clone)]
+pub struct Fig2Report {
+    /// Execution order of the four operations at each site (0..=3).
+    pub orders: Vec<(String, Vec<&'static str>)>,
+    /// Final document at each site.
+    pub final_docs: Vec<String>,
+    /// True iff at least two sites ended with different documents.
+    pub diverged: bool,
+    /// The Section 2.2 two-operation example: intended result.
+    pub intended: String,
+    /// What site 1 actually obtains executing O1 then the original O2.
+    pub violated: String,
+}
+
+/// Replay Fig. 2 executing original operation forms in the paper's
+/// per-site orders.
+pub fn fig2_report() -> Fig2Report {
+    let o1 = PosOp::insert(1, "12");
+    let o2 = PosOp::delete(2, "CDE"); // Delete[3, 2]
+    let o4 = PosOp::insert(2, "xy");
+    let o3 = PosOp::insert(4, "z");
+    let op = |name: &str| match name {
+        "O1" => o1.clone(),
+        "O2" => o2.clone(),
+        "O3" => o3.clone(),
+        "O4" => o4.clone(),
+        _ => unreachable!(),
+    };
+
+    // The per-site execution orders listed in Section 2.2.
+    let orders: Vec<(String, Vec<&'static str>)> = vec![
+        ("site 0 (notifier)".into(), vec!["O2", "O1", "O4", "O3"]),
+        ("site 1".into(), vec!["O1", "O2", "O4", "O3"]),
+        ("site 2".into(), vec!["O2", "O1", "O3", "O4"]),
+        ("site 3".into(), vec!["O2", "O4", "O1", "O3"]),
+    ];
+
+    let mut final_docs = Vec::new();
+    for (_, order) in &orders {
+        let mut buf = TextBuffer::from_str(INITIAL_DOC);
+        for name in order {
+            op(name)
+                .apply_blind(&mut buf)
+                .expect("fig2 ops stay in bounds");
+        }
+        final_docs.push(buf.to_string());
+    }
+    let diverged = final_docs.windows(2).any(|w| w[0] != w[1]);
+
+    // The Section 2.2 intention example in isolation.
+    let mut intended_buf = TextBuffer::from_str(INITIAL_DOC);
+    o1.apply(&mut intended_buf).unwrap();
+    // Intention-preserved O2 on the new state is Delete[3,4].
+    PosOp::delete(4, "CDE").apply(&mut intended_buf).unwrap();
+    let mut violated_buf = TextBuffer::from_str(INITIAL_DOC);
+    o1.apply_blind(&mut violated_buf).unwrap();
+    o2.apply_blind(&mut violated_buf).unwrap();
+
+    Fig2Report {
+        orders,
+        final_docs,
+        diverged,
+        intended: intended_buf.to_string(),
+        violated: violated_buf.to_string(),
+    }
+}
+
+/// Every number of the paper's Section 5 walkthrough, captured live from
+/// the engine.
+#[derive(Debug, Clone)]
+pub struct Fig3Transcript {
+    /// Human-readable step narration (printed by `repro e3`).
+    pub narration: Vec<String>,
+    /// Generation stamps of O2, O1, O4, O3 (paper: `[0,1] [0,1] [1,1] [1,2]`).
+    pub gen_stamps: [CompressedStamp; 4],
+    /// Propagation stamps: (label, destination site, stamp).
+    pub prop_stamps: Vec<(&'static str, u32, CompressedStamp)>,
+    /// Buffered full state vectors at site 0 for O2', O1', O4', O3'.
+    pub buffered_vectors: [Vec<u64>; 4],
+    /// Labelled concurrency verdicts, in the order the paper discusses
+    /// them: (where, Oa, Ob, concurrent?).
+    pub verdicts: Vec<(&'static str, &'static str, &'static str, bool)>,
+    /// O2' as executed at site 1, decomposed to positional form
+    /// (paper Section 2.3: `Delete[3,4]`).
+    pub o2p_at_site1: Vec<PosOp>,
+    /// Final documents: site 0, 1, 2, 3.
+    pub final_docs: [String; 4],
+    /// All four replicas identical.
+    pub converged: bool,
+}
+
+/// Drive the real engine through the Fig. 3 event order.
+pub fn fig3_walkthrough() -> Fig3Transcript {
+    let mut narration = Vec::new();
+    let mut verdicts = Vec::new();
+    let mut prop_stamps = Vec::new();
+
+    let mut notifier = Notifier::new(3, INITIAL_DOC);
+    let mut c1 = Client::new(SiteId(1), INITIAL_DOC);
+    let mut c2 = Client::new(SiteId(2), INITIAL_DOC);
+    let mut c3 = Client::new(SiteId(3), INITIAL_DOC);
+
+    // --- Generation of O2 at site 2 and O1 at site 1 (concurrent). ---
+    let o2_msg = c2.delete(2, 3); // Delete[3, 2]
+    narration.push(format!(
+        "site 2 generates O2 = Delete[3,2], stamped {}; doc: {:?}",
+        o2_msg.stamp,
+        c2.doc()
+    ));
+    let o1_msg = c1.insert(1, "12"); // Insert["12", 1]
+    narration.push(format!(
+        "site 1 generates O1 = Insert[\"12\",1], stamped {}; doc: {:?}",
+        o1_msg.stamp,
+        c1.doc()
+    ));
+    let gen_o2 = o2_msg.stamp;
+    let gen_o1 = o1_msg.stamp;
+
+    // --- O2 reaches site 0 first. ---
+    let out = notifier.on_client_op(o2_msg);
+    let buffered_o2p = notifier.history()[0].vector.entries().to_vec();
+    narration.push(format!(
+        "site 0 executes O2 as-is (O2'); SV_0 = {}; buffers with {:?}",
+        notifier.state_vector(),
+        buffered_o2p
+    ));
+    let mut o2p_to_1: Option<ServerOpMsg> = None;
+    let mut o2p_to_3: Option<ServerOpMsg> = None;
+    for (dest, m) in out.broadcasts {
+        narration.push(format!(
+            "site 0 propagates O2' to site {} stamped {}",
+            dest.0, m.stamp
+        ));
+        prop_stamps.push(("O2'", dest.0, m.stamp));
+        match dest.0 {
+            1 => o2p_to_1 = Some(m),
+            3 => o2p_to_3 = Some(m),
+            _ => unreachable!(),
+        }
+    }
+
+    // --- O2' arrives at site 1 (HB_1 = [O1]). ---
+    let outcome = c1.on_server_op(o2p_to_1.expect("broadcast to site 1"));
+    verdicts.push(("site 1", "O2'", "O1", outcome.checked[0]));
+    let o2p_at_site1 = outcome
+        .executed
+        .to_pos("A12BCDE")
+        .expect("decompose O2' at site 1");
+    narration.push(format!(
+        "site 1: O2' ∥ O1 → transformed to {:?}; doc: {:?}",
+        o2p_at_site1
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>(),
+        c1.doc()
+    ));
+
+    // --- O2' arrives at site 3 (empty HB). ---
+    let outcome = c3.on_server_op(o2p_to_3.expect("broadcast to site 3"));
+    assert!(outcome.checked.is_empty());
+    narration.push(format!("site 3 executes O2' as-is; doc: {:?}", c3.doc()));
+
+    // --- Site 3 generates O4 on "AB". ---
+    let o4_msg = c3.insert(2, "xy");
+    let gen_o4 = o4_msg.stamp;
+    narration.push(format!(
+        "site 3 generates O4 = Insert[\"xy\",2], stamped {}; doc: {:?}",
+        o4_msg.stamp,
+        c3.doc()
+    ));
+
+    // --- O1 arrives at site 0 (HB_0 = [O2']). ---
+    let out = notifier.on_client_op(o1_msg);
+    verdicts.push(("site 0", "O1", "O2'", out.checked[0]));
+    let buffered_o1p = notifier.history()[1].vector.entries().to_vec();
+    narration.push(format!(
+        "site 0: O2' ∥ O1 → O1' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
+        notifier.state_vector(),
+        buffered_o1p,
+        notifier.doc()
+    ));
+    let mut o1p_to_2: Option<ServerOpMsg> = None;
+    let mut o1p_to_3: Option<ServerOpMsg> = None;
+    for (dest, m) in out.broadcasts {
+        narration.push(format!(
+            "site 0 propagates O1' to site {} stamped {}",
+            dest.0, m.stamp
+        ));
+        prop_stamps.push(("O1'", dest.0, m.stamp));
+        match dest.0 {
+            2 => o1p_to_2 = Some(m),
+            3 => o1p_to_3 = Some(m),
+            _ => unreachable!(),
+        }
+    }
+
+    // --- O1' arrives at site 2 (HB_2 = [O2]). ---
+    let outcome = c2.on_server_op(o1p_to_2.expect("to site 2"));
+    verdicts.push(("site 2", "O1'", "O2", outcome.checked[0]));
+    narration.push(format!("site 2 executes O1' as-is; doc: {:?}", c2.doc()));
+
+    // --- Site 2 generates O3 on "A12B". ---
+    let o3_msg = c2.insert(4, "z");
+    let gen_o3 = o3_msg.stamp;
+    narration.push(format!(
+        "site 2 generates O3 = Insert[\"z\",4], stamped {}; doc: {:?}",
+        o3_msg.stamp,
+        c2.doc()
+    ));
+
+    // --- O1' arrives at site 3 (HB_3 = [O2', O4]). ---
+    let outcome = c3.on_server_op(o1p_to_3.expect("to site 3"));
+    verdicts.push(("site 3", "O1'", "O2'", outcome.checked[0]));
+    verdicts.push(("site 3", "O1'", "O4", outcome.checked[1]));
+    narration.push(format!(
+        "site 3: O1' ∥ O4 → transformed and executed; doc: {:?}",
+        c3.doc()
+    ));
+
+    // --- O4 arrives at site 0 (HB_0 = [O2', O1']). ---
+    let out = notifier.on_client_op(o4_msg);
+    verdicts.push(("site 0", "O4", "O2'", out.checked[0]));
+    verdicts.push(("site 0", "O4", "O1'", out.checked[1]));
+    let buffered_o4p = notifier.history()[2].vector.entries().to_vec();
+    narration.push(format!(
+        "site 0: O1' ∥ O4 → O4' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
+        notifier.state_vector(),
+        buffered_o4p,
+        notifier.doc()
+    ));
+    let mut o4p_to_1: Option<ServerOpMsg> = None;
+    let mut o4p_to_2: Option<ServerOpMsg> = None;
+    for (dest, m) in out.broadcasts {
+        narration.push(format!(
+            "site 0 propagates O4' to site {} stamped {}",
+            dest.0, m.stamp
+        ));
+        prop_stamps.push(("O4'", dest.0, m.stamp));
+        match dest.0 {
+            1 => o4p_to_1 = Some(m),
+            2 => o4p_to_2 = Some(m),
+            _ => unreachable!(),
+        }
+    }
+
+    // --- O4' arrives at site 1 (HB_1 = [O1, O2']). ---
+    let outcome = c1.on_server_op(o4p_to_1.expect("to site 1"));
+    verdicts.push(("site 1", "O4'", "O1", outcome.checked[0]));
+    verdicts.push(("site 1", "O4'", "O2'", outcome.checked[1]));
+    narration.push(format!("site 1 executes O4' as-is; doc: {:?}", c1.doc()));
+
+    // --- O4' arrives at site 2 (HB_2 = [O2, O1', O3]). ---
+    let outcome = c2.on_server_op(o4p_to_2.expect("to site 2"));
+    verdicts.push(("site 2", "O4'", "O2", outcome.checked[0]));
+    verdicts.push(("site 2", "O4'", "O1'", outcome.checked[1]));
+    verdicts.push(("site 2", "O4'", "O3", outcome.checked[2]));
+    narration.push(format!(
+        "site 2: O4' ∥ O3 → transformed and executed; doc: {:?}",
+        c2.doc()
+    ));
+
+    // --- O3 arrives at site 0 (HB_0 = [O2', O1', O4']). ---
+    let out = notifier.on_client_op(o3_msg);
+    verdicts.push(("site 0", "O3", "O2'", out.checked[0]));
+    verdicts.push(("site 0", "O3", "O1'", out.checked[1]));
+    verdicts.push(("site 0", "O3", "O4'", out.checked[2]));
+    let buffered_o3p = notifier.history()[3].vector.entries().to_vec();
+    narration.push(format!(
+        "site 0: O4' ∥ O3 → O3' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
+        notifier.state_vector(),
+        buffered_o3p,
+        notifier.doc()
+    ));
+    let mut o3p_to_1: Option<ServerOpMsg> = None;
+    let mut o3p_to_3: Option<ServerOpMsg> = None;
+    for (dest, m) in out.broadcasts {
+        narration.push(format!(
+            "site 0 propagates O3' to site {} stamped {}",
+            dest.0, m.stamp
+        ));
+        prop_stamps.push(("O3'", dest.0, m.stamp));
+        match dest.0 {
+            1 => o3p_to_1 = Some(m),
+            3 => o3p_to_3 = Some(m),
+            _ => unreachable!(),
+        }
+    }
+
+    // --- O3' arrives at sites 1 and 3. ---
+    let outcome = c1.on_server_op(o3p_to_1.expect("to site 1"));
+    verdicts.push(("site 1", "O3'", "O1", outcome.checked[0]));
+    verdicts.push(("site 1", "O3'", "O2'", outcome.checked[1]));
+    verdicts.push(("site 1", "O3'", "O4'", outcome.checked[2]));
+    narration.push(format!("site 1 executes O3' as-is; doc: {:?}", c1.doc()));
+    let outcome = c3.on_server_op(o3p_to_3.expect("to site 3"));
+    verdicts.push(("site 3", "O3'", "O2'", outcome.checked[0]));
+    verdicts.push(("site 3", "O3'", "O4", outcome.checked[1]));
+    verdicts.push(("site 3", "O3'", "O1'", outcome.checked[2]));
+    narration.push(format!("site 3 executes O3' as-is; doc: {:?}", c3.doc()));
+
+    let final_docs = [
+        notifier.doc().to_owned(),
+        c1.doc().to_owned(),
+        c2.doc().to_owned(),
+        c3.doc().to_owned(),
+    ];
+    let converged = final_docs.windows(2).all(|w| w[0] == w[1]);
+
+    Fig3Transcript {
+        narration,
+        gen_stamps: [gen_o2, gen_o1, gen_o4, gen_o3],
+        prop_stamps,
+        buffered_vectors: [buffered_o2p, buffered_o1p, buffered_o4p, buffered_o3p],
+        verdicts,
+        o2p_at_site1,
+        final_docs,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shows_divergence() {
+        let r = fig2_report();
+        assert!(r.diverged, "fig2 must diverge: {:?}", r.final_docs);
+        // Site 0 and site 1 disagree in particular.
+        assert_ne!(r.final_docs[0], r.final_docs[1]);
+    }
+
+    #[test]
+    fn fig2_shows_intention_violation() {
+        let r = fig2_report();
+        // Exactly the strings in Section 2.2.
+        assert_eq!(r.intended, "A12B");
+        assert_eq!(r.violated, "A1DE");
+    }
+
+    #[test]
+    fn fig3_generation_stamps_match_paper() {
+        let t = fig3_walkthrough();
+        let pairs: Vec<(u64, u64)> = t.gen_stamps.iter().map(|s| s.as_pair()).collect();
+        // O2 [0,1], O1 [0,1], O4 [1,1], O3 [1,2].
+        assert_eq!(pairs, vec![(0, 1), (0, 1), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn fig3_propagation_stamps_match_paper() {
+        let t = fig3_walkthrough();
+        let got: Vec<(&str, u32, (u64, u64))> = t
+            .prop_stamps
+            .iter()
+            .map(|&(l, d, s)| (l, d, s.as_pair()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("O2'", 1, (1, 0)),
+                ("O2'", 3, (1, 0)),
+                ("O1'", 2, (1, 1)),
+                ("O1'", 3, (2, 0)),
+                ("O4'", 1, (2, 1)),
+                ("O4'", 2, (2, 1)),
+                ("O3'", 1, (3, 1)),
+                ("O3'", 3, (3, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig3_buffered_vectors_match_paper() {
+        let t = fig3_walkthrough();
+        assert_eq!(t.buffered_vectors[0], vec![0, 1, 0]);
+        assert_eq!(t.buffered_vectors[1], vec![1, 1, 0]);
+        assert_eq!(t.buffered_vectors[2], vec![1, 1, 1]);
+        assert_eq!(t.buffered_vectors[3], vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn fig3_verdicts_match_paper() {
+        let t = fig3_walkthrough();
+        let expected: Vec<(&str, &str, &str, bool)> = vec![
+            ("site 1", "O2'", "O1", true),
+            ("site 0", "O1", "O2'", true),
+            ("site 2", "O1'", "O2", false),
+            ("site 3", "O1'", "O2'", false),
+            ("site 3", "O1'", "O4", true),
+            ("site 0", "O4", "O2'", false),
+            ("site 0", "O4", "O1'", true),
+            ("site 1", "O4'", "O1", false),
+            ("site 1", "O4'", "O2'", false),
+            ("site 2", "O4'", "O2", false),
+            ("site 2", "O4'", "O1'", false),
+            ("site 2", "O4'", "O3", true),
+            ("site 0", "O3", "O2'", false),
+            ("site 0", "O3", "O1'", false),
+            ("site 0", "O3", "O4'", true),
+            ("site 1", "O3'", "O1", false),
+            ("site 1", "O3'", "O2'", false),
+            ("site 1", "O3'", "O4'", false),
+            ("site 3", "O3'", "O2'", false),
+            ("site 3", "O3'", "O4", false),
+            ("site 3", "O3'", "O1'", false),
+        ];
+        assert_eq!(t.verdicts, expected);
+    }
+
+    #[test]
+    fn fig3_o2_transforms_to_delete_3_4_at_site1() {
+        let t = fig3_walkthrough();
+        assert_eq!(t.o2p_at_site1, vec![PosOp::delete(4, "CDE")]);
+    }
+
+    #[test]
+    fn fig3_converges_including_the_notifier() {
+        let t = fig3_walkthrough();
+        assert!(t.converged, "docs: {:?}", t.final_docs);
+        // Intention of every op preserved: "12" after A, "xy" and "z"
+        // inserted, "CDE" gone.
+        let doc = &t.final_docs[0];
+        assert!(doc.starts_with("A12"), "doc: {doc}");
+        assert!(doc.contains("xy") && doc.contains('z'));
+        assert!(!doc.contains('C') && !doc.contains('D') && !doc.contains('E'));
+    }
+}

@@ -1,0 +1,663 @@
+//! End-to-end sessions: workload + sites + simulated network.
+//!
+//! A session wires one of three deployments onto the `cvc-sim`
+//! discrete-event network and drives a [`WorkloadConfig`] through it:
+//!
+//! * [`Deployment::StarCvc`] — the paper's system: star topology,
+//!   transforming notifier, 2-element compressed stamps everywhere.
+//! * [`Deployment::MeshFullVc`] — the classical fully-distributed REDUCE
+//!   baseline: full mesh, full `N`-element vector stamps, GOTO/TTF
+//!   integration.
+//! * [`Deployment::RelayStar`] — the ablation of Section 6's closing
+//!   remark: the same star wiring but the centre only *relays* (no
+//!   transformation) — so causality stays `N`-dimensional and messages
+//!   must carry full vectors.
+//!
+//! The report carries everything the experiments tabulate: convergence,
+//! wire bytes split into payload vs timestamp, stamp widths, transform and
+//! check counts, and optional per-delivery latency records.
+
+use crate::client::Client;
+use crate::composing::ComposingClient;
+use crate::mesh::MeshSite;
+use crate::metrics::SiteMetrics;
+use crate::msg::EditorMsg;
+use crate::notifier::Notifier;
+use crate::workload::{EditIntent, ScheduledEdit, WorkloadConfig};
+use cvc_core::site::SiteId;
+use cvc_sim::prelude::*;
+use cvc_sim::wire::WireSize;
+use serde::{Deserialize, Serialize};
+
+/// Which system variant a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Deployment {
+    /// The paper: star + transforming notifier + compressed stamps.
+    StarCvc,
+    /// Classic fully-distributed REDUCE with full vector stamps.
+    MeshFullVc,
+    /// Star topology whose centre relays without transforming (full
+    /// vector stamps required).
+    RelayStar,
+}
+
+impl Deployment {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::StarCvc => "star/cvc",
+            Deployment::MeshFullVc => "mesh/full-vc",
+            Deployment::RelayStar => "relay-star/full-vc",
+        }
+    }
+}
+
+/// How star/CVC clients propagate local edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientMode {
+    /// The paper's protocol: every operation streams out immediately.
+    Streaming,
+    /// The ShareDB-style extension: one op in flight, the rest composed
+    /// behind it (requires notifier acks).
+    Composing,
+}
+
+/// Everything needed to run one session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// System variant.
+    pub deployment: Deployment,
+    /// Shared initial document.
+    pub initial_doc: String,
+    /// Link latency model (uniform across channels).
+    pub latency: LatencyModel,
+    /// Seed for latency draws (workload has its own in [`WorkloadConfig`]).
+    pub net_seed: u64,
+    /// The editing workload.
+    pub workload: WorkloadConfig,
+    /// Keep a per-delivery record (costs memory; used by E10).
+    pub record_deliveries: bool,
+    /// Garbage-collect history buffers after every integration (bounded
+    /// memory; see `Client::gc` / `Notifier::gc`).
+    pub auto_gc: bool,
+    /// Star/CVC client behaviour (ignored by the other deployments).
+    pub client_mode: ClientMode,
+    /// Store-and-forward link rate for every channel (None = unlimited).
+    /// On narrow links, timestamp bytes become real queueing delay.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Attach telepointer presence to star-client operations (off by
+    /// default so overhead experiments measure the paper's bare protocol).
+    pub share_carets: bool,
+}
+
+impl SessionConfig {
+    /// A small default session of `n` clients.
+    pub fn small(deployment: Deployment, n: usize, seed: u64) -> Self {
+        SessionConfig {
+            deployment,
+            initial_doc: "the quick brown fox jumps over the lazy dog".into(),
+            latency: LatencyModel::internet(),
+            net_seed: seed.wrapping_mul(31).wrapping_add(7),
+            workload: WorkloadConfig::small(n, seed),
+            record_deliveries: false,
+            auto_gc: false,
+            client_mode: ClientMode::Streaming,
+            bandwidth_bytes_per_sec: None,
+            share_carets: false,
+        }
+    }
+}
+
+/// Result of a completed session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// System variant that ran.
+    pub deployment: Deployment,
+    /// Client count `N`.
+    pub n_clients: usize,
+    /// All replicas (clients, and the notifier for star/CVC) ended
+    /// identical.
+    pub converged: bool,
+    /// The agreed document (first client's if divergent).
+    pub final_doc: String,
+    /// Every replica's final content, for divergence diagnostics.
+    pub final_docs: Vec<String>,
+    /// Virtual time at quiescence.
+    pub quiesced_at: SimTime,
+    /// Per-client metrics (index 0 = site 1).
+    pub client_metrics: Vec<SiteMetrics>,
+    /// Centre metrics (notifier or relay), when the topology has one.
+    pub centre_metrics: Option<SiteMetrics>,
+    /// Aggregate network statistics.
+    pub net: ChannelStats,
+    /// Widest timestamp (integer elements) any message carried.
+    pub max_stamp_integers: usize,
+    /// Largest history buffer left on any replica at quiescence.
+    pub max_history_len: usize,
+    /// Per-delivery records (empty unless requested).
+    pub deliveries: Vec<DeliveryRecord>,
+}
+
+impl SessionReport {
+    /// Sum of all site metrics (clients + centre).
+    pub fn total_metrics(&self) -> SiteMetrics {
+        let mut total = SiteMetrics::new();
+        for m in &self.client_metrics {
+            total += *m;
+        }
+        if let Some(c) = self.centre_metrics {
+            total += c;
+        }
+        total
+    }
+}
+
+/// One simulator node of a session.
+enum SessionNode {
+    Notifier(Box<Notifier>, bool),
+    Client {
+        client: Box<Client>,
+        script: Vec<ScheduledEdit>,
+        auto_gc: bool,
+    },
+    ComposingClient {
+        client: Box<ComposingClient>,
+        script: Vec<ScheduledEdit>,
+    },
+    MeshSite {
+        site: Box<MeshSite>,
+        peers: Vec<NodeId>,
+        script: Vec<ScheduledEdit>,
+        wire: SiteMetrics,
+        max_stamp: usize,
+        auto_gc: bool,
+    },
+    Relay {
+        client_nodes: Vec<NodeId>,
+        wire: SiteMetrics,
+        max_stamp: usize,
+    },
+}
+
+impl SessionNode {
+    fn count_send(wire: &mut SiteMetrics, max_stamp: &mut usize, msg: &EditorMsg, copies: usize) {
+        let c = copies as u64;
+        wire.messages_sent += c;
+        wire.bytes_sent += msg.wire_bytes() as u64 * c;
+        wire.stamp_bytes_sent += msg.stamp_bytes() as u64 * c;
+        wire.stamp_integers_sent += msg.stamp_integers() as u64 * c;
+        *max_stamp = (*max_stamp).max(msg.stamp_integers());
+    }
+}
+
+impl Node<EditorMsg> for SessionNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EditorMsg>, from: NodeId, msg: EditorMsg) {
+        match (self, msg) {
+            (SessionNode::Notifier(n, auto_gc), EditorMsg::ClientOp(m)) => {
+                let outcome = n.on_client_op(m);
+                for (dest, smsg) in outcome.broadcasts {
+                    ctx.send(dest.0 as usize, EditorMsg::ServerOp(smsg));
+                }
+                if let Some((dest, ack)) = outcome.ack {
+                    ctx.send(dest.0 as usize, EditorMsg::ServerAck(ack));
+                }
+                if *auto_gc {
+                    n.gc();
+                }
+            }
+            (
+                SessionNode::Client {
+                    client, auto_gc, ..
+                },
+                EditorMsg::ServerOp(m),
+            ) => {
+                client.on_server_op(m);
+                if *auto_gc {
+                    client.gc();
+                }
+            }
+            (SessionNode::Client { .. }, EditorMsg::ServerAck(_)) => {
+                // Streaming clients ignore acknowledgements.
+            }
+            (SessionNode::ComposingClient { client, .. }, EditorMsg::ServerOp(m)) => {
+                let (_, next) = client
+                    .on_server_op(m)
+                    .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+                if let Some(up) = next {
+                    ctx.send(0, EditorMsg::ClientOp(up));
+                }
+            }
+            (SessionNode::ComposingClient { client, .. }, EditorMsg::ServerAck(m)) => {
+                if let Some(up) = client.on_server_ack(m) {
+                    ctx.send(0, EditorMsg::ClientOp(up));
+                }
+            }
+            (SessionNode::MeshSite { site, auto_gc, .. }, EditorMsg::MeshOp(m)) => {
+                site.on_remote(m);
+                if *auto_gc {
+                    site.gc();
+                }
+            }
+            (
+                SessionNode::Relay {
+                    client_nodes,
+                    wire,
+                    max_stamp,
+                },
+                EditorMsg::MeshOp(m),
+            ) => {
+                let msg = EditorMsg::MeshOp(m);
+                let copies = client_nodes.iter().filter(|&&n| n != from).count();
+                SessionNode::count_send(wire, max_stamp, &msg, copies);
+                for &node in client_nodes.iter() {
+                    if node != from {
+                        ctx.send(node, msg.clone());
+                    }
+                }
+            }
+            (_, other) => panic!("node received incompatible message {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, EditorMsg>, tag: u64) {
+        match self {
+            SessionNode::Client { client, script, .. } => {
+                let edit = script[tag as usize].clone();
+                let len = client.doc_len();
+                match &edit.intent {
+                    EditIntent::InsertChar { ch, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        let msg = client.insert(pos, &ch.to_string());
+                        ctx.send(0, EditorMsg::ClientOp(msg));
+                    }
+                    EditIntent::InsertText { text, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        let msg = client.insert(pos, text);
+                        ctx.send(0, EditorMsg::ClientOp(msg));
+                    }
+                    EditIntent::DeleteChar { .. } => {
+                        if let Some(pos) = edit.intent.position(len) {
+                            let msg = client.delete(pos, 1);
+                            ctx.send(0, EditorMsg::ClientOp(msg));
+                        }
+                    }
+                    EditIntent::Undo => {
+                        if let Some(msg) = client.undo_last_local() {
+                            ctx.send(0, EditorMsg::ClientOp(msg));
+                        }
+                    }
+                }
+            }
+            SessionNode::MeshSite {
+                site,
+                peers,
+                script,
+                wire,
+                max_stamp,
+                ..
+            } => {
+                let edit = script[tag as usize].clone();
+                let len = site.doc().chars().count();
+                let mut msgs = Vec::new();
+                match &edit.intent {
+                    EditIntent::InsertChar { ch, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        msgs.push(site.local_insert(pos, *ch));
+                    }
+                    EditIntent::InsertText { text, .. } => {
+                        // Char-based ops: the mesh pays one operation (and
+                        // one broadcast) per character.
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        for (k, ch) in text.chars().enumerate() {
+                            msgs.push(site.local_insert(pos + k, ch));
+                        }
+                    }
+                    EditIntent::DeleteChar { .. } => {
+                        if let Some(pos) = edit.intent.position(len) {
+                            msgs.push(site.local_delete(pos));
+                        }
+                    }
+                    // The mesh baseline has no undo; skip.
+                    EditIntent::Undo => {}
+                }
+                for m in msgs {
+                    let wire_msg = EditorMsg::MeshOp(m);
+                    SessionNode::count_send(wire, max_stamp, &wire_msg, peers.len());
+                    for &p in peers.iter() {
+                        ctx.send(p, wire_msg.clone());
+                    }
+                }
+            }
+            SessionNode::ComposingClient { client, script } => {
+                let edit = script[tag as usize].clone();
+                let len = client.doc_len();
+                let sent = match &edit.intent {
+                    EditIntent::InsertChar { ch, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        client.insert(pos, &ch.to_string())
+                    }
+                    EditIntent::InsertText { text, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        client.insert(pos, text)
+                    }
+                    EditIntent::DeleteChar { .. } => edit
+                        .intent
+                        .position(len)
+                        .and_then(|pos| client.delete(pos, 1)),
+                    // Composing clients have no undo.
+                    EditIntent::Undo => None,
+                };
+                if let Some(msg) = sent {
+                    ctx.send(0, EditorMsg::ClientOp(msg));
+                }
+            }
+            SessionNode::Notifier(..) | SessionNode::Relay { .. } => {
+                panic!("centre nodes have no scheduled edits")
+            }
+        }
+    }
+}
+
+/// Run a configured session to quiescence and report.
+pub fn run_session(cfg: &SessionConfig) -> SessionReport {
+    let n = cfg.workload.n_sites;
+    assert!(n >= 2, "sessions need at least two clients");
+    let scripts = cfg.workload.generate();
+    let mut sim: Simulator<EditorMsg, SessionNode> = Simulator::new(cfg.latency, cfg.net_seed);
+    sim.set_default_bandwidth(cfg.bandwidth_bytes_per_sec);
+    sim.record_deliveries(cfg.record_deliveries);
+
+    // Build nodes per deployment.
+    match cfg.deployment {
+        Deployment::StarCvc => {
+            let mut notifier = Notifier::new(n, &cfg.initial_doc);
+            if cfg.client_mode == ClientMode::Composing {
+                notifier.set_send_acks(true);
+            }
+            sim.add_node(SessionNode::Notifier(Box::new(notifier), cfg.auto_gc));
+            for (i, script) in scripts.iter().enumerate() {
+                match cfg.client_mode {
+                    ClientMode::Streaming => {
+                        let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
+                        client.set_share_caret(cfg.share_carets);
+                        sim.add_node(SessionNode::Client {
+                            client: Box::new(client),
+                            script: script.clone(),
+                            auto_gc: cfg.auto_gc,
+                        })
+                    }
+                    ClientMode::Composing => sim.add_node(SessionNode::ComposingClient {
+                        client: Box::new(ComposingClient::new(
+                            SiteId(i as u32 + 1),
+                            &cfg.initial_doc,
+                        )),
+                        script: script.clone(),
+                    }),
+                };
+            }
+        }
+        Deployment::RelayStar => {
+            sim.add_node(SessionNode::Relay {
+                client_nodes: (1..=n).collect(),
+                wire: SiteMetrics::new(),
+                max_stamp: 0,
+            });
+            for (i, script) in scripts.iter().enumerate() {
+                sim.add_node(SessionNode::MeshSite {
+                    site: Box::new(MeshSite::new(SiteId(i as u32 + 1), n, &cfg.initial_doc)),
+                    peers: vec![0],
+                    script: script.clone(),
+                    wire: SiteMetrics::new(),
+                    max_stamp: 0,
+                    auto_gc: cfg.auto_gc,
+                });
+            }
+        }
+        Deployment::MeshFullVc => {
+            for (i, script) in scripts.iter().enumerate() {
+                let peers = (0..n).filter(|&p| p != i).collect();
+                sim.add_node(SessionNode::MeshSite {
+                    site: Box::new(MeshSite::new(SiteId(i as u32 + 1), n, &cfg.initial_doc)),
+                    peers,
+                    script: script.clone(),
+                    wire: SiteMetrics::new(),
+                    max_stamp: 0,
+                    auto_gc: cfg.auto_gc,
+                });
+            }
+        }
+    }
+
+    // Schedule every edit as a timer on its site's node.
+    let client_node_base = match cfg.deployment {
+        Deployment::StarCvc | Deployment::RelayStar => 1usize,
+        Deployment::MeshFullVc => 0usize,
+    };
+    for (i, script) in scripts.iter().enumerate() {
+        for (k, edit) in script.iter().enumerate() {
+            sim.schedule_timer(client_node_base + i, edit.at, k as u64);
+        }
+    }
+
+    let quiesced_at = sim.run();
+
+    // Harvest.
+    let mut final_docs = Vec::new();
+    let mut mesh_models: Vec<cvc_ot::ttf::TtfDoc> = Vec::new();
+    let mut client_metrics = Vec::new();
+    let mut centre_metrics: Option<SiteMetrics> = None;
+    let mut max_stamp_integers = 0usize;
+    let mut max_history = 0usize;
+    for node in sim.nodes() {
+        match node {
+            SessionNode::Notifier(nf, _) => {
+                centre_metrics = Some(*nf.metrics());
+                final_docs.push(nf.doc().to_owned());
+                max_stamp_integers = max_stamp_integers.max(2);
+                max_history = max_history.max(nf.history().len());
+            }
+            SessionNode::Client { client, .. } => {
+                client_metrics.push(*client.metrics());
+                final_docs.push(client.doc().to_owned());
+                max_stamp_integers = max_stamp_integers.max(2);
+                max_history = max_history.max(client.history().len());
+            }
+            SessionNode::ComposingClient { client, .. } => {
+                assert!(
+                    !client.has_outstanding() && !client.has_buffered(),
+                    "composing client left unflushed work at quiescence"
+                );
+                client_metrics.push(*client.metrics());
+                final_docs.push(client.doc().to_owned());
+                max_stamp_integers = max_stamp_integers.max(2);
+            }
+            SessionNode::MeshSite {
+                site,
+                wire,
+                max_stamp,
+                ..
+            } => {
+                assert_eq!(site.pending_len(), 0, "ops stuck awaiting causality");
+                mesh_models.push(site.model().clone());
+                let mut m = *site.metrics();
+                m += *wire;
+                client_metrics.push(m);
+                final_docs.push(site.doc());
+                max_stamp_integers = max_stamp_integers.max(*max_stamp);
+                max_history = max_history.max(site.history_len());
+            }
+            SessionNode::Relay {
+                wire, max_stamp, ..
+            } => {
+                centre_metrics = Some(*wire);
+                max_stamp_integers = max_stamp_integers.max(*max_stamp);
+            }
+        }
+    }
+    let converged = final_docs.windows(2).all(|w| w[0] == w[1]);
+    // Structural audit for tombstone replicas: not just the visible text —
+    // the full models (every cell ever inserted, dead or alive) must be
+    // identical, which pins down intention preservation at the character
+    // level (each insert contributes exactly one cell everywhere; a delete
+    // kills the same cell everywhere).
+    assert!(
+        mesh_models.windows(2).all(|w| w[0] == w[1]),
+        "visible texts may agree while models diverge — structural audit failed"
+    );
+    let final_doc = final_docs.last().cloned().unwrap_or_default();
+
+    SessionReport {
+        deployment: cfg.deployment,
+        n_clients: n,
+        converged,
+        final_doc,
+        final_docs,
+        quiesced_at,
+        client_metrics,
+        centre_metrics,
+        net: sim.total_stats(),
+        max_stamp_integers,
+        max_history_len: max_history,
+        deliveries: sim.deliveries().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(deployment: Deployment, n: usize, seed: u64) -> SessionReport {
+        let cfg = SessionConfig::small(deployment, n, seed);
+        run_session(&cfg)
+    }
+
+    #[test]
+    fn star_cvc_converges() {
+        for seed in 0..5 {
+            let r = run(Deployment::StarCvc, 4, seed);
+            assert!(r.converged, "seed {seed}: {:?}", r.final_docs);
+            assert_eq!(r.max_stamp_integers, 2);
+        }
+    }
+
+    #[test]
+    fn mesh_converges() {
+        for seed in 0..5 {
+            let r = run(Deployment::MeshFullVc, 4, seed);
+            assert!(r.converged, "seed {seed}: {:?}", r.final_docs);
+            assert_eq!(r.max_stamp_integers, 4);
+        }
+    }
+
+    #[test]
+    fn relay_star_converges_with_full_stamps() {
+        for seed in 0..5 {
+            let r = run(Deployment::RelayStar, 4, seed);
+            assert!(r.converged, "seed {seed}: {:?}", r.final_docs);
+            assert_eq!(r.max_stamp_integers, 4, "relaying cannot compress");
+        }
+    }
+
+    #[test]
+    fn star_stamps_stay_constant_as_n_grows() {
+        let small = run(Deployment::StarCvc, 2, 1);
+        let large = run(Deployment::StarCvc, 8, 1);
+        assert_eq!(small.max_stamp_integers, 2);
+        assert_eq!(large.max_stamp_integers, 2);
+        // Mesh stamp width grows with N instead.
+        let mesh_large = run(Deployment::MeshFullVc, 8, 1);
+        assert_eq!(mesh_large.max_stamp_integers, 8);
+    }
+
+    #[test]
+    fn star_uses_more_messages_but_fewer_stamp_bytes_per_message() {
+        let n = 6;
+        let star = run(Deployment::StarCvc, n, 2);
+        let mesh = run(Deployment::MeshFullVc, n, 2);
+        let star_total = star.total_metrics();
+        let mesh_total = mesh.total_metrics();
+        assert!(star_total.messages_sent > 0 && mesh_total.messages_sent > 0);
+        assert!(
+            star_total.stamp_integers_per_message() < mesh_total.stamp_integers_per_message(),
+            "star {} vs mesh {}",
+            star_total.stamp_integers_per_message(),
+            mesh_total.stamp_integers_per_message()
+        );
+        assert_eq!(star_total.stamp_integers_per_message(), 2.0);
+    }
+
+    #[test]
+    fn auto_gc_bounds_history_and_preserves_results() {
+        let mut plain = SessionConfig::small(Deployment::StarCvc, 4, 13);
+        plain.workload.ops_per_site = 40;
+        let mut gc = plain.clone();
+        gc.auto_gc = true;
+        let a = run_session(&plain);
+        let b = run_session(&gc);
+        assert!(a.converged && b.converged);
+        assert_eq!(a.final_doc, b.final_doc, "GC must not change results");
+        // Without GC the history grows with the session; with it the
+        // buffers stay near the in-flight window.
+        assert!(
+            a.max_history_len >= 160,
+            "plain run kept {}",
+            a.max_history_len
+        );
+        assert!(
+            b.max_history_len < a.max_history_len / 4,
+            "gc run kept {} vs {}",
+            b.max_history_len,
+            a.max_history_len
+        );
+    }
+
+    #[test]
+    fn mesh_auto_gc_bounds_history_too() {
+        let mut plain = SessionConfig::small(Deployment::MeshFullVc, 4, 17);
+        plain.workload.ops_per_site = 40;
+        let mut gc = plain.clone();
+        gc.auto_gc = true;
+        let a = run_session(&plain);
+        let b = run_session(&gc);
+        assert!(a.converged && b.converged);
+        assert_eq!(a.final_doc, b.final_doc);
+        assert!(
+            b.max_history_len < a.max_history_len,
+            "gc kept {} vs {}",
+            b.max_history_len,
+            a.max_history_len
+        );
+    }
+
+    #[test]
+    fn shared_carets_cost_a_few_bytes_and_still_converge() {
+        let plain = SessionConfig::small(Deployment::StarCvc, 3, 19);
+        let mut presence = plain.clone();
+        presence.share_carets = true;
+        let a = run_session(&plain);
+        let b = run_session(&presence);
+        assert!(a.converged && b.converged);
+        assert_eq!(a.final_doc, b.final_doc, "presence must not affect text");
+        let (ab, bb) = (a.total_metrics().bytes_sent, b.total_metrics().bytes_sent);
+        assert!(bb > ab, "presence adds bytes: {bb} vs {ab}");
+        assert!(bb < ab + a.total_metrics().messages_sent * 4);
+    }
+
+    #[test]
+    fn deliveries_recorded_on_request() {
+        let mut cfg = SessionConfig::small(Deployment::StarCvc, 3, 4);
+        cfg.record_deliveries = true;
+        let r = run_session(&cfg);
+        assert!(!r.deliveries.is_empty());
+        assert_eq!(r.net.messages, r.deliveries.len() as u64);
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let a = run(Deployment::StarCvc, 3, 9);
+        let b = run(Deployment::StarCvc, 3, 9);
+        assert_eq!(a.final_doc, b.final_doc);
+        assert_eq!(a.net.bytes, b.net.bytes);
+        assert_eq!(a.quiesced_at, b.quiesced_at);
+    }
+}

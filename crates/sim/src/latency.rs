@@ -1,0 +1,174 @@
+//! Link-latency models.
+//!
+//! The paper's setting is "high and nondeterministic communication latency,
+//! such as the Internet" (Section 2). The models here cover the regimes the
+//! experiments sweep: fixed LAN-like delay, uniformly jittered WAN delay,
+//! and a heavy-tailed model that produces the occasional multi-hundred-ms
+//! stall that reorders deliveries *across* channels (never within one —
+//! channels are FIFO, like the TCP connections the paper assumes).
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of one-way link latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many microseconds.
+    Constant(u64),
+    /// Uniform in `[lo, hi]` microseconds.
+    Uniform {
+        /// Lower bound (µs).
+        lo: u64,
+        /// Upper bound (µs), inclusive.
+        hi: u64,
+    },
+    /// Mostly `base`, but with probability `p_spike` a stall of
+    /// `base * spike_factor` — a crude model of congestion/retransmission.
+    HeavyTail {
+        /// Typical latency (µs).
+        base: u64,
+        /// Probability of a spike, in `[0, 1]`.
+        p_spike: f64,
+        /// Multiplier applied during a spike.
+        spike_factor: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A LAN-ish constant half-millisecond link.
+    pub fn lan() -> Self {
+        LatencyModel::Constant(500)
+    }
+
+    /// A jittery Internet-like link: 20–120 ms.
+    pub fn internet() -> Self {
+        LatencyModel::Uniform {
+            lo: 20_000,
+            hi: 120_000,
+        }
+    }
+
+    /// An Internet link with occasional 10× stalls.
+    pub fn congested() -> Self {
+        LatencyModel::HeavyTail {
+            base: 40_000,
+            p_spike: 0.05,
+            spike_factor: 10,
+        }
+    }
+
+    /// Sample a one-way delay.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        let us = match *self {
+            LatencyModel::Constant(us) => us,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform bounds inverted");
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::HeavyTail {
+                base,
+                p_spike,
+                spike_factor,
+            } => {
+                if rng.gen_bool(p_spike.clamp(0.0, 1.0)) {
+                    base * spike_factor
+                } else {
+                    // Mild jitter around the base even off-spike.
+                    rng.gen_range(base / 2..=base * 3 / 2)
+                }
+            }
+        };
+        SimDuration::from_micros(us)
+    }
+
+    /// Mean latency in microseconds (for report labelling).
+    pub fn mean_micros(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(us) => us as f64,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::HeavyTail {
+                base,
+                p_spike,
+                spike_factor,
+            } => {
+                let spike = base as f64 * spike_factor as f64;
+                p_spike * spike + (1.0 - p_spike) * base as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::Constant(777);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_micros(), 777);
+        }
+        assert_eq!(m.mean_micros(), 777.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { lo: 100, hi: 200 };
+        let mut lo_seen = u64::MAX;
+        let mut hi_seen = 0;
+        for _ in 0..1000 {
+            let v = m.sample(&mut rng).as_micros();
+            assert!((100..=200).contains(&v));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        // With 1000 samples the extremes should be approached.
+        assert!(lo_seen < 110);
+        assert!(hi_seen > 190);
+        assert_eq!(m.mean_micros(), 150.0);
+    }
+
+    #[test]
+    fn heavy_tail_spikes_sometimes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = LatencyModel::HeavyTail {
+            base: 1000,
+            p_spike: 0.2,
+            spike_factor: 10,
+        };
+        let samples: Vec<u64> = (0..2000).map(|_| m.sample(&mut rng).as_micros()).collect();
+        let spikes = samples.iter().filter(|&&v| v == 10_000).count();
+        let frac = spikes as f64 / samples.len() as f64;
+        assert!((0.1..0.3).contains(&frac), "spike fraction {frac}");
+        // Off-spike samples jitter within ±50%.
+        assert!(samples
+            .iter()
+            .all(|&v| v == 10_000 || (500..=1500).contains(&v)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::internet();
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| m.sample(&mut rng).as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(LatencyModel::lan().mean_micros() < 1_000.0);
+        assert!(LatencyModel::internet().mean_micros() > 20_000.0);
+        let c = LatencyModel::congested();
+        assert!(c.mean_micros() > 40_000.0);
+    }
+}

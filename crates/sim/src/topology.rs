@@ -1,0 +1,136 @@
+//! Communication topologies.
+//!
+//! The paper's Fig. 1 contrasts two shapes:
+//!
+//! * the **star**: `N` client sites each holding one bidirectional channel
+//!   to the central notifier — "the notifier site maps the N-way
+//!   communication among N sites into a 2-way communication";
+//! * the **full mesh** of the classical fully-distributed REDUCE/GROVE
+//!   deployment, where every site broadcasts to every other site directly.
+//!
+//! [`Topology`] enumerates directed links and predicts per-operation
+//! message counts; experiment E1 checks the simulator's observed counts
+//! against these closed forms.
+
+use serde::{Deserialize, Serialize};
+
+/// A session communication topology over client sites `1..=n` (star adds
+/// the notifier as node 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Star with the notifier at the centre (the paper's Fig. 1).
+    Star {
+        /// Number of client sites.
+        n_clients: usize,
+    },
+    /// Fully-connected mesh of client sites (no notifier).
+    Mesh {
+        /// Number of client sites.
+        n_clients: usize,
+    },
+}
+
+impl Topology {
+    /// Number of simulator nodes (the star includes the notifier).
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Topology::Star { n_clients } => n_clients + 1,
+            Topology::Mesh { n_clients } => n_clients,
+        }
+    }
+
+    /// All directed links `(from, to)` in simulator-node numbering (star:
+    /// node 0 is the notifier, clients are `1..=n`; mesh: clients are
+    /// `0..n`).
+    pub fn links(&self) -> Vec<(usize, usize)> {
+        match *self {
+            Topology::Star { n_clients } => {
+                let mut links = Vec::with_capacity(2 * n_clients);
+                for i in 1..=n_clients {
+                    links.push((0, i));
+                    links.push((i, 0));
+                }
+                links
+            }
+            Topology::Mesh { n_clients } => {
+                let mut links = Vec::with_capacity(n_clients * n_clients.saturating_sub(1));
+                for a in 0..n_clients {
+                    for b in 0..n_clients {
+                        if a != b {
+                            links.push((a, b));
+                        }
+                    }
+                }
+                links
+            }
+        }
+    }
+
+    /// Messages the network carries for ONE operation generated at a client
+    /// to reach every other replica:
+    ///
+    /// * star: 1 (client→notifier) + `n-1` (notifier→others) = `n`;
+    /// * mesh: `n-1` (direct broadcast).
+    pub fn messages_per_op(&self) -> usize {
+        match *self {
+            Topology::Star { n_clients } => n_clients,
+            Topology::Mesh { n_clients } => n_clients - 1,
+        }
+    }
+
+    /// Network hops on the delivery path from the generating site to any
+    /// other replica (latency cost: the star pays an extra hop).
+    pub fn hops_to_peer(&self) -> usize {
+        match self {
+            Topology::Star { .. } => 2,
+            Topology::Mesh { .. } => 1,
+        }
+    }
+
+    /// Number of channels a single client site must maintain.
+    pub fn channels_per_client(&self) -> usize {
+        match *self {
+            Topology::Star { .. } => 1,
+            Topology::Mesh { n_clients } => n_clients - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_links_go_through_the_notifier_only() {
+        let t = Topology::Star { n_clients: 3 };
+        assert_eq!(t.node_count(), 4);
+        let links = t.links();
+        assert_eq!(links.len(), 6);
+        assert!(links.iter().all(|&(a, b)| a == 0 || b == 0));
+        assert!(links.contains(&(0, 2)) && links.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn mesh_links_are_all_pairs() {
+        let t = Topology::Mesh { n_clients: 4 };
+        assert_eq!(t.node_count(), 4);
+        let links = t.links();
+        assert_eq!(links.len(), 12);
+        assert!(links.contains(&(1, 3)) && links.contains(&(3, 1)));
+        assert!(!links.contains(&(2, 2)));
+    }
+
+    #[test]
+    fn per_op_message_counts() {
+        assert_eq!(Topology::Star { n_clients: 4 }.messages_per_op(), 4);
+        assert_eq!(Topology::Mesh { n_clients: 4 }.messages_per_op(), 3);
+        assert_eq!(Topology::Star { n_clients: 4 }.hops_to_peer(), 2);
+        assert_eq!(Topology::Mesh { n_clients: 4 }.hops_to_peer(), 1);
+    }
+
+    #[test]
+    fn channel_maintenance_burden() {
+        assert_eq!(Topology::Star { n_clients: 100 }.channels_per_client(), 1);
+        assert_eq!(Topology::Mesh { n_clients: 100 }.channels_per_client(), 99);
+    }
+}

@@ -1,0 +1,89 @@
+//! Render a session's message flow as a space-time diagram — the same kind
+//! of picture as the paper's Figures 2 and 3, generated from a live
+//! simulated session.
+//!
+//! ```text
+//! cargo run --example timeline            # 3 clients, short session
+//! cargo run --example timeline -- 5 6     # 5 clients, 6 ops each
+//! ```
+
+use cvc_reduce::session::{run_session, Deployment, SessionConfig};
+use cvc_sim::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be a number"))
+        .unwrap_or(3);
+    let ops: usize = args
+        .next()
+        .map(|a| a.parse().expect("ops must be a number"))
+        .unwrap_or(3);
+
+    let mut cfg = SessionConfig::small(Deployment::StarCvc, n, 12);
+    cfg.workload.ops_per_site = ops;
+    cfg.record_deliveries = true;
+    let report = run_session(&cfg);
+
+    // Columns: node 0 = notifier, 1..=n = clients.
+    let width = 14usize;
+    let header: String = (0..=n)
+        .map(|i| {
+            let label = if i == 0 {
+                "notifier".to_string()
+            } else {
+                format!("site {i}")
+            };
+            format!("{label:^width$}")
+        })
+        .collect();
+    println!("star/CVC session, {n} clients, {ops} ops each (time flows down)\n");
+    println!("  time(ms) {header}");
+    println!("  {}", "-".repeat(9 + width * (n + 1)));
+
+    // Interleave send and receive events by time.
+    #[derive(Clone)]
+    enum Ev {
+        Send(DeliveryRecord),
+        Recv(DeliveryRecord),
+    }
+    let mut events: Vec<(SimTime, Ev)> = Vec::new();
+    for d in &report.deliveries {
+        events.push((d.sent_at, Ev::Send(*d)));
+        events.push((d.delivered_at, Ev::Recv(*d)));
+    }
+    events.sort_by_key(|(t, e)| {
+        (
+            *t,
+            match e {
+                Ev::Recv(_) => 0u8,
+                Ev::Send(_) => 1,
+            },
+        )
+    });
+
+    let shown = events.len().min(60);
+    for (t, e) in events.iter().take(shown) {
+        let mut cols = vec![String::new(); n + 1];
+        match e {
+            Ev::Send(d) => {
+                cols[d.from] = format!("●──→{} ({}B)", d.to, d.bytes);
+            }
+            Ev::Recv(d) => {
+                cols[d.to] = format!("◆ from {}", d.from);
+            }
+        }
+        let row: String = cols.iter().map(|c| format!("{c:^width$}")).collect();
+        println!("  {:>8.1} {row}", t.as_micros() as f64 / 1000.0);
+    }
+    if events.len() > shown {
+        println!("  … {} more events", events.len() - shown);
+    }
+
+    println!(
+        "\nconverged: {}   final doc: {:?}",
+        report.converged, report.final_doc
+    );
+    assert!(report.converged);
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests pinning every number of the paper's
+//! worked examples (Sections 2 and 5, Figures 2 and 3).
+
+use cvc_reduce::scenario::{fig2_report, fig3_walkthrough, INITIAL_DOC};
+
+#[test]
+fn initial_document_is_the_papers() {
+    assert_eq!(INITIAL_DOC, "ABCDE");
+}
+
+#[test]
+fn fig2_divergence_matches_section_2_2() {
+    let r = fig2_report();
+    assert!(r.diverged);
+    // The two-operation example strings, verbatim from the paper.
+    assert_eq!(r.intended, "A12B");
+    assert_eq!(r.violated, "A1DE");
+    // Four sites, four orders, first op order at site 0 is O2.
+    assert_eq!(r.orders.len(), 4);
+    assert_eq!(r.orders[0].1, vec!["O2", "O1", "O4", "O3"]);
+}
+
+#[test]
+fn fig3_every_stamp_of_section_5() {
+    let t = fig3_walkthrough();
+
+    // Generation stamps.
+    let gen: Vec<(u64, u64)> = t.gen_stamps.iter().map(|s| s.as_pair()).collect();
+    assert_eq!(gen, vec![(0, 1), (0, 1), (1, 1), (1, 2)]);
+
+    // Propagation stamps, per destination, in paper order.
+    let prop: Vec<(&str, u32, (u64, u64))> = t
+        .prop_stamps
+        .iter()
+        .map(|&(l, d, s)| (l, d, s.as_pair()))
+        .collect();
+    assert_eq!(
+        prop,
+        vec![
+            ("O2'", 1, (1, 0)),
+            ("O2'", 3, (1, 0)),
+            ("O1'", 2, (1, 1)),
+            ("O1'", 3, (2, 0)),
+            ("O4'", 1, (2, 1)),
+            ("O4'", 2, (2, 1)),
+            ("O3'", 1, (3, 1)),
+            ("O3'", 3, (3, 1)),
+        ]
+    );
+
+    // Buffered full vectors at the notifier.
+    assert_eq!(t.buffered_vectors[0], vec![0, 1, 0]);
+    assert_eq!(t.buffered_vectors[1], vec![1, 1, 0]);
+    assert_eq!(t.buffered_vectors[2], vec![1, 1, 1]);
+    assert_eq!(t.buffered_vectors[3], vec![1, 2, 1]);
+
+    // The six concurrent pairs the paper names (plus all ∦ verdicts).
+    let concurrent: Vec<(&str, &str, &str)> = t
+        .verdicts
+        .iter()
+        .filter(|v| v.3)
+        .map(|&(w, a, b, _)| (w, a, b))
+        .collect();
+    assert_eq!(
+        concurrent,
+        vec![
+            ("site 1", "O2'", "O1"),
+            ("site 0", "O1", "O2'"),
+            ("site 3", "O1'", "O4"),
+            ("site 0", "O4", "O1'"),
+            ("site 2", "O4'", "O3"),
+            ("site 0", "O3", "O4'"),
+        ]
+    );
+
+    assert!(t.converged);
+}
+
+#[test]
+fn fig3_transformed_o2_is_delete_3_4() {
+    // Section 2.3: IT(O2, O1) = Delete[3, 4].
+    let t = fig3_walkthrough();
+    assert_eq!(t.o2p_at_site1.len(), 1);
+    assert_eq!(t.o2p_at_site1[0].pos(), 4);
+    assert_eq!(t.o2p_at_site1[0].len(), 3);
+    assert_eq!(t.o2p_at_site1[0].text(), "CDE");
+}
+
+#[test]
+fn fig3_intentions_preserved_in_final_document() {
+    let t = fig3_walkthrough();
+    let doc = &t.final_docs[0];
+    // O1's "12" sits right after "A"; O2's "CDE" is gone; O3's "z" and
+    // O4's "xy" both survive.
+    assert!(doc.starts_with("A12B"));
+    for c in ['C', 'D', 'E'] {
+        assert!(!doc.contains(c), "{c} should have been deleted: {doc}");
+    }
+    assert!(doc.contains("xy"));
+    assert!(doc.contains('z'));
+}

@@ -1,0 +1,201 @@
+//! Property-based transformation tests: TP1 for sequence operations, TP1
+//! and TP2 for the tombstone layer, reversibility of the positional
+//! IT/ET pair, and bridge convergence — all over random operations.
+
+use cvc_ot::buffer::TextBuffer;
+use cvc_ot::et::et_op;
+use cvc_ot::it::{it_op, Side};
+use cvc_ot::pos::PosOp;
+use cvc_ot::props::{seq_tp1, ttf_tp1, ttf_tp2};
+use cvc_ot::seq::SeqOp;
+use cvc_ot::ttf::{TtfDoc, TtfOp};
+use cvc_reduce::bridge::{Bridge, BridgeRole};
+use proptest::prelude::*;
+
+const DOC: &str = "abcdefghijklmnop";
+const DOC_LEN: usize = 16;
+
+/// A random positional op valid on DOC.
+fn arb_pos_op() -> impl Strategy<Value = PosOp> {
+    prop_oneof![
+        (0usize..=DOC_LEN, "[a-z]{1,4}").prop_map(|(pos, text)| PosOp::insert(pos, text)),
+        (0usize..DOC_LEN, 1usize..=4).prop_map(|(pos, len)| {
+            let len = len.min(DOC_LEN - pos);
+            PosOp::delete(pos, &DOC[pos..pos + len])
+        }),
+    ]
+}
+
+fn apply_all(doc: &str, ops: &[PosOp]) -> String {
+    let mut buf = TextBuffer::from_str(doc);
+    for op in ops {
+        op.apply(&mut buf)
+            .unwrap_or_else(|e| panic!("{op} failed on {buf:?}: {e}"));
+    }
+    buf.to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TP1 for positional IT with splits, on random op pairs.
+    #[test]
+    fn positional_it_satisfies_tp1(a in arb_pos_op(), b in arb_pos_op()) {
+        let a1 = it_op(&a, &b, Side::Left);
+        let b1 = it_op(&b, &a, Side::Right);
+        let mut left = vec![b.clone()];
+        left.extend(a1);
+        let mut right = vec![a.clone()];
+        right.extend(b1);
+        prop_assert_eq!(apply_all(DOC, &left), apply_all(DOC, &right));
+    }
+
+    /// TP1 for sequence operations built from the same pairs.
+    #[test]
+    fn seq_transform_satisfies_tp1(a in arb_pos_op(), b in arb_pos_op()) {
+        let sa = SeqOp::from_pos(&a, DOC_LEN);
+        let sb = SeqOp::from_pos(&b, DOC_LEN);
+        prop_assert!(seq_tp1(DOC, &sa, &sb).is_ok());
+    }
+
+    /// Reversibility: where ET succeeds with one op away from tie
+    /// positions, IT brings it back exactly.
+    #[test]
+    fn positional_et_reverses_it(o in arb_pos_op(), b in arb_pos_op()) {
+        // Build o on the post-b state by including b first.
+        let included = it_op(&o, &b, Side::Left);
+        if included.len() != 1 {
+            return Ok(());
+        }
+        let o_after = included[0].clone();
+        if let Ok(ex) = et_op(&o_after, &b) {
+            if ex.len() == 1 {
+                let back = it_op(&ex[0], &b, Side::Left);
+                // Tie positions are legitimately ambiguous.
+                let tie = o_after.pos() == b.pos()
+                    || o_after.pos() == b.end()
+                    || ex[0].pos() == b.pos();
+                if !tie && back.len() == 1 {
+                    prop_assert_eq!(&back[0], &o_after);
+                }
+            }
+        }
+    }
+
+    /// TTF TP1 on random pairs over a model with tombstones.
+    #[test]
+    fn ttf_satisfies_tp1(
+        a_pick in 0usize..200,
+        b_pick in 0usize..200,
+        kill in 0usize..8,
+    ) {
+        let mut doc = TtfDoc::from_str("abcdefgh");
+        doc.apply(&TtfOp::Delete { pos: kill }).unwrap();
+        let n = doc.model_len();
+        let a = pick_ttf(a_pick, n, 1);
+        let b = pick_ttf(b_pick, n, 2);
+        prop_assert!(ttf_tp1(&doc, &a, &b).is_ok());
+    }
+
+    /// TTF TP2 on random triples (the property the mesh integration needs).
+    #[test]
+    fn ttf_satisfies_tp2(
+        a_pick in 0usize..200,
+        b_pick in 0usize..200,
+        c_pick in 0usize..200,
+    ) {
+        let n = 8;
+        let a = pick_ttf(a_pick, n, 1);
+        let b = pick_ttf(b_pick, n, 2);
+        let c = pick_ttf(c_pick, n, 3);
+        prop_assert!(ttf_tp2(&a, &b, &c).is_ok());
+    }
+
+    /// Bridge convergence: any pair of concurrent op sequences integrated
+    /// over a crossing channel converges (the 2-party core of the paper's
+    /// star argument).
+    #[test]
+    fn bridge_pair_converges(
+        client_ops in proptest::collection::vec(arb_frac_edit(), 0..6),
+        server_ops in proptest::collection::vec(arb_frac_edit(), 0..6),
+    ) {
+        let base = "the shared document".to_string();
+        let mut client = Bridge::new(BridgeRole::Client);
+        let mut server = Bridge::new(BridgeRole::Notifier);
+
+        let mut cdoc = base.clone();
+        let mut sent_c = Vec::new();
+        for e in &client_ops {
+            let op = e.materialize(&cdoc);
+            cdoc = op.apply(&cdoc).unwrap();
+            client.record_send(op.clone());
+            sent_c.push(op);
+        }
+        let mut sdoc = base.clone();
+        let mut sent_s = Vec::new();
+        for e in &server_ops {
+            let op = e.materialize(&sdoc);
+            sdoc = op.apply(&sdoc).unwrap();
+            server.record_send(op.clone());
+            sent_s.push(op);
+        }
+        // Full crossing: server integrates all client ops (acking 0), then
+        // client integrates all server ops (acking 0).
+        for op in sent_c {
+            let i = server.integrate(op, 0).unwrap();
+            sdoc = i.op.apply(&sdoc).unwrap();
+        }
+        for op in sent_s {
+            let i = client.integrate(op, 0).unwrap();
+            cdoc = i.op.apply(&cdoc).unwrap();
+        }
+        prop_assert_eq!(cdoc, sdoc);
+    }
+}
+
+/// Deterministically pick a TTF op from an integer (keeps proptest shrink
+/// behaviour simple).
+fn pick_ttf(pick: usize, n: usize, site: u32) -> TtfOp {
+    if pick.is_multiple_of(2) {
+        TtfOp::Insert {
+            pos: (pick / 2) % (n + 1),
+            ch: (b'a' + (pick % 26) as u8) as char,
+            site,
+        }
+    } else {
+        TtfOp::Delete {
+            pos: (pick / 2) % n,
+        }
+    }
+}
+
+/// An edit expressed as fractions so it stays valid on any document.
+#[derive(Debug, Clone)]
+struct FracEdit {
+    insert: bool,
+    frac: f64,
+    text: String,
+}
+
+impl FracEdit {
+    fn materialize(&self, doc: &str) -> SeqOp {
+        let len = doc.chars().count();
+        if self.insert || len == 0 {
+            let pos = ((len + 1) as f64 * self.frac) as usize % (len + 1);
+            SeqOp::from_pos(&PosOp::insert(pos, &self.text), len)
+        } else {
+            let pos = (len as f64 * self.frac) as usize % len;
+            let take = self.text.chars().count().min(len - pos).max(1);
+            let text: String = doc.chars().skip(pos).take(take).collect();
+            SeqOp::from_pos(&PosOp::delete(pos, text), len)
+        }
+    }
+}
+
+fn arb_frac_edit() -> impl Strategy<Value = FracEdit> {
+    (any::<bool>(), 0.0f64..1.0, "[a-z]{1,3}").prop_map(|(insert, frac, text)| FracEdit {
+        insert,
+        frac,
+        text,
+    })
+}
