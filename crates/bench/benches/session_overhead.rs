@@ -5,13 +5,13 @@
 //! encoding accounting, and the event queue.
 //!
 //! A multi-seed *throughput* group shards independent sessions across
-//! threads with `crossbeam::scope` — sessions share nothing, making this
+//! threads with `std::thread::scope` — sessions share nothing, making this
 //! the embarrassingly-parallel outer loop the hpc guides recommend
 //! parallelising (rather than the inherently sequential event loop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cvc_reduce::session::{run_session, Deployment, SessionConfig};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn bench_deployments(c: &mut Criterion) {
     let mut g = c.benchmark_group("session");
@@ -52,28 +52,27 @@ fn bench_parallel_seeds(c: &mut Criterion) {
             std::hint::black_box(total)
         })
     });
-    g.bench_function("star_16_seeds_crossbeam", |b| {
+    g.bench_function("star_16_seeds_scoped_threads", |b| {
         b.iter(|| {
             let total = Mutex::new(0u64);
             let shards = std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(4)
                 .min(seeds.len());
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for chunk in seeds.chunks(seeds.len().div_ceil(shards)) {
                     let total = &total;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = 0u64;
                         for &s in chunk {
                             let r = run_session(&SessionConfig::small(Deployment::StarCvc, 4, s));
                             local += r.net.bytes;
                         }
-                        *total.lock() += local;
+                        *total.lock().expect("no shard panicked") += local;
                     });
                 }
-            })
-            .expect("no shard panicked");
-            std::hint::black_box(total.into_inner())
+            });
+            std::hint::black_box(total.into_inner().expect("no shard panicked"))
         })
     });
     g.finish();

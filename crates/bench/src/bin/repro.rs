@@ -1,17 +1,49 @@
 //! Reproduce the paper's figures and quantified claims.
 //!
 //! ```text
-//! repro all          # run every experiment
-//! repro e3           # one experiment (e1..e10)
-//! repro list         # what exists
+//! repro all               # run every experiment (parallel workers)
+//! repro all --threads 4   # cap the worker pool
+//! repro e3                # one experiment (e1..e14)
+//! repro list              # what exists
 //! ```
+//!
+//! `all` fans the timing-insensitive experiments out across a scoped
+//! worker pool (default: the machine's parallelism, override with
+//! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
+//! experiments (e7, e14) sequentially. Output is always in e1..e14 order
+//! and, being seeded virtual-time, bit-identical at any worker count.
 
 use cvc_bench::experiments;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads: Option<usize> = None;
+    let mut selected: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(t) if t > 0 => threads = Some(t),
+                    _ => {
+                        eprintln!("--threads needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if selected.is_none() => selected = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let arg = selected.unwrap_or_else(|| "all".into());
     let out = match arg.as_str() {
-        "all" => experiments::run_all(),
+        "all" => {
+            experiments::run_all_with_threads(threads.unwrap_or_else(experiments::default_threads))
+        }
         "e1" => experiments::e1_topology(),
         "e2" => experiments::e2_fig2(),
         "e3" => experiments::e3_fig3(),
@@ -25,6 +57,7 @@ fn main() {
         "e11" => experiments::e11_membership(),
         "e12" => experiments::e12_composing(),
         "e13" => experiments::e13_bandwidth(),
+        "e14" => experiments::e14_throughput(),
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -37,7 +70,8 @@ fn main() {
              e10 delivery latency: the star's extra hop\n\
              e11 dynamic membership (extension)\n\
              e12 composing clients (extension)\n\
-             e13 bandwidth-limited links (extension)"
+             e13 bandwidth-limited links (extension)\n\
+             e14 notifier hot-path throughput (suffix vs full scan)"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");

@@ -42,6 +42,7 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         client_mode: cvc_reduce::session::ClientMode::Streaming,
         bandwidth_bytes_per_sec: None,
         share_carets: false,
+        notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
     }
 }
 
@@ -695,6 +696,175 @@ pub fn e13_bandwidth() -> String {
     )
 }
 
+/// E14 — notifier hot-path throughput: the suffix-bounded formula-(7)
+/// scan (this repo) vs the paper's literal full-buffer scan vs the
+/// mesh/full-vector baseline. Reports end-to-end session ops/sec and the
+/// per-op history-scan length, and writes the machine-readable trajectory
+/// to `BENCH_PR1.json` (override the path with `BENCH_PR1_OUT`).
+///
+/// (Numbered E14 because e11–e13 already exist; DESIGN.md §6 calls it
+/// "E11 — throughput" in the issue that introduced it.)
+pub fn e14_throughput() -> String {
+    e14_throughput_with(&[4, 16, 64, 256], 10, true)
+}
+
+/// One measured row of E14.
+struct ThroughputRow {
+    n: usize,
+    variant: &'static str,
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    scan_per_op: f64,
+    scan_max: u64,
+    hb_high_water: u64,
+    converged: bool,
+}
+
+fn e14_throughput_with(ns: &[usize], ops_per_site: usize, write_json: bool) -> String {
+    use cvc_reduce::notifier::ScanMode;
+    use std::time::Instant;
+    let mut t = Table::new(vec![
+        "N",
+        "variant",
+        "ops",
+        "wall (ms)",
+        "ops/sec",
+        "scan/op",
+        "scan max",
+        "hb high-water",
+        "converged",
+    ]);
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    let mut skipped = Vec::new();
+    for &n in ns {
+        let variants: [(&'static str, Deployment, ScanMode); 3] = [
+            (
+                "star/cvc suffix",
+                Deployment::StarCvc,
+                ScanMode::SuffixBounded,
+            ),
+            (
+                "star/cvc full-scan",
+                Deployment::StarCvc,
+                ScanMode::FullScanReference,
+            ),
+            (
+                "mesh/full-vc",
+                Deployment::MeshFullVc,
+                ScanMode::SuffixBounded,
+            ),
+        ];
+        for (variant, deployment, scan) in variants {
+            if deployment == Deployment::MeshFullVc && n > 64 {
+                // Every mesh op is executed (and scanned) at N−1 sites, so
+                // the session is O(N²·ops²) — hours at N=256. The star
+                // rows are the measured claim; the mesh trend is visible
+                // up to N=64.
+                skipped.push(format!("mesh/full-vc N={n}"));
+                continue;
+            }
+            let mut cfg = session_cfg(deployment, n, ops_per_site, 88);
+            cfg.notifier_scan = scan;
+            let start = Instant::now();
+            let r = run_session(&cfg);
+            let wall = start.elapsed();
+            let ops: u64 = r.client_metrics.iter().map(|m| m.ops_generated).sum();
+            // The scan counters live at the scanning sites: the centre for
+            // the star, every replica for the mesh.
+            let m = match deployment {
+                Deployment::StarCvc => r.centre_metrics.expect("star has a centre"),
+                _ => r.total_metrics(),
+            };
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let row = ThroughputRow {
+                n,
+                variant,
+                ops,
+                wall_ms,
+                ops_per_sec: ops as f64 / wall.as_secs_f64(),
+                scan_per_op: m.scan_len_per_op(),
+                scan_max: m.scan_len_max,
+                hb_high_water: m.hb_high_water,
+                converged: r.converged,
+            };
+            t.row(vec![
+                row.n.to_string(),
+                row.variant.to_string(),
+                row.ops.to_string(),
+                format!("{:.1}", row.wall_ms),
+                format!("{:.0}", row.ops_per_sec),
+                format!("{:.1}", row.scan_per_op),
+                row.scan_max.to_string(),
+                row.hb_high_water.to_string(),
+                row.converged.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    let mut out = format!(
+        "E14 — notifier hot-path throughput: suffix-bounded vs full-scan vs mesh\n\n{}",
+        t.render()
+    );
+    if !skipped.is_empty() {
+        out.push_str(&format!(
+            "\nskipped (quadratic baseline): {}\n",
+            skipped.join(", ")
+        ));
+    }
+    if cfg!(debug_assertions) {
+        out.push_str(
+            "\nNOTE: debug build — the suffix scan also runs its full-scan\ncross-check assertion, so timings are not representative; use --release.\n",
+        );
+    }
+    if write_json {
+        match write_bench_json(&rows) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable trajectory: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR1.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E14 rows as `BENCH_PR1.json` (hand-rolled; the workspace
+/// carries no JSON dependency). Returns the path written.
+fn write_bench_json(rows: &[ThroughputRow]) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR1_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E14 notifier hot-path throughput\",\n");
+    s.push_str(
+        "  \"baseline\": \"star/cvc full-scan (the paper's literal per-op HB scan) and mesh/full-vc\",\n",
+    );
+    s.push_str("  \"candidate\": \"star/cvc suffix (watermark-bounded formula-7 scan)\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"variant\": \"{}\", \"ops\": {}, \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"scan_per_op\": {:.2}, \"scan_max\": {}, \"hb_high_water\": {}, \"converged\": {}}}{}\n",
+            r.n,
+            r.variant,
+            r.ops,
+            r.wall_ms,
+            r.ops_per_sec,
+            r.scan_per_op,
+            r.scan_max,
+            r.hb_high_water,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
@@ -703,24 +873,99 @@ fn mean(v: &[f64]) -> f64 {
     }
 }
 
-/// Run every experiment in order, returning the full report.
+/// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
+/// experiments measure wall-clock and must not share the machine with the
+/// worker pool.
+pub type ExperimentEntry = (&'static str, bool, fn() -> String);
+
+/// Every experiment, in report order.
+pub const EXPERIMENTS: [ExperimentEntry; 14] = [
+    ("e1", false, e1_topology),
+    ("e2", false, e2_fig2),
+    ("e3", false, e3_fig3),
+    ("e4", false, e4_timestamp_size),
+    ("e5", false, e5_storage),
+    ("e6", false, e6_session_overhead),
+    ("e7", true, e7_throughput),
+    ("e8", false, e8_oracle),
+    ("e9", false, e9_ablation),
+    ("e10", false, e10_latency),
+    ("e11", false, e11_membership),
+    ("e12", false, e12_composing),
+    ("e13", false, e13_bandwidth),
+    ("e14", true, e14_throughput),
+];
+
+/// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
+/// variable when set, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run every experiment, returning the full report in e1..e14 order.
+///
+/// Every experiment is seeded and virtual-time, so the *content* of each
+/// section is identical no matter how many workers run them.
 pub fn run_all() -> String {
-    [
-        e1_topology(),
-        e2_fig2(),
-        e3_fig3(),
-        e4_timestamp_size(),
-        e5_storage(),
-        e6_session_overhead(),
-        e7_throughput(),
-        e8_oracle(),
-        e9_ablation(),
-        e10_latency(),
-        e11_membership(),
-        e12_composing(),
-        e13_bandwidth(),
-    ]
-    .join("\n\n")
+    run_all_with_threads(default_threads())
+}
+
+/// [`run_all`] with an explicit worker count. Timing-insensitive
+/// experiments fan out across `threads` scoped workers (work-stealing off
+/// a shared index); the two wall-clock experiments (e7, e14) then run
+/// sequentially on the idle machine. Output order is fixed regardless of
+/// completion order.
+pub fn run_all_with_threads(threads: usize) -> String {
+    use std::sync::Mutex;
+    let pool_jobs: Vec<(usize, fn() -> String)> = EXPERIMENTS
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, timing, _))| !timing)
+        .map(|(i, &(_, _, f))| (i, f))
+        .collect();
+    let mut results: Vec<Option<String>> = (0..EXPERIMENTS.len()).map(|_| None).collect();
+    let next = Mutex::new(0usize);
+    let done: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let workers = threads.max(1).min(pool_jobs.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let j = {
+                    let mut n = next.lock().expect("index lock");
+                    let j = *n;
+                    *n += 1;
+                    j
+                };
+                let Some(&(idx, f)) = pool_jobs.get(j) else {
+                    break;
+                };
+                let out = f();
+                done.lock().expect("results lock").push((idx, out));
+            });
+        }
+    });
+    for (idx, out) in done.into_inner().expect("pool finished") {
+        results[idx] = Some(out);
+    }
+    // Wall-clock measurements get the machine to themselves, in order.
+    for (i, &(_, timing, f)) in EXPERIMENTS.iter().enumerate() {
+        if timing {
+            results[i] = Some(f());
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every experiment ran"))
+        .collect::<Vec<_>>()
+        .join("\n\n")
 }
 
 #[cfg(test)]
@@ -787,6 +1032,61 @@ mod tests {
         let s = e12_composing();
         assert!(s.contains("streaming") && s.contains("composing"));
         assert!(s.contains("true"));
+    }
+
+    #[test]
+    fn e14_compares_scan_strategies() {
+        // Small sizes so the quadratic baseline stays cheap in debug.
+        let s = e14_throughput_with(&[4, 8], 5, false);
+        assert!(s.contains("star/cvc suffix") && s.contains("star/cvc full-scan"));
+        assert!(s.contains("mesh/full-vc"));
+        assert!(s.contains("true"), "sessions must converge: {s}");
+    }
+
+    #[test]
+    fn e14_json_rows_are_well_formed() {
+        let rows = vec![ThroughputRow {
+            n: 4,
+            variant: "star/cvc suffix",
+            ops: 20,
+            wall_ms: 1.5,
+            ops_per_sec: 13333.3,
+            scan_per_op: 1.25,
+            scan_max: 3,
+            hb_high_water: 7,
+            converged: true,
+        }];
+        let dir = std::env::temp_dir().join("cvc_bench_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        std::env::set_var("BENCH_PR1_OUT", &path);
+        let written = write_bench_json(&rows).expect("writable");
+        std::env::remove_var("BENCH_PR1_OUT");
+        let text = std::fs::read_to_string(written).expect("readable");
+        assert!(text.contains("\"n\": 4"));
+        assert!(text.contains("\"ops_per_sec\": 13333.3"));
+        assert!(text.trim_end().ends_with('}'));
+        // Braces balance — a cheap structural check without a JSON parser.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn experiment_registry_is_complete_and_ordered() {
+        let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
+        let expected: Vec<String> = (1..=14).map(|i| format!("e{i}")).collect();
+        assert_eq!(
+            names,
+            expected.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+        // Exactly the wall-clock experiments are marked timing-sensitive.
+        let timing: Vec<&str> = EXPERIMENTS
+            .iter()
+            .filter(|&&(_, t, _)| t)
+            .map(|&(n, _, _)| n)
+            .collect();
+        assert_eq!(timing, vec!["e7", "e14"]);
     }
 
     #[test]

@@ -191,8 +191,8 @@ mod tests {
             truth[d].push(full[d].clone());
         }
         let traces: Vec<&[FzEvent]> = fz.iter().map(|p| p.log()).collect();
-        for p in 0..n {
-            for (e, expected) in truth[p].iter().enumerate() {
+        for (p, site_truth) in truth.iter().enumerate() {
+            for (e, expected) in site_truth.iter().enumerate() {
                 let got = reconstruct_vector(&traces, p, (e + 1) as u64);
                 assert_eq!(&got, expected, "process {p} event {}", e + 1);
             }

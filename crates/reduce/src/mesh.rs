@@ -237,6 +237,9 @@ impl MeshSite {
         }
         self.metrics.concurrency_checks += conc.len() as u64;
         self.metrics.concurrent_verdicts += conc.iter().filter(|&&c| c).count() as u64;
+        // Full-vector sites have no suffix bound: every check touches an
+        // entry, so the scan counters equal the logical check count.
+        self.metrics.record_scan(conc.len() as u64);
 
         // 2. Transpose the HB so concurrent ops form a contiguous tail.
         let mut changed = true;
@@ -285,6 +288,7 @@ impl MeshSite {
             op,
         });
         self.metrics.ops_executed_remote += 1;
+        self.metrics.record_hb_len(self.hb.len() as u64);
         MeshIntegration {
             origin: msg.origin,
             seq,

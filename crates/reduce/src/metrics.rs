@@ -31,6 +31,16 @@ pub struct SiteMetrics {
     pub concurrency_checks: u64,
     /// Of those, how many returned "concurrent".
     pub concurrent_verdicts: u64,
+    /// Largest history buffer this site ever held (high-water mark, not a
+    /// sum — aggregation takes the max).
+    pub hb_high_water: u64,
+    /// History-buffer entries actually *touched* by concurrency scans.
+    /// Equals [`SiteMetrics::concurrency_checks`] for full-scan sites; the
+    /// suffix-bounded notifier touches only the un-acked tail, so this
+    /// stays far below the logical check count.
+    pub scan_len_total: u64,
+    /// Longest single scan (high-water mark; aggregation takes the max).
+    pub scan_len_max: u64,
 }
 
 impl SiteMetrics {
@@ -65,6 +75,26 @@ impl SiteMetrics {
             self.stamp_bytes_sent as f64 / self.bytes_sent as f64
         }
     }
+
+    /// Mean history-buffer entries touched per remote operation executed.
+    pub fn scan_len_per_op(&self) -> f64 {
+        if self.ops_executed_remote == 0 {
+            0.0
+        } else {
+            self.scan_len_total as f64 / self.ops_executed_remote as f64
+        }
+    }
+
+    /// Record one concurrency scan over `touched` history entries.
+    pub fn record_scan(&mut self, touched: u64) {
+        self.scan_len_total += touched;
+        self.scan_len_max = self.scan_len_max.max(touched);
+    }
+
+    /// Record the history-buffer length after an integration.
+    pub fn record_hb_len(&mut self, len: u64) {
+        self.hb_high_water = self.hb_high_water.max(len);
+    }
 }
 
 impl AddAssign for SiteMetrics {
@@ -78,6 +108,10 @@ impl AddAssign for SiteMetrics {
         self.transforms += o.transforms;
         self.concurrency_checks += o.concurrency_checks;
         self.concurrent_verdicts += o.concurrent_verdicts;
+        // High-water marks aggregate by max; only the scan total is a sum.
+        self.hb_high_water = self.hb_high_water.max(o.hb_high_water);
+        self.scan_len_total += o.scan_len_total;
+        self.scan_len_max = self.scan_len_max.max(o.scan_len_max);
     }
 }
 
@@ -123,5 +157,40 @@ mod tests {
         assert_eq!(a.ops_generated, 4);
         assert_eq!(a.transforms, 2);
         assert_eq!(a.concurrency_checks, 5);
+    }
+
+    #[test]
+    fn scan_counters_track_totals_and_high_water() {
+        let mut m = SiteMetrics::new();
+        m.record_scan(3);
+        m.record_scan(7);
+        m.record_scan(2);
+        m.record_hb_len(5);
+        m.record_hb_len(4);
+        assert_eq!(m.scan_len_total, 12);
+        assert_eq!(m.scan_len_max, 7);
+        assert_eq!(m.hb_high_water, 5);
+        m.ops_executed_remote = 3;
+        assert_eq!(m.scan_len_per_op(), 4.0);
+    }
+
+    #[test]
+    fn add_assign_maxes_high_water_marks() {
+        let mut a = SiteMetrics {
+            hb_high_water: 10,
+            scan_len_total: 4,
+            scan_len_max: 3,
+            ..SiteMetrics::default()
+        };
+        let b = SiteMetrics {
+            hb_high_water: 6,
+            scan_len_total: 5,
+            scan_len_max: 8,
+            ..SiteMetrics::default()
+        };
+        a += b;
+        assert_eq!(a.hb_high_water, 10, "high-water marks take the max");
+        assert_eq!(a.scan_len_total, 9, "totals sum");
+        assert_eq!(a.scan_len_max, 8);
     }
 }

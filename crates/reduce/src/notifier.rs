@@ -6,13 +6,12 @@
 //! client operation it:
 //!
 //! 1. runs the paper's concurrency check — formula (7) — against its
-//!    history buffer of full-vector-stamped executed operations;
+//!    history buffer of executed operations;
 //! 2. transforms the operation against the concurrent ones (via its
 //!    per-client bridge, which provably selects the same set — asserted on
 //!    every operation);
 //! 3. executes the transformed form on its own replica;
-//! 4. buffers it stamped with the **full** `N`-element state-vector
-//!    snapshot (Section 3.3, "timestamping buffered operations");
+//! 4. buffers it (Section 3.3, "timestamping buffered operations");
 //! 5. re-broadcasts it to every other client, stamped with the
 //!    **destination-specific compressed** 2-element vector of formulas
 //!    (1)–(2).
@@ -21,28 +20,84 @@
 //! counters, which is the constructive proof that the Jupiter-style
 //! two-counter protocol and the paper's compressed state vectors are the
 //! same thing.
+//!
+//! # The suffix-bounded hot path
+//!
+//! The paper stamps each buffered operation with a full `N`-element
+//! snapshot and scans the whole buffer per arrival. But under the star's
+//! FIFO discipline the formula-(7) sum `Σ_{j≠x} T_Ob[j]` is just `Ob`'s
+//! position in the broadcast stream to `x` — and that position is
+//! **non-decreasing along the buffer**. So the entries concurrent with an
+//! op from client `x` (position `> T_Oa[1]`) always form a *suffix* of the
+//! history buffer, and since `T[1]` from each client is monotone, the
+//! boundary only ever moves forward. The notifier therefore keeps a
+//! per-client watermark and, per arrival, touches only the un-acked tail:
+//! amortized O(window) instead of O(|HB|) per operation. Buffered entries
+//! carry two integers (`origin`, running total) instead of an `N`-element
+//! clone; the full snapshot is recoverable on demand
+//! ([`Notifier::hb_snapshot`]) and, in
+//! [`ScanMode::FullScanReference`], stored and scanned exactly as the
+//! paper writes it — the measured "before" baseline. In debug builds
+//! every arrival cross-checks the bounded scan against an independent
+//! full-buffer reference.
+//!
+//! The same position argument drives garbage collection: an entry is dead
+//! once every other active client has acknowledged past its stream
+//! position, and because positions are monotone the dead entries form a
+//! *prefix* — collection is a prefix trim folded into normal processing
+//! when [`Notifier::set_auto_gc`] is on ([`Notifier::gc`] stays as the
+//! explicit, now idempotent, entry point).
 
 use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
 use crate::msg::{ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
+#[cfg(debug_assertions)]
+use cvc_core::formulas::formula7_counters;
 use cvc_core::formulas::formula7_dynamic;
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::{CompressedStamp, NotifierStateVector};
 use cvc_core::vector::VectorClock;
 use cvc_ot::seq::SeqOp;
 use cvc_sim::wire::WireSize;
+use serde::{Deserialize, Serialize};
 
-/// One executed operation in the notifier's history buffer, stamped with
-/// the full state-vector snapshot taken right after executing it.
+/// How the notifier evaluates formula (7) over its history buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanMode {
+    /// Exploit the FIFO/star guarantee: per-client watermarks bound the
+    /// scan to the un-acked suffix; buffered entries store counters, not
+    /// vector clones.
+    #[default]
+    SuffixBounded,
+    /// The paper's literal algorithm: clone the full `N`-element snapshot
+    /// into every entry and scan the whole buffer per arrival. Kept as a
+    /// measured baseline and as an independent reference implementation.
+    FullScanReference,
+}
+
+/// One executed operation in the notifier's history buffer.
+///
+/// Stores O(1) counters instead of the paper's full snapshot: formula (7)
+/// only ever needs the running total (see
+/// [`cvc_core::formulas::formula7_counters`]), and the snapshot itself is
+/// recoverable via [`Notifier::hb_snapshot`]. In
+/// [`ScanMode::FullScanReference`] the snapshot is additionally stored.
 #[derive(Debug, Clone)]
 pub struct NotifierHbEntry {
-    /// `N`-element snapshot of `SV_0`.
-    pub vector: VectorClock,
     /// The client the operation originally came from (`y` in formula (7)).
     pub origin: SiteId,
+    /// Session width (client count) when the entry was buffered — the
+    /// width of its implied snapshot.
+    pub width_at: usize,
+    /// Operations the notifier had executed up to **and including** this
+    /// one (`Σ_j` of its implied snapshot).
+    pub total_after: u64,
     /// The executed (transformed) form.
     pub op: SeqOp,
+    /// Full `N`-element snapshot of `SV_0`, stored only in
+    /// [`ScanMode::FullScanReference`].
+    pub vector: Option<VectorClock>,
 }
 
 /// The central notifier process.
@@ -52,6 +107,22 @@ pub struct Notifier {
     doc: String,
     bridges: Vec<Bridge>,
     hb: Vec<NotifierHbEntry>,
+    scan_mode: ScanMode,
+    /// Trim the dead prefix inside every integration (folded-in GC).
+    auto_trim: bool,
+    /// Entries trimmed off the front of `hb` so far — the absolute stream
+    /// index of `hb[0]`.
+    trimmed: u64,
+    /// Of the trimmed entries, how many originated at each client.
+    trimmed_from: Vec<u64>,
+    /// Per-client watermark: absolute history index of the first entry
+    /// whose stream position to that client exceeded its last-seen `T[1]`.
+    /// Every earlier entry is permanently non-concurrent with that
+    /// client's future operations (positions and acks are both monotone).
+    wm_abs: Vec<u64>,
+    /// Operations from client `x` among the absolute prefix
+    /// `[0, wm_abs[x])` — the running `T_Ob[x]` at the watermark.
+    wm_from_self: Vec<u64>,
     /// Highest `T[1]` seen from each client: how many of our broadcasts it
     /// has integrated. Drives history-buffer garbage collection.
     acked_by: Vec<u64>,
@@ -79,6 +150,12 @@ impl Notifier {
                 .map(|_| Bridge::new(BridgeRole::Notifier))
                 .collect(),
             hb: Vec::new(),
+            scan_mode: ScanMode::SuffixBounded,
+            auto_trim: false,
+            trimmed: 0,
+            trimmed_from: vec![0; n_clients],
+            wm_abs: vec![0; n_clients],
+            wm_from_self: vec![0; n_clients],
             acked_by: vec![0; n_clients],
             join_offsets: vec![0; n_clients],
             active: vec![true; n_clients],
@@ -91,6 +168,30 @@ impl Notifier {
     /// with composing clients).
     pub fn set_send_acks(&mut self, on: bool) {
         self.send_acks = on;
+    }
+
+    /// Select how the history buffer is scanned. Must be called before any
+    /// operation is integrated (the reference mode needs snapshots stored
+    /// from the first entry on).
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        assert!(
+            self.hb.is_empty() && self.trimmed == 0,
+            "scan mode must be chosen before the first operation"
+        );
+        self.scan_mode = mode;
+    }
+
+    /// Current scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
+    }
+
+    /// Fold garbage collection into normal operation processing: after
+    /// every integration the acknowledged prefix of the history buffer is
+    /// trimmed, keeping the buffer at the in-flight window without any
+    /// explicit [`Notifier::gc`] calls.
+    pub fn set_auto_gc(&mut self, on: bool) {
+        self.auto_trim = on;
     }
 
     /// Admit a new client mid-session (beyond-paper extension; the web
@@ -108,6 +209,11 @@ impl Notifier {
         self.acked_by.push(0);
         self.join_offsets.push(self.sv.total());
         self.active.push(true);
+        self.trimmed_from.push(0);
+        // The newcomer has no operations anywhere, so its self-count is 0
+        // at any watermark; start at the trim boundary.
+        self.wm_abs.push(self.trimmed);
+        self.wm_from_self.push(0);
         (site, self.doc.clone())
     }
 
@@ -149,9 +255,45 @@ impl Notifier {
         &self.sv
     }
 
-    /// History buffer (`HB_0`).
+    /// History buffer (`HB_0`). With auto-GC (or after [`Notifier::gc`])
+    /// this is the live suffix; [`Notifier::history_trimmed`] counts the
+    /// collected prefix.
     pub fn history(&self) -> &[NotifierHbEntry] {
         &self.hb
+    }
+
+    /// Entries collected off the front of the history buffer so far.
+    pub fn history_trimmed(&self) -> u64 {
+        self.trimmed
+    }
+
+    /// Reconstruct the full state-vector snapshot entry `k` (an index into
+    /// [`Notifier::history`]) was conceptually stamped with — `SV_0` right
+    /// after executing it, at the session width of that moment
+    /// (Section 3.3's "timestamping buffered operations").
+    ///
+    /// This is the storage-free inverse of the paper's per-entry snapshot
+    /// clone: start from the current vector and peel off the operations
+    /// executed after entry `k` (each later buffered entry decrements its
+    /// origin's count; clients that joined later vanish with the width
+    /// truncation). Because the notifier only ever trims *prefixes*, the
+    /// suffix after any live entry is always intact.
+    pub fn hb_snapshot(&self, k: usize) -> VectorClock {
+        let e = &self.hb[k];
+        let mut entries = self.sv.as_vector().entries().to_vec();
+        for later in &self.hb[k + 1..] {
+            let i = later.origin.client_index();
+            if i < e.width_at {
+                entries[i] -= 1;
+            }
+        }
+        entries.truncate(e.width_at);
+        debug_assert_eq!(
+            entries.iter().sum::<u64>(),
+            e.total_after,
+            "reconstructed snapshot must sum to the entry's running total"
+        );
+        VectorClock::from_entries(entries)
     }
 
     /// Cost counters.
@@ -166,6 +308,13 @@ impl Notifier {
         &self.acked_by
     }
 
+    /// Operations the notifier had executed when `site` joined (zero for
+    /// founding members) — the shift applied to formulas (1) and (7) for
+    /// that client.
+    pub fn join_offset(&self, site: SiteId) -> u64 {
+        self.join_offsets[site.client_index()]
+    }
+
     /// Garbage-collect history-buffer entries that can never again be
     /// judged concurrent with a future arriving operation.
     ///
@@ -176,29 +325,58 @@ impl Notifier {
     /// receiving that many broadcasts (its `T[1]` is monotone), the verdict
     /// is false forever. An entry is dead when that holds for **every**
     /// client other than its origin (the origin's checks are always false
-    /// by the `x = y` rule). Returns the number of entries collected.
+    /// by the `x = y` rule). Because stream positions are non-decreasing
+    /// along the buffer, the dead entries form a prefix — collection is a
+    /// prefix trim, so live indices shift down uniformly by the amount
+    /// trimmed. Returns the number of entries collected.
+    ///
+    /// With [`Notifier::set_auto_gc`] the trim runs inside every
+    /// integration and this explicit call is a (still correct) no-op.
     ///
     /// Note: collection renumbers [`Notifier::history`] indices; callers
-    /// correlating [`NotifierIntegration::checked`] with entries must not
+    /// correlating [`NotifierIntegration`] verdicts with entries must not
     /// collect between integration and inspection.
     pub fn gc(&mut self) -> usize {
-        let before = self.hb.len();
-        let acked_by = &self.acked_by;
-        let offsets = &self.join_offsets;
-        let active = &self.active;
-        self.hb.retain(|e| {
-            !(0..acked_by.len()).all(|idx| {
-                let y = SiteId::from_client_index(idx);
-                let stream_pos = if idx < e.vector.width() {
-                    e.vector.total_except(idx)
-                } else {
-                    e.vector.total()
+        self.trim_dead_prefix()
+    }
+
+    /// Trim the longest prefix of entries acknowledged past their stream
+    /// position by every active non-origin client.
+    fn trim_dead_prefix(&mut self) -> usize {
+        let n = self.n_clients();
+        // Running per-client executed-op counts at the entry under test
+        // (exclusive of it), starting from the already-trimmed prefix.
+        let mut counts = self.trimmed_from.clone();
+        let mut dead = 0usize;
+        'scan: for e in &self.hb {
+            for (idx, &count) in counts.iter().enumerate().take(n) {
+                let z = SiteId::from_client_index(idx);
+                if z == e.origin || !self.active[idx] {
+                    continue;
                 }
-                .saturating_sub(offsets[idx]);
-                y == e.origin || !active[idx] || acked_by[idx] >= stream_pos
-            })
-        });
-        before - self.hb.len()
+                // e.origin ≠ z, so z's inclusive count equals `count`.
+                let pos = (e.total_after - count).saturating_sub(self.join_offsets[idx]);
+                if self.acked_by[idx] < pos {
+                    break 'scan;
+                }
+            }
+            counts[e.origin.client_index()] += 1;
+            dead += 1;
+        }
+        if dead > 0 {
+            for e in self.hb.drain(..dead) {
+                self.trimmed_from[e.origin.client_index()] += 1;
+            }
+            self.trimmed += dead as u64;
+            // Watermarks below the trim boundary snap to it.
+            for idx in 0..n {
+                if self.wm_abs[idx] < self.trimmed {
+                    self.wm_abs[idx] = self.trimmed;
+                    self.wm_from_self[idx] = self.trimmed_from[idx];
+                }
+            }
+        }
+        dead
     }
 
     /// Integrate an arriving client operation; the result carries the
@@ -225,7 +403,8 @@ impl Notifier {
                 n_clients: self.n_clients(),
             });
         }
-        if !self.active[x.client_index()] {
+        let xi = x.client_index();
+        if !self.active[xi] {
             return Err(ProtocolError::DepartedSite { site: x });
         }
         let expected = self.sv.received_from(x).expect("origin validated above") + 1;
@@ -236,7 +415,7 @@ impl Notifier {
                 got: msg.stamp.get(2),
             });
         }
-        let sent_to_x = self.bridges[x.client_index()].my_count();
+        let sent_to_x = self.bridges[xi].my_count();
         if msg.stamp.get(1) > sent_to_x {
             return Err(ProtocolError::AckOverrun {
                 site: x,
@@ -245,25 +424,87 @@ impl Notifier {
             });
         }
 
-        self.acked_by[x.client_index()] = self.acked_by[x.client_index()].max(msg.stamp.get(1));
+        self.acked_by[xi] = self.acked_by[xi].max(msg.stamp.get(1));
 
         // Paper concurrency check: formula (7) over HB_0.
-        let mut checked = Vec::with_capacity(self.hb.len());
-        let mut concurrent = 0usize;
-        let offset_x = self.join_offsets[x.client_index()];
-        for entry in &self.hb {
-            let verdict = formula7_dynamic(msg.stamp, x, &entry.vector, entry.origin, offset_x);
-            checked.push(verdict);
-            if verdict {
-                concurrent += 1;
+        let hb_len = self.hb.len();
+        let offset_x = self.join_offsets[xi];
+        let (first_checked, checked, concurrent, touched) = match self.scan_mode {
+            ScanMode::FullScanReference => {
+                // The paper's literal O(|HB|·N) scan over stored snapshots.
+                let mut checked = Vec::with_capacity(hb_len);
+                let mut concurrent = 0usize;
+                for entry in &self.hb {
+                    let vector = entry
+                        .vector
+                        .as_ref()
+                        .expect("reference mode stores a snapshot per entry");
+                    let verdict = formula7_dynamic(msg.stamp, x, vector, entry.origin, offset_x);
+                    checked.push(verdict);
+                    concurrent += usize::from(verdict);
+                }
+                (0usize, checked, concurrent, hb_len as u64)
+            }
+            ScanMode::SuffixBounded => {
+                // Advance this client's watermark: stream positions are
+                // non-decreasing along the buffer and T[1] is monotone, so
+                // entries stay below the boundary forever once passed.
+                let a1 = msg.stamp.get(1);
+                let mut k = (self.wm_abs[xi] - self.trimmed) as usize;
+                let mut seen_self = self.wm_from_self[xi];
+                let mut advanced = 0u64;
+                while k < hb_len {
+                    let e = &self.hb[k];
+                    let from_x_incl = seen_self + u64::from(e.origin == x);
+                    let pos = (e.total_after - from_x_incl).saturating_sub(offset_x);
+                    if pos > a1 {
+                        break;
+                    }
+                    seen_self = from_x_incl;
+                    k += 1;
+                    advanced += 1;
+                }
+                self.wm_abs[xi] = self.trimmed + k as u64;
+                self.wm_from_self[xi] = seen_self;
+                // Past the boundary every position exceeds T[1], so the
+                // verdict degenerates to formula (7)'s `x ≠ y` test.
+                let mut checked = Vec::with_capacity(hb_len - k);
+                let mut concurrent = 0usize;
+                for e in &self.hb[k..] {
+                    let verdict = e.origin != x;
+                    checked.push(verdict);
+                    concurrent += usize::from(verdict);
+                }
+                (k, checked, concurrent, advanced + (hb_len - k) as u64)
+            }
+        };
+        // Independent full-buffer reference: recompute every verdict from
+        // first principles (running counters seeded by the trimmed prefix,
+        // not the maintained watermarks) and require exact agreement.
+        #[cfg(debug_assertions)]
+        {
+            let mut from_x = self.trimmed_from[xi];
+            for (k, e) in self.hb.iter().enumerate() {
+                let incl = from_x + u64::from(e.origin == x);
+                let reference =
+                    formula7_counters(msg.stamp, x, e.origin, e.total_after, incl, offset_x);
+                let fast = k >= first_checked && checked[k - first_checked];
+                debug_assert_eq!(
+                    fast, reference,
+                    "bounded scan must select exactly the full-scan concurrent set (entry {k})"
+                );
+                if e.origin == x {
+                    from_x = incl;
+                }
             }
         }
-        self.metrics.concurrency_checks += checked.len() as u64;
+        self.metrics.concurrency_checks += hb_len as u64;
         self.metrics.concurrent_verdicts += concurrent as u64;
+        self.metrics.record_scan(touched);
 
         // Bridge integration: T_O[1] acks the server ops the client had
         // seen; the pending remainder is the concurrent set.
-        let (integrated, cursor) = self.bridges[x.client_index()]
+        let (integrated, cursor) = self.bridges[xi]
             .integrate_with_cursor(msg.op, msg.stamp.get(1), msg.cursor.map(|c| c as usize))
             .map_err(|e| match e {
                 BridgeError::AckOverrun { sent, acked } => ProtocolError::AckOverrun {
@@ -287,12 +528,19 @@ impl Notifier {
         self.sv.record_receive(x);
         self.metrics.ops_executed_remote += 1;
 
-        // Buffer with the full snapshot (Section 3.3).
+        // Buffer with the running counters (Section 3.3's snapshot is
+        // implied; the reference mode also stores it).
         self.hb.push(NotifierHbEntry {
-            vector: self.sv.snapshot(),
             origin: x,
+            width_at: self.n_clients(),
+            total_after: self.sv.total(),
             op: integrated.op.clone(),
+            vector: match self.scan_mode {
+                ScanMode::FullScanReference => Some(self.sv.snapshot()),
+                ScanMode::SuffixBounded => None,
+            },
         });
+        self.metrics.record_hb_len(self.hb.len() as u64);
 
         // Re-broadcast with per-destination compressed stamps.
         let mut out = Vec::with_capacity(self.active_clients().saturating_sub(1));
@@ -340,8 +588,15 @@ impl Notifier {
         } else {
             None
         };
+        // Folded-in GC: the freshly advanced ack may have killed a prefix.
+        // Runs after the outcome's verdict indices were fixed, so they
+        // refer to the pre-trim numbering.
+        if self.auto_trim {
+            self.trim_dead_prefix();
+        }
         Ok(NotifierIntegration {
             executed: integrated.op,
+            first_checked,
             checked,
             broadcasts: out,
             ack,
@@ -350,17 +605,51 @@ impl Notifier {
 }
 
 /// Outcome of integrating one client operation at the notifier.
+///
+/// Formula-(7) verdicts are stored in suffix form: entries before
+/// [`NotifierIntegration::first_checked`] sit below the origin's watermark
+/// and are non-concurrent by construction, so only the tail is
+/// materialised. Indices refer to [`Notifier::history`] *before* the new
+/// operation was appended (and before any folded-in GC of this call).
 #[derive(Debug, Clone)]
 pub struct NotifierIntegration {
     /// The executed (transformed) form `O'`.
     pub executed: SeqOp,
-    /// Formula (7) verdict per history-buffer entry (index-aligned with
-    /// [`Notifier::history`] *before* the new operation was appended).
+    /// Index of the first history entry `checked` covers; every earlier
+    /// entry's verdict is `false`.
+    pub first_checked: usize,
+    /// Formula (7) verdicts for entries `first_checked..`.
     pub checked: Vec<bool>,
     /// Per-destination re-broadcast messages.
     pub broadcasts: Vec<(SiteId, ServerOpMsg)>,
     /// Acknowledgement to the origin (only when acks are enabled).
     pub ack: Option<(SiteId, ServerAckMsg)>,
+}
+
+impl NotifierIntegration {
+    /// Number of history entries the check covered (the buffer length at
+    /// arrival).
+    pub fn hb_len(&self) -> usize {
+        self.first_checked + self.checked.len()
+    }
+
+    /// Verdict for history entry `k` (pre-append indexing).
+    pub fn verdict(&self, k: usize) -> bool {
+        k >= self.first_checked && self.checked[k - self.first_checked]
+    }
+
+    /// All verdicts, materialised full-length (the pre-suffix form of this
+    /// API): `full_verdicts()[k]` is formula (7) for history entry `k`.
+    pub fn full_verdicts(&self) -> Vec<bool> {
+        let mut v = vec![false; self.first_checked];
+        v.extend_from_slice(&self.checked);
+        v
+    }
+
+    /// How many history entries were judged concurrent.
+    pub fn concurrent_count(&self) -> usize {
+        self.checked.iter().filter(|&&c| c).count()
+    }
 }
 
 #[cfg(test)]
@@ -389,10 +678,11 @@ mod tests {
         // Propagated to sites 1 and 3 with stamp [1,0] each.
         let stamps: Vec<_> = out.iter().map(|(d, m)| (d.0, m.stamp.as_pair())).collect();
         assert_eq!(stamps, vec![(1, (1, 0)), (3, (1, 0))]);
-        // Buffered with the full vector [0,1,0].
+        // Buffered with (the reconstruction of) the full vector [0,1,0].
         assert_eq!(n.history().len(), 1);
-        assert_eq!(n.history()[0].vector.entries(), &[0, 1, 0]);
+        assert_eq!(n.hb_snapshot(0).entries(), &[0, 1, 0]);
         assert_eq!(n.history()[0].origin, SiteId(2));
+        assert_eq!(n.history()[0].total_after, 1);
     }
 
     #[test]
@@ -410,7 +700,7 @@ mod tests {
         // Fig. 3 stamps: to site 2 [1,1]; to site 3 [2,0].
         let stamps: Vec<_> = out.iter().map(|(d, m)| (d.0, m.stamp.as_pair())).collect();
         assert_eq!(stamps, vec![(2, (1, 1)), (3, (2, 0))]);
-        assert_eq!(n.history()[1].vector.entries(), &[1, 1, 0]);
+        assert_eq!(n.hb_snapshot(1).entries(), &[1, 1, 0]);
     }
 
     #[test]
@@ -450,11 +740,114 @@ mod tests {
         // Entry 3 (origin site 3): site 1 acked 0 < its position → alive.
         assert_eq!(n.gc(), 1);
         assert_eq!(n.history().len(), 2);
+        assert_eq!(n.history_trimmed(), 1);
         // And the session continues to work after collection.
         let op1b = SeqOp::from_pos(&PosOp::insert(0, "g"), 6);
         let out = n.on_client_op(client_msg(1, (2, 2), op1b));
         assert_eq!(out.broadcasts.len(), 2);
         assert_eq!(n.doc(), "gabcdef");
+    }
+
+    /// The same session as `gc_collects_fully_acknowledged_entries`, but
+    /// with collection folded into processing: no explicit `gc()` calls,
+    /// same buffer contents, and the explicit call is a no-op.
+    #[test]
+    fn auto_gc_trims_inside_integration() {
+        let mut n = Notifier::new(3, "abc");
+        n.set_auto_gc(true);
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
+        ));
+        n.on_client_op(client_msg(
+            2,
+            (1, 1),
+            SeqOp::from_pos(&PosOp::insert(4, "e"), 4),
+        ));
+        assert_eq!(n.history().len(), 2, "nothing collectable yet");
+        // Site 3's ack of both broadcasts kills entry 1 during integration.
+        n.on_client_op(client_msg(
+            3,
+            (2, 1),
+            SeqOp::from_pos(&PosOp::insert(5, "f"), 5),
+        ));
+        assert_eq!(n.history().len(), 2);
+        assert_eq!(n.history_trimmed(), 1);
+        assert_eq!(n.gc(), 0, "explicit gc() is a no-op under auto mode");
+        // The session continues to work, exactly as with explicit gc().
+        let out = n.on_client_op(client_msg(
+            1,
+            (2, 2),
+            SeqOp::from_pos(&PosOp::insert(0, "g"), 6),
+        ));
+        assert_eq!(out.broadcasts.len(), 2);
+        assert_eq!(n.doc(), "gabcdef");
+    }
+
+    /// Both scan modes must produce identical verdicts, documents, and
+    /// broadcast stamps over a session with genuine concurrency.
+    #[test]
+    fn suffix_scan_matches_full_scan_reference() {
+        let script: Vec<ClientOpMsg> = vec![
+            client_msg(2, (0, 1), SeqOp::from_pos(&PosOp::delete(2, "CDE"), 5)),
+            client_msg(1, (0, 1), SeqOp::from_pos(&PosOp::insert(1, "12"), 5)),
+            client_msg(3, (1, 1), SeqOp::from_pos(&PosOp::insert(2, "xy"), 2)),
+            client_msg(2, (1, 2), SeqOp::from_pos(&PosOp::insert(4, "z"), 4)),
+        ];
+        let mut fast = Notifier::new(3, "ABCDE");
+        let mut slow = Notifier::new(3, "ABCDE");
+        slow.set_scan_mode(ScanMode::FullScanReference);
+        for msg in script {
+            let a = fast.on_client_op(msg.clone());
+            let b = slow.on_client_op(msg);
+            assert_eq!(a.full_verdicts(), b.full_verdicts());
+            assert_eq!(a.concurrent_count(), b.concurrent_count());
+            let sa: Vec<_> = a.broadcasts.iter().map(|(d, m)| (d.0, m.stamp)).collect();
+            let sb: Vec<_> = b.broadcasts.iter().map(|(d, m)| (d.0, m.stamp)).collect();
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(fast.doc(), slow.doc());
+        // The reference mode paid a full scan per op; the bounded mode
+        // touched no more entries than it (and usually fewer).
+        assert_eq!(
+            slow.metrics().scan_len_total,
+            slow.metrics().concurrency_checks
+        );
+        assert!(fast.metrics().scan_len_total <= slow.metrics().scan_len_total);
+    }
+
+    /// Once clients acknowledge, the bounded scan stops touching the acked
+    /// prefix even though the buffer keeps growing (no GC here).
+    #[test]
+    fn scan_length_is_bounded_by_the_unacked_window() {
+        let mut n = Notifier::new(2, "");
+        let mut doc_len = 0usize;
+        let mut seen = 0u64; // broadcasts site 1 acknowledged
+        for k in 0..40u64 {
+            // Site 1 sends an op having seen every broadcast so far: the
+            // un-acked window is empty at each arrival.
+            let op = SeqOp::from_pos(&PosOp::insert(doc_len, "a"), doc_len);
+            n.on_client_op(client_msg(1, (seen, k + 1), op));
+            doc_len += 1;
+            // Site 2 interleaves an op acking everything it was sent.
+            let op = SeqOp::from_pos(&PosOp::insert(0, "b"), doc_len);
+            n.on_client_op(client_msg(2, (k + 1, k + 1), op));
+            doc_len += 1;
+            seen = n.acked_by()[0].max(seen) + 1; // site 1 will have seen site 2's op
+        }
+        assert_eq!(n.history().len(), 80, "no GC: the buffer keeps everything");
+        let m = n.metrics();
+        assert_eq!(m.concurrency_checks, (0..80u64).sum::<u64>());
+        // Each scan touches only the in-flight window (≤ 2 entries here),
+        // not the ever-growing buffer.
+        assert!(
+            m.scan_len_max <= 4,
+            "scan high-water {} should be window-bounded",
+            m.scan_len_max
+        );
+        assert!(m.scan_len_total < m.concurrency_checks / 4);
+        assert_eq!(m.hb_high_water, 80);
     }
 
     #[test]
@@ -485,8 +878,13 @@ mod tests {
             SeqOp::from_pos(&PosOp::insert(4, "e"), 4),
         ));
         // Snapshot-era entries are NOT concurrent with it.
-        assert_eq!(out.checked, vec![false, false]);
+        assert_eq!(out.full_verdicts(), vec![false, false]);
         assert_eq!(n.doc(), "abcde");
+        // Pre-join entries reconstruct at their narrow width; the
+        // newcomer's own entry at the grown width.
+        assert_eq!(n.hb_snapshot(0).entries(), &[1, 0]);
+        assert_eq!(n.hb_snapshot(1).entries(), &[1, 1]);
+        assert_eq!(n.hb_snapshot(2).entries(), &[1, 1, 1]);
         // Broadcasts to the founders use un-shifted stamps...
         let stamps: Vec<(u32, (u64, u64))> = out
             .broadcasts
@@ -527,7 +925,11 @@ mod tests {
             (0, 1),
             SeqOp::from_pos(&PosOp::insert(2, "y"), 2),
         ));
-        assert_eq!(out.checked, vec![true], "post-join ops are concurrent");
+        assert_eq!(
+            out.full_verdicts(),
+            vec![true],
+            "post-join ops are concurrent"
+        );
         assert_eq!(n.doc(), "xaby");
     }
 

@@ -153,7 +153,7 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
 
     // --- O2 reaches site 0 first. ---
     let out = notifier.on_client_op(o2_msg);
-    let buffered_o2p = notifier.history()[0].vector.entries().to_vec();
+    let buffered_o2p = notifier.hb_snapshot(0).entries().to_vec();
     narration.push(format!(
         "site 0 executes O2 as-is (O2'); SV_0 = {}; buffers with {:?}",
         notifier.state_vector(),
@@ -206,8 +206,8 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
 
     // --- O1 arrives at site 0 (HB_0 = [O2']). ---
     let out = notifier.on_client_op(o1_msg);
-    verdicts.push(("site 0", "O1", "O2'", out.checked[0]));
-    let buffered_o1p = notifier.history()[1].vector.entries().to_vec();
+    verdicts.push(("site 0", "O1", "O2'", out.verdict(0)));
+    let buffered_o1p = notifier.hb_snapshot(1).entries().to_vec();
     narration.push(format!(
         "site 0: O2' ∥ O1 → O1' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
         notifier.state_vector(),
@@ -254,9 +254,9 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
 
     // --- O4 arrives at site 0 (HB_0 = [O2', O1']). ---
     let out = notifier.on_client_op(o4_msg);
-    verdicts.push(("site 0", "O4", "O2'", out.checked[0]));
-    verdicts.push(("site 0", "O4", "O1'", out.checked[1]));
-    let buffered_o4p = notifier.history()[2].vector.entries().to_vec();
+    verdicts.push(("site 0", "O4", "O2'", out.verdict(0)));
+    verdicts.push(("site 0", "O4", "O1'", out.verdict(1)));
+    let buffered_o4p = notifier.hb_snapshot(2).entries().to_vec();
     narration.push(format!(
         "site 0: O1' ∥ O4 → O4' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
         notifier.state_vector(),
@@ -296,10 +296,10 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
 
     // --- O3 arrives at site 0 (HB_0 = [O2', O1', O4']). ---
     let out = notifier.on_client_op(o3_msg);
-    verdicts.push(("site 0", "O3", "O2'", out.checked[0]));
-    verdicts.push(("site 0", "O3", "O1'", out.checked[1]));
-    verdicts.push(("site 0", "O3", "O4'", out.checked[2]));
-    let buffered_o3p = notifier.history()[3].vector.entries().to_vec();
+    verdicts.push(("site 0", "O3", "O2'", out.verdict(0)));
+    verdicts.push(("site 0", "O3", "O1'", out.verdict(1)));
+    verdicts.push(("site 0", "O3", "O4'", out.verdict(2)));
+    let buffered_o3p = notifier.hb_snapshot(3).entries().to_vec();
     narration.push(format!(
         "site 0: O4' ∥ O3 → O3' executed; SV_0 = {}; buffers with {:?}; doc: {:?}",
         notifier.state_vector(),

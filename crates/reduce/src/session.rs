@@ -22,7 +22,7 @@ use crate::composing::ComposingClient;
 use crate::mesh::MeshSite;
 use crate::metrics::SiteMetrics;
 use crate::msg::EditorMsg;
-use crate::notifier::Notifier;
+use crate::notifier::{Notifier, ScanMode};
 use crate::workload::{EditIntent, ScheduledEdit, WorkloadConfig};
 use cvc_core::site::SiteId;
 use cvc_sim::prelude::*;
@@ -88,6 +88,10 @@ pub struct SessionConfig {
     /// Attach telepointer presence to star-client operations (off by
     /// default so overhead experiments measure the paper's bare protocol).
     pub share_carets: bool,
+    /// How the notifier scans its history buffer (ignored by the other
+    /// deployments). Defaults to the watermark-bounded suffix scan; the
+    /// full-scan reference exists for before/after measurements.
+    pub notifier_scan: ScanMode,
 }
 
 impl SessionConfig {
@@ -104,6 +108,7 @@ impl SessionConfig {
             client_mode: ClientMode::Streaming,
             bandwidth_bytes_per_sec: None,
             share_carets: false,
+            notifier_scan: ScanMode::SuffixBounded,
         }
     }
 }
@@ -154,7 +159,7 @@ impl SessionReport {
 
 /// One simulator node of a session.
 enum SessionNode {
-    Notifier(Box<Notifier>, bool),
+    Notifier(Box<Notifier>),
     Client {
         client: Box<Client>,
         script: Vec<ScheduledEdit>,
@@ -193,16 +198,15 @@ impl SessionNode {
 impl Node<EditorMsg> for SessionNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, EditorMsg>, from: NodeId, msg: EditorMsg) {
         match (self, msg) {
-            (SessionNode::Notifier(n, auto_gc), EditorMsg::ClientOp(m)) => {
+            (SessionNode::Notifier(n), EditorMsg::ClientOp(m)) => {
+                // GC (when enabled) is folded into the integration itself
+                // via `Notifier::set_auto_gc` — no explicit pass here.
                 let outcome = n.on_client_op(m);
                 for (dest, smsg) in outcome.broadcasts {
                     ctx.send(dest.0 as usize, EditorMsg::ServerOp(smsg));
                 }
                 if let Some((dest, ack)) = outcome.ack {
                     ctx.send(dest.0 as usize, EditorMsg::ServerAck(ack));
-                }
-                if *auto_gc {
-                    n.gc();
                 }
             }
             (
@@ -371,10 +375,12 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
     match cfg.deployment {
         Deployment::StarCvc => {
             let mut notifier = Notifier::new(n, &cfg.initial_doc);
+            notifier.set_scan_mode(cfg.notifier_scan);
+            notifier.set_auto_gc(cfg.auto_gc);
             if cfg.client_mode == ClientMode::Composing {
                 notifier.set_send_acks(true);
             }
-            sim.add_node(SessionNode::Notifier(Box::new(notifier), cfg.auto_gc));
+            sim.add_node(SessionNode::Notifier(Box::new(notifier)));
             for (i, script) in scripts.iter().enumerate() {
                 match cfg.client_mode {
                     ClientMode::Streaming => {
@@ -450,7 +456,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
     let mut max_history = 0usize;
     for node in sim.nodes() {
         match node {
-            SessionNode::Notifier(nf, _) => {
+            SessionNode::Notifier(nf) => {
                 centre_metrics = Some(*nf.metrics());
                 final_docs.push(nf.doc().to_owned());
                 max_stamp_integers = max_stamp_integers.max(2);
@@ -608,6 +614,34 @@ mod tests {
             "gc run kept {} vs {}",
             b.max_history_len,
             a.max_history_len
+        );
+    }
+
+    #[test]
+    fn scan_modes_agree_and_suffix_touches_less() {
+        let mut fast = SessionConfig::small(Deployment::StarCvc, 4, 23);
+        fast.workload.ops_per_site = 30;
+        let mut slow = fast.clone();
+        slow.notifier_scan = ScanMode::FullScanReference;
+        let a = run_session(&fast);
+        let b = run_session(&slow);
+        assert!(a.converged && b.converged);
+        assert_eq!(
+            a.final_doc, b.final_doc,
+            "scan mode must not change results"
+        );
+        let ca = a.centre_metrics.expect("star has a centre");
+        let cb = b.centre_metrics.expect("star has a centre");
+        assert_eq!(ca.concurrency_checks, cb.concurrency_checks);
+        assert_eq!(ca.concurrent_verdicts, cb.concurrent_verdicts);
+        // The reference pays the full buffer per op; the bounded scan only
+        // the un-acked window.
+        assert_eq!(cb.scan_len_total, cb.concurrency_checks);
+        assert!(
+            ca.scan_len_total < cb.scan_len_total / 2,
+            "suffix touched {} vs full {}",
+            ca.scan_len_total,
+            cb.scan_len_total
         );
     }
 

@@ -148,7 +148,10 @@ pub fn verify_star(cfg: &VerifyConfig) -> VerifyReport {
                 let (msg, op_ref) = up[i].pop_front().expect("nonempty");
                 let origin = SiteId(i as u32 + 1);
                 let outcome = notifier.on_client_op(msg);
-                for (k, &verdict) in outcome.checked.iter().enumerate() {
+                // `full_verdicts` materialises the below-watermark prefix
+                // too, so the oracle audits every pair, not just the
+                // suffix the bounded scan actually touched.
+                for (k, verdict) in outcome.full_verdicts().into_iter().enumerate() {
                     let (prime_ref, orig_ref, entry_origin) = hb_refs_notifier[k];
                     // Same-origin pairs are compared through the original
                     // op (the paper's x = y rule); cross-site pairs through
@@ -278,7 +281,7 @@ pub fn verify_star_dynamic(cfg: &VerifyConfig, max_clients: usize) -> VerifyRepo
                 let outcome = notifier
                     .try_on_client_op(msg)
                     .expect("active client ops are valid");
-                for (k, &verdict) in outcome.checked.iter().enumerate() {
+                for (k, verdict) in outcome.full_verdicts().into_iter().enumerate() {
                     let (prime_ref, orig_ref, entry_origin) = hb_refs_notifier[k];
                     let ob = if entry_origin == origin {
                         orig_ref

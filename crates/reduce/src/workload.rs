@@ -311,8 +311,7 @@ mod tests {
         // And no single-char bursts in this mode.
         assert!(script
             .iter()
-            .all(|e| !matches!(e.intent, EditIntent::InsertChar { .. })
-                || matches!(e.intent, EditIntent::InsertChar { .. })));
+            .all(|e| !matches!(e.intent, EditIntent::InsertChar { .. })));
         // Text lengths bounded by burst_len.
         for e in script {
             if let EditIntent::InsertText { text, .. } = &e.intent {

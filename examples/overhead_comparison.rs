@@ -44,6 +44,7 @@ fn main() {
                 client_mode: cvc_reduce::session::ClientMode::Streaming,
                 bandwidth_bytes_per_sec: None,
                 share_carets: false,
+                notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
             };
             let r = run_session(&cfg);
             assert!(r.converged);

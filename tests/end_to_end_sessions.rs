@@ -34,6 +34,7 @@ fn cfg(
         client_mode: cvc_reduce::session::ClientMode::Streaming,
         bandwidth_bytes_per_sec: None,
         share_carets: false,
+        notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
     }
 }
 

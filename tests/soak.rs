@@ -30,6 +30,7 @@ fn soak_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> SessionC
         client_mode: ClientMode::Streaming,
         bandwidth_bytes_per_sec: Some(200_000),
         share_carets: false,
+        notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
     }
 }
 

@@ -1,0 +1,118 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace's wire codec only needs cursor-style reads over `&[u8]`
+//! and appends into `Vec<u8>`; this crate provides exactly that subset of
+//! the `bytes` 1.x API so the build does not depend on a network registry.
+
+/// Read side of a byte cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// True when at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return one byte.
+    ///
+    /// # Panics
+    /// Panics when no bytes remain.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consume `dst.len()` bytes into `dst`.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        *self = rest;
+        *first
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer exhausted");
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst)
+    }
+}
+
+/// Write side of a byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v)
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursor_consumes_front() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf = &data[..];
+        assert_eq!(buf.remaining(), 4);
+        assert_eq!(buf.get_u8(), 1);
+        let mut two = [0u8; 2];
+        buf.copy_to_slice(&mut two);
+        assert_eq!(two, [2, 3]);
+        assert_eq!(buf.remaining(), 1);
+        assert!(buf.has_remaining());
+        assert_eq!(buf.get_u8(), 4);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(7);
+        v.put_slice(&[8, 9]);
+        assert_eq!(v, [7, 8, 9]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — groups,
+//! `bench_function`/`bench_with_input`, `iter`/`iter_batched`,
+//! `Throughput`, `BenchmarkId` — with a simple fixed-sample timing loop
+//! instead of criterion's adaptive statistics. Results print as
+//! `name: median ns/iter` lines; good enough to eyeball regressions
+//! without a registry dependency.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level bench driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Units processed per iteration, for derived rates in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark identified within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples.unwrap_or(self.parent.samples));
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0), self.throughput);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.samples.unwrap_or(self.parent.samples));
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0), self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.into())
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Larger inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            nanos: Vec::new(),
+        }
+    }
+
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.nanos.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.nanos.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(mut self, name: &str, throughput: Option<Throughput>) {
+        if self.nanos.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        self.nanos.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = self.nanos[self.nanos.len() / 2];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 * 1e9 / median)
+            }
+            _ => String::new(),
+        };
+        println!("{name}: {median:.0} ns/iter{rate}");
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_routines() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(4);
+            g.throughput(Throughput::Elements(2));
+            g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    std::hint::black_box(x * 2)
+                })
+            });
+            g.finish();
+        }
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut b = Bencher::new(3);
+        let mut made = 0u32;
+        b.iter_batched(
+            || {
+                made += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(made, 4); // warm-up + 3 samples
+        b.report("batched", None);
+    }
+}

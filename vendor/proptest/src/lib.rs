@@ -1,0 +1,644 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the `proptest!` macro, `Strategy` with `prop_map`/`boxed`,
+//! integer/float range strategies, simple `[class]{m,n}` string strategies,
+//! tuples, `collection::vec`, `option::of`, `char::range`, `prop_oneof!`,
+//! `any::<T>()`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * no shrinking — a failing case reports its seed instead;
+//! * case generation is a fixed deterministic stream per test name, so
+//!   runs are reproducible without a persistence file.
+
+use std::marker::PhantomData;
+
+/// Per-test deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty choice");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over a string: stable per-test seeds from `module_path!()`.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How a generated case ended, when not a plain pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case doesn't count, draw another.
+    Reject(String),
+    /// A `prop_assert*` failed — the test fails.
+    Fail(String),
+}
+
+/// Result type threaded through a generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` passing cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-process generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `"[class]{m,n}"` string strategies: a single character class with an
+/// optional repetition count, which is all the workspace's patterns use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parse `[a-zA-Z...]{m,n}` (or `{m}`, or no quantifier → exactly one).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            chars.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+/// Types with a default whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one value from the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias half the draws toward small magnitudes: boundary-ish
+                // values (0, 1, small indices) exercise far more edge cases
+                // than uniformly huge ones, mirroring proptest's bias.
+                if rng.next_u64() & 1 == 0 {
+                    (rng.next_u64() % 256) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy behind [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice over type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given non-empty alternatives.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.alternatives.len());
+        self.alternatives[pick].sample(rng)
+    }
+}
+
+/// `proptest::collection` — sized `Vec` strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element count for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — `Option` wrapping.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating `None` or `Some(inner)` with equal weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `proptest::char` — character ranges.
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating chars in `[lo, hi]` (inclusive).
+    pub fn range(lo: core::primitive::char, hi: core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    /// See [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: core::primitive::char,
+        hi: core::primitive::char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = core::primitive::char;
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::char {
+            let (lo, hi) = (self.lo as u32, self.hi as u32);
+            // Rejection-free for the ASCII ranges used here; retry covers
+            // ranges straddling the surrogate gap.
+            loop {
+                let v = lo + (rng.next_u64() % (hi as u64 - lo as u64 + 1)) as u32;
+                if let Some(c) = core::primitive::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// The glob-import surface tests rely on.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)+));
+    }};
+}
+
+/// Fail the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Discard the current case unless `cond` holds (does not count as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The proptest test-definition macro (subset: `ident in strategy` args).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut seeds = $crate::TestRng::new($crate::fnv1a(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < config.cases {
+                let case_seed = seeds.next_u64();
+                let mut case_rng = $crate::TestRng::new(case_seed);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut case_rng);)*
+                let outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases.saturating_mul(64).saturating_add(4096),
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed (case seed {case_seed:#018x}): {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_patterns_parse() {
+        let (chars, lo, hi) = super::parse_class_pattern("[a-z]{1,4}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((lo, hi), (1, 4));
+        let (chars, lo, hi) = super::parse_class_pattern("[a-zα-ω]{2,5}").unwrap();
+        assert!(chars.contains(&'α') && chars.contains(&'z'));
+        assert_eq!((lo, hi), (2, 5));
+        assert!(super::parse_class_pattern("plain").is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_obey_bounds(
+            v in proptest::collection::vec(0u64..50, 0..10),
+            s in "[a-c]{1,3}",
+            c in proptest::char::range('a', 'z'),
+            o in proptest::option::of(1u32..5),
+            x in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 50));
+            prop_assert!((1..=3).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|ch| ('a'..='c').contains(&ch)));
+            prop_assert!(c.is_ascii_lowercase());
+            if let Some(i) = o {
+                prop_assert!((1..5).contains(&i));
+            }
+            prop_assume!(x || !x);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            e in prop_oneof![
+                (0usize..4, "[a-b]{1,2}").prop_map(|(p, s)| (p, Some(s))),
+                (4usize..8, 0usize..1).prop_map(|(p, _)| (p, None)),
+            ]
+        ) {
+            match e {
+                (p, Some(_)) => prop_assert!(p < 4),
+                (p, None) => prop_assert!((4..8).contains(&p)),
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (the wire format is a hand-rolled varint codec; nothing
+//! bounds on the serde traits). This crate re-exports no-op derives so
+//! `use serde::{Deserialize, Serialize};` keeps resolving without any
+//! registry access.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The workspace derives these traits on wire/report types for API
+//! compatibility but never serializes through serde (the wire codec is
+//! hand-rolled varints). Expanding to nothing keeps the derives valid
+//! without pulling the real serde stack into an offline build.
+
+use proc_macro::TokenStream;
+
+/// Accepts the same derive position as serde's `Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the same derive position as serde's `Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
