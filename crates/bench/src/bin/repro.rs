@@ -3,15 +3,18 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e14)
+//! repro e3                # one experiment (e1..e15)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14) sequentially. Output is always in e1..e14 order
+//! experiments (e7, e14) sequentially. Output is always in e1..e15 order
 //! and, being seeded virtual-time, bit-identical at any worker count.
+//!
+//! Exit status: 0 when every experiment's internal verification holds;
+//! 1 when any experiment reports a `FAILED:` line; 2 on usage errors.
 
 use cvc_bench::experiments;
 
@@ -58,6 +61,7 @@ fn main() {
         "e12" => experiments::e12_composing(),
         "e13" => experiments::e13_bandwidth(),
         "e14" => experiments::e14_throughput(),
+        "e15" => experiments::e15_robustness(),
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -71,7 +75,8 @@ fn main() {
              e11 dynamic membership (extension)\n\
              e12 composing clients (extension)\n\
              e13 bandwidth-limited links (extension)\n\
-             e14 notifier hot-path throughput (suffix vs full scan)"
+             e14 notifier hot-path throughput (suffix vs full scan)\n\
+             e15 unreliable-transport survival (reliability layer)"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");
@@ -79,4 +84,17 @@ fn main() {
         }
     };
     println!("{out}");
+    // Every experiment marks a failed internal verification with a
+    // `FAILED:` line; surface that as a non-zero exit for CI.
+    let failures: Vec<&str> = out
+        .lines()
+        .filter(|l| l.trim_start().starts_with("FAILED"))
+        .collect();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        eprintln!("repro: {} verification failure(s)", failures.len());
+        std::process::exit(1);
+    }
 }

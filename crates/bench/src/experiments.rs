@@ -43,6 +43,9 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         bandwidth_bytes_per_sec: None,
         share_carets: false,
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
+        fault_plan: None,
+        reliable: false,
+        disconnects: Vec::new(),
     }
 }
 
@@ -127,6 +130,9 @@ pub fn e3_fig3() -> String {
         "converged: {} — final document {:?}\n",
         t.converged, t.final_docs[0]
     ));
+    if !t.converged {
+        out.push_str("FAILED: the Fig. 3 walkthrough did not converge\n");
+    }
     out
 }
 
@@ -440,10 +446,17 @@ pub fn e8_oracle() -> String {
         mesh_dis.to_string(),
         "-".into(),
     ]);
-    format!(
+    let mut out = format!(
         "E8 — CVC verdicts vs ground-truth causality oracle (Definition 1)\n\n{}",
         t.render()
-    )
+    );
+    if star_dis + mesh_dis > 0 {
+        out.push_str(&format!(
+            "\nFAILED: {} verdict(s) disagree with the causality oracle\n",
+            star_dis + mesh_dis
+        ));
+    }
+    out
 }
 
 /// E9 — the ablation behind Section 6's closing remark: the same 2-element
@@ -566,6 +579,8 @@ pub fn e11_membership() -> String {
         "disagreements",
         "all converged",
     ]);
+    let mut total_dis = 0u64;
+    let mut every_conv = true;
     for (n0, max_n) in [(2usize, 6usize), (3, 10), (4, 16)] {
         let mut ops = 0u64;
         let mut checks = 0u64;
@@ -587,13 +602,19 @@ pub fn e11_membership() -> String {
             dis.to_string(),
             all_conv.to_string(),
         ]);
+        total_dis += dis;
+        every_conv &= all_conv;
     }
-    format!(
+    let mut out = format!(
         "E11 — dynamic membership (extension): joins/leaves mid-session, 2-integer stamps throughout
 
 {}",
         t.render()
-    )
+    );
+    if total_dis > 0 || !every_conv {
+        out.push_str("\nFAILED: dynamic-membership verification did not hold\n");
+    }
+    out
 }
 
 /// E12 — beyond-paper extension: streaming (the paper) vs composing
@@ -806,6 +827,9 @@ fn e14_throughput_with(ns: &[usize], ops_per_site: usize, write_json: bool) -> S
         "E14 — notifier hot-path throughput: suffix-bounded vs full-scan vs mesh\n\n{}",
         t.render()
     );
+    if rows.iter().any(|r| !r.converged) {
+        out.push_str("\nFAILED: a throughput session did not converge\n");
+    }
     if !skipped.is_empty() {
         out.push_str(&format!(
             "\nskipped (quadratic baseline): {}\n",
@@ -865,6 +889,196 @@ fn write_bench_json(rows: &[ThroughputRow]) -> Result<String, std::io::Error> {
     Ok(path)
 }
 
+/// E15 — robustness: the ack/retransmit reliability layer over faulty
+/// links. Sweeps loss rate × N, reporting goodput (delivered editor-payload
+/// bytes over delivered wire bytes), retransmit overhead, and p99
+/// generation→execution latency against the fault-free baseline of the
+/// same configuration. Writes `BENCH_PR2.json` (override the path with
+/// `BENCH_PR2_OUT`).
+pub fn e15_robustness() -> String {
+    e15_robustness_with(&[4, 16, 64], 12, true)
+}
+
+/// One measured row of E15.
+struct RobustRow {
+    n: usize,
+    loss: f64,
+    ops: u64,
+    wire_bytes: u64,
+    payload_bytes: u64,
+    goodput: f64,
+    retransmits: u64,
+    retransmit_bytes: u64,
+    dup_drops: u64,
+    checksum_drops: u64,
+    resequenced: u64,
+    p99_ms: f64,
+    baseline_p99_ms: f64,
+    converged: bool,
+}
+
+/// The loss-rate sweep of E15: 0 is the fault-free baseline; faulty rows
+/// also duplicate and reorder at half the loss rate.
+pub const E15_LOSS_SWEEP: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
+
+fn e15_plan(loss: f64) -> FaultPlan {
+    FaultPlan {
+        drop: loss,
+        duplicate: loss / 2.0,
+        reorder: loss / 2.0,
+        reorder_extra_us: 50_000,
+        ..FaultPlan::NONE
+    }
+}
+
+fn percentile_ms(latencies_us: &[u64], pct: usize) -> f64 {
+    if latencies_us.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies_us.to_vec();
+    sorted.sort_unstable();
+    let idx = (sorted.len() - 1).min(sorted.len() * pct / 100);
+    sorted[idx] as f64 / 1e3
+}
+
+fn e15_robustness_with(ns: &[usize], ops_per_site: usize, write_json: bool) -> String {
+    let mut t = Table::new(vec![
+        "N",
+        "loss",
+        "ops",
+        "wire bytes",
+        "goodput",
+        "retx",
+        "retx bytes",
+        "dup drops",
+        "reseq",
+        "p99 (ms)",
+        "baseline p99",
+        "converged",
+    ]);
+    let mut rows: Vec<RobustRow> = Vec::new();
+    let mut summaries: Vec<String> = Vec::new();
+    for &n in ns {
+        let mut baseline_p99 = 0.0f64;
+        for &loss in &E15_LOSS_SWEEP {
+            let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 99);
+            cfg.reliable = true;
+            cfg.fault_plan = Some(e15_plan(loss));
+            let r = run_session(&cfg);
+            let m = r.total_metrics();
+            let ops: u64 = r.client_metrics.iter().map(|c| c.ops_generated).sum();
+            let p99 = percentile_ms(&r.delivery_latencies_us, 99);
+            if loss == 0.0 {
+                baseline_p99 = p99;
+            }
+            let goodput = if r.net.bytes == 0 {
+                0.0
+            } else {
+                m.delivered_payload_bytes as f64 / r.net.bytes as f64
+            };
+            let row = RobustRow {
+                n,
+                loss,
+                ops,
+                wire_bytes: r.net.bytes,
+                payload_bytes: m.delivered_payload_bytes,
+                goodput,
+                retransmits: m.retransmits,
+                retransmit_bytes: m.retransmit_bytes,
+                dup_drops: m.dup_drops,
+                checksum_drops: m.checksum_drops,
+                resequenced: m.resequenced,
+                p99_ms: p99,
+                baseline_p99_ms: baseline_p99,
+                converged: r.converged,
+            };
+            t.row(vec![
+                row.n.to_string(),
+                format!("{:.1}%", 100.0 * row.loss),
+                row.ops.to_string(),
+                row.wire_bytes.to_string(),
+                format!("{:.1}%", 100.0 * row.goodput),
+                row.retransmits.to_string(),
+                row.retransmit_bytes.to_string(),
+                row.dup_drops.to_string(),
+                row.resequenced.to_string(),
+                format!("{:.1}", row.p99_ms),
+                format!("{:.1}", row.baseline_p99_ms),
+                row.converged.to_string(),
+            ]);
+            if let Some(line) = m.robustness_summary() {
+                summaries.push(format!("  N={n} loss {:.1}%: {line}", 100.0 * loss));
+            }
+            rows.push(row);
+        }
+    }
+    let mut out = format!(
+        "E15 — unreliable-transport survival: loss sweep under the reliability layer (extension)\n\n{}",
+        t.render()
+    );
+    if !summaries.is_empty() {
+        out.push_str("\nreliability-layer activity:\n");
+        for line in &summaries {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if rows.iter().any(|r| !r.converged) {
+        out.push_str("\nFAILED: a robust session did not converge\n");
+    }
+    if write_json {
+        match write_bench_pr2_json(&rows) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable trajectory: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR2.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E15 rows as `BENCH_PR2.json` (hand-rolled, like
+/// [`write_bench_json`]). Returns the path written.
+fn write_bench_pr2_json(rows: &[RobustRow]) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR2_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E15 unreliable-transport survival\",\n");
+    s.push_str("  \"baseline\": \"loss 0.0 with the reliability layer enabled (per N)\",\n");
+    s.push_str(
+        "  \"candidate\": \"seeded drop/duplicate/reorder plans masked by ack/retransmit\",\n",
+    );
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"loss\": {}, \"ops\": {}, \"wire_bytes\": {}, \"payload_bytes\": {}, \"goodput\": {:.4}, \"retransmits\": {}, \"retransmit_bytes\": {}, \"dup_drops\": {}, \"checksum_drops\": {}, \"resequenced\": {}, \"p99_ms\": {:.3}, \"baseline_p99_ms\": {:.3}, \"converged\": {}}}{}\n",
+            r.n,
+            r.loss,
+            r.ops,
+            r.wire_bytes,
+            r.payload_bytes,
+            r.goodput,
+            r.retransmits,
+            r.retransmit_bytes,
+            r.dup_drops,
+            r.checksum_drops,
+            r.resequenced,
+            r.p99_ms,
+            r.baseline_p99_ms,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
@@ -879,7 +1093,7 @@ fn mean(v: &[f64]) -> f64 {
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 14] = [
+pub const EXPERIMENTS: [ExperimentEntry; 15] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -894,6 +1108,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 14] = [
     ("e12", false, e12_composing),
     ("e13", false, e13_bandwidth),
     ("e14", true, e14_throughput),
+    ("e15", false, e15_robustness),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -1073,9 +1288,49 @@ mod tests {
     }
 
     #[test]
+    fn e15_loss_sweep_converges_and_shows_activity() {
+        // Small sizes so the retransmit machinery stays cheap in debug.
+        let s = e15_robustness_with(&[3], 6, false);
+        assert!(!s.contains("FAILED"), "{s}");
+        // The 0% row is clean; the 5% row must show reliability activity.
+        assert!(s.contains("0.0%") && s.contains("5.0%"), "{s}");
+        assert!(s.contains("reliability-layer activity"), "{s}");
+    }
+
+    #[test]
+    fn e15_json_rows_are_well_formed() {
+        let rows = vec![RobustRow {
+            n: 4,
+            loss: 0.01,
+            ops: 48,
+            wire_bytes: 9_000,
+            payload_bytes: 6_000,
+            goodput: 0.6667,
+            retransmits: 3,
+            retransmit_bytes: 120,
+            dup_drops: 1,
+            checksum_drops: 0,
+            resequenced: 2,
+            p99_ms: 181.5,
+            baseline_p99_ms: 140.0,
+            converged: true,
+        }];
+        let dir = std::env::temp_dir().join("cvc_bench_pr2_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        std::env::set_var("BENCH_PR2_OUT", &path);
+        let written = write_bench_pr2_json(&rows).expect("writable");
+        std::env::remove_var("BENCH_PR2_OUT");
+        let text = std::fs::read_to_string(written).expect("readable");
+        assert!(text.contains("\"loss\": 0.01"));
+        assert!(text.contains("\"goodput\": 0.6667"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=14).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()

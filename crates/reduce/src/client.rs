@@ -299,6 +299,34 @@ impl Client {
         before - self.hb.len()
     }
 
+    /// Reconstruct the propagation messages for this site's local
+    /// operations with sequence number (`T[2]`) greater than `after` — the
+    /// resend set of a reconnect resync, where `after` is the count of our
+    /// operations the notifier reported having received.
+    ///
+    /// The history buffer stores each local operation in its original
+    /// frame with its original stamp, so the reconstructed messages are
+    /// identical to the first transmission (minus the ephemeral cursor).
+    /// [`Client::gc`] never collects them: it only discards local entries
+    /// the notifier acknowledged, and the notifier cannot have
+    /// acknowledged more than it received.
+    pub fn unacked_local_since(&self, after: u64) -> Vec<ClientOpMsg> {
+        debug_assert!(
+            after >= self.acked_local,
+            "the notifier cannot have received less than it acknowledged"
+        );
+        self.hb
+            .iter()
+            .filter(|e| e.origin == OriginAtClient::Local && e.stamp.get(2) > after)
+            .map(|e| ClientOpMsg {
+                origin: self.site,
+                stamp: e.stamp,
+                op: e.op.clone(),
+                cursor: None,
+            })
+            .collect()
+    }
+
     /// Integrate an operation propagated from the notifier.
     ///
     /// # Panics
@@ -575,6 +603,26 @@ mod tests {
         });
         assert_eq!(c.gc(), 2);
         assert_eq!(c.history().len(), 0);
+    }
+
+    #[test]
+    fn unacked_local_since_rebuilds_original_messages() {
+        let mut c = Client::new(SiteId(1), "abc");
+        c.set_share_caret(false);
+        let m1 = c.insert(0, "x"); // seq 1
+        let m2 = c.insert(1, "y"); // seq 2
+        let m3 = c.delete(0, 1); // seq 3
+                                 // Notifier received everything through seq 1.
+        let resend = c.unacked_local_since(1);
+        assert_eq!(resend.len(), 2);
+        assert_eq!(resend[0], m2);
+        assert_eq!(resend[1], m3);
+        assert_eq!(c.unacked_local_since(3), vec![]);
+        assert_eq!(c.unacked_local_since(0), vec![m1, m2, m3]);
+        // Still intact after GC (nothing acked yet, so nothing collected
+        // from the local set; a server entry would die, locals survive).
+        c.gc();
+        assert_eq!(c.unacked_local_since(1).len(), 2);
     }
 
     #[test]

@@ -341,6 +341,58 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_ack_does_not_release_the_next_outstanding() {
+        let mut c = ComposingClient::new(SiteId(1), "");
+        let m1 = c.insert(0, "a").expect("sent");
+        assert_eq!(m1.stamp.as_pair(), (0, 1));
+        assert!(c.insert(1, "b").is_none()); // buffered behind op 1
+                                             // First ack releases the buffer as op 2...
+        let m2 = c.on_server_ack(ServerAckMsg { acked: 1 }).expect("flush");
+        assert_eq!(m2.stamp.as_pair(), (0, 2));
+        assert!(c.has_outstanding());
+        // ...and a duplicated copy of the same ack (retransmitted or
+        // duplicated on the wire) must neither clear op 2 nor send again.
+        assert!(c.on_server_ack(ServerAckMsg { acked: 1 }).is_none());
+        assert!(c.has_outstanding(), "dup ack must not ack a newer op");
+        assert_eq!(c.metrics().messages_sent, 2);
+        // The genuinely-new ack does clear it.
+        assert!(c.on_server_ack(ServerAckMsg { acked: 2 }).is_none());
+        assert!(!c.has_outstanding());
+    }
+
+    #[test]
+    fn stale_ack_after_implicit_ack_is_inert() {
+        // An explicit ack can arrive *after* a server op already implicitly
+        // acknowledged the same sequence number (the two race on the wire).
+        let initial = "xy";
+        let mut notifier = Notifier::new(2, initial);
+        let mut c1 = ComposingClient::new(SiteId(1), initial);
+        let m1 = c1.insert(0, "a").expect("sent");
+        assert!(c1.insert(1, "b").is_none());
+        let _ = notifier.on_client_op(m1);
+        let from2 = crate::msg::ClientOpMsg {
+            origin: SiteId(2),
+            stamp: cvc_core::state_vector::CompressedStamp::new(1, 1),
+            op: SeqOp::from_pos(&PosOp::insert(3, "z"), 3),
+            cursor: None,
+        };
+        let out = notifier.on_client_op(from2);
+        let (_, smsg) = out.broadcasts.into_iter().next().expect("to c1");
+        // Implicit ack flushes the buffer as op 2.
+        let (_, next) = c1.on_server_op(smsg).expect("integrates");
+        let m2 = next.expect("implicit ack flushes");
+        assert_eq!(m2.stamp.as_pair(), (1, 2));
+        // The stale explicit ack for op 1 lands now: it must not touch the
+        // new outstanding op or emit anything.
+        assert!(c1.on_server_ack(ServerAckMsg { acked: 1 }).is_none());
+        assert!(c1.has_outstanding());
+        // Session still completes normally.
+        let _ = notifier.on_client_op(m2);
+        assert_eq!(notifier.doc(), "abxyz");
+        assert_eq!(c1.doc(), "abxyz");
+    }
+
+    #[test]
     fn outstanding_without_buffer_acks_cleanly() {
         let mut c = ComposingClient::new(SiteId(1), "");
         let _ = c.insert(0, "x").expect("sent");

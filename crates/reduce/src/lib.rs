@@ -14,6 +14,9 @@
 //! * [`session`] — end-to-end simulated sessions of all deployments with
 //!   byte-exact overhead accounting; [`workload`] generates reproducible
 //!   editing scripts.
+//! * [`reliable`] — an ack/retransmit reliability layer that restores the
+//!   paper's FIFO-channel assumption over faulty simulated links, with
+//!   client disconnect/reconnect and history-buffer resync.
 //! * [`scenario`] — the paper's Fig. 2 (inconsistency demo) and Fig. 3
 //!   (compressed-clock walkthrough) reproduced step by step.
 //! * [`verify`] — every engine concurrency verdict compared against a
@@ -42,6 +45,7 @@ pub mod mesh;
 pub mod metrics;
 pub mod msg;
 pub mod notifier;
+pub mod reliable;
 pub mod scenario;
 pub mod session;
 pub mod verify;
@@ -54,5 +58,9 @@ pub use mesh::MeshSite;
 pub use metrics::SiteMetrics;
 pub use msg::{ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
 pub use notifier::Notifier;
+pub use reliable::{
+    run_robust_session, run_robust_session_traced, ClientEvent, DisconnectSpec, NotifierStep,
+    ReliableKind, ReliableMsg, SessionTrace,
+};
 pub use session::{run_session, ClientMode, Deployment, SessionConfig, SessionReport};
 pub use workload::WorkloadConfig;

@@ -41,6 +41,24 @@ pub struct SiteMetrics {
     pub scan_len_total: u64,
     /// Longest single scan (high-water mark; aggregation takes the max).
     pub scan_len_max: u64,
+    /// Messages retransmitted by the reliability layer.
+    pub retransmits: u64,
+    /// Encoded bytes of those retransmissions (pure overhead).
+    pub retransmit_bytes: u64,
+    /// Incoming messages discarded as duplicates (seq already delivered).
+    pub dup_drops: u64,
+    /// Incoming messages discarded for a checksum mismatch.
+    pub checksum_drops: u64,
+    /// Incoming messages that arrived out of order and were held in the
+    /// resequencing buffer before in-order delivery.
+    pub resequenced: u64,
+    /// Resync handshakes completed (client reconnections served).
+    pub resyncs: u64,
+    /// History-buffer operations replayed to rejoining clients.
+    pub resync_replayed: u64,
+    /// Application payload bytes the reliability layer delivered in order
+    /// (goodput numerator; zero when the session runs without the layer).
+    pub delivered_payload_bytes: u64,
 }
 
 impl SiteMetrics {
@@ -95,6 +113,35 @@ impl SiteMetrics {
     pub fn record_hb_len(&mut self, len: u64) {
         self.hb_high_water = self.hb_high_water.max(len);
     }
+
+    /// True when any reliability-layer counter is non-zero.
+    pub fn has_robustness_activity(&self) -> bool {
+        self.retransmits != 0
+            || self.retransmit_bytes != 0
+            || self.dup_drops != 0
+            || self.checksum_drops != 0
+            || self.resequenced != 0
+            || self.resyncs != 0
+            || self.resync_replayed != 0
+    }
+
+    /// One-line human summary of the robustness counters, or `None` when
+    /// the reliability layer never had to intervene.
+    pub fn robustness_summary(&self) -> Option<String> {
+        if !self.has_robustness_activity() {
+            return None;
+        }
+        Some(format!(
+            "retx {} ({} B) · dup-drop {} · cksum-drop {} · reseq {} · resync {} ({} ops replayed)",
+            self.retransmits,
+            self.retransmit_bytes,
+            self.dup_drops,
+            self.checksum_drops,
+            self.resequenced,
+            self.resyncs,
+            self.resync_replayed,
+        ))
+    }
 }
 
 impl AddAssign for SiteMetrics {
@@ -112,6 +159,14 @@ impl AddAssign for SiteMetrics {
         self.hb_high_water = self.hb_high_water.max(o.hb_high_water);
         self.scan_len_total += o.scan_len_total;
         self.scan_len_max = self.scan_len_max.max(o.scan_len_max);
+        self.retransmits += o.retransmits;
+        self.retransmit_bytes += o.retransmit_bytes;
+        self.dup_drops += o.dup_drops;
+        self.checksum_drops += o.checksum_drops;
+        self.resequenced += o.resequenced;
+        self.resyncs += o.resyncs;
+        self.resync_replayed += o.resync_replayed;
+        self.delivered_payload_bytes += o.delivered_payload_bytes;
     }
 }
 
@@ -172,6 +227,37 @@ mod tests {
         assert_eq!(m.hb_high_water, 5);
         m.ops_executed_remote = 3;
         assert_eq!(m.scan_len_per_op(), 4.0);
+    }
+
+    #[test]
+    fn robustness_counters_sum_and_summarise() {
+        let mut a = SiteMetrics {
+            retransmits: 2,
+            retransmit_bytes: 40,
+            dup_drops: 1,
+            ..SiteMetrics::default()
+        };
+        let b = SiteMetrics {
+            retransmits: 3,
+            checksum_drops: 1,
+            resequenced: 4,
+            resyncs: 1,
+            resync_replayed: 7,
+            ..SiteMetrics::default()
+        };
+        a += b;
+        assert_eq!(a.retransmits, 5);
+        assert_eq!(a.retransmit_bytes, 40);
+        assert_eq!(a.dup_drops, 1);
+        assert_eq!(a.checksum_drops, 1);
+        assert_eq!(a.resequenced, 4);
+        assert_eq!(a.resyncs, 1);
+        assert_eq!(a.resync_replayed, 7);
+        assert!(a.has_robustness_activity());
+        let line = a.robustness_summary().expect("active");
+        assert!(line.contains("retx 5"), "{line}");
+        assert!(line.contains("resync 1 (7 ops replayed)"), "{line}");
+        assert_eq!(SiteMetrics::new().robustness_summary(), None);
     }
 
     #[test]

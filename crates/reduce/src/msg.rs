@@ -151,6 +151,11 @@ fn put_vector<B: BufMut>(buf: &mut B, v: &VectorClock) {
 
 fn get_vector<B: Buf>(buf: &mut B) -> Result<VectorClock, WireError> {
     let n = get_varint(buf)? as usize;
+    // A hostile width field must not drive the allocation: each entry is at
+    // least one byte on the wire, so anything beyond the buffer is a lie.
+    if n > buf.remaining() {
+        return Err(WireError::Truncated);
+    }
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
         entries.push(get_varint(buf)?);

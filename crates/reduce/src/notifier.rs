@@ -315,6 +315,50 @@ impl Notifier {
         self.join_offsets[site.client_index()]
     }
 
+    /// Rebuild the suffix of the broadcast stream to `site` that a
+    /// reconnecting client has not yet integrated, given the `received`
+    /// count (`T[1]`, its 2-element `SV_i`'s first entry) it presented in
+    /// its resync request.
+    ///
+    /// Each returned [`ServerOpMsg`] carries the *same* stamp the original
+    /// broadcast did: its position in the stream to `site` (formula (1),
+    /// shifted by the join offset) and the operations received from `site`
+    /// at that point (formula (2)). This works off the watermark
+    /// machinery's running counters, and GC safety is inherited from the
+    /// collection rule — an entry is only trimmed once `site` has
+    /// acknowledged past its stream position, and a client can never have
+    /// received fewer broadcasts than it acknowledged, so every entry with
+    /// position `> received` is still buffered. Cursor presence is not
+    /// replayed (it is ephemeral UI state).
+    pub fn replay_for(&self, site: SiteId, received: u64) -> Vec<ServerOpMsg> {
+        assert!(self.is_active(site), "replay for inactive {site}");
+        let xi = site.client_index();
+        debug_assert!(
+            received >= self.acked_by[xi],
+            "a client cannot have received less than it acknowledged"
+        );
+        let offset = self.join_offsets[xi];
+        // Ops from `site` itself among the stream so far (they are never
+        // broadcast back to their origin).
+        let mut from_x = self.trimmed_from[xi];
+        let mut out = Vec::new();
+        for e in &self.hb {
+            if e.origin == site {
+                from_x += 1;
+                continue;
+            }
+            let pos = (e.total_after - from_x).saturating_sub(offset);
+            if pos > received {
+                out.push(ServerOpMsg {
+                    stamp: CompressedStamp::new(pos, from_x),
+                    op: e.op.clone(),
+                    cursor: None,
+                });
+            }
+        }
+        out
+    }
+
     /// Garbage-collect history-buffer entries that can never again be
     /// judged concurrent with a future arriving operation.
     ///
@@ -969,6 +1013,92 @@ mod tests {
         let op2 = SeqOp::from_pos(&PosOp::insert(3, "d"), 3);
         n.on_client_op(client_msg(2, (1, 1), op2));
         assert_eq!(n.gc(), 1, "entry 1 is acked by every remaining client");
+    }
+
+    /// `replay_for` must return byte-identical stamps and ops for exactly
+    /// the suffix of the broadcast stream the client has not received.
+    #[test]
+    fn replay_reconstructs_unreceived_broadcast_suffix() {
+        let mut n = Notifier::new(3, "ab");
+        let mut to_site1: Vec<ServerOpMsg> = Vec::new();
+        let push_to_1 = |out: NotifierIntegration, to_site1: &mut Vec<ServerOpMsg>| {
+            for (d, m) in out.broadcasts {
+                if d == SiteId(1) {
+                    to_site1.push(m);
+                }
+            }
+        };
+        let o = n.on_client_op(client_msg(
+            2,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "c"), 2),
+        ));
+        push_to_1(o, &mut to_site1);
+        // Site 1 itself interleaves (its entry is never replayed to it).
+        let o = n.on_client_op(client_msg(
+            1,
+            (1, 1),
+            SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
+        ));
+        push_to_1(o, &mut to_site1);
+        let o = n.on_client_op(client_msg(
+            3,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(0, "x"), 2),
+        ));
+        push_to_1(o, &mut to_site1);
+        let o = n.on_client_op(client_msg(
+            2,
+            (2, 2),
+            SeqOp::from_pos(&PosOp::insert(5, "e"), 5),
+        ));
+        push_to_1(o, &mut to_site1);
+        assert_eq!(to_site1.len(), 3, "three non-site-1 ops were broadcast");
+
+        // Site 1 received only the first broadcast before its link died.
+        let replay = n.replay_for(SiteId(1), 1);
+        assert_eq!(replay.len(), 2);
+        for (r, orig) in replay.iter().zip(&to_site1[1..]) {
+            assert_eq!(r.stamp, orig.stamp, "replayed stamp must be original");
+            assert_eq!(r.op, orig.op);
+            assert_eq!(r.cursor, None, "cursor presence is not replayed");
+        }
+        // Fully caught-up client: nothing to replay.
+        assert!(n.replay_for(SiteId(1), 3).is_empty());
+        // Site 3 acknowledged nothing, so its whole stream comes back.
+        assert_eq!(n.replay_for(SiteId(3), 0).len(), 3);
+    }
+
+    /// Replay respects join offsets (pre-join history is inside the join
+    /// snapshot, not the broadcast stream) and survives a GC'd prefix.
+    #[test]
+    fn replay_respects_join_offsets_and_gc() {
+        let mut n = Notifier::new(2, "ab");
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "c"), 2),
+        ));
+        let (site3, snap) = n.add_client();
+        assert_eq!(snap, "abc");
+        // Post-join op from site 2 → broadcast position 1 to the newcomer.
+        n.on_client_op(client_msg(
+            2,
+            (1, 1),
+            SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
+        ));
+        let replay = n.replay_for(site3, 0);
+        assert_eq!(replay.len(), 1, "pre-join entries are not in the stream");
+        assert_eq!(replay[0].stamp.as_pair(), (1, 0));
+
+        // GC the fully-acknowledged prefix, then replay still serves the
+        // live tail: site 1's entry needs site 2 (acked 1 ≥ 1) and site 3
+        // (joined after, position 0 ≤ 0) — it is collectable; site 2's
+        // entry waits for acks.
+        assert!(n.gc() > 0);
+        let replay = n.replay_for(site3, 0);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].stamp.as_pair(), (1, 0));
     }
 
     #[test]

@@ -1,0 +1,1381 @@
+//! Ack/retransmit reliability layer over faulty links, with client
+//! reconnect and state resync.
+//!
+//! The CVC formulas (5)/(7) are only sound on reliable FIFO channels —
+//! the paper assumes TCP. `cvc_sim`'s [`FaultPlan`] deliberately violates
+//! that assumption (drop/duplicate/reorder/corrupt/flap); this module
+//! restores it the way a real deployment would, so the *editor* layer
+//! above still sees exactly the paper's transport contract:
+//!
+//! * Every editor message travels inside a [`ReliableMsg::Data`] frame
+//!   with a per-channel sequence number, a piggybacked cumulative ack,
+//!   and an FNV-1a checksum over the payload.
+//! * A [`ReliableLink`] per directed peer pair retransmits unacked frames
+//!   (go-back-N) on a timer with exponential backoff and jitter, drops
+//!   duplicates, rejects corrupt payloads, and holds out-of-order frames
+//!   in a resequencing buffer until the gap fills.
+//! * A client can disconnect and later reconnect: it bumps its link
+//!   *epoch*, presents its 2-element state vector in a
+//!   [`ReliableMsg::ResyncRequest`], and the notifier replays the
+//!   missing broadcast suffix from its history buffer
+//!   ([`Notifier::replay_for`]) while the client re-sends its unacked
+//!   local operations ([`Client::unacked_local_since`]). Frames from a
+//!   stale epoch are discarded on both sides.
+//!
+//! [`run_robust_session`] wires the whole thing onto the simulator and
+//! returns the same [`SessionReport`] as a plain session, with the
+//! reliability counters folded into each site's [`SiteMetrics`].
+//! [`run_robust_session_traced`] additionally records every integration
+//! (messages, formula verdicts, broadcasts) so the chaos tests can replay
+//! the run against a ground-truth oracle.
+
+use crate::client::Client;
+use crate::metrics::SiteMetrics;
+use crate::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
+use crate::notifier::Notifier;
+use crate::session::{ClientMode, Deployment, SessionConfig, SessionReport};
+use crate::workload::{EditIntent, ScheduledEdit};
+use bytes::{Buf, BufMut};
+use cvc_core::site::SiteId;
+use cvc_sim::fault::FaultPlan;
+use cvc_sim::sim::{Ctx, Node, NodeId, Simulator};
+use cvc_sim::time::{SimDuration, SimTime};
+use cvc_sim::wire::{
+    get_varint, put_varint, varint_len, WireDecode, WireEncode, WireError, WireSize,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+const TAG_DATA: u8 = 10;
+const TAG_ACK: u8 = 11;
+const TAG_RESYNC_REQ: u8 = 12;
+const TAG_RESYNC_RESP: u8 = 13;
+
+/// Timer tag for a link retransmission timeout (the notifier adds the
+/// peer's client index). Script-edit timers use their small script index,
+/// so the high-bit spaces never collide.
+const RETX_TAG: u64 = 1 << 40;
+/// Timer tag scheduling a client's disconnect.
+const DISCONNECT_TAG: u64 = 2 << 40;
+/// Timer tag scheduling a client's reconnect.
+const RECONNECT_TAG: u64 = 3 << 40;
+/// Timer tag retrying an unanswered resync request.
+const RESYNC_RETRY_TAG: u64 = 4 << 40;
+
+/// Initial retransmission timeout (µs) — a few internet RTTs.
+const BASE_RTO_US: u64 = 250_000;
+/// Retransmission timeout cap (µs).
+const MAX_RTO_US: u64 = 2_000_000;
+/// Uniform jitter added to every armed timeout (µs), so periodic faults
+/// cannot phase-lock with the retransmission schedule.
+const RTO_JITTER_US: u64 = 50_000;
+
+/// FNV-1a 32-bit hash — the frame checksum.
+///
+/// Not cryptographic: it models the per-segment integrity check a real
+/// transport performs, strong enough to catch the simulator's injected
+/// bit-flips.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Payload of a [`ReliableMsg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliableKind {
+    /// An application frame: one encoded [`EditorMsg`].
+    Data {
+        /// Per-channel sequence number, starting at 1 for each epoch.
+        seq: u64,
+        /// Piggybacked cumulative ack: highest in-order seq received on
+        /// the reverse direction of this link.
+        ack: u64,
+        /// FNV-1a over `payload`.
+        checksum: u32,
+        /// The encoded editor message.
+        payload: Vec<u8>,
+    },
+    /// A standalone cumulative acknowledgement.
+    Ack {
+        /// Highest in-order seq received.
+        ack: u64,
+    },
+    /// Client → notifier on reconnect: "here is my 2-element `SV_i`,
+    /// replay what I am missing". Retransmitted until answered.
+    ResyncRequest {
+        /// The requesting client site id.
+        site: u32,
+        /// `SV_i[1]`: notifier operations this client has executed.
+        received: u64,
+        /// `SV_i[2]`: operations this client has generated.
+        generated: u64,
+    },
+    /// Notifier → client: resync accepted.
+    ResyncResponse {
+        /// `SV_0[i]`: how many of the client's operations the notifier
+        /// has integrated — the client re-sends everything after this.
+        received_from_site: u64,
+    },
+}
+
+/// One frame of the reliability protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliableMsg {
+    /// Connection epoch; bumped by each client reconnect. Frames from a
+    /// stale epoch are discarded.
+    pub epoch: u32,
+    /// The frame payload.
+    pub kind: ReliableKind,
+}
+
+impl WireSize for ReliableMsg {
+    fn wire_bytes(&self) -> usize {
+        1 + varint_len(u64::from(self.epoch))
+            + match &self.kind {
+                ReliableKind::Data {
+                    seq,
+                    ack,
+                    checksum,
+                    payload,
+                } => {
+                    varint_len(*seq)
+                        + varint_len(*ack)
+                        + varint_len(u64::from(*checksum))
+                        + varint_len(payload.len() as u64)
+                        + payload.len()
+                }
+                ReliableKind::Ack { ack } => varint_len(*ack),
+                ReliableKind::ResyncRequest {
+                    site,
+                    received,
+                    generated,
+                } => varint_len(u64::from(*site)) + varint_len(*received) + varint_len(*generated),
+                ReliableKind::ResyncResponse { received_from_site } => {
+                    varint_len(*received_from_site)
+                }
+            }
+    }
+}
+
+impl WireEncode for ReliableMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match &self.kind {
+            ReliableKind::Data {
+                seq,
+                ack,
+                checksum,
+                payload,
+            } => {
+                buf.put_u8(TAG_DATA);
+                put_varint(buf, u64::from(self.epoch));
+                put_varint(buf, *seq);
+                put_varint(buf, *ack);
+                put_varint(buf, u64::from(*checksum));
+                put_varint(buf, payload.len() as u64);
+                buf.put_slice(payload);
+            }
+            ReliableKind::Ack { ack } => {
+                buf.put_u8(TAG_ACK);
+                put_varint(buf, u64::from(self.epoch));
+                put_varint(buf, *ack);
+            }
+            ReliableKind::ResyncRequest {
+                site,
+                received,
+                generated,
+            } => {
+                buf.put_u8(TAG_RESYNC_REQ);
+                put_varint(buf, u64::from(self.epoch));
+                put_varint(buf, u64::from(*site));
+                put_varint(buf, *received);
+                put_varint(buf, *generated);
+            }
+            ReliableKind::ResyncResponse { received_from_site } => {
+                buf.put_u8(TAG_RESYNC_RESP);
+                put_varint(buf, u64::from(self.epoch));
+                put_varint(buf, *received_from_site);
+            }
+        }
+    }
+}
+
+impl WireDecode for ReliableMsg {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let epoch = get_varint(buf)? as u32;
+        let kind = match tag {
+            TAG_DATA => {
+                let seq = get_varint(buf)?;
+                let ack = get_varint(buf)?;
+                let checksum = get_varint(buf)? as u32;
+                let len = get_varint(buf)? as usize;
+                // Length check before the allocation: a bit-flipped length
+                // prefix must not cause a huge reservation or an over-read.
+                if buf.remaining() < len {
+                    return Err(WireError::Truncated);
+                }
+                let mut payload = vec![0u8; len];
+                buf.copy_to_slice(&mut payload);
+                ReliableKind::Data {
+                    seq,
+                    ack,
+                    checksum,
+                    payload,
+                }
+            }
+            TAG_ACK => ReliableKind::Ack {
+                ack: get_varint(buf)?,
+            },
+            TAG_RESYNC_REQ => ReliableKind::ResyncRequest {
+                site: get_varint(buf)? as u32,
+                received: get_varint(buf)?,
+                generated: get_varint(buf)?,
+            },
+            TAG_RESYNC_RESP => ReliableKind::ResyncResponse {
+                received_from_site: get_varint(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(ReliableMsg { epoch, kind })
+    }
+}
+
+fn encode_editor(msg: &EditorMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(msg.wire_bytes());
+    msg.encode(&mut buf);
+    buf
+}
+
+/// Reliability state for one direction-pair of a channel: outgoing
+/// sequencing/retransmission plus incoming dedup/resequencing.
+#[derive(Debug)]
+pub struct ReliableLink {
+    /// Current connection epoch (see [`ReliableMsg::epoch`]).
+    epoch: u32,
+    /// Next outgoing sequence number.
+    next_seq: u64,
+    /// Unacknowledged outgoing frames, in seq order.
+    send_buf: VecDeque<(u64, Vec<u8>)>,
+    /// Highest cumulative ack received from the peer.
+    highest_acked: u64,
+    /// Next incoming seq expected (everything below is delivered).
+    next_expected: u64,
+    /// Out-of-order frames held until the gap fills.
+    resequence: BTreeMap<u64, Vec<u8>>,
+    /// Current retransmission timeout.
+    rto: SimDuration,
+    /// When the oldest unacked frame genuinely times out. Acks that
+    /// advance the window push this forward, so frames queued behind a
+    /// healthy stream are not spuriously re-sent.
+    retx_deadline: SimTime,
+    /// Whether a retransmission timer event is outstanding (at most one).
+    retx_armed: bool,
+    /// Jitter source for timeouts.
+    rng: SmallRng,
+    /// First-transmission times of outgoing frames, for latency joins.
+    first_sent: Vec<(u32, u64, SimTime)>,
+    /// In-order delivery times of incoming frames.
+    delivered: Vec<(u32, u64, SimTime)>,
+    /// Application payload bytes delivered in order (goodput numerator).
+    delivered_payload_bytes: u64,
+    retransmits: u64,
+    retransmit_bytes: u64,
+    dup_drops: u64,
+    checksum_drops: u64,
+    resequenced: u64,
+    resyncs: u64,
+    resync_replayed: u64,
+}
+
+impl ReliableLink {
+    fn new(seed: u64) -> Self {
+        ReliableLink {
+            epoch: 0,
+            next_seq: 1,
+            send_buf: VecDeque::new(),
+            highest_acked: 0,
+            next_expected: 1,
+            resequence: BTreeMap::new(),
+            rto: SimDuration::from_micros(BASE_RTO_US),
+            retx_deadline: SimTime::ZERO,
+            retx_armed: false,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5EED_11E7_ACED_CAFE),
+            first_sent: Vec::new(),
+            delivered: Vec::new(),
+            delivered_payload_bytes: 0,
+            retransmits: 0,
+            retransmit_bytes: 0,
+            dup_drops: 0,
+            checksum_drops: 0,
+            resequenced: 0,
+            resyncs: 0,
+            resync_replayed: 0,
+        }
+    }
+
+    /// Reset connection state for a new epoch (reconnect). Counters and
+    /// the latency logs survive; sequencing state does not.
+    fn reset(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.next_seq = 1;
+        self.send_buf.clear();
+        self.highest_acked = 0;
+        self.next_expected = 1;
+        self.resequence.clear();
+        self.rto = SimDuration::from_micros(BASE_RTO_US);
+    }
+
+    /// Frames sent but not yet cumulatively acknowledged.
+    fn in_flight(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    fn jittered(&mut self, d: SimDuration) -> SimDuration {
+        d + SimDuration::from_micros(self.rng.gen_range(0..=RTO_JITTER_US))
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, retx_tag: u64) {
+        if !self.retx_armed {
+            self.retx_armed = true;
+            ctx.set_timer(self.retx_deadline - ctx.now, retx_tag);
+        }
+    }
+
+    /// Send one application frame: assign a seq, buffer for
+    /// retransmission, transmit with a piggybacked ack, arm the timer.
+    fn send_payload(
+        &mut self,
+        ctx: &mut Ctx<'_, ReliableMsg>,
+        peer: NodeId,
+        retx_tag: u64,
+        payload: Vec<u8>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.first_sent.push((self.epoch, seq, ctx.now));
+        let msg = ReliableMsg {
+            epoch: self.epoch,
+            kind: ReliableKind::Data {
+                seq,
+                ack: self.next_expected - 1,
+                checksum: fnv1a32(&payload),
+                payload: payload.clone(),
+            },
+        };
+        if self.send_buf.is_empty() {
+            // This frame is now the oldest unacked one: time out from it.
+            let d = self.jittered(self.rto);
+            self.retx_deadline = ctx.now + d;
+        }
+        self.send_buf.push_back((seq, payload));
+        ctx.send(peer, msg);
+        self.arm(ctx, retx_tag);
+    }
+
+    /// Process a cumulative ack from the peer. Progress restarts the
+    /// timeout clock (and the backoff) for the next outstanding frame.
+    fn accept_ack(&mut self, now: SimTime, ack: u64) {
+        if ack <= self.highest_acked {
+            return;
+        }
+        self.highest_acked = ack;
+        while self.send_buf.front().is_some_and(|(s, _)| *s <= ack) {
+            self.send_buf.pop_front();
+        }
+        self.rto = SimDuration::from_micros(BASE_RTO_US);
+        if !self.send_buf.is_empty() {
+            let d = self.jittered(self.rto);
+            self.retx_deadline = now + d;
+        }
+    }
+
+    /// Process an incoming data frame (caller has already matched the
+    /// epoch). Returns the payloads now deliverable in order, oldest
+    /// first, and emits a standalone cumulative ack.
+    fn on_data(
+        &mut self,
+        ctx: &mut Ctx<'_, ReliableMsg>,
+        peer: NodeId,
+        seq: u64,
+        ack: u64,
+        checksum: u32,
+        payload: Vec<u8>,
+    ) -> Vec<Vec<u8>> {
+        self.accept_ack(ctx.now, ack);
+        let mut out = Vec::new();
+        if fnv1a32(&payload) != checksum {
+            // Corrupted in flight: pretend it never arrived; the sender's
+            // timer re-sends an intact copy.
+            self.checksum_drops += 1;
+        } else if seq < self.next_expected {
+            self.dup_drops += 1;
+        } else if seq > self.next_expected {
+            // A gap: park the frame (once) until the gap fills.
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.resequence.entry(seq) {
+                slot.insert(payload);
+                self.resequenced += 1;
+            } else {
+                self.dup_drops += 1;
+            }
+        } else {
+            let mut deliver_seq = seq;
+            let mut next = Some(payload);
+            while let Some(p) = next {
+                self.delivered.push((self.epoch, deliver_seq, ctx.now));
+                self.delivered_payload_bytes += p.len() as u64;
+                out.push(p);
+                self.next_expected += 1;
+                deliver_seq += 1;
+                next = self.resequence.remove(&self.next_expected);
+            }
+        }
+        // Always (re)state the cumulative position — a duplicate or gap
+        // frame still tells the peer where we are.
+        ctx.send(
+            peer,
+            ReliableMsg {
+                epoch: self.epoch,
+                kind: ReliableKind::Ack {
+                    ack: self.next_expected - 1,
+                },
+            },
+        );
+        out
+    }
+
+    /// Retransmission timeout fired: go-back-N resend of everything
+    /// unacked, double the timeout (capped), re-arm. A timer that finds
+    /// nothing in flight simply disarms; one that fires before the (ack-
+    /// advanced) deadline re-arms without resending.
+    fn on_retx_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, peer: NodeId, retx_tag: u64) {
+        self.retx_armed = false;
+        if self.send_buf.is_empty() {
+            return;
+        }
+        if ctx.now < self.retx_deadline {
+            self.arm(ctx, retx_tag);
+            return;
+        }
+        for (seq, payload) in &self.send_buf {
+            let msg = ReliableMsg {
+                epoch: self.epoch,
+                kind: ReliableKind::Data {
+                    seq: *seq,
+                    ack: self.next_expected - 1,
+                    checksum: fnv1a32(payload),
+                    payload: payload.clone(),
+                },
+            };
+            self.retransmits += 1;
+            self.retransmit_bytes += msg.wire_bytes() as u64;
+            ctx.send(peer, msg);
+        }
+        self.rto = SimDuration::from_micros((self.rto.as_micros() * 2).min(MAX_RTO_US));
+        let d = self.jittered(self.rto);
+        self.retx_deadline = ctx.now + d;
+        self.arm(ctx, retx_tag);
+    }
+
+    /// Fold this link's counters into a site's metrics.
+    fn fold_into(&self, m: &mut SiteMetrics) {
+        m.retransmits += self.retransmits;
+        m.retransmit_bytes += self.retransmit_bytes;
+        m.dup_drops += self.dup_drops;
+        m.checksum_drops += self.checksum_drops;
+        m.resequenced += self.resequenced;
+        m.resyncs += self.resyncs;
+        m.resync_replayed += self.resync_replayed;
+        m.delivered_payload_bytes += self.delivered_payload_bytes;
+    }
+}
+
+/// One scheduled client outage: the client stops sending and drops all
+/// incoming traffic at `at`, then reconnects (and resyncs) after `down`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisconnectSpec {
+    /// Client index (0-based; the site id is `client + 1`).
+    pub client: usize,
+    /// When the outage starts.
+    pub at: SimTime,
+    /// Outage duration.
+    pub down: SimDuration,
+}
+
+/// Connection state of a robust client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Connected,
+    /// Offline: incoming traffic is dropped, local edits apply locally.
+    Disconnected,
+    /// Reconnected; waiting for the notifier's resync response.
+    AwaitingResync,
+}
+
+/// One integration recorded at the notifier, in arrival order.
+#[derive(Debug, Clone)]
+pub struct NotifierStep {
+    /// The client operation exactly as integrated.
+    pub msg: ClientOpMsg,
+    /// Formula (7) verdict per pre-existing history entry.
+    pub verdicts: Vec<bool>,
+    /// The broadcasts this integration produced.
+    pub broadcasts: Vec<(SiteId, ServerOpMsg)>,
+}
+
+/// One event recorded at a client, in execution order.
+#[derive(Debug, Clone)]
+pub enum ClientEvent {
+    /// A local edit was generated (the propagation message, as built).
+    Local(ClientOpMsg),
+    /// A server operation was executed.
+    Remote {
+        /// The message exactly as integrated.
+        msg: ServerOpMsg,
+        /// Formula (5) verdict per pre-existing history entry.
+        checked: Vec<bool>,
+    },
+}
+
+/// Everything that happened at the editor layer during a robust session,
+/// in each node's execution order — enough to replay the run on a clean
+/// network and to audit every verdict against a causality oracle.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTrace {
+    /// Notifier integrations, in arrival order.
+    pub notifier: Vec<NotifierStep>,
+    /// Per-client event logs (index 0 = site 1).
+    pub clients: Vec<Vec<ClientEvent>>,
+}
+
+struct RobustNotifier {
+    inner: Box<Notifier>,
+    /// One link per client; index = client index, peer node = index + 1.
+    links: Vec<ReliableLink>,
+    trace: Option<Vec<NotifierStep>>,
+}
+
+impl RobustNotifier {
+    fn integrate(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: ClientOpMsg) {
+        let out = self.inner.on_client_op(c.clone());
+        if let Some(tr) = &mut self.trace {
+            tr.push(NotifierStep {
+                msg: c,
+                verdicts: out.full_verdicts(),
+                broadcasts: out.broadcasts.clone(),
+            });
+        }
+        for (dest, sm) in out.broadcasts {
+            let di = dest.client_index();
+            let payload = encode_editor(&EditorMsg::ServerOp(sm));
+            self.links[di].send_payload(ctx, di + 1, RETX_TAG + di as u64, payload);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, from: NodeId, msg: ReliableMsg) {
+        assert!(from >= 1, "notifier is node 0; peers are clients");
+        let xi = from - 1;
+        match msg.kind {
+            ReliableKind::Data {
+                seq,
+                ack,
+                checksum,
+                payload,
+            } => {
+                if msg.epoch != self.links[xi].epoch {
+                    return; // stale epoch
+                }
+                let ready = self.links[xi].on_data(ctx, from, seq, ack, checksum, payload);
+                for p in ready {
+                    let decoded = EditorMsg::decode(&mut &p[..])
+                        .expect("reliable layer delivered an undecodable payload");
+                    match decoded {
+                        EditorMsg::ClientOp(c) => self.integrate(ctx, c),
+                        other => panic!("notifier received non-client-op {other:?}"),
+                    }
+                }
+            }
+            ReliableKind::Ack { ack } => {
+                if msg.epoch == self.links[xi].epoch {
+                    self.links[xi].accept_ack(ctx.now, ack);
+                }
+            }
+            ReliableKind::ResyncRequest {
+                site,
+                received,
+                generated,
+            } => {
+                let x = SiteId(site);
+                assert_eq!(x.client_index(), xi, "resync request from wrong channel");
+                let integrated = self
+                    .inner
+                    .state_vector()
+                    .received_from(x)
+                    .expect("resync from a session member");
+                debug_assert!(
+                    generated >= integrated,
+                    "a client cannot have generated less than the notifier integrated"
+                );
+                if msg.epoch > self.links[xi].epoch {
+                    // New connection: reset sequencing (pending frames are
+                    // superseded by the replay below) and serve the resync.
+                    self.links[xi].reset(msg.epoch);
+                    let replay = self.inner.replay_for(x, received);
+                    self.links[xi].resyncs += 1;
+                    self.links[xi].resync_replayed += replay.len() as u64;
+                    ctx.send(
+                        from,
+                        ReliableMsg {
+                            epoch: msg.epoch,
+                            kind: ReliableKind::ResyncResponse {
+                                received_from_site: integrated,
+                            },
+                        },
+                    );
+                    for sm in replay {
+                        let payload = encode_editor(&EditorMsg::ServerOp(sm));
+                        self.links[xi].send_payload(ctx, from, RETX_TAG + xi as u64, payload);
+                    }
+                } else if msg.epoch == self.links[xi].epoch {
+                    // Duplicate request (lost response or a network dup):
+                    // answer idempotently; the data retransmission timer
+                    // already covers the replayed frames.
+                    ctx.send(
+                        from,
+                        ReliableMsg {
+                            epoch: msg.epoch,
+                            kind: ReliableKind::ResyncResponse {
+                                received_from_site: integrated,
+                            },
+                        },
+                    );
+                }
+                // An older epoch is a late straggler: ignore.
+            }
+            ReliableKind::ResyncResponse { .. } => {
+                // Only clients receive responses; a stray one is dropped.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
+        let xi = (tag - RETX_TAG) as usize;
+        self.links[xi].on_retx_timer(ctx, xi + 1, tag);
+    }
+}
+
+struct RobustClient {
+    inner: Box<Client>,
+    link: ReliableLink,
+    script: Vec<ScheduledEdit>,
+    state: ConnState,
+    /// Retry timeout for an unanswered resync request.
+    resync_rto: SimDuration,
+    auto_gc: bool,
+    trace: Option<Vec<ClientEvent>>,
+}
+
+impl RobustClient {
+    fn send_up(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: &ClientOpMsg) {
+        let payload = encode_editor(&EditorMsg::ClientOp(c.clone()));
+        self.link.send_payload(ctx, 0, RETX_TAG, payload);
+    }
+
+    fn send_resync_request(&mut self, ctx: &mut Ctx<'_, ReliableMsg>) {
+        let sv = self.inner.state_vector();
+        ctx.send(
+            0,
+            ReliableMsg {
+                epoch: self.link.epoch,
+                kind: ReliableKind::ResyncRequest {
+                    site: self.inner.site().0,
+                    received: sv.received(),
+                    generated: sv.generated(),
+                },
+            },
+        );
+        ctx.set_timer(self.resync_rto, RESYNC_RETRY_TAG);
+        self.resync_rto =
+            SimDuration::from_micros((self.resync_rto.as_micros() * 2).min(MAX_RTO_US));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, msg: ReliableMsg) {
+        if self.state == ConnState::Disconnected {
+            return; // offline: the NIC is unplugged
+        }
+        match msg.kind {
+            ReliableKind::Data {
+                seq,
+                ack,
+                checksum,
+                payload,
+            } => {
+                if msg.epoch != self.link.epoch {
+                    return;
+                }
+                let ready = self.link.on_data(ctx, 0, seq, ack, checksum, payload);
+                for p in ready {
+                    let decoded = EditorMsg::decode(&mut &p[..])
+                        .expect("reliable layer delivered an undecodable payload");
+                    match decoded {
+                        EditorMsg::ServerOp(m) => {
+                            let out = self.inner.on_server_op(m.clone());
+                            if let Some(tr) = &mut self.trace {
+                                tr.push(ClientEvent::Remote {
+                                    msg: m,
+                                    checked: out.checked,
+                                });
+                            }
+                            if self.auto_gc {
+                                self.inner.gc();
+                            }
+                        }
+                        EditorMsg::ServerAck(_) => {} // streaming clients ignore acks
+                        other => panic!("client received unexpected {other:?}"),
+                    }
+                }
+            }
+            ReliableKind::Ack { ack } => {
+                if msg.epoch == self.link.epoch {
+                    self.link.accept_ack(ctx.now, ack);
+                }
+            }
+            ReliableKind::ResyncResponse { received_from_site } => {
+                if msg.epoch == self.link.epoch && self.state == ConnState::AwaitingResync {
+                    self.state = ConnState::Connected;
+                    self.link.resyncs += 1;
+                    for c in self.inner.unacked_local_since(received_from_site) {
+                        self.send_up(ctx, &c);
+                    }
+                }
+            }
+            ReliableKind::ResyncRequest { .. } => {
+                // Only the notifier serves resyncs; a stray one is dropped.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
+        match tag {
+            RETX_TAG => self.link.on_retx_timer(ctx, 0, tag),
+            DISCONNECT_TAG => {
+                self.state = ConnState::Disconnected;
+            }
+            RECONNECT_TAG => {
+                let epoch = self.link.epoch + 1;
+                self.link.reset(epoch);
+                self.state = ConnState::AwaitingResync;
+                self.resync_rto = SimDuration::from_micros(BASE_RTO_US);
+                self.send_resync_request(ctx);
+            }
+            RESYNC_RETRY_TAG => {
+                if self.state == ConnState::AwaitingResync {
+                    self.send_resync_request(ctx);
+                }
+            }
+            k => {
+                // A scheduled edit. It always applies locally; it goes on
+                // the wire only while connected — otherwise the resync
+                // re-send (driven by the notifier's integrated count)
+                // covers it, and sending now would double-transmit.
+                let edit = self.script[k as usize].clone();
+                let len = self.inner.doc_len();
+                let built = match &edit.intent {
+                    EditIntent::InsertChar { ch, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        Some(self.inner.insert(pos, &ch.to_string()))
+                    }
+                    EditIntent::InsertText { text, .. } => {
+                        let pos = edit.intent.position(len).expect("insert always applies");
+                        Some(self.inner.insert(pos, text))
+                    }
+                    EditIntent::DeleteChar { .. } => edit
+                        .intent
+                        .position(len)
+                        .map(|pos| self.inner.delete(pos, 1)),
+                    EditIntent::Undo => self.inner.undo_last_local(),
+                };
+                if let Some(c) = built {
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(ClientEvent::Local(c.clone()));
+                    }
+                    if self.state == ConnState::Connected {
+                        self.send_up(ctx, &c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum RobustNode {
+    Notifier(RobustNotifier),
+    Client(Box<RobustClient>),
+}
+
+impl Node<ReliableMsg> for RobustNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, from: NodeId, msg: ReliableMsg) {
+        match self {
+            RobustNode::Notifier(n) => n.on_message(ctx, from, msg),
+            RobustNode::Client(c) => c.on_message(ctx, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
+        match self {
+            RobustNode::Notifier(n) => n.on_timer(ctx, tag),
+            RobustNode::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// Run a star/CVC session over the reliability layer and report. The
+/// network faults come from [`SessionConfig::fault_plan`]; scheduled
+/// outages from [`SessionConfig::disconnects`].
+pub fn run_robust_session(cfg: &SessionConfig) -> SessionReport {
+    run_robust_inner(cfg, false).0
+}
+
+/// As [`run_robust_session`], also recording a full [`SessionTrace`] for
+/// oracle replay.
+pub fn run_robust_session_traced(cfg: &SessionConfig) -> (SessionReport, SessionTrace) {
+    let (report, trace) = run_robust_inner(cfg, true);
+    (report, trace.expect("trace requested"))
+}
+
+fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option<SessionTrace>) {
+    assert_eq!(
+        cfg.deployment,
+        Deployment::StarCvc,
+        "the reliability layer wraps the star/CVC deployment"
+    );
+    assert_eq!(
+        cfg.client_mode,
+        ClientMode::Streaming,
+        "robust sessions run streaming clients"
+    );
+    let n = cfg.workload.n_sites;
+    assert!(n >= 2, "sessions need at least two clients");
+    let scripts = cfg.workload.generate();
+    let mut sim: Simulator<ReliableMsg, RobustNode> = Simulator::new(cfg.latency, cfg.net_seed);
+    sim.set_default_bandwidth(cfg.bandwidth_bytes_per_sec);
+    sim.record_deliveries(cfg.record_deliveries);
+    let plan = cfg.fault_plan.unwrap_or(FaultPlan::NONE);
+    if !plan.is_none() {
+        sim.set_default_fault_plan(plan);
+    }
+    if plan.corrupt > 0.0 {
+        // In-flight corruption flips one payload bit; the frame checksum
+        // catches it on arrival.
+        sim.set_corruptor(|msg: &mut ReliableMsg, rng: &mut SmallRng| {
+            if let ReliableKind::Data { payload, .. } = &mut msg.kind {
+                if !payload.is_empty() {
+                    let i = rng.gen_range(0..payload.len());
+                    payload[i] ^= 1u8 << rng.gen_range(0..8u8);
+                }
+            }
+        });
+    }
+
+    let mut notifier = Notifier::new(n, &cfg.initial_doc);
+    notifier.set_scan_mode(cfg.notifier_scan);
+    notifier.set_auto_gc(cfg.auto_gc);
+    sim.add_node(RobustNode::Notifier(RobustNotifier {
+        inner: Box::new(notifier),
+        links: (0..n)
+            .map(|i| ReliableLink::new(cfg.net_seed.wrapping_add(i as u64)))
+            .collect(),
+        trace: traced.then(Vec::new),
+    }));
+    for (i, script) in scripts.iter().enumerate() {
+        let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
+        client.set_share_caret(cfg.share_carets);
+        sim.add_node(RobustNode::Client(Box::new(RobustClient {
+            inner: Box::new(client),
+            link: ReliableLink::new(cfg.net_seed.wrapping_mul(1001).wrapping_add(i as u64)),
+            script: script.clone(),
+            state: ConnState::Connected,
+            resync_rto: SimDuration::from_micros(BASE_RTO_US),
+            auto_gc: cfg.auto_gc,
+            trace: traced.then(Vec::new),
+        })));
+    }
+
+    for (i, script) in scripts.iter().enumerate() {
+        for (k, edit) in script.iter().enumerate() {
+            sim.schedule_timer(1 + i, edit.at, k as u64);
+        }
+    }
+    for spec in &cfg.disconnects {
+        assert!(spec.client < n, "disconnect spec for unknown client");
+        assert!(spec.down.as_micros() > 0, "zero-length outage");
+        sim.schedule_timer(1 + spec.client, spec.at, DISCONNECT_TAG);
+        sim.schedule_timer(1 + spec.client, spec.at + spec.down, RECONNECT_TAG);
+    }
+
+    let quiesced_at = sim.run();
+
+    // Harvest. Latency joins need both ends of each link, so collect the
+    // send/delivery logs first.
+    let mut delivery_latencies_us = Vec::new();
+    {
+        let nodes = sim.nodes();
+        let RobustNode::Notifier(rn) = &nodes[0] else {
+            unreachable!("node 0 is the notifier");
+        };
+        for (i, nlink) in rn.links.iter().enumerate() {
+            let RobustNode::Client(rc) = &nodes[1 + i] else {
+                unreachable!("nodes 1.. are clients");
+            };
+            for (down, up) in [
+                (&nlink.first_sent, &rc.link.delivered),
+                (&rc.link.first_sent, &nlink.delivered),
+            ] {
+                let sent: HashMap<(u32, u64), SimTime> =
+                    down.iter().map(|&(e, s, t)| ((e, s), t)).collect();
+                for &(e, s, t1) in up.iter() {
+                    if let Some(&t0) = sent.get(&(e, s)) {
+                        delivery_latencies_us.push((t1 - t0).as_micros());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut final_docs = Vec::new();
+    let mut client_metrics = Vec::new();
+    let mut centre_metrics = None;
+    let mut max_history = 0usize;
+    let mut trace = traced.then(SessionTrace::default);
+    for node in sim.nodes_mut() {
+        match node {
+            RobustNode::Notifier(rn) => {
+                let mut m = *rn.inner.metrics();
+                for l in &rn.links {
+                    assert_eq!(l.in_flight(), 0, "notifier left frames unacked");
+                    l.fold_into(&mut m);
+                }
+                centre_metrics = Some(m);
+                final_docs.push(rn.inner.doc().to_owned());
+                max_history = max_history.max(rn.inner.history().len());
+                if let (Some(tr), Some(steps)) = (&mut trace, rn.trace.take()) {
+                    tr.notifier = steps;
+                }
+            }
+            RobustNode::Client(rc) => {
+                assert_eq!(
+                    rc.state,
+                    ConnState::Connected,
+                    "client left disconnected or mid-resync at quiescence"
+                );
+                assert_eq!(rc.link.in_flight(), 0, "client left frames unacked");
+                let mut m = *rc.inner.metrics();
+                rc.link.fold_into(&mut m);
+                client_metrics.push(m);
+                final_docs.push(rc.inner.doc().to_owned());
+                max_history = max_history.max(rc.inner.history().len());
+                if let (Some(tr), Some(events)) = (&mut trace, rc.trace.take()) {
+                    tr.clients.push(events);
+                }
+            }
+        }
+    }
+    let converged = final_docs.windows(2).all(|w| w[0] == w[1]);
+    let final_doc = final_docs.last().cloned().unwrap_or_default();
+
+    (
+        SessionReport {
+            deployment: cfg.deployment,
+            n_clients: n,
+            converged,
+            final_doc,
+            final_docs,
+            quiesced_at,
+            client_metrics,
+            centre_metrics,
+            net: sim.total_stats(),
+            max_stamp_integers: 2,
+            max_history_len: max_history,
+            deliveries: sim.deliveries().to_vec(),
+            fault_stats: sim.fault_stats(),
+            delivery_latencies_us,
+        },
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvc_core::state_vector::CompressedStamp;
+    use cvc_ot::pos::PosOp;
+    use cvc_ot::seq::SeqOp;
+    use cvc_sim::fault::FlapSpec;
+    use cvc_sim::latency::LatencyModel;
+
+    #[test]
+    fn fnv1a32_matches_reference_vectors() {
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a32(b"foobar"), 0xbf9c_f968);
+    }
+
+    fn round_trip(msg: &ReliableMsg) {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len(), msg.wire_bytes(), "size must match for {msg:?}");
+        let mut slice = &buf[..];
+        let back = ReliableMsg::decode(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "decode must consume all bytes");
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn reliable_frames_round_trip() {
+        round_trip(&ReliableMsg {
+            epoch: 0,
+            kind: ReliableKind::Data {
+                seq: 300,
+                ack: 7,
+                checksum: fnv1a32(&[1, 2, 3]),
+                payload: vec![1, 2, 3],
+            },
+        });
+        round_trip(&ReliableMsg {
+            epoch: 2,
+            kind: ReliableKind::Ack { ack: 12 },
+        });
+        round_trip(&ReliableMsg {
+            epoch: 3,
+            kind: ReliableKind::ResyncRequest {
+                site: 4,
+                received: 9,
+                generated: 11,
+            },
+        });
+        round_trip(&ReliableMsg {
+            epoch: 3,
+            kind: ReliableKind::ResyncResponse {
+                received_from_site: 8,
+            },
+        });
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked() {
+        let msg = ReliableMsg {
+            epoch: 1,
+            kind: ReliableKind::Data {
+                seq: 5,
+                ack: 2,
+                checksum: 0xdead_beef,
+                payload: vec![9; 40],
+            },
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                ReliableMsg::decode(&mut slice).is_err(),
+                "cut at {cut} decoded cleanly"
+            );
+        }
+        // Tag byte + epoch varint, then an unknown tag is reported as such.
+        let mut bad: &[u8] = &[0x2a, 0x00];
+        assert_eq!(ReliableMsg::decode(&mut bad), Err(WireError::BadTag(0x2a)));
+        let mut empty: &[u8] = &[];
+        assert_eq!(ReliableMsg::decode(&mut empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_payload_length_is_truncation_not_allocation() {
+        // Claim a 2^40-byte payload with 3 actual bytes behind it.
+        let mut buf = Vec::new();
+        buf.put_u8(TAG_DATA);
+        put_varint(&mut buf, 0); // epoch
+        put_varint(&mut buf, 1); // seq
+        put_varint(&mut buf, 0); // ack
+        put_varint(&mut buf, 0); // checksum
+        put_varint(&mut buf, 1 << 40); // payload length
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut slice = &buf[..];
+        assert_eq!(ReliableMsg::decode(&mut slice), Err(WireError::Truncated));
+    }
+
+    fn robust_cfg(n: usize, seed: u64) -> SessionConfig {
+        let mut cfg = SessionConfig::small(Deployment::StarCvc, n, seed);
+        cfg.reliable = true;
+        cfg
+    }
+
+    #[test]
+    fn clean_network_robust_session_converges_without_retransmits() {
+        let r = run_robust_session(&robust_cfg(4, 11));
+        assert!(r.converged, "{:?}", r.final_docs);
+        let total = r.total_metrics();
+        assert_eq!(total.retransmits, 0);
+        assert_eq!(total.dup_drops, 0);
+        assert_eq!(total.checksum_drops, 0);
+        assert!(r.fault_stats.is_clean());
+        assert!(!r.delivery_latencies_us.is_empty());
+    }
+
+    #[test]
+    fn lossy_links_converge_via_retransmission() {
+        let mut cfg = robust_cfg(4, 5);
+        cfg.workload.ops_per_site = 12;
+        cfg.fault_plan = Some(FaultPlan {
+            drop: 0.15,
+            duplicate: 0.1,
+            reorder: 0.1,
+            reorder_extra_us: 40_000,
+            ..FaultPlan::NONE
+        });
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+        let total = r.total_metrics();
+        assert!(total.retransmits > 0, "drops must force retransmits");
+        assert!(
+            total.dup_drops > 0,
+            "duplicates and go-back-N must hit the dedup path"
+        );
+        assert!(r.fault_stats.dropped > 0);
+    }
+
+    #[test]
+    fn corruption_is_caught_by_checksums() {
+        let mut cfg = robust_cfg(3, 8);
+        cfg.workload.ops_per_site = 10;
+        cfg.fault_plan = Some(FaultPlan {
+            corrupt: 0.2,
+            ..FaultPlan::NONE
+        });
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+        let total = r.total_metrics();
+        assert!(
+            total.checksum_drops > 0,
+            "corruptor ran: {:?}",
+            r.fault_stats
+        );
+        // Corruption draws also hit Ack frames (where the corruptor is a
+        // no-op), so checksum drops are bounded by, not equal to, the
+        // injected count.
+        assert!(total.checksum_drops <= r.fault_stats.corrupted);
+    }
+
+    #[test]
+    fn link_flap_is_survived() {
+        let mut cfg = robust_cfg(3, 21);
+        cfg.workload.ops_per_site = 10;
+        cfg.fault_plan = Some(FaultPlan {
+            flap: Some(FlapSpec {
+                period_us: 700_000,
+                down_us: 200_000,
+                offset_us: 100_000,
+            }),
+            ..FaultPlan::NONE
+        });
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+        assert!(r.fault_stats.flap_dropped > 0);
+        assert!(r.total_metrics().retransmits > 0);
+    }
+
+    #[test]
+    fn disconnected_client_resyncs_and_converges() {
+        let mut cfg = robust_cfg(4, 3);
+        cfg.workload.ops_per_site = 15;
+        // Knock client 2 out for a stretch in the middle of the session;
+        // it keeps editing offline.
+        cfg.disconnects = vec![DisconnectSpec {
+            client: 1,
+            at: SimTime::from_millis(400),
+            down: SimDuration::from_millis(900),
+        }];
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+        let total = r.total_metrics();
+        assert!(total.resyncs >= 2, "served + completed: {}", total.resyncs);
+        assert!(
+            total.resync_replayed > 0,
+            "the notifier must replay the missed suffix"
+        );
+        let centre = r.centre_metrics.expect("star has a centre");
+        assert!(centre.robustness_summary().is_some());
+    }
+
+    #[test]
+    fn repeated_outages_of_multiple_clients_converge() {
+        let mut cfg = robust_cfg(5, 77);
+        cfg.workload.ops_per_site = 12;
+        cfg.fault_plan = Some(FaultPlan::lossy(0.05));
+        cfg.disconnects = vec![
+            DisconnectSpec {
+                client: 0,
+                at: SimTime::from_millis(300),
+                down: SimDuration::from_millis(500),
+            },
+            DisconnectSpec {
+                client: 3,
+                at: SimTime::from_millis(600),
+                down: SimDuration::from_millis(700),
+            },
+            DisconnectSpec {
+                client: 0,
+                at: SimTime::from_millis(1600),
+                down: SimDuration::from_millis(400),
+            },
+        ];
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+        assert!(r.total_metrics().resyncs >= 6);
+    }
+
+    #[test]
+    fn traced_run_records_every_integration() {
+        let mut cfg = robust_cfg(3, 13);
+        cfg.workload.ops_per_site = 6;
+        cfg.fault_plan = Some(FaultPlan::lossy(0.1));
+        let (r, trace) = run_robust_session_traced(&cfg);
+        assert!(r.converged);
+        let locals: usize = trace.clients.iter().flatten().fold(0, |acc, e| {
+            acc + usize::from(matches!(e, ClientEvent::Local(_)))
+        });
+        assert_eq!(
+            trace.notifier.len(),
+            locals,
+            "every generated op is integrated exactly once"
+        );
+        let remotes: usize = trace.clients.iter().flatten().fold(0, |acc, e| {
+            acc + usize::from(matches!(e, ClientEvent::Remote { .. }))
+        });
+        let broadcast_total: usize = trace.notifier.iter().map(|s| s.broadcasts.len()).sum();
+        assert_eq!(remotes, broadcast_total, "every broadcast executes once");
+    }
+
+    #[test]
+    fn partition_window_is_survived() {
+        // Directed simulator partition (both directions) between the
+        // notifier and client 1 for a window mid-session.
+        let mut cfg = robust_cfg(3, 41);
+        cfg.workload.ops_per_site = 10;
+        // No probabilistic faults: the outage alone must be recovered by
+        // retransmission once it lifts (a partition is a one-shot flap).
+        cfg.fault_plan = Some(FaultPlan {
+            flap: Some(FlapSpec {
+                period_us: 100_000_000, // one cycle: effectively one outage
+                down_us: 800_000,
+                offset_us: 500_000,
+            }),
+            ..FaultPlan::NONE
+        });
+        let r = run_robust_session(&cfg);
+        assert!(r.converged, "{:?}", r.final_docs);
+    }
+
+    #[test]
+    fn reliable_sessions_are_reproducible() {
+        let mut cfg = robust_cfg(4, 19);
+        cfg.workload.ops_per_site = 10;
+        cfg.fault_plan = Some(FaultPlan {
+            drop: 0.1,
+            duplicate: 0.05,
+            reorder: 0.05,
+            reorder_extra_us: 30_000,
+            ..FaultPlan::NONE
+        });
+        let a = run_robust_session(&cfg);
+        let b = run_robust_session(&cfg);
+        assert_eq!(a.final_doc, b.final_doc);
+        assert_eq!(a.net.bytes, b.net.bytes);
+        assert_eq!(a.quiesced_at, b.quiesced_at);
+        assert_eq!(a.total_metrics().retransmits, b.total_metrics().retransmits);
+    }
+
+    #[test]
+    fn run_session_delegates_to_the_reliability_layer() {
+        let mut cfg = robust_cfg(3, 2);
+        cfg.fault_plan = Some(FaultPlan::lossy(0.1));
+        let r = crate::session::run_session(&cfg);
+        assert!(r.converged);
+        assert!(r.fault_stats.dropped > 0);
+    }
+
+    /// With the reliability layer OFF, the same fault classes must be
+    /// *detected* by the editor protocol (formula counters make FIFO gaps
+    /// visible), not silently mis-integrated. A duplicated client op is
+    /// the canonical case.
+    #[test]
+    fn without_reliability_duplicates_are_detected_as_fifo_violations() {
+        use crate::error::ProtocolError;
+        let mut n = Notifier::new(2, "seed");
+        let mut c1 = Client::new(SiteId(1), "seed");
+        c1.set_share_caret(false);
+        let m = c1.local_edit(SeqOp::from_pos(&PosOp::insert(0, "x"), 4));
+        n.on_client_op(m.clone());
+        let err = n.try_on_client_op(m).expect_err("duplicate must be caught");
+        assert!(
+            matches!(err, ProtocolError::FifoViolation { got: 1, .. }),
+            "{err:?}"
+        );
+        // A dropped (skipped) op is equally visible as a gap.
+        let _skipped = c1.local_edit(SeqOp::from_pos(&PosOp::insert(1, "y"), 5));
+        let m3 = c1.local_edit(SeqOp::from_pos(&PosOp::insert(2, "z"), 6));
+        let err = n.try_on_client_op(m3).expect_err("gap must be caught");
+        assert!(
+            matches!(
+                err,
+                ProtocolError::FifoViolation {
+                    expected: 2,
+                    got: 3,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn latency_log_survives_faults_and_joins_cleanly() {
+        let mut cfg = robust_cfg(3, 29);
+        cfg.workload.ops_per_site = 8;
+        cfg.fault_plan = Some(FaultPlan::lossy(0.2));
+        cfg.latency = LatencyModel::internet();
+        let r = run_robust_session(&cfg);
+        assert!(r.converged);
+        // Every latency is positive and the log is as large as the
+        // delivered in-order frame count (dropped first transmissions
+        // still join on the retransmission's delivery).
+        assert!(!r.delivery_latencies_us.is_empty());
+        assert!(r.delivery_latencies_us.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn stamps_survive_reliable_transport_byte_for_byte() {
+        // The whole point: the editor layer above the reliable links
+        // still never sees more than two timestamp integers.
+        let mut cfg = robust_cfg(4, 57);
+        cfg.fault_plan = Some(FaultPlan {
+            drop: 0.1,
+            reorder: 0.1,
+            reorder_extra_us: 50_000,
+            ..FaultPlan::NONE
+        });
+        let (r, trace) = run_robust_session_traced(&cfg);
+        assert!(r.converged);
+        assert_eq!(r.max_stamp_integers, 2);
+        for step in &trace.notifier {
+            let _: CompressedStamp = step.msg.stamp; // two integers, by type
+        }
+    }
+}

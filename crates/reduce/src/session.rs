@@ -23,6 +23,7 @@ use crate::mesh::MeshSite;
 use crate::metrics::SiteMetrics;
 use crate::msg::EditorMsg;
 use crate::notifier::{Notifier, ScanMode};
+use crate::reliable::DisconnectSpec;
 use crate::workload::{EditIntent, ScheduledEdit, WorkloadConfig};
 use cvc_core::site::SiteId;
 use cvc_sim::prelude::*;
@@ -92,6 +93,18 @@ pub struct SessionConfig {
     /// deployments). Defaults to the watermark-bounded suffix scan; the
     /// full-scan reference exists for before/after measurements.
     pub notifier_scan: ScanMode,
+    /// Fault plan applied to every channel (`None` = the paper's reliable
+    /// FIFO network). Faulty plans normally require [`SessionConfig::
+    /// reliable`]; without it, protocol-level FIFO checks will (by
+    /// design) detect the violated transport assumption and panic.
+    pub fault_plan: Option<FaultPlan>,
+    /// Run the star/CVC deployment over the ack/retransmit reliability
+    /// layer (`crate::reliable`), which restores FIFO semantics on top of
+    /// whatever `fault_plan` does to the links.
+    pub reliable: bool,
+    /// Scheduled client outages (each ends in a reconnect + resync).
+    /// Requires `reliable`.
+    pub disconnects: Vec<DisconnectSpec>,
 }
 
 impl SessionConfig {
@@ -109,6 +122,9 @@ impl SessionConfig {
             bandwidth_bytes_per_sec: None,
             share_carets: false,
             notifier_scan: ScanMode::SuffixBounded,
+            fault_plan: None,
+            reliable: false,
+            disconnects: Vec::new(),
         }
     }
 }
@@ -141,6 +157,12 @@ pub struct SessionReport {
     pub max_history_len: usize,
     /// Per-delivery records (empty unless requested).
     pub deliveries: Vec<DeliveryRecord>,
+    /// Injected-fault tallies (all zero on a clean network).
+    pub fault_stats: FaultStats,
+    /// One-way in-order delivery latencies (µs) measured by the
+    /// reliability layer, send-to-usable: a dropped first copy counts
+    /// until its retransmission lands. Empty for plain sessions.
+    pub delivery_latencies_us: Vec<u64>,
 }
 
 impl SessionReport {
@@ -364,12 +386,25 @@ impl Node<EditorMsg> for SessionNode {
 
 /// Run a configured session to quiescence and report.
 pub fn run_session(cfg: &SessionConfig) -> SessionReport {
+    if cfg.reliable {
+        return crate::reliable::run_robust_session(cfg);
+    }
+    assert!(
+        cfg.disconnects.is_empty(),
+        "client outages require the reliability layer (cfg.reliable)"
+    );
     let n = cfg.workload.n_sites;
     assert!(n >= 2, "sessions need at least two clients");
     let scripts = cfg.workload.generate();
     let mut sim: Simulator<EditorMsg, SessionNode> = Simulator::new(cfg.latency, cfg.net_seed);
     sim.set_default_bandwidth(cfg.bandwidth_bytes_per_sec);
     sim.record_deliveries(cfg.record_deliveries);
+    if let Some(plan) = cfg.fault_plan {
+        // Without the reliability layer the protocol checks will detect
+        // the broken FIFO assumption (and panic) — that detection is
+        // itself under test in the chaos suite.
+        sim.set_default_fault_plan(plan);
+    }
 
     // Build nodes per deployment.
     match cfg.deployment {
@@ -525,6 +560,8 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
         max_stamp_integers,
         max_history_len: max_history,
         deliveries: sim.deliveries().to_vec(),
+        fault_stats: sim.fault_stats(),
+        delivery_latencies_us: Vec::new(),
     }
 }
 

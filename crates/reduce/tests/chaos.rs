@@ -1,0 +1,461 @@
+//! Chaos harness: faulty links + reliability layer vs. a ground-truth
+//! oracle.
+//!
+//! Three legs:
+//!
+//! 1. **Masking** (proptest + fixed-seed smoke): under seeded
+//!    drop/duplicate/reorder/corrupt/flap plans and scheduled client
+//!    outages, a robust session must converge, and a *twin replay* of its
+//!    recorded trace on a fault-free in-process network must reproduce
+//!    every formula-(5)/(7) verdict bit-for-bit — each of which must also
+//!    agree with the Definition-1 [`CausalityOracle`]. In other words, the
+//!    reliability layer makes the faulty network observationally identical
+//!    to the paper's assumed FIFO transport.
+//! 2. **Detection**: with the reliability layer *off*, the same fault
+//!    classes must be caught by the protocol's FIFO/ack checks as
+//!    [`ProtocolError`]s — never silently mis-integrated.
+//! 3. A fixed-seed smoke variant of (1) for CI.
+
+use cvc_core::oracle::{CausalityOracle, OpRef};
+use cvc_core::site::SiteId;
+use cvc_reduce::client::Client;
+use cvc_reduce::error::ProtocolError;
+use cvc_reduce::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
+use cvc_reduce::notifier::Notifier;
+use cvc_reduce::reliable::{run_robust_session_traced, ClientEvent, DisconnectSpec, SessionTrace};
+use cvc_reduce::session::{ClientMode, Deployment, SessionConfig, SessionReport};
+use cvc_reduce::workload::{EditIntent, ScheduledEdit};
+use cvc_sim::fault::{FaultPlan, FlapSpec};
+use cvc_sim::sim::{Ctx, Node, NodeId, Simulator};
+use cvc_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Replay a recorded robust-session trace on a perfect in-process network
+/// and audit every concurrency verdict against the oracle, the recording,
+/// and the live run's final state.
+fn replay_and_audit(cfg: &SessionConfig, trace: &SessionTrace, live: &SessionReport) {
+    let n = cfg.workload.n_sites;
+    let mut oracle = CausalityOracle::new();
+    let mut notifier = Notifier::new(n, &cfg.initial_doc);
+    notifier.set_scan_mode(cfg.notifier_scan);
+    let mut clients: Vec<Client> = (1..=n)
+        .map(|i| {
+            let mut c = Client::new(SiteId(i as u32), &cfg.initial_doc);
+            c.set_share_caret(cfg.share_carets);
+            c
+        })
+        .collect();
+
+    // Oracle refs mirroring the history buffers (the verify.rs scheme:
+    // a notifier HB entry keeps both the transformed op's site-0 identity
+    // and the original's, picked per comparison).
+    let mut hb_refs_notifier: Vec<(OpRef, OpRef, SiteId)> = Vec::new();
+    let mut hb_refs_client: Vec<Vec<OpRef>> = vec![Vec::new(); n];
+
+    // Replay cursors and in-flight queues. The recorded per-node orders
+    // are the schedule; the queues enforce generation-before-integration
+    // and broadcast-before-execution, which makes the merged order a
+    // valid linearization of the live run.
+    let mut ns = 0usize; // next notifier step
+    let mut ci = vec![0usize; n]; // next client event
+    let mut up: Vec<VecDeque<(ClientOpMsg, OpRef)>> = vec![VecDeque::new(); n];
+    let mut down: Vec<VecDeque<(ServerOpMsg, OpRef)>> = vec![VecDeque::new(); n];
+
+    loop {
+        let mut progressed = false;
+
+        // Client events first: Local generations are always enabled and
+        // unblock notifier steps.
+        for i in 0..n {
+            while ci[i] < trace.clients[i].len() {
+                match &trace.clients[i][ci[i]] {
+                    ClientEvent::Local(recorded) => {
+                        let rebuilt = clients[i].local_edit(recorded.op.clone());
+                        assert_eq!(
+                            &rebuilt,
+                            recorded,
+                            "twin client {} rebuilt a different propagation message",
+                            i + 1
+                        );
+                        let site = SiteId(i as u32 + 1);
+                        let op_ref =
+                            oracle.record_generation(site, format!("{site}#{}", rebuilt.stamp));
+                        hb_refs_client[i].push(op_ref);
+                        up[i].push_back((rebuilt, op_ref));
+                    }
+                    ClientEvent::Remote { msg, checked } => {
+                        let Some((expected, prime_ref)) = down[i].pop_front() else {
+                            break; // blocked on a notifier step
+                        };
+                        assert_eq!(
+                            msg,
+                            &expected,
+                            "client {} executed a message the notifier never sent it",
+                            i + 1
+                        );
+                        let outcome = clients[i].on_server_op(expected);
+                        assert_eq!(
+                            &outcome.checked, checked,
+                            "live formula-(5) verdicts differ from the fault-free twin"
+                        );
+                        for (k, &verdict) in outcome.checked.iter().enumerate() {
+                            let truth = oracle.concurrent(prime_ref, hb_refs_client[i][k]);
+                            assert_eq!(
+                                verdict,
+                                truth,
+                                "client {}: formula (5) disagrees with the oracle on {} vs {}",
+                                i + 1,
+                                oracle.label_of(prime_ref),
+                                oracle.label_of(hb_refs_client[i][k]),
+                            );
+                        }
+                        oracle.record_execution(SiteId(i as u32 + 1), prime_ref);
+                        hb_refs_client[i].push(prime_ref);
+                    }
+                }
+                ci[i] += 1;
+                progressed = true;
+            }
+        }
+
+        // Notifier steps, in arrival order, gated on the origin having
+        // generated the operation.
+        while ns < trace.notifier.len() {
+            let step = &trace.notifier[ns];
+            let origin = step.msg.origin;
+            let xi = origin.client_index();
+            let Some((queued, op_ref)) = up[xi].pop_front() else {
+                break;
+            };
+            assert_eq!(
+                queued, step.msg,
+                "notifier integrated an op out of per-channel order"
+            );
+            let outcome = notifier.on_client_op(queued);
+            let verdicts = outcome.full_verdicts();
+            assert_eq!(
+                verdicts, step.verdicts,
+                "live formula-(7) verdicts differ from the fault-free twin"
+            );
+            for (k, &verdict) in verdicts.iter().enumerate() {
+                let (prime_ref, orig_ref, entry_origin) = hb_refs_notifier[k];
+                let ob = if entry_origin == origin {
+                    orig_ref
+                } else {
+                    prime_ref
+                };
+                let truth = oracle.concurrent(op_ref, ob);
+                assert_eq!(
+                    verdict,
+                    truth,
+                    "notifier: formula (7) disagrees with the oracle on {} vs {}",
+                    oracle.label_of(op_ref),
+                    oracle.label_of(ob),
+                );
+            }
+            oracle.record_execution(SiteId(0), op_ref);
+            let prime =
+                oracle.record_generation(SiteId(0), format!("{}'", oracle.label_of(op_ref)));
+            hb_refs_notifier.push((prime, op_ref, origin));
+            assert_eq!(
+                outcome.broadcasts, step.broadcasts,
+                "twin notifier broadcast a different stream"
+            );
+            for (dest, smsg) in outcome.broadcasts {
+                down[dest.client_index()].push_back((smsg, prime));
+            }
+            ns += 1;
+            progressed = true;
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    // Everything recorded must have replayed (the merge cannot deadlock on
+    // a trace produced by an actual execution).
+    assert_eq!(ns, trace.notifier.len(), "unreplayed notifier steps");
+    for i in 0..n {
+        assert_eq!(
+            ci[i],
+            trace.clients[i].len(),
+            "unreplayed events at client {}",
+            i + 1
+        );
+        assert!(
+            down[i].is_empty(),
+            "unexecuted broadcasts for client {}",
+            i + 1
+        );
+        assert!(up[i].is_empty(), "unintegrated ops from client {}", i + 1);
+    }
+
+    // The twin's final state must equal the live run's, node for node
+    // (live order: notifier first, then clients).
+    assert_eq!(
+        live.final_docs[0],
+        notifier.doc(),
+        "twin notifier document differs from the live run"
+    );
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(
+            live.final_docs[1 + i],
+            c.doc(),
+            "twin client {} document differs from the live run",
+            i + 1
+        );
+    }
+}
+
+fn chaos_cfg(
+    n: usize,
+    ops: usize,
+    seed: u64,
+    plan: FaultPlan,
+    disconnects: Vec<DisconnectSpec>,
+) -> SessionConfig {
+    let mut cfg = SessionConfig::small(Deployment::StarCvc, n, seed);
+    cfg.workload.ops_per_site = ops;
+    cfg.client_mode = ClientMode::Streaming;
+    cfg.reliable = true;
+    cfg.fault_plan = Some(plan);
+    cfg.disconnects = disconnects;
+    cfg
+}
+
+fn run_and_audit(cfg: &SessionConfig) -> SessionReport {
+    let (report, trace) = run_robust_session_traced(cfg);
+    assert!(
+        report.converged,
+        "robust session diverged: {:?}",
+        report.final_docs
+    );
+    replay_and_audit(cfg, &trace, &report);
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded combination of drop/duplicate/reorder/corrupt faults
+    /// (plus an optional mid-session outage of one client) is fully
+    /// masked: the session converges and behaves verdict-for-verdict like
+    /// a fault-free run of the same interleaving.
+    #[test]
+    fn faulty_links_are_fully_masked(
+        n in 2usize..=5,
+        ops in 4usize..=10,
+        seed in 0u64..1_000,
+        drop_p in 0.0f64..0.2,
+        dup_p in 0.0f64..0.15,
+        reorder_p in 0.0f64..0.15,
+        corrupt_p in 0.0f64..0.1,
+        outage in proptest::option::of((0usize..5, 200u64..900, 300u64..1_200)),
+    ) {
+        let plan = FaultPlan {
+            drop: drop_p,
+            duplicate: dup_p,
+            reorder: reorder_p,
+            reorder_extra_us: 60_000,
+            corrupt: corrupt_p,
+            ..FaultPlan::NONE
+        };
+        let disconnects = outage
+            .into_iter()
+            .map(|(c, at_ms, down_ms)| DisconnectSpec {
+                client: c % n,
+                at: SimTime::from_millis(at_ms),
+                down: SimDuration::from_millis(down_ms),
+            })
+            .collect();
+        run_and_audit(&chaos_cfg(n, ops, seed, plan, disconnects));
+    }
+}
+
+/// Deterministic CI smoke: one moderately nasty plan (all fault classes
+/// at once, plus a flap and two outages) through the full oracle audit.
+#[test]
+fn fixed_seed_chaos_smoke() {
+    let plan = FaultPlan {
+        drop: 0.08,
+        duplicate: 0.05,
+        reorder: 0.05,
+        reorder_extra_us: 50_000,
+        corrupt: 0.04,
+        delay_spike: 0.03,
+        spike_us: 120_000,
+        flap: Some(FlapSpec {
+            period_us: 900_000,
+            down_us: 150_000,
+            offset_us: 300_000,
+        }),
+    };
+    let disconnects = vec![
+        DisconnectSpec {
+            client: 1,
+            at: SimTime::from_millis(350),
+            down: SimDuration::from_millis(700),
+        },
+        DisconnectSpec {
+            client: 3,
+            at: SimTime::from_millis(500),
+            down: SimDuration::from_millis(400),
+        },
+    ];
+    let cfg = chaos_cfg(4, 14, 0xC4A05, plan, disconnects);
+    let report = run_and_audit(&cfg);
+    let total = report.total_metrics();
+    assert!(total.retransmits > 0, "the plan must actually bite");
+    assert!(total.resyncs >= 4, "both outages must resync");
+    assert!(report.fault_stats.dropped > 0);
+}
+
+// ---------------------------------------------------------------------
+// Detection leg: the same faults without the reliability layer must be
+// *caught*, not silently mis-ordered.
+// ---------------------------------------------------------------------
+
+/// Star nodes that integrate via the fallible entry points and count
+/// protocol errors instead of panicking.
+enum TolerantNode {
+    Notifier {
+        inner: Box<Notifier>,
+        errors: Vec<ProtocolError>,
+    },
+    Client {
+        inner: Box<Client>,
+        script: Vec<ScheduledEdit>,
+        errors: Vec<ProtocolError>,
+    },
+}
+
+impl Node<EditorMsg> for TolerantNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EditorMsg>, _from: NodeId, msg: EditorMsg) {
+        match (self, msg) {
+            (TolerantNode::Notifier { inner, errors }, EditorMsg::ClientOp(m)) => {
+                match inner.try_on_client_op(m) {
+                    Ok(out) => {
+                        for (dest, smsg) in out.broadcasts {
+                            ctx.send(dest.0 as usize, EditorMsg::ServerOp(smsg));
+                        }
+                    }
+                    Err(e) => errors.push(e),
+                }
+            }
+            (TolerantNode::Client { inner, errors, .. }, EditorMsg::ServerOp(m)) => {
+                if let Err(e) = inner.try_on_server_op(m) {
+                    errors.push(e);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, EditorMsg>, tag: u64) {
+        let TolerantNode::Client { inner, script, .. } = self else {
+            return;
+        };
+        let edit = script[tag as usize].clone();
+        let len = inner.doc_len();
+        let msg = match &edit.intent {
+            EditIntent::InsertChar { ch, .. } => {
+                let pos = edit.intent.position(len).expect("insert applies");
+                Some(inner.insert(pos, &ch.to_string()))
+            }
+            EditIntent::InsertText { text, .. } => {
+                let pos = edit.intent.position(len).expect("insert applies");
+                Some(inner.insert(pos, text))
+            }
+            EditIntent::DeleteChar { .. } => {
+                edit.intent.position(len).map(|pos| inner.delete(pos, 1))
+            }
+            EditIntent::Undo => inner.undo_last_local(),
+        };
+        if let Some(m) = msg {
+            ctx.send(0, EditorMsg::ClientOp(m));
+        }
+    }
+}
+
+fn run_tolerant_unreliable(n: usize, seed: u64, plan: FaultPlan) -> Vec<ProtocolError> {
+    let cfg = SessionConfig::small(Deployment::StarCvc, n, seed);
+    let scripts = cfg.workload.generate();
+    let mut sim: Simulator<EditorMsg, TolerantNode> = Simulator::new(cfg.latency, cfg.net_seed);
+    sim.set_default_fault_plan(plan);
+    sim.add_node(TolerantNode::Notifier {
+        inner: Box::new(Notifier::new(n, &cfg.initial_doc)),
+        errors: Vec::new(),
+    });
+    for (i, script) in scripts.iter().enumerate() {
+        let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
+        client.set_share_caret(false);
+        sim.add_node(TolerantNode::Client {
+            inner: Box::new(client),
+            script: script.clone(),
+            errors: Vec::new(),
+        });
+        for (k, edit) in script.iter().enumerate() {
+            sim.schedule_timer(1 + i, edit.at, k as u64);
+        }
+    }
+    sim.run();
+    let mut all = Vec::new();
+    for node in sim.nodes_mut() {
+        match node {
+            TolerantNode::Notifier { errors, .. } | TolerantNode::Client { errors, .. } => {
+                all.append(errors);
+            }
+        }
+    }
+    all
+}
+
+#[test]
+fn without_reliability_duplication_is_detected() {
+    let errors = run_tolerant_unreliable(
+        3,
+        7,
+        FaultPlan {
+            duplicate: 0.5,
+            ..FaultPlan::NONE
+        },
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, ProtocolError::FifoViolation { .. })),
+        "duplicated messages must trip the FIFO counter check: {errors:?}"
+    );
+}
+
+#[test]
+fn without_reliability_loss_is_detected() {
+    let errors = run_tolerant_unreliable(3, 11, FaultPlan::lossy(0.4));
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, ProtocolError::FifoViolation { .. })),
+        "a dropped message leaves a visible sequence gap: {errors:?}"
+    );
+}
+
+#[test]
+fn without_reliability_reordering_is_detected() {
+    let errors = run_tolerant_unreliable(
+        4,
+        13,
+        FaultPlan {
+            reorder: 0.5,
+            reorder_extra_us: 200_000,
+            ..FaultPlan::NONE
+        },
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, ProtocolError::FifoViolation { .. })),
+        "an overtaken message arrives with a regressed counter: {errors:?}"
+    );
+}

@@ -1,0 +1,209 @@
+//! Wire-codec hardening: decoding hostile bytes must be total.
+//!
+//! For every frame type on the simulated wire ([`EditorMsg`] and the
+//! reliability layer's [`ReliableMsg`]) these properties must hold:
+//!
+//! * **round trip** — decode(encode(m)) == m, consuming exactly
+//!   `wire_bytes()`;
+//! * **truncation** — every strict prefix of a valid encoding decodes to
+//!   [`WireError`], never a panic and never a different message;
+//! * **no over-read** — trailing garbage after a valid frame is left
+//!   untouched in the buffer;
+//! * **bit flips / garbage** — arbitrary corrupted or random byte strings
+//!   decode to Ok-or-Err without panicking or reading past the end.
+
+use bytes::BufMut;
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_core::vector::VectorClock;
+use cvc_ot::seq::SeqOp;
+use cvc_ot::ttf::TtfOp;
+use cvc_reduce::msg::{ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
+use cvc_reduce::reliable::{ReliableKind, ReliableMsg};
+use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
+use proptest::prelude::*;
+
+/// A structurally valid (not necessarily applicable) sequence operation.
+fn seq_op_strategy() -> impl Strategy<Value = SeqOp> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..40).prop_map(|n| (0u8, n, String::new())),
+            "[a-z ]{1,8}".prop_map(|s| (1u8, 0usize, s)),
+            (1usize..20).prop_map(|n| (2u8, n, String::new())),
+        ],
+        0..6,
+    )
+    .prop_map(|parts| {
+        let mut op = SeqOp::new();
+        for (kind, n, text) in parts {
+            match kind {
+                0 => op.retain(n),
+                1 => op.insert(&text),
+                _ => op.delete(n),
+            };
+        }
+        op
+    })
+}
+
+fn stamp_strategy() -> impl Strategy<Value = CompressedStamp> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| CompressedStamp::new(a, b))
+}
+
+fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
+    let client = (
+        1u32..=64,
+        stamp_strategy(),
+        seq_op_strategy(),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(origin, stamp, op, cursor)| {
+            EditorMsg::ClientOp(ClientOpMsg {
+                origin: SiteId(origin),
+                stamp,
+                op,
+                cursor,
+            })
+        });
+    let server = (
+        stamp_strategy(),
+        seq_op_strategy(),
+        proptest::option::of((1u32..=64, any::<u64>())),
+    )
+        .prop_map(|(stamp, op, cursor)| EditorMsg::ServerOp(ServerOpMsg { stamp, op, cursor }));
+    let mesh = (
+        1u32..=16,
+        proptest::collection::vec(any::<u64>(), 1..8),
+        prop_oneof![
+            (0usize..1000, proptest::char::range(' ', '~'), 0u32..16)
+                .prop_map(|(pos, ch, site)| TtfOp::Insert { pos, ch, site }),
+            (0usize..1000).prop_map(|pos| TtfOp::Delete { pos }),
+        ],
+    )
+        .prop_map(|(origin, entries, op)| {
+            EditorMsg::MeshOp(MeshOpMsg {
+                origin: SiteId(origin),
+                vector: VectorClock::from_entries(entries),
+                op,
+            })
+        });
+    let ack = any::<u64>().prop_map(|acked| EditorMsg::ServerAck(ServerAckMsg { acked }));
+    prop_oneof![client, server, mesh, ack]
+}
+
+fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
+    let kind = prop_oneof![
+        (
+            1u64..1_000_000,
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(seq, ack, checksum, payload)| ReliableKind::Data {
+                seq,
+                ack,
+                checksum,
+                payload,
+            }),
+        any::<u64>().prop_map(|ack| ReliableKind::Ack { ack }),
+        (1u32..=64, any::<u64>(), any::<u64>()).prop_map(|(site, received, generated)| {
+            ReliableKind::ResyncRequest {
+                site,
+                received,
+                generated,
+            }
+        }),
+        any::<u64>()
+            .prop_map(|received_from_site| ReliableKind::ResyncResponse { received_from_site }),
+    ];
+    (any::<u32>(), kind).prop_map(|(epoch, kind)| ReliableMsg { epoch, kind })
+}
+
+/// Run the full hostile-input battery against one message's encoding.
+fn battery<M>(msg: &M, flips: &[usize])
+where
+    M: WireSize + WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+{
+    let mut bytes = Vec::with_capacity(msg.wire_bytes());
+    msg.encode(&mut bytes);
+    assert_eq!(bytes.len(), msg.wire_bytes(), "wire_bytes must be exact");
+
+    // Round trip, consuming exactly the frame.
+    let mut buf: &[u8] = &bytes;
+    assert_eq!(M::decode(&mut buf).as_ref(), Ok(msg));
+    assert!(buf.is_empty(), "decode left {} unread bytes", buf.len());
+
+    // No over-read past the frame: trailing junk stays in the buffer.
+    let mut overlong = bytes.clone();
+    overlong.put_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    let mut buf: &[u8] = &overlong;
+    assert_eq!(M::decode(&mut buf).as_ref(), Ok(msg));
+    assert_eq!(buf, &[0xde, 0xad, 0xbe, 0xef]);
+
+    // Every strict prefix is an error — never a panic, never a bogus Ok.
+    for cut in 0..bytes.len() {
+        let mut buf: &[u8] = &bytes[..cut];
+        assert!(
+            M::decode(&mut buf).is_err(),
+            "prefix of length {cut}/{} decoded to Ok",
+            bytes.len()
+        );
+    }
+
+    // Single-bit corruption: total, and any Ok must not over-read.
+    for &flip in flips {
+        let mut mangled = bytes.clone();
+        let bit = flip % (mangled.len() * 8);
+        mangled[bit / 8] ^= 1 << (bit % 8);
+        let before = mangled.len();
+        let mut buf: &[u8] = &mangled;
+        let _ = M::decode(&mut buf);
+        assert!(buf.len() <= before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn editor_msg_codec_is_total(msg in editor_msg_strategy(), flips in proptest::collection::vec(any::<usize>(), 1..12)) {
+        battery(&msg, &flips);
+    }
+
+    #[test]
+    fn reliable_msg_codec_is_total(msg in reliable_msg_strategy(), flips in proptest::collection::vec(any::<usize>(), 1..12)) {
+        battery(&msg, &flips);
+    }
+
+    /// Pure noise: decoding random byte strings never panics or reads past
+    /// the buffer, for either frame type.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf: &[u8] = &bytes;
+        let _ = EditorMsg::decode(&mut buf);
+        let mut buf: &[u8] = &bytes;
+        let _ = ReliableMsg::decode(&mut buf);
+    }
+
+    /// A hostile length field must not trigger a giant allocation or an
+    /// over-read: a tiny Data frame claiming a huge payload is Truncated.
+    #[test]
+    fn claimed_payload_length_is_bounded_by_buffer(claimed in 1u64..u64::MAX / 2) {
+        let mut bytes = Vec::new();
+        ReliableMsg {
+            epoch: 0,
+            kind: ReliableKind::Data {
+                seq: 1,
+                ack: 0,
+                checksum: 0,
+                payload: Vec::new(),
+            },
+        }
+        .encode(&mut bytes);
+        // Replace the trailing zero payload-length varint with `claimed`.
+        bytes.pop();
+        cvc_sim::wire::put_varint(&mut bytes, claimed);
+        let mut buf: &[u8] = &bytes;
+        prop_assert!(ReliableMsg::decode(&mut buf).is_err());
+    }
+}

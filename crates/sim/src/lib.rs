@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod wire;
 
+pub use fault::{FaultPlan, FaultStats, FlapSpec};
 pub use latency::LatencyModel;
 pub use sim::{ChannelStats, Ctx, DeliveryRecord, Node, NodeId, Simulator};
 pub use time::{SimDuration, SimTime};
@@ -52,6 +54,7 @@ pub use wire::{WireDecode, WireEncode, WireError, WireSize};
 
 /// Convenient single import for simulator users.
 pub mod prelude {
+    pub use crate::fault::{FaultPlan, FaultStats, FlapSpec};
     pub use crate::latency::LatencyModel;
     pub use crate::sim::{ChannelStats, Ctx, DeliveryRecord, Node, NodeId, Simulator};
     pub use crate::time::{SimDuration, SimTime};

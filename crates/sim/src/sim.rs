@@ -12,11 +12,12 @@
 //! Everything is virtual-time and seeded: a run is a pure function of
 //! `(nodes, topology, seed, workload)`.
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
 use crate::time::{SimDuration, SimTime};
 use crate::wire::WireSize;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -62,6 +63,10 @@ enum EventKind<M> {
         msg: M,
         sent_at: SimTime,
         bytes: usize,
+        /// Per-channel send index of the logical message (duplicates share
+        /// their original's index) — lets the receiver side count realised
+        /// inversions.
+        index: u64,
     },
     Timer {
         tag: u64,
@@ -122,6 +127,10 @@ struct Channel {
     busy_until: SimTime,
     last_arrival: SimTime,
     stats: ChannelStats,
+    /// Send index of the next logical message on this channel.
+    send_index: u64,
+    /// Highest send index delivered so far (inversion detection).
+    max_delivered: Option<u64>,
 }
 
 /// One delivered-message record (enabled via
@@ -152,9 +161,20 @@ pub struct Simulator<M, N> {
     deliveries: Option<Vec<DeliveryRecord>>,
     events_processed: u64,
     default_bandwidth: Option<u64>,
+    /// Fault plans per directed channel; `default_fault_plan` covers the
+    /// rest. All fault randomness comes from `fault_rng`, a stream
+    /// separate from the latency RNG so that fault-free configurations
+    /// reproduce pre-fault-layer runs bit for bit.
+    fault_plans: HashMap<(NodeId, NodeId), FaultPlan>,
+    default_fault_plan: FaultPlan,
+    partitions: Vec<(NodeId, NodeId, SimTime, SimTime)>,
+    fault_rng: SmallRng,
+    fault_stats: FaultStats,
+    #[allow(clippy::type_complexity)]
+    corruptor: Option<Box<dyn FnMut(&mut M, &mut SmallRng)>>,
 }
 
-impl<M: WireSize, N: Node<M>> Simulator<M, N> {
+impl<M: WireSize + Clone, N: Node<M>> Simulator<M, N> {
     /// A simulator whose channels default to `latency`, seeded for
     /// reproducible latency draws.
     pub fn new(latency: LatencyModel, seed: u64) -> Self {
@@ -169,6 +189,12 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
             deliveries: None,
             events_processed: 0,
             default_bandwidth: None,
+            fault_plans: HashMap::new(),
+            default_fault_plan: FaultPlan::NONE,
+            partitions: Vec::new(),
+            fault_rng: SmallRng::seed_from_u64(seed ^ 0xFA11_AB1E_0BAD_F00D),
+            fault_stats: FaultStats::default(),
+            corruptor: None,
         }
     }
 
@@ -203,6 +229,35 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
     /// Set the store-and-forward rate of one directed channel.
     pub fn set_channel_bandwidth(&mut self, from: NodeId, to: NodeId, bytes_per_sec: Option<u64>) {
         self.channel_entry(from, to).bandwidth_bytes_per_sec = bytes_per_sec;
+    }
+
+    /// Attach a [`FaultPlan`] to the directed channel `from → to`.
+    pub fn set_fault_plan(&mut self, from: NodeId, to: NodeId, plan: FaultPlan) {
+        self.fault_plans.insert((from, to), plan);
+    }
+
+    /// Fault plan applied to every channel without an explicit plan.
+    pub fn set_default_fault_plan(&mut self, plan: FaultPlan) {
+        self.default_fault_plan = plan;
+    }
+
+    /// Partition nodes `a` and `b` (both directions) during
+    /// `[from, until)`: messages sent in the window are lost.
+    pub fn add_partition(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        self.partitions.push((a, b, from, until));
+    }
+
+    /// Counters of every fault injected (and inversion observed) so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Install the in-flight corruptor: when a `corrupt` fault fires, the
+    /// closure mutates the message, which is then delivered anyway — the
+    /// receiver's integrity check is expected to reject it. Without a
+    /// corruptor, corruption degrades to a separately-counted drop.
+    pub fn set_corruptor(&mut self, f: impl FnMut(&mut M, &mut SmallRng) + 'static) {
+        self.corruptor = Some(Box::new(f));
     }
 
     /// Start keeping a [`DeliveryRecord`] per delivered message.
@@ -251,6 +306,11 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
     /// All nodes.
     pub fn nodes(&self) -> &[N] {
         &self.nodes
+    }
+
+    /// All nodes, mutably (e.g. to harvest per-node logs after a run).
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
     }
 
     /// Stats of the directed channel `from → to` (zero if unused).
@@ -302,6 +362,7 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
                         msg,
                         sent_at,
                         bytes,
+                        index,
                     } => {
                         let latency = self.now - sent_at;
                         {
@@ -312,6 +373,11 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
                             ch.stats.messages += 1;
                             ch.stats.bytes += bytes as u64;
                             ch.stats.total_latency_us += latency.as_micros();
+                            match ch.max_delivered {
+                                Some(m) if index < m => self.fault_stats.inversions_observed += 1,
+                                Some(m) if index == m => {} // duplicate of the head
+                                _ => ch.max_delivered = Some(index),
+                            }
                         }
                         if let Some(log) = &mut self.deliveries {
                             log.push(DeliveryRecord {
@@ -412,18 +478,82 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
             busy_until: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
             stats: ChannelStats::default(),
+            send_index: 0,
+            max_delivered: None,
         })
     }
 
     fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
         assert!(to < self.nodes.len(), "send to unknown node {to}");
         assert_ne!(from, to, "self-sends are not modelled");
-        let bytes = msg.wire_bytes();
         let now = self.now;
-        let seq = self.next_seq();
         let model = self.channel_entry(from, to).latency;
         let sampled = model.sample(&mut self.rng);
+
+        // Fault pipeline. All fault randomness comes from `fault_rng`, so
+        // a run with no plan and no partitions is bit-identical to the
+        // fault-free simulator.
+        let plan = *self
+            .fault_plans
+            .get(&(from, to))
+            .unwrap_or(&self.default_fault_plan);
+        let mut msg = msg;
+        let mut extra = SimDuration::ZERO;
+        let mut unclamped = false;
+        let mut duplicate = false;
+        if !plan.is_none() || !self.partitions.is_empty() {
+            if self.partitions.iter().any(|&(a, b, s, e)| {
+                ((a == from && b == to) || (a == to && b == from)) && now >= s && now < e
+            }) {
+                self.fault_stats.partition_dropped += 1;
+                return;
+            }
+            if plan.flap.is_some_and(|f| f.is_down(now)) {
+                self.fault_stats.flap_dropped += 1;
+                return;
+            }
+            if plan.drop > 0.0 && self.fault_rng.gen_bool(plan.drop.clamp(0.0, 1.0)) {
+                self.fault_stats.dropped += 1;
+                return;
+            }
+            if plan.corrupt > 0.0 && self.fault_rng.gen_bool(plan.corrupt.clamp(0.0, 1.0)) {
+                self.fault_stats.corrupted += 1;
+                match self.corruptor.as_mut() {
+                    Some(f) => f(&mut msg, &mut self.fault_rng),
+                    // No corruptor installed: the receiver would discard
+                    // the mangled frame anyway; model it as a loss.
+                    None => return,
+                }
+            }
+            duplicate =
+                plan.duplicate > 0.0 && self.fault_rng.gen_bool(plan.duplicate.clamp(0.0, 1.0));
+            if plan.delay_spike > 0.0 && self.fault_rng.gen_bool(plan.delay_spike.clamp(0.0, 1.0)) {
+                self.fault_stats.delay_spiked += 1;
+                extra += SimDuration::from_micros(plan.spike_us);
+            }
+            if plan.reorder > 0.0 && self.fault_rng.gen_bool(plan.reorder.clamp(0.0, 1.0)) {
+                self.fault_stats.reordered += 1;
+                unclamped = true;
+                if plan.reorder_extra_us > 0 {
+                    extra += SimDuration::from_micros(
+                        self.fault_rng.gen_range(0..=plan.reorder_extra_us),
+                    );
+                }
+            }
+        }
+
+        let bytes = msg.wire_bytes();
+        let seq = self.next_seq();
+        let dup_latency = if duplicate {
+            // The copy races independently: its own latency draw, no FIFO
+            // clamp, no serialisation queueing (it is born in the network).
+            Some(model.sample(&mut self.fault_rng))
+        } else {
+            None
+        };
         let ch = self.channel_entry(from, to);
+        let index = ch.send_index;
+        ch.send_index += 1;
         // Store-and-forward: the message first occupies the sender's link
         // for its serialisation time (if a rate is set)…
         let start = now.max(ch.busy_until);
@@ -434,9 +564,32 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
         let departed = start + ser;
         ch.busy_until = departed;
         // …then propagates; FIFO (TCP-like): a message never overtakes its
-        // predecessor on the same directed channel.
-        let arrival = (departed + sampled).max(ch.last_arrival);
-        ch.last_arrival = arrival;
+        // predecessor on the same directed channel — unless a reorder
+        // fault exempted it from the clamp.
+        let raw = departed + sampled + extra;
+        let arrival = if unclamped {
+            raw
+        } else {
+            let a = raw.max(ch.last_arrival);
+            ch.last_arrival = a;
+            a
+        };
+        if let Some(dup_lat) = dup_latency {
+            self.fault_stats.duplicated += 1;
+            let dup_seq = self.next_seq();
+            self.queue.push(Event {
+                time: departed + dup_lat,
+                seq: dup_seq,
+                to,
+                kind: EventKind::Deliver {
+                    from,
+                    msg: msg.clone(),
+                    sent_at: now,
+                    bytes,
+                    index,
+                },
+            });
+        }
         self.queue.push(Event {
             time: arrival,
             seq,
@@ -446,6 +599,7 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
                 msg,
                 sent_at: now,
                 bytes,
+                index,
             },
         });
     }
@@ -454,6 +608,7 @@ impl<M: WireSize, N: Node<M>> Simulator<M, N> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FlapSpec;
 
     /// Test message: a payload byte count plus an id.
     #[derive(Debug, Clone, PartialEq)]
@@ -704,6 +859,196 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_baseline_runs() {
+        let run = |with_plan: bool| {
+            let mut s: Simulator<TestMsg, Logger> = Simulator::new(LatencyModel::internet(), 17);
+            s.add_node(Logger::default());
+            s.add_node(Logger::default());
+            if with_plan {
+                s.set_default_fault_plan(FaultPlan::NONE);
+                s.set_fault_plan(0, 1, FaultPlan::NONE);
+            }
+            for id in 0..30 {
+                s.inject_send(0, 1, TestMsg { id, size: 1 });
+            }
+            s.run();
+            s.node(1)
+                .seen
+                .iter()
+                .map(|&(_, id, t)| (id, t.as_micros()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drops_lose_messages_deterministically() {
+        let run = || {
+            let mut s = sim(LatencyModel::Constant(100));
+            s.set_fault_plan(0, 1, FaultPlan::lossy(0.5));
+            for id in 0..100 {
+                s.inject_send(0, 1, TestMsg { id, size: 1 });
+            }
+            s.run();
+            (s.node(1).seen.len(), s.fault_stats())
+        };
+        let (delivered, stats) = run();
+        assert_eq!(delivered as u64 + stats.dropped, 100);
+        assert!(stats.dropped > 20, "p=0.5 over 100 sends: {stats:?}");
+        assert_eq!(run(), (delivered, stats), "fault draws are seeded");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let mut s = sim(LatencyModel::Constant(100));
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                duplicate: 1.0,
+                ..FaultPlan::NONE
+            },
+        );
+        for id in 0..10 {
+            s.inject_send(0, 1, TestMsg { id, size: 1 });
+        }
+        s.run();
+        assert_eq!(s.fault_stats().duplicated, 10);
+        assert_eq!(s.node(1).seen.len(), 20);
+        let mut ids: Vec<u64> = s.node(1).seen.iter().map(|&(_, id, _)| id).collect();
+        ids.sort_unstable();
+        let expect: Vec<u64> = (0..10).flat_map(|id| [id, id]).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn reorder_faults_realise_inversions() {
+        let mut s = sim(LatencyModel::Uniform { lo: 10, hi: 200 });
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                reorder: 0.3,
+                reorder_extra_us: 5_000,
+                ..FaultPlan::NONE
+            },
+        );
+        for id in 0..100 {
+            s.inject_send(0, 1, TestMsg { id, size: 1 });
+        }
+        s.run();
+        assert_eq!(s.node(1).seen.len(), 100, "reorder never loses messages");
+        let ids: Vec<u64> = s.node(1).seen.iter().map(|&(_, id, _)| id).collect();
+        let inversions = ids.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "no inversion realised: {ids:?}");
+        assert!(s.fault_stats().inversions_observed > 0);
+        assert!(s.fault_stats().reordered > 10);
+    }
+
+    #[test]
+    fn flap_window_drops_only_inside_window() {
+        let mut s = sim(LatencyModel::Constant(10));
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                flap: Some(FlapSpec {
+                    period_us: 1_000,
+                    down_us: 500,
+                    offset_us: 0,
+                }),
+                ..FaultPlan::NONE
+            },
+        );
+        // One send per 100µs for 2 cycles via timers on node 0.
+        for k in 0..20 {
+            s.schedule_timer(0, SimTime::from_micros(k * 100), 7); // tag 7 sends to 1
+        }
+        s.run();
+        // Down during [0,500) and [1000,1500): 10 of 20 sends lost.
+        assert_eq!(s.fault_stats().flap_dropped, 10);
+        assert_eq!(s.node(1).seen.len(), 10);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_in_window() {
+        let mut s = sim(LatencyModel::Constant(10));
+        s.add_partition(0, 1, SimTime::from_micros(100), SimTime::from_micros(1_000));
+        s.inject_send(0, 1, TestMsg { id: 1, size: 1 }); // t=0: passes
+        s.run();
+        s.advance_to(SimTime::from_micros(500));
+        s.inject_send(0, 1, TestMsg { id: 2, size: 1 }); // inside window
+        s.inject_send(1, 0, TestMsg { id: 3, size: 1 }); // reverse, inside
+        s.inject_send(0, 2, TestMsg { id: 4, size: 1 }); // other pair: passes
+        s.run();
+        s.advance_to(SimTime::from_micros(2_000));
+        s.inject_send(0, 1, TestMsg { id: 5, size: 1 }); // after window
+        s.run();
+        assert_eq!(s.fault_stats().partition_dropped, 2);
+        let ids: Vec<u64> = s.node(1).seen.iter().map(|&(_, id, _)| id).collect();
+        assert_eq!(ids, vec![1, 5]);
+        assert_eq!(s.node(2).seen.len(), 1);
+    }
+
+    #[test]
+    fn corruption_without_corruptor_is_a_loss() {
+        let mut s = sim(LatencyModel::Constant(10));
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                corrupt: 1.0,
+                ..FaultPlan::NONE
+            },
+        );
+        s.inject_send(0, 1, TestMsg { id: 1, size: 1 });
+        s.run();
+        assert_eq!(s.fault_stats().corrupted, 1);
+        assert!(s.node(1).seen.is_empty());
+    }
+
+    #[test]
+    fn corruptor_mutates_in_flight() {
+        let mut s = sim(LatencyModel::Constant(10));
+        s.set_corruptor(|m: &mut TestMsg, _rng| m.id ^= 0x8000_0000_0000_0000);
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                corrupt: 1.0,
+                ..FaultPlan::NONE
+            },
+        );
+        s.inject_send(0, 1, TestMsg { id: 1, size: 1 });
+        s.run();
+        assert_eq!(s.fault_stats().corrupted, 1);
+        assert_eq!(s.node(1).seen.len(), 1);
+        assert_eq!(s.node(1).seen[0].1, 1 | 0x8000_0000_0000_0000);
+    }
+
+    #[test]
+    fn delay_spike_preserves_fifo() {
+        let mut s = sim(LatencyModel::Constant(100));
+        s.set_fault_plan(
+            0,
+            1,
+            FaultPlan {
+                delay_spike: 0.5,
+                spike_us: 50_000,
+                ..FaultPlan::NONE
+            },
+        );
+        for id in 0..50 {
+            s.inject_send(0, 1, TestMsg { id, size: 1 });
+        }
+        s.run();
+        assert!(s.fault_stats().delay_spiked > 5);
+        let ids: Vec<u64> = s.node(1).seen.iter().map(|&(_, id, _)| id).collect();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>(), "spikes must not reorder");
+        assert_eq!(s.fault_stats().inversions_observed, 0);
     }
 
     #[test]

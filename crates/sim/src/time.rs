@@ -114,6 +114,12 @@ impl Add for SimDuration {
     }
 }
 
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.3}ms", self.0 as f64 / 1000.0)

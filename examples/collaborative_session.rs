@@ -51,6 +51,9 @@ fn main() {
             bandwidth_bytes_per_sec: None,
             share_carets: false,
             notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
+            fault_plan: None,
+            reliable: false,
+            disconnects: Vec::new(),
         };
         let r = run_session(&cfg);
         let m = r.total_metrics();

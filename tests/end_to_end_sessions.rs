@@ -35,6 +35,9 @@ fn cfg(
         bandwidth_bytes_per_sec: None,
         share_carets: false,
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
+        fault_plan: None,
+        reliable: false,
+        disconnects: Vec::new(),
     }
 }
 

@@ -31,6 +31,9 @@ fn soak_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> SessionC
         bandwidth_bytes_per_sec: Some(200_000),
         share_carets: false,
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
+        fault_plan: None,
+        reliable: false,
+        disconnects: Vec::new(),
     }
 }
 
