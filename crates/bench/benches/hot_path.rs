@@ -1,0 +1,136 @@
+//! E16 companion bench: the three layers the allocation-free path crosses.
+//!
+//! * **core** — 2-element stamp construction and the formula-(7) check,
+//!   the integers every message carries;
+//! * **ot** — applying an operation to a `String` document (rebuilds the
+//!   string) vs the gap-buffer `TextBuffer` (moves the gap), at growing
+//!   document sizes;
+//! * **reduce** — notifier integration with ack-driven GC holding the
+//!   history at the in-flight window vs the unbounded buffer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_ot::buffer::TextBuffer;
+use cvc_ot::pos::PosOp;
+use cvc_ot::seq::SeqOp;
+use cvc_reduce::client::ACK_INTERVAL;
+use cvc_reduce::msg::{ClientAckMsg, ClientOpMsg};
+use cvc_reduce::notifier::Notifier;
+
+fn bench_stamp_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stamp_layer");
+    g.bench_function("compressed_stamp_new_and_get", |b| {
+        b.iter(|| {
+            let s = CompressedStamp::new(std::hint::black_box(41u64), std::hint::black_box(7u64));
+            std::hint::black_box(s.get(1) + s.get(2))
+        })
+    });
+    g.finish();
+}
+
+fn bench_document_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("document_apply");
+    for doc_len in [256usize, 4_096, 65_536] {
+        let text = "x".repeat(doc_len);
+        let op = SeqOp::from_pos(&PosOp::insert(doc_len / 2, "y"), doc_len);
+        // The old path: every apply rebuilds the whole String.
+        g.bench_with_input(
+            BenchmarkId::new("string_rebuild", doc_len),
+            &doc_len,
+            |b, _| {
+                b.iter_batched(
+                    || text.clone(),
+                    |doc| std::hint::black_box(op.apply(&doc).expect("applies")),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        // The production path: the gap buffer moves its gap to the edit
+        // point; repeated nearby edits are O(distance moved), not O(doc).
+        g.bench_with_input(BenchmarkId::new("gap_buffer", doc_len), &doc_len, |b, _| {
+            b.iter_batched(
+                || TextBuffer::from_str(&text),
+                |mut buf| {
+                    op.apply_to_buffer(&mut buf).expect("applies");
+                    std::hint::black_box(buf.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// A notifier with `hb` integrated ops, optionally draining the history
+/// through client acks as it grows (the production GC-on shape).
+fn notifier_with_traffic(n_clients: usize, ops: usize, acked: bool) -> Notifier {
+    let mut notifier = Notifier::new(n_clients, &"x".repeat(64));
+    notifier.set_auto_gc(acked);
+    let mut own = vec![0u64; n_clients + 1];
+    let mut seen = vec![0u64; n_clients + 1];
+    for k in 0..ops {
+        let origin = SiteId((k % n_clients + 1) as u32);
+        let doc_len = 64 + k;
+        let op = SeqOp::from_pos(&PosOp::insert(doc_len / 2, "y"), doc_len);
+        // Sequential traffic: each op has seen every prior broadcast.
+        let x = origin.0 as usize;
+        own[x] += 1;
+        let out = notifier.on_client_op(ClientOpMsg {
+            origin,
+            stamp: CompressedStamp::new(seen[x], own[x]),
+            op,
+            cursor: None,
+        });
+        for (dest, _) in out.broadcasts {
+            seen[dest.0 as usize] += 1;
+        }
+        if acked && k % ACK_INTERVAL as usize == 0 {
+            // Every client confirms what it has received so far, so the
+            // trim watermark follows the traffic.
+            for (s, &received) in seen.iter().enumerate().skip(1) {
+                notifier.on_client_ack(ClientAckMsg {
+                    origin: SiteId(s as u32),
+                    received,
+                });
+            }
+        }
+    }
+    notifier
+}
+
+fn bench_notifier_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("notifier_integration_gc");
+    for ops in [64usize, 512] {
+        for (label, acked) in [("unbounded_hb", false), ("acked_window_hb", true)] {
+            let base = notifier_with_traffic(8, ops, acked);
+            let doc_len = 64 + ops;
+            // The incoming op is concurrent with nothing still buffered
+            // in the acked case, and with the whole tail otherwise.
+            let op = SeqOp::from_pos(&PosOp::insert(3, "z"), doc_len);
+            let own = (ops / 8) as u64 + 1;
+            let msg = ClientOpMsg {
+                origin: SiteId(1),
+                stamp: CompressedStamp::new(ops as u64 - own + 1, own),
+                op,
+                cursor: None,
+            };
+            g.bench_with_input(BenchmarkId::new(label, ops), &ops, |b, _| {
+                b.iter_batched(
+                    || (base.clone(), msg.clone()),
+                    |(mut notifier, msg)| std::hint::black_box(notifier.on_client_op(msg)),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stamp_layer,
+    bench_document_layer,
+    bench_notifier_layer
+);
+criterion_main!(benches);

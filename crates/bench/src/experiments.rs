@@ -38,7 +38,10 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
             string_ops: false,
         },
         record_deliveries: false,
-        auto_gc: false,
+        // Ack-driven GC is the production default since E16: the history
+        // buffer stays at the in-flight window instead of growing with the
+        // session. E14 pins this off to keep its no-GC baseline comparable.
+        auto_gc: true,
         client_mode: cvc_reduce::session::ClientMode::Streaming,
         bandwidth_bytes_per_sec: None,
         share_carets: false,
@@ -787,6 +790,10 @@ fn e14_throughput_with(ns: &[usize], ops_per_site: usize, write_json: bool) -> S
             }
             let mut cfg = session_cfg(deployment, n, ops_per_site, 88);
             cfg.notifier_scan = scan;
+            // E14 is the *ungoverned* buffer-growth baseline: suffix scan
+            // vs full scan on histories that actually grow. E16 measures
+            // the GC-on production path against these rows.
+            cfg.auto_gc = false;
             let start = Instant::now();
             let r = run_session(&cfg);
             let wall = start.elapsed();
@@ -1079,6 +1086,169 @@ fn write_bench_pr2_json(rows: &[RobustRow]) -> Result<String, std::io::Error> {
     Ok(path)
 }
 
+/// E16 — the flattened per-op cost curve (this PR's claim): with
+/// ack-driven GC on by default, the allocation-free transform path, and
+/// the gap-buffer document, the *per-executed-operation* wall cost stays
+/// ~flat from N=4 to N=1024 while the history buffer holds at the
+/// in-flight window. Contrast with the E14 baseline rows (GC off), where
+/// N=256 already pays seconds of wall per session. Writes
+/// `BENCH_PR3.json` (override the path with `BENCH_PR3_OUT`).
+pub fn e16_scaling() -> String {
+    e16_scaling_with(&[4, 64, 256, 1024], 10, true)
+}
+
+/// The CI smoke variant: two small sweeps, still writing the JSON so the
+/// schema gate has something to validate, cheap enough for a debug runner.
+pub fn e16_scaling_smoke() -> String {
+    e16_scaling_with(&[4, 64], 5, true)
+}
+
+/// One measured row of E16.
+struct ScalingRow {
+    n: usize,
+    ops: u64,
+    execs: u64,
+    wall_ms: f64,
+    per_exec_us: f64,
+    ops_per_sec: f64,
+    scan_per_op: f64,
+    hb_high_water: u64,
+    acks: u64,
+    converged: bool,
+}
+
+fn e16_scaling_with(ns: &[usize], ops_per_site: usize, write_json: bool) -> String {
+    use cvc_reduce::notifier::ScanMode;
+    use std::time::Instant;
+    let mut t = Table::new(vec![
+        "N",
+        "ops",
+        "execs",
+        "wall (ms)",
+        "per-exec (µs)",
+        "ops/sec",
+        "scan/op",
+        "hb high-water",
+        "acks",
+        "converged",
+    ]);
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    for &n in ns {
+        let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 88);
+        // Hold the *global* operation rate constant as N grows: each site
+        // slows down by N, so the number of operations in flight (and with
+        // it the GC'd history buffer) is set by the network RTT, not by N.
+        cfg.workload.mean_gap_us = 20_000 * n as u64;
+        cfg.notifier_scan = ScanMode::auto_for(n);
+        let start = Instant::now();
+        let r = run_session(&cfg);
+        let wall = start.elapsed();
+        let ops: u64 = r.client_metrics.iter().map(|m| m.ops_generated).sum();
+        // Each operation is integrated once at the notifier and executed
+        // at every one of the N replicas: the work the session performs
+        // scales with ops×N, so wall/(ops×N) is the flatness metric.
+        let execs = ops * n as u64;
+        let m = r.centre_metrics.expect("star has a centre");
+        let total = r.total_metrics();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let row = ScalingRow {
+            n,
+            ops,
+            execs,
+            wall_ms,
+            per_exec_us: wall.as_micros() as f64 / execs as f64,
+            ops_per_sec: ops as f64 / wall.as_secs_f64(),
+            scan_per_op: m.scan_len_per_op(),
+            hb_high_water: m.hb_high_water,
+            acks: total.acks_sent,
+            converged: r.converged,
+        };
+        t.row(vec![
+            row.n.to_string(),
+            row.ops.to_string(),
+            row.execs.to_string(),
+            format!("{:.1}", row.wall_ms),
+            format!("{:.2}", row.per_exec_us),
+            format!("{:.0}", row.ops_per_sec),
+            format!("{:.1}", row.scan_per_op),
+            row.hb_high_water.to_string(),
+            row.acks.to_string(),
+            row.converged.to_string(),
+        ]);
+        rows.push(row);
+    }
+    let mut out = format!(
+        "E16 — per-op cost curve with ack-driven GC on (N up to 1024, constant global rate)\n\n{}",
+        t.render()
+    );
+    if rows.iter().any(|r| !r.converged) {
+        out.push_str("\nFAILED: a scaling session did not converge\n");
+    }
+    if rows.len() >= 2 {
+        let base = rows[0].per_exec_us.max(f64::EPSILON);
+        let worst = rows
+            .iter()
+            .map(|r| r.per_exec_us / base)
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "\nper-exec drift across the sweep: worst {worst:.2}× the N={} row\n",
+            rows[0].n
+        ));
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr3_json(&rows) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable trajectory: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR3.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E16 rows as `BENCH_PR3.json` (hand-rolled, like
+/// [`write_bench_json`]). Returns the path written.
+fn write_bench_pr3_json(rows: &[ScalingRow]) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR3_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E16 per-op cost curve with ack-driven GC\",\n");
+    s.push_str(
+        "  \"baseline\": \"E14 star/cvc rows (GC off, fixed per-site gap) in BENCH_PR1.json\",\n",
+    );
+    s.push_str(
+        "  \"candidate\": \"GC-on star/cvc: gap-buffer document, window-bounded history, suffix scan\",\n",
+    );
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"ops\": {}, \"execs\": {}, \"wall_ms\": {:.3}, \"per_exec_us\": {:.3}, \"ops_per_sec\": {:.1}, \"scan_per_op\": {:.2}, \"hb_high_water\": {}, \"acks\": {}, \"converged\": {}}}{}\n",
+            r.n,
+            r.ops,
+            r.execs,
+            r.wall_ms,
+            r.per_exec_us,
+            r.ops_per_sec,
+            r.scan_per_op,
+            r.hb_high_water,
+            r.acks,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
@@ -1093,7 +1263,7 @@ fn mean(v: &[f64]) -> f64 {
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 15] = [
+pub const EXPERIMENTS: [ExperimentEntry; 16] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -1109,6 +1279,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 15] = [
     ("e13", false, e13_bandwidth),
     ("e14", true, e14_throughput),
     ("e15", false, e15_robustness),
+    ("e16", true, e16_scaling),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -1125,7 +1296,7 @@ pub fn default_threads() -> usize {
         })
 }
 
-/// Run every experiment, returning the full report in e1..e14 order.
+/// Run every experiment, returning the full report in e1..e16 order.
 ///
 /// Every experiment is seeded and virtual-time, so the *content* of each
 /// section is identical no matter how many workers run them.
@@ -1135,7 +1306,7 @@ pub fn run_all() -> String {
 
 /// [`run_all`] with an explicit worker count. Timing-insensitive
 /// experiments fan out across `threads` scoped workers (work-stealing off
-/// a shared index); the two wall-clock experiments (e7, e14) then run
+/// a shared index); the wall-clock experiments (e7, e14, e16) then run
 /// sequentially on the idle machine. Output order is fixed regardless of
 /// completion order.
 pub fn run_all_with_threads(threads: usize) -> String {
@@ -1328,9 +1499,45 @@ mod tests {
     }
 
     #[test]
+    fn e16_sweep_converges_and_reports_drift() {
+        // Small sizes so the sweep stays cheap in debug.
+        let s = e16_scaling_with(&[4, 8], 5, false);
+        assert!(!s.contains("FAILED"), "{s}");
+        assert!(s.contains("per-exec drift"), "{s}");
+        assert!(s.contains("true"), "sessions must converge: {s}");
+    }
+
+    #[test]
+    fn e16_json_rows_are_well_formed() {
+        let rows = vec![ScalingRow {
+            n: 64,
+            ops: 640,
+            execs: 40_960,
+            wall_ms: 120.5,
+            per_exec_us: 2.94,
+            ops_per_sec: 5311.0,
+            scan_per_op: 1.4,
+            hb_high_water: 9,
+            acks: 512,
+            converged: true,
+        }];
+        let dir = std::env::temp_dir().join("cvc_bench_pr3_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        std::env::set_var("BENCH_PR3_OUT", &path);
+        let written = write_bench_pr3_json(&rows).expect("writable");
+        std::env::remove_var("BENCH_PR3_OUT");
+        let text = std::fs::read_to_string(written).expect("readable");
+        assert!(text.contains("\"n\": 64"));
+        assert!(text.contains("\"per_exec_us\": 2.940"));
+        assert!(text.contains("\"hb_high_water\": 9"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=16).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -1341,7 +1548,7 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14"]);
+        assert_eq!(timing, vec!["e7", "e14", "e16"]);
     }
 
     #[test]

@@ -149,6 +149,23 @@ impl TextBuffer {
         removed
     }
 
+    /// Delete `count` characters starting at `pos`, discarding them — the
+    /// allocation-free twin of [`TextBuffer::delete_range`] for callers
+    /// that do not need the removed text (the hot transform path).
+    ///
+    /// # Panics
+    /// Panics if `pos + count > len()`.
+    pub fn remove_range(&mut self, pos: usize, count: usize) {
+        assert!(
+            pos + count <= self.len(),
+            "delete [{pos}, {}) beyond length {}",
+            pos + count,
+            self.len()
+        );
+        self.move_gap(pos);
+        self.gap_end += count;
+    }
+
     /// The `count` characters starting at `pos`, without removing them.
     pub fn slice(&self, pos: usize, count: usize) -> String {
         assert!(pos + count <= self.len());
@@ -266,6 +283,18 @@ mod tests {
         assert_eq!(b.char_at(2), 'c');
         assert_eq!(b.char_at(3), 'd');
         assert_eq!(b.char_at(5), 'f');
+    }
+
+    #[test]
+    fn remove_range_discards_without_allocating_text() {
+        let mut b = TextBuffer::from_str("ABCDE");
+        b.remove_range(2, 3);
+        assert_eq!(b.to_string(), "AB");
+        assert_eq!(b.len(), 2);
+        let mut c = TextBuffer::from_str("ABCDE");
+        let _ = c.delete_range(2, 3);
+        assert_eq!(b, c);
+        assert_eq!(b.checksum(), c.checksum());
     }
 
     #[test]

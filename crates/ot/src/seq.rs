@@ -15,6 +15,7 @@
 //!
 //! All lengths count `char`s, consistent with the rest of the workspace.
 
+use crate::buffer::TextBuffer;
 use crate::pos::PosOp;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -211,6 +212,63 @@ impl SeqOp {
         }
         debug_assert_eq!(pos, chars.len());
         Ok(out)
+    }
+
+    /// Apply in place to a gap buffer: each component becomes one
+    /// localized splice, so the cost is the edit size (plus gap movement)
+    /// instead of a full-document reallocation per operation. This is the
+    /// hot-path twin of [`SeqOp::apply`]; the engines keep their replicas
+    /// as [`TextBuffer`]s and only materialise strings at the edges.
+    pub fn apply_to_buffer(&self, buf: &mut TextBuffer) -> Result<(), SeqError> {
+        if buf.len() != self.base_len {
+            return Err(SeqError::BaseLengthMismatch {
+                expected: self.base_len,
+                got: buf.len(),
+            });
+        }
+        let mut pos = 0usize;
+        for c in &self.components {
+            match c {
+                Component::Retain(n) => pos += n,
+                Component::Insert(s) => {
+                    buf.insert_str(pos, s);
+                    pos += s.chars().count();
+                }
+                Component::Delete(n) => buf.remove_range(pos, *n),
+            }
+        }
+        debug_assert_eq!(buf.len(), self.target_len);
+        Ok(())
+    }
+
+    /// The inverse operation computed against a gap-buffer pre-state —
+    /// like [`SeqOp::invert`] but reading deleted text out of the buffer
+    /// instead of re-collecting the whole document into chars.
+    pub fn invert_in(&self, buf: &TextBuffer) -> Result<SeqOp, SeqError> {
+        if buf.len() != self.base_len {
+            return Err(SeqError::BaseLengthMismatch {
+                expected: self.base_len,
+                got: buf.len(),
+            });
+        }
+        let mut inv = SeqOp::new();
+        let mut pos = 0usize;
+        for c in &self.components {
+            match c {
+                Component::Retain(n) => {
+                    inv.retain(*n);
+                    pos += n;
+                }
+                Component::Insert(s) => {
+                    inv.delete(s.chars().count());
+                }
+                Component::Delete(n) => {
+                    inv.insert(&buf.slice(pos, *n));
+                    pos += n;
+                }
+            }
+        }
+        Ok(inv)
     }
 
     /// The inverse operation, valid on the *post*-state; needs the
@@ -755,6 +813,36 @@ mod tests {
             o.retain(2).insert("hi").delete(1);
         });
         assert_eq!(o.to_string(), "⟨R2 I\"hi\" D1⟩");
+    }
+
+    #[test]
+    fn apply_to_buffer_matches_string_apply() {
+        let doc = "hello world";
+        let o = op(|o| {
+            o.retain(5).delete(6).insert(", friend").retain(0);
+        });
+        let mut buf = TextBuffer::from_str(doc);
+        o.apply_to_buffer(&mut buf).unwrap();
+        assert_eq!(buf.to_string(), o.apply(doc).unwrap());
+        // Length mismatch is detected, and the buffer is untouched.
+        let mut short = TextBuffer::from_str("hi");
+        assert!(matches!(
+            o.apply_to_buffer(&mut short),
+            Err(SeqError::BaseLengthMismatch { .. })
+        ));
+        assert_eq!(short.to_string(), "hi");
+    }
+
+    #[test]
+    fn invert_in_matches_string_invert() {
+        let doc = "aβγde";
+        let o = op(|o| {
+            o.retain(1).delete(2).insert("XY").retain(2);
+        });
+        let buf = TextBuffer::from_str(doc);
+        assert_eq!(o.invert_in(&buf).unwrap(), o.invert(doc).unwrap());
+        let post = o.apply(doc).unwrap();
+        assert_eq!(o.invert_in(&buf).unwrap().apply(&post).unwrap(), doc);
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl Bridge {
         }
     }
 
+    /// A bridge endpoint resuming at known counters with an empty pending
+    /// list — used by full-state resync, where the adopted snapshot
+    /// already covers everything either side had sent.
+    pub fn resume(role: BridgeRole, my_count: u64, their_count: u64) -> Self {
+        Bridge {
+            role,
+            my_count,
+            their_count,
+            pending: VecDeque::new(),
+            first_pending_seq: my_count + 1,
+        }
+    }
+
     /// Operations generated locally on this pair so far.
     #[inline]
     pub fn my_count(&self) -> u64 {
@@ -138,6 +151,26 @@ impl Bridge {
         self.my_count += 1;
         self.pending.push_back(op);
         self.my_count
+    }
+
+    /// Drop the pending prefix the peer has acknowledged *without* an
+    /// accompanying operation — the pure-ack path ([`crate::msg::ClientAckMsg`]).
+    /// Ops with sequence number `≤ acked` can never again be selected as
+    /// concurrent, so holding them only costs memory.
+    pub fn ack_prefix(&mut self, acked: u64) -> Result<(), BridgeError> {
+        if acked > self.my_count {
+            return Err(BridgeError::AckOverrun {
+                sent: self.my_count,
+                acked,
+            });
+        }
+        while self.first_pending_seq <= acked {
+            self.pending
+                .pop_front()
+                .expect("acked ≤ my_count implies the prefix exists");
+            self.first_pending_seq += 1;
+        }
+        Ok(())
     }
 
     /// Integrate an operation from the peer.
@@ -371,6 +404,23 @@ mod tests {
         assert_eq!(b.pending_seqs().collect::<Vec<_>>(), vec![3, 4]);
         assert_eq!(b.their_count(), 1);
         assert_eq!(b.my_count(), 4);
+    }
+
+    #[test]
+    fn ack_prefix_drops_without_transforming() {
+        let mut b = Bridge::new(BridgeRole::Notifier);
+        for i in 0..3 {
+            b.record_send(SeqOp::from_pos(&PosOp::insert(0, "x"), i));
+        }
+        b.ack_prefix(2).expect("within sent window");
+        assert_eq!(b.pending_seqs().collect::<Vec<_>>(), vec![3]);
+        // Idempotent and monotone: re-acking less does nothing.
+        b.ack_prefix(1).expect("stale ack is a no-op");
+        assert_eq!(b.pending_len(), 1);
+        assert_eq!(
+            b.ack_prefix(9),
+            Err(BridgeError::AckOverrun { sent: 3, acked: 9 })
+        );
     }
 
     #[test]

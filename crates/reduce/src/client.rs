@@ -20,20 +20,27 @@
 use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
-use crate::msg::{ClientOpMsg, ServerOpMsg};
+use crate::msg::{ClientAckMsg, ClientOpMsg, ServerOpMsg};
 use cvc_core::formulas::formula5_client;
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::{ClientStateVector, CompressedStamp};
 use cvc_core::timestamp::OriginAtClient;
+use cvc_ot::buffer::TextBuffer;
 use cvc_ot::cursor::{transform_cursor, Bias};
 use cvc_ot::pos::PosOp;
 use cvc_ot::seq::SeqOp;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Undo depth retained per client: each local operation keeps its
 /// current-frame inverse until this many newer ones exist (typical editor
 /// depth; bounds both memory and the per-op stack-maintenance cost).
 pub const MAX_UNDO_DEPTH: usize = 100;
+
+/// How many server operations a *quiet* client may execute before it owes
+/// the notifier a bare [`ClientAckMsg`]. Actively-editing clients never
+/// send one — every local operation already carries the acknowledgement in
+/// `T[1]` — so this only bounds the GC lag introduced by idle observers.
+pub const ACK_INTERVAL: u64 = 8;
 
 /// One executed operation remembered in a client's history buffer,
 /// timestamped per Section 3.3 ("a buffered operation is timestamped with
@@ -53,20 +60,25 @@ pub struct ClientHbEntry {
 pub struct Client {
     site: SiteId,
     sv: ClientStateVector,
-    doc: String,
+    doc: TextBuffer,
     bridge: Bridge,
     hb: Vec<ClientHbEntry>,
     /// Highest `T[2]` seen on a server op: the notifier has integrated our
     /// local operations up to this sequence number.
     acked_local: u64,
+    /// Highest received-count this client has *told* the notifier about —
+    /// via `T[1]` of a local operation, a bare [`ClientAckMsg`], or the
+    /// resync handshake. Drives [`Client::take_pending_ack`].
+    last_ack_sent: u64,
     /// Inverses of this site's not-yet-undone local operations, each kept
     /// transformed into the *current* document frame (updated on every
     /// executed operation). Independent of the history buffer, so undo
-    /// composes with garbage collection.
-    undo_stack: Vec<SeqOp>,
+    /// composes with garbage collection. Ring-buffered: the depth cap
+    /// drops the oldest entry in O(1).
+    undo_stack: VecDeque<SeqOp>,
     /// Inverses of undos (redo candidates), maintained the same way;
     /// cleared by any fresh local edit, as in conventional editors.
-    redo_stack: Vec<SeqOp>,
+    redo_stack: VecDeque<SeqOp>,
     /// This user's caret position (drives the telepointer we send).
     caret: usize,
     /// Whether local operations carry the caret (telepointer presence).
@@ -83,12 +95,13 @@ impl Client {
         Client {
             site,
             sv: ClientStateVector::new(),
-            doc: initial.to_owned(),
+            doc: TextBuffer::from_str(initial),
             bridge: Bridge::new(BridgeRole::Client),
             hb: Vec::new(),
             acked_local: 0,
-            undo_stack: Vec::new(),
-            redo_stack: Vec::new(),
+            last_ack_sent: 0,
+            undo_stack: VecDeque::new(),
+            redo_stack: VecDeque::new(),
             caret: 0,
             share_caret: true,
             remote_carets: HashMap::new(),
@@ -101,9 +114,15 @@ impl Client {
         self.site
     }
 
-    /// Current document content.
-    pub fn doc(&self) -> &str {
-        &self.doc
+    /// Current document content, materialised from the gap buffer. Use
+    /// [`Client::doc_checksum`] for cheap equality comparisons.
+    pub fn doc(&self) -> String {
+        self.doc.to_string()
+    }
+
+    /// FNV-1a checksum of the document — O(d) but allocation-free.
+    pub fn doc_checksum(&self) -> u64 {
+        self.doc.checksum()
     }
 
     /// Current state vector (`SV_i`).
@@ -147,7 +166,7 @@ impl Client {
 
     /// Document length in characters.
     pub fn doc_len(&self) -> usize {
-        self.doc.chars().count()
+        self.doc.len()
     }
 
     /// Generate and execute a local operation; returns the timestamped
@@ -163,10 +182,9 @@ impl Client {
 
     fn local_edit_inner(&mut self, op: SeqOp, kind: UndoKind) -> ClientOpMsg {
         let inverse = op
-            .invert(&self.doc)
+            .invert_in(&self.doc)
             .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
-        self.doc = op
-            .apply(&self.doc)
+        op.apply_to_buffer(&mut self.doc)
             .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
         // Our caret rides our own edit; remote carets shift around it.
         self.caret = transform_cursor(self.caret, &op, Bias::After);
@@ -188,14 +206,14 @@ impl Client {
             *inv = i2;
         }
         match kind {
-            UndoKind::Fresh | UndoKind::Redo => self.undo_stack.push(inverse),
-            UndoKind::Undo => self.redo_stack.push(inverse),
+            UndoKind::Fresh | UndoKind::Redo => self.undo_stack.push_back(inverse),
+            UndoKind::Undo => self.redo_stack.push_back(inverse),
         }
         if self.undo_stack.len() > MAX_UNDO_DEPTH {
-            self.undo_stack.remove(0);
+            self.undo_stack.pop_front();
         }
         if self.redo_stack.len() > MAX_UNDO_DEPTH {
-            self.redo_stack.remove(0);
+            self.redo_stack.pop_front();
         }
         self.hb.push(ClientHbEntry {
             stamp,
@@ -205,17 +223,23 @@ impl Client {
         self.metrics.ops_generated += 1;
         self.metrics.messages_sent += 1;
         self.metrics.stamp_integers_sent += 2;
+        // `T[1]` of a local operation acknowledges everything received so
+        // far — no bare ack is owed until the next quiet stretch.
+        self.last_ack_sent = stamp.get(1);
         let msg = ClientOpMsg {
             origin: self.site,
             stamp,
             op,
             cursor: self.share_caret.then_some(self.caret as u64),
         };
-        self.metrics.stamp_bytes_sent +=
-            crate::msg::EditorMsg::ClientOp(msg.clone()).stamp_bytes() as u64;
-        self.metrics.bytes_sent +=
-            cvc_sim::wire::WireSize::wire_bytes(&crate::msg::EditorMsg::ClientOp(msg.clone()))
-                as u64;
+        // Wrap for byte accounting, then unwrap the same value back —
+        // avoids cloning the payload twice per edit just to measure it.
+        let wire = crate::msg::EditorMsg::ClientOp(msg);
+        self.metrics.stamp_bytes_sent += wire.stamp_bytes() as u64;
+        self.metrics.bytes_sent += cvc_sim::wire::WireSize::wire_bytes(&wire) as u64;
+        let crate::msg::EditorMsg::ClientOp(msg) = wire else {
+            unreachable!("wrapped above")
+        };
         msg
     }
 
@@ -230,8 +254,8 @@ impl Client {
     /// Convenience: delete `count` characters from position `pos`.
     pub fn delete(&mut self, pos: usize, count: usize) -> ClientOpMsg {
         self.caret = pos;
-        let text: String = self.doc.chars().skip(pos).take(count).collect();
-        assert_eq!(text.chars().count(), count, "delete range out of bounds");
+        assert!(pos + count <= self.doc.len(), "delete range out of bounds");
+        let text = self.doc.slice(pos, count);
         let op = SeqOp::from_pos(&PosOp::delete(pos, text), self.doc_len());
         self.local_edit(op)
     }
@@ -253,7 +277,7 @@ impl Client {
     /// Returns the message to send, or `None` when there is nothing to
     /// undo (or the target's effect was already entirely cancelled).
     pub fn undo_last_local(&mut self) -> Option<ClientOpMsg> {
-        let undo_op = self.undo_stack.pop()?;
+        let undo_op = self.undo_stack.pop_back()?;
         if undo_op.is_noop() {
             return None;
         }
@@ -266,7 +290,7 @@ impl Client {
     /// Re-apply the most recently undone operation (transformed to the
     /// current frame). Any fresh local edit clears the redo chain.
     pub fn redo_last(&mut self) -> Option<ClientOpMsg> {
-        let redo_op = self.redo_stack.pop()?;
+        let redo_op = self.redo_stack.pop_back()?;
         if redo_op.is_noop() {
             return None;
         }
@@ -406,9 +430,9 @@ impl Client {
         );
         self.metrics.transforms += integrated.concurrent_with as u64;
 
-        self.doc = integrated
+        integrated
             .op
-            .apply(&self.doc)
+            .apply_to_buffer(&mut self.doc)
             .map_err(ProtocolError::BadOperation)?;
         for inv in self.undo_stack.iter_mut().chain(&mut self.redo_stack) {
             let (i2, _) =
@@ -437,6 +461,55 @@ impl Client {
             executed: integrated.op,
             checked,
         })
+    }
+
+    /// Bare acknowledgement owed to the notifier, if any.
+    ///
+    /// Local operations acknowledge received server operations implicitly
+    /// through `T[1]`, so an actively-editing client never owes one. A
+    /// *quiet* client, however, would silently starve the notifier's
+    /// garbage collector: its `acked_by` entry pins the trim watermark
+    /// forever. This returns a [`ClientAckMsg`] once the client has
+    /// executed [`ACK_INTERVAL`] server operations it has not yet told the
+    /// notifier about; callers should send it like any other message.
+    pub fn take_pending_ack(&mut self) -> Option<ClientAckMsg> {
+        let received = self.sv.received();
+        if received < self.last_ack_sent + ACK_INTERVAL {
+            return None;
+        }
+        self.last_ack_sent = received;
+        let msg = ClientAckMsg {
+            origin: self.site,
+            received,
+        };
+        self.metrics.acks_sent += 1;
+        self.metrics.ack_bytes_sent +=
+            cvc_sim::wire::WireSize::wire_bytes(&crate::msg::EditorMsg::ClientAck(msg)) as u64;
+        Some(msg)
+    }
+
+    /// Rebuild this replica wholesale from a notifier snapshot — the
+    /// last-resort recovery behind [`ProtocolError::ReplayTrimmed`].
+    ///
+    /// `sent_to_site` is the notifier's count of operations sent to this
+    /// client and `received_from_site` its count of operations integrated
+    /// *from* it; the snapshot `doc` reflects both. Any local operations
+    /// beyond `received_from_site` are abandoned (they may never have
+    /// reached the notifier), as are the undo/redo chains and remote
+    /// carets — this path only triggers for a replica already known to be
+    /// unrecoverable by replay.
+    pub fn adopt_snapshot(&mut self, doc: &str, sent_to_site: u64, received_from_site: u64) {
+        self.doc = TextBuffer::from_str(doc);
+        self.sv = ClientStateVector::from_parts(sent_to_site, received_from_site);
+        self.bridge = Bridge::resume(BridgeRole::Client, received_from_site, sent_to_site);
+        self.hb.clear();
+        self.acked_local = received_from_site;
+        self.last_ack_sent = sent_to_site;
+        self.undo_stack.clear();
+        self.redo_stack.clear();
+        self.caret = self.caret.min(self.doc.len());
+        self.remote_carets.clear();
+        self.metrics.resyncs += 1;
     }
 }
 
@@ -767,6 +840,69 @@ mod tests {
         bob.on_server_op(to_bob);
         assert_eq!(bob.doc(), "XXabcZ");
         assert_eq!(bob.remote_carets().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn quiet_client_owes_periodic_acks() {
+        let mut c = Client::new(SiteId(1), "");
+        assert!(c.take_pending_ack().is_none(), "nothing received yet");
+        for k in 0..ACK_INTERVAL {
+            c.on_server_op(ServerOpMsg {
+                stamp: CompressedStamp::new(k + 1, 0),
+                op: SeqOp::from_pos(&PosOp::insert(0, "x"), k as usize),
+                cursor: None,
+            });
+        }
+        let ack = c.take_pending_ack().expect("interval reached");
+        assert_eq!(ack.origin, SiteId(1));
+        assert_eq!(ack.received, ACK_INTERVAL);
+        assert!(c.take_pending_ack().is_none(), "ack clears the debt");
+        assert_eq!(c.metrics().acks_sent, 1);
+        assert!(c.metrics().ack_bytes_sent >= 3);
+        assert_eq!(
+            c.metrics().messages_sent,
+            0,
+            "bare acks are counted apart from operation messages"
+        );
+    }
+
+    #[test]
+    fn local_edits_piggyback_the_ack() {
+        let mut c = Client::new(SiteId(1), "");
+        for k in 0..ACK_INTERVAL {
+            c.on_server_op(ServerOpMsg {
+                stamp: CompressedStamp::new(k + 1, 0),
+                op: SeqOp::from_pos(&PosOp::insert(0, "x"), k as usize),
+                cursor: None,
+            });
+        }
+        // The edit's T[1] carries the acknowledgement; no bare ack owed.
+        let m = c.insert(0, "y");
+        assert_eq!(m.stamp.get(1), ACK_INTERVAL);
+        assert!(c.take_pending_ack().is_none());
+        assert_eq!(c.metrics().acks_sent, 0);
+    }
+
+    #[test]
+    fn adopt_snapshot_rebuilds_the_replica() {
+        let mut c = Client::new(SiteId(1), "old");
+        c.insert(0, "zzz"); // unacked local work, abandoned by the resync
+        c.adopt_snapshot("fresh doc", 10, 4);
+        assert_eq!(c.doc(), "fresh doc");
+        assert_eq!(c.state_vector().stamp().as_pair(), (10, 4));
+        assert!(c.history().is_empty());
+        assert!(c.undo_last_local().is_none(), "undo chain abandoned");
+        // The server stream continues seamlessly from the snapshot.
+        c.on_server_op(ServerOpMsg {
+            stamp: CompressedStamp::new(11, 4),
+            op: SeqOp::from_pos(&PosOp::insert(0, "!"), 9),
+            cursor: None,
+        });
+        assert_eq!(c.doc(), "!fresh doc");
+        // New local operations resume from the notifier's integrated count.
+        let m = c.insert(0, "a");
+        assert_eq!(m.stamp.as_pair(), (11, 5));
+        assert_eq!(c.metrics().resyncs, 1);
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub enum ProtocolError {
     },
     /// The operation could not be transformed/applied (corrupt payload).
     BadOperation(SeqError),
+    /// A reconnect replay asked for operations that were already
+    /// garbage-collected out of the notifier's history buffer. This cannot
+    /// happen for a client that merely disconnected (its frozen `acked_by`
+    /// entry pins the trim watermark), but a client restored from a stale
+    /// backup can claim to have received *less* than it once acknowledged;
+    /// the replay prefix is then gone and only a full-state resync can
+    /// rebuild the replica.
+    ReplayTrimmed {
+        /// The replaying client.
+        site: SiteId,
+        /// First stream position the client needs (`received + 1`).
+        needed_from: u64,
+        /// First stream position still reconstructible from the HB.
+        available_from: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -75,6 +90,15 @@ impl fmt::Display for ProtocolError {
                 write!(f, "{site} already left the session")
             }
             ProtocolError::BadOperation(e) => write!(f, "bad operation payload: {e}"),
+            ProtocolError::ReplayTrimmed {
+                site,
+                needed_from,
+                available_from,
+            } => write!(
+                f,
+                "replay for {site} needs stream position {needed_from} but GC kept only \
+                 {available_from} onward; full-state resync required"
+            ),
         }
     }
 }

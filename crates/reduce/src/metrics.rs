@@ -59,6 +59,12 @@ pub struct SiteMetrics {
     /// Application payload bytes the reliability layer delivered in order
     /// (goodput numerator; zero when the session runs without the layer).
     pub delivered_payload_bytes: u64,
+    /// Bare client acknowledgements sent (GC keep-alives from quiet
+    /// clients). Counted apart from [`SiteMetrics::messages_sent`] so the
+    /// paper's per-*operation* overhead accounting stays comparable.
+    pub acks_sent: u64,
+    /// Encoded bytes of those bare acknowledgements.
+    pub ack_bytes_sent: u64,
 }
 
 impl SiteMetrics {
@@ -167,6 +173,8 @@ impl AddAssign for SiteMetrics {
         self.resyncs += o.resyncs;
         self.resync_replayed += o.resync_replayed;
         self.delivered_payload_bytes += o.delivered_payload_bytes;
+        self.acks_sent += o.acks_sent;
+        self.ack_bytes_sent += o.ack_bytes_sent;
     }
 }
 

@@ -34,6 +34,7 @@ const TAG_CLIENT_OP: u8 = 1;
 const TAG_SERVER_OP: u8 = 2;
 const TAG_MESH_OP: u8 = 3;
 const TAG_SERVER_ACK: u8 = 4;
+const TAG_CLIENT_ACK: u8 = 5;
 
 const COMP_RETAIN: u8 = 0;
 const COMP_INSERT: u8 = 1;
@@ -91,6 +92,22 @@ pub struct ServerAckMsg {
     pub acked: u64,
 }
 
+/// Client → notifier: a bare "I have received your first `received`
+/// operations" note. Normally this information piggybacks on the client's
+/// own edits (a [`ClientOpMsg`] stamp's first element *is* it); a client
+/// that reads without typing would otherwise never advance the notifier's
+/// `acked_by` entry and the notifier's history buffer could never be
+/// garbage-collected past that client. Sent sparsely (every
+/// [`crate::client::ACK_INTERVAL`] receipts without an intervening local
+/// edit), this keeps the notifier's HB bounded by the in-flight window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientAckMsg {
+    /// Acknowledging client site.
+    pub origin: SiteId,
+    /// Operations received from the notifier so far (`SV_i[1]`).
+    pub received: u64,
+}
+
 /// Any editor message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EditorMsg {
@@ -102,6 +119,8 @@ pub enum EditorMsg {
     MeshOp(MeshOpMsg),
     /// Star/CVC downstream acknowledgement (composing mode only).
     ServerAck(ServerAckMsg),
+    /// Star/CVC upstream acknowledgement (GC keep-alive for quiet clients).
+    ClientAck(ClientAckMsg),
 }
 
 impl EditorMsg {
@@ -112,6 +131,7 @@ impl EditorMsg {
             EditorMsg::ServerOp(m) => stamp_wire_len(m.stamp),
             EditorMsg::MeshOp(m) => vector_wire_len(&m.vector),
             EditorMsg::ServerAck(m) => varint_len(m.acked),
+            EditorMsg::ClientAck(m) => varint_len(m.received),
         }
     }
 
@@ -120,7 +140,7 @@ impl EditorMsg {
         match self {
             EditorMsg::ClientOp(_) | EditorMsg::ServerOp(_) => 2,
             EditorMsg::MeshOp(m) => m.vector.width(),
-            EditorMsg::ServerAck(_) => 1,
+            EditorMsg::ServerAck(_) | EditorMsg::ClientAck(_) => 1,
         }
     }
 }
@@ -329,6 +349,7 @@ impl WireSize for EditorMsg {
                     + ttf_op_wire_len(&m.op)
             }
             EditorMsg::ServerAck(m) => varint_len(m.acked),
+            EditorMsg::ClientAck(m) => varint_len(u64::from(m.origin.0)) + varint_len(m.received),
         }
     }
 }
@@ -359,6 +380,11 @@ impl WireEncode for EditorMsg {
                 buf.put_u8(TAG_SERVER_ACK);
                 put_varint(buf, m.acked);
             }
+            EditorMsg::ClientAck(m) => {
+                buf.put_u8(TAG_CLIENT_ACK);
+                put_varint(buf, u64::from(m.origin.0));
+                put_varint(buf, m.received);
+            }
         }
     }
 }
@@ -387,6 +413,10 @@ impl WireDecode for EditorMsg {
             })),
             TAG_SERVER_ACK => Ok(EditorMsg::ServerAck(ServerAckMsg {
                 acked: get_varint(buf)?,
+            })),
+            TAG_CLIENT_ACK => Ok(EditorMsg::ClientAck(ClientAckMsg {
+                origin: SiteId(get_varint(buf)? as u32),
+                received: get_varint(buf)?,
             })),
             t => Err(WireError::BadTag(t)),
         }
@@ -486,6 +516,21 @@ mod tests {
         let msg = EditorMsg::ServerAck(ServerAckMsg { acked: 5 });
         assert_eq!(msg.wire_bytes(), 2); // tag + 1-byte varint
         assert_eq!(msg.stamp_integers(), 1);
+    }
+
+    #[test]
+    fn client_ack_round_trip() {
+        round_trip(&EditorMsg::ClientAck(ClientAckMsg {
+            origin: SiteId(3),
+            received: 129,
+        }));
+        let msg = EditorMsg::ClientAck(ClientAckMsg {
+            origin: SiteId(3),
+            received: 5,
+        });
+        assert_eq!(msg.wire_bytes(), 3); // tag + origin + 1-byte varint
+        assert_eq!(msg.stamp_integers(), 1);
+        assert_eq!(msg.stamp_bytes(), 1);
     }
 
     #[test]

@@ -51,16 +51,18 @@
 use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
-use crate::msg::{ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
+use crate::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
 #[cfg(debug_assertions)]
 use cvc_core::formulas::formula7_counters;
 use cvc_core::formulas::formula7_dynamic;
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::{CompressedStamp, NotifierStateVector};
 use cvc_core::vector::VectorClock;
+use cvc_ot::buffer::TextBuffer;
 use cvc_ot::seq::SeqOp;
 use cvc_sim::wire::WireSize;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// How the notifier evaluates formula (7) over its history buffer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +76,25 @@ pub enum ScanMode {
     /// into every entry and scan the whole buffer per arrival. Kept as a
     /// measured baseline and as an independent reference implementation.
     FullScanReference,
+}
+
+impl ScanMode {
+    /// Pick the faster scan for a session of `n_clients`.
+    ///
+    /// PR 1's E14 measured the suffix scan *losing* to the full scan at
+    /// n = 4 (53.3k vs 63.0k ops/s): with the whole history resident, the
+    /// watermark bookkeeping cost more than the scan it saved. With
+    /// ack-driven GC on (the default since E16) the buffer itself stays at
+    /// the in-flight window and the suffix scan's bookkeeping is repaid at
+    /// every size — E16 records suffix ≥ full-scan throughput from n = 4
+    /// up — while the reference mode still pays an `N`-element snapshot
+    /// clone per buffered entry. The crossover is therefore gone and this
+    /// returns [`ScanMode::SuffixBounded`] for every `n`; it stays in the
+    /// API as the documented decision point (see EXPERIMENTS.md E16).
+    pub fn auto_for(n_clients: usize) -> ScanMode {
+        let _ = n_clients;
+        ScanMode::SuffixBounded
+    }
 }
 
 /// One executed operation in the notifier's history buffer.
@@ -104,9 +125,11 @@ pub struct NotifierHbEntry {
 #[derive(Debug, Clone)]
 pub struct Notifier {
     sv: NotifierStateVector,
-    doc: String,
+    doc: TextBuffer,
     bridges: Vec<Bridge>,
-    hb: Vec<NotifierHbEntry>,
+    /// History buffer as a ring: GC is a prefix trim, and a `VecDeque`
+    /// makes that an index bump instead of an O(|HB|) front shift.
+    hb: VecDeque<NotifierHbEntry>,
     scan_mode: ScanMode,
     /// Trim the dead prefix inside every integration (folded-in GC).
     auto_trim: bool,
@@ -136,6 +159,9 @@ pub struct Notifier {
     /// Send a [`ServerAckMsg`] back to each operation's origin (needed by
     /// composing clients; the paper's streaming clients ignore acks).
     send_acks: bool,
+    /// Reusable per-client counter scratch for the trim scan (avoids an
+    /// allocation per folded-in GC pass).
+    trim_scratch: Vec<u64>,
     metrics: SiteMetrics,
 }
 
@@ -145,11 +171,11 @@ impl Notifier {
     pub fn new(n_clients: usize, initial: &str) -> Self {
         Notifier {
             sv: NotifierStateVector::new(n_clients),
-            doc: initial.to_owned(),
+            doc: TextBuffer::from_str(initial),
             bridges: (0..n_clients)
                 .map(|_| Bridge::new(BridgeRole::Notifier))
                 .collect(),
-            hb: Vec::new(),
+            hb: VecDeque::new(),
             scan_mode: ScanMode::SuffixBounded,
             auto_trim: false,
             trimmed: 0,
@@ -160,6 +186,7 @@ impl Notifier {
             join_offsets: vec![0; n_clients],
             active: vec![true; n_clients],
             send_acks: false,
+            trim_scratch: Vec::with_capacity(n_clients),
             metrics: SiteMetrics::new(),
         }
     }
@@ -214,7 +241,7 @@ impl Notifier {
         // at any watermark; start at the trim boundary.
         self.wm_abs.push(self.trimmed);
         self.wm_from_self.push(0);
-        (site, self.doc.clone())
+        (site, self.doc.to_string())
     }
 
     /// Remove a client from the session: no further broadcasts go to it
@@ -245,9 +272,21 @@ impl Notifier {
         self.bridges.len()
     }
 
-    /// Current document content.
-    pub fn doc(&self) -> &str {
-        &self.doc
+    /// Current document content, materialised. The replica itself lives in
+    /// a gap buffer; use [`Notifier::doc_checksum`] to compare replicas
+    /// without building strings.
+    pub fn doc(&self) -> String {
+        self.doc.to_string()
+    }
+
+    /// FNV-1a fingerprint of the document content.
+    pub fn doc_checksum(&self) -> u64 {
+        self.doc.checksum()
+    }
+
+    /// Document length in characters.
+    pub fn doc_len(&self) -> usize {
+        self.doc.len()
     }
 
     /// Current full state vector (`SV_0`).
@@ -258,7 +297,7 @@ impl Notifier {
     /// History buffer (`HB_0`). With auto-GC (or after [`Notifier::gc`])
     /// this is the live suffix; [`Notifier::history_trimmed`] counts the
     /// collected prefix.
-    pub fn history(&self) -> &[NotifierHbEntry] {
+    pub fn history(&self) -> &VecDeque<NotifierHbEntry> {
         &self.hb
     }
 
@@ -281,7 +320,7 @@ impl Notifier {
     pub fn hb_snapshot(&self, k: usize) -> VectorClock {
         let e = &self.hb[k];
         let mut entries = self.sv.as_vector().entries().to_vec();
-        for later in &self.hb[k + 1..] {
+        for later in self.hb.iter().skip(k + 1) {
             let i = later.origin.client_index();
             if i < e.width_at {
                 entries[i] -= 1;
@@ -324,19 +363,25 @@ impl Notifier {
     /// broadcast did: its position in the stream to `site` (formula (1),
     /// shifted by the join offset) and the operations received from `site`
     /// at that point (formula (2)). This works off the watermark
-    /// machinery's running counters, and GC safety is inherited from the
-    /// collection rule — an entry is only trimmed once `site` has
-    /// acknowledged past its stream position, and a client can never have
-    /// received fewer broadcasts than it acknowledged, so every entry with
-    /// position `> received` is still buffered. Cursor presence is not
-    /// replayed (it is ephemeral UI state).
-    pub fn replay_for(&self, site: SiteId, received: u64) -> Vec<ServerOpMsg> {
+    /// machinery's running counters. GC safety is inherited from the
+    /// collection rule: an entry is only trimmed once `site` has
+    /// acknowledged past its stream position, and a client that merely
+    /// disconnected cannot have received fewer broadcasts than it
+    /// acknowledged — its frozen `acked_by` entry *pins* the trim
+    /// watermark, so every entry with position `> received` is still
+    /// buffered. The one way to defeat the pin is a client restored from a
+    /// stale backup, presenting a `received` below its own earlier ack; the
+    /// needed prefix may then be gone and the typed
+    /// [`ProtocolError::ReplayTrimmed`] tells the transport layer to fall
+    /// back to a full-state resync instead of silently diverging. Cursor
+    /// presence is not replayed (it is ephemeral UI state).
+    pub fn replay_for(
+        &self,
+        site: SiteId,
+        received: u64,
+    ) -> Result<Vec<ServerOpMsg>, ProtocolError> {
         assert!(self.is_active(site), "replay for inactive {site}");
         let xi = site.client_index();
-        debug_assert!(
-            received >= self.acked_by[xi],
-            "a client cannot have received less than it acknowledged"
-        );
         let offset = self.join_offsets[xi];
         // Ops from `site` itself among the stream so far (they are never
         // broadcast back to their origin).
@@ -356,7 +401,76 @@ impl Notifier {
                 });
             }
         }
-        out
+        // The stream to `site` has `sent` positions; the replay must cover
+        // (received, sent]. Only a prefix is ever trimmed, so a shortfall
+        // means exactly that: the needed prefix was garbage-collected.
+        let sent = self.bridges[xi].my_count();
+        let needed = sent.saturating_sub(received);
+        if (out.len() as u64) < needed {
+            return Err(ProtocolError::ReplayTrimmed {
+                site,
+                needed_from: received + 1,
+                available_from: sent - out.len() as u64 + 1,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Everything a client needs to rebuild its replica wholesale after a
+    /// [`ProtocolError::ReplayTrimmed`]: the current document plus both
+    /// stream counters for `site` — `(doc, sent_to_site,
+    /// received_from_site)`, fed straight into
+    /// [`crate::client::Client::adopt_snapshot`].
+    pub fn resync_snapshot_for(&self, site: SiteId) -> (String, u64, u64) {
+        assert!(self.is_active(site), "snapshot for inactive {site}");
+        let xi = site.client_index();
+        (
+            self.doc.to_string(),
+            self.bridges[xi].my_count(),
+            self.bridges[xi].their_count(),
+        )
+    }
+
+    /// Integrate a bare [`ClientAckMsg`]: advance the sender's `acked_by`
+    /// entry (and drop its bridge's acknowledged pending prefix) exactly as
+    /// an operation stamp would, without executing anything. This is what
+    /// lets a *quiet* client keep the notifier's history buffer
+    /// collectable; see [`crate::client::Client::take_pending_ack`].
+    pub fn on_client_ack(&mut self, msg: ClientAckMsg) {
+        let x = msg.origin;
+        self.try_on_client_ack(msg)
+            .unwrap_or_else(|e| panic!("ack from {x}: protocol violation: {e}"));
+    }
+
+    /// Fallible twin of [`Notifier::on_client_ack`].
+    pub fn try_on_client_ack(&mut self, msg: ClientAckMsg) -> Result<(), ProtocolError> {
+        let x = msg.origin;
+        if x.is_notifier() || x.client_index() >= self.n_clients() {
+            return Err(ProtocolError::UnknownSite {
+                site: x,
+                n_clients: self.n_clients(),
+            });
+        }
+        let xi = x.client_index();
+        if !self.active[xi] {
+            return Err(ProtocolError::DepartedSite { site: x });
+        }
+        let sent_to_x = self.bridges[xi].my_count();
+        if msg.received > sent_to_x {
+            return Err(ProtocolError::AckOverrun {
+                site: x,
+                sent: sent_to_x,
+                acked: msg.received,
+            });
+        }
+        self.acked_by[xi] = self.acked_by[xi].max(msg.received);
+        self.bridges[xi]
+            .ack_prefix(msg.received)
+            .expect("bound checked above");
+        if self.auto_trim {
+            self.trim_dead_prefix();
+        }
+        Ok(())
     }
 
     /// Garbage-collect history-buffer entries that can never again be
@@ -390,7 +504,9 @@ impl Notifier {
         let n = self.n_clients();
         // Running per-client executed-op counts at the entry under test
         // (exclusive of it), starting from the already-trimmed prefix.
-        let mut counts = self.trimmed_from.clone();
+        let mut counts = std::mem::take(&mut self.trim_scratch);
+        counts.clear();
+        counts.extend_from_slice(&self.trimmed_from);
         let mut dead = 0usize;
         'scan: for e in &self.hb {
             for (idx, &count) in counts.iter().enumerate().take(n) {
@@ -420,6 +536,7 @@ impl Notifier {
                 }
             }
         }
+        self.trim_scratch = counts;
         dead
     }
 
@@ -514,7 +631,7 @@ impl Notifier {
                 // verdict degenerates to formula (7)'s `x ≠ y` test.
                 let mut checked = Vec::with_capacity(hb_len - k);
                 let mut concurrent = 0usize;
-                for e in &self.hb[k..] {
+                for e in self.hb.iter().skip(k) {
                     let verdict = e.origin != x;
                     checked.push(verdict);
                     concurrent += usize::from(verdict);
@@ -564,17 +681,17 @@ impl Notifier {
         );
         self.metrics.transforms += integrated.concurrent_with as u64;
 
-        // Execute on the notifier replica.
-        self.doc = integrated
+        // Execute on the notifier replica, in place.
+        integrated
             .op
-            .apply(&self.doc)
+            .apply_to_buffer(&mut self.doc)
             .map_err(ProtocolError::BadOperation)?;
         self.sv.record_receive(x);
         self.metrics.ops_executed_remote += 1;
 
         // Buffer with the running counters (Section 3.3's snapshot is
         // implied; the reference mode also stores it).
-        self.hb.push(NotifierHbEntry {
+        self.hb.push_back(NotifierHbEntry {
             origin: x,
             width_at: self.n_clients(),
             total_after: self.sv.total(),
@@ -612,11 +729,16 @@ impl Notifier {
                 op: integrated.op.clone(),
                 cursor: cursor.map(|c| (x.0, c as u64)),
             };
-            let wire = EditorMsg::ServerOp(smsg.clone());
+            // Account wire cost without cloning the payload: wrap by value,
+            // measure, unwrap.
+            let wire = EditorMsg::ServerOp(smsg);
             self.metrics.messages_sent += 1;
             self.metrics.stamp_integers_sent += wire.stamp_integers() as u64;
             self.metrics.stamp_bytes_sent += wire.stamp_bytes() as u64;
             self.metrics.bytes_sent += wire.wire_bytes() as u64;
+            let EditorMsg::ServerOp(smsg) = wire else {
+                unreachable!("just wrapped")
+            };
             out.push((dest, smsg));
         }
         let ack = if self.send_acks {
@@ -1056,7 +1178,7 @@ mod tests {
         assert_eq!(to_site1.len(), 3, "three non-site-1 ops were broadcast");
 
         // Site 1 received only the first broadcast before its link died.
-        let replay = n.replay_for(SiteId(1), 1);
+        let replay = n.replay_for(SiteId(1), 1).expect("suffix intact");
         assert_eq!(replay.len(), 2);
         for (r, orig) in replay.iter().zip(&to_site1[1..]) {
             assert_eq!(r.stamp, orig.stamp, "replayed stamp must be original");
@@ -1064,9 +1186,9 @@ mod tests {
             assert_eq!(r.cursor, None, "cursor presence is not replayed");
         }
         // Fully caught-up client: nothing to replay.
-        assert!(n.replay_for(SiteId(1), 3).is_empty());
+        assert!(n.replay_for(SiteId(1), 3).unwrap().is_empty());
         // Site 3 acknowledged nothing, so its whole stream comes back.
-        assert_eq!(n.replay_for(SiteId(3), 0).len(), 3);
+        assert_eq!(n.replay_for(SiteId(3), 0).unwrap().len(), 3);
     }
 
     /// Replay respects join offsets (pre-join history is inside the join
@@ -1087,7 +1209,7 @@ mod tests {
             (1, 1),
             SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
         ));
-        let replay = n.replay_for(site3, 0);
+        let replay = n.replay_for(site3, 0).expect("suffix intact");
         assert_eq!(replay.len(), 1, "pre-join entries are not in the stream");
         assert_eq!(replay[0].stamp.as_pair(), (1, 0));
 
@@ -1096,9 +1218,109 @@ mod tests {
         // (joined after, position 0 ≤ 0) — it is collectable; site 2's
         // entry waits for acks.
         assert!(n.gc() > 0);
-        let replay = n.replay_for(site3, 0);
+        let replay = n.replay_for(site3, 0).expect("live tail still serves");
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].stamp.as_pair(), (1, 0));
+    }
+
+    /// A bare client ack advances `acked_by`, prunes the bridge's pending
+    /// list, and (under auto-GC) trims the history buffer — the quiet-client
+    /// path that op stamps cannot cover.
+    #[test]
+    fn client_ack_unblocks_gc_for_quiet_clients() {
+        let mut n = Notifier::new(2, "ab");
+        n.set_auto_gc(true);
+        // Site 1 types twice; site 2 stays quiet.
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "c"), 2),
+        ));
+        n.on_client_op(client_msg(
+            1,
+            (0, 2),
+            SeqOp::from_pos(&PosOp::insert(3, "d"), 3),
+        ));
+        assert_eq!(n.history().len(), 2, "quiet site 2 blocks collection");
+        // Site 2 acks both broadcasts without generating anything.
+        n.on_client_ack(ClientAckMsg {
+            origin: SiteId(2),
+            received: 2,
+        });
+        assert_eq!(n.acked_by()[1], 2);
+        assert_eq!(n.history().len(), 0, "ack alone unblocked the trim");
+        assert_eq!(n.history_trimmed(), 2);
+        // The session continues normally afterwards.
+        let out = n.on_client_op(client_msg(
+            2,
+            (2, 1),
+            SeqOp::from_pos(&PosOp::insert(4, "e"), 4),
+        ));
+        assert_eq!(out.broadcasts.len(), 1);
+        assert_eq!(n.doc(), "abcde");
+    }
+
+    #[test]
+    fn client_ack_validates_origin_and_bound() {
+        let mut n = Notifier::new(2, "ab");
+        assert!(matches!(
+            n.try_on_client_ack(ClientAckMsg {
+                origin: SiteId(7),
+                received: 0,
+            }),
+            Err(crate::error::ProtocolError::UnknownSite { .. })
+        ));
+        assert!(matches!(
+            n.try_on_client_ack(ClientAckMsg {
+                origin: SiteId(1),
+                received: 5,
+            }),
+            Err(crate::error::ProtocolError::AckOverrun {
+                sent: 0,
+                acked: 5,
+                ..
+            })
+        ));
+        n.remove_client(SiteId(2));
+        assert!(matches!(
+            n.try_on_client_ack(ClientAckMsg {
+                origin: SiteId(2),
+                received: 0,
+            }),
+            Err(crate::error::ProtocolError::DepartedSite { .. })
+        ));
+    }
+
+    /// A client restored from a stale backup presents a `received` below
+    /// what it once acknowledged; the trimmed prefix is unrecoverable and
+    /// the typed error (not silent garbage) reports it.
+    #[test]
+    fn replay_into_trimmed_prefix_is_a_typed_error() {
+        let mut n = Notifier::new(2, "ab");
+        n.set_auto_gc(true);
+        n.on_client_op(client_msg(
+            1,
+            (0, 1),
+            SeqOp::from_pos(&PosOp::insert(2, "c"), 2),
+        ));
+        // Site 2 acks the broadcast; the entry is trimmed.
+        n.on_client_ack(ClientAckMsg {
+            origin: SiteId(2),
+            received: 1,
+        });
+        assert_eq!(n.history_trimmed(), 1);
+        // Honest resync (received = 1): nothing to replay, fine.
+        assert!(n.replay_for(SiteId(2), 1).unwrap().is_empty());
+        // Stale-backup resync (received = 0): the prefix is gone.
+        let err = n.replay_for(SiteId(2), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::ReplayTrimmed {
+                needed_from: 1,
+                available_from: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

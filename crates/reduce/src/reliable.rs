@@ -30,6 +30,7 @@
 //! the run against a ground-truth oracle.
 
 use crate::client::Client;
+use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
 use crate::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
 use crate::notifier::Notifier;
@@ -41,7 +42,8 @@ use cvc_sim::fault::FaultPlan;
 use cvc_sim::sim::{Ctx, Node, NodeId, Simulator};
 use cvc_sim::time::{SimDuration, SimTime};
 use cvc_sim::wire::{
-    get_varint, put_varint, varint_len, WireDecode, WireEncode, WireError, WireSize,
+    get_string, get_varint, put_string, put_varint, varint_len, WireDecode, WireEncode, WireError,
+    WireSize,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +54,7 @@ const TAG_DATA: u8 = 10;
 const TAG_ACK: u8 = 11;
 const TAG_RESYNC_REQ: u8 = 12;
 const TAG_RESYNC_RESP: u8 = 13;
+const TAG_RESYNC_FULL: u8 = 14;
 
 /// Timer tag for a link retransmission timeout (the notifier adds the
 /// peer's client index). Script-edit timers use their small script index,
@@ -122,6 +125,17 @@ pub enum ReliableKind {
         /// has integrated — the client re-sends everything after this.
         received_from_site: u64,
     },
+    /// Notifier → client: the replay prefix was garbage-collected
+    /// ([`crate::error::ProtocolError::ReplayTrimmed`]); rebuild the
+    /// replica wholesale from this snapshot instead.
+    ResyncFull {
+        /// Operations the notifier has sent to this client.
+        sent_to_site: u64,
+        /// Operations the notifier has integrated from this client.
+        received_from_site: u64,
+        /// The notifier's current document.
+        doc: String,
+    },
 }
 
 /// One frame of the reliability protocol.
@@ -158,6 +172,16 @@ impl WireSize for ReliableMsg {
                 } => varint_len(u64::from(*site)) + varint_len(*received) + varint_len(*generated),
                 ReliableKind::ResyncResponse { received_from_site } => {
                     varint_len(*received_from_site)
+                }
+                ReliableKind::ResyncFull {
+                    sent_to_site,
+                    received_from_site,
+                    doc,
+                } => {
+                    varint_len(*sent_to_site)
+                        + varint_len(*received_from_site)
+                        + varint_len(doc.len() as u64)
+                        + doc.len()
                 }
             }
     }
@@ -201,6 +225,17 @@ impl WireEncode for ReliableMsg {
                 put_varint(buf, u64::from(self.epoch));
                 put_varint(buf, *received_from_site);
             }
+            ReliableKind::ResyncFull {
+                sent_to_site,
+                received_from_site,
+                doc,
+            } => {
+                buf.put_u8(TAG_RESYNC_FULL);
+                put_varint(buf, u64::from(self.epoch));
+                put_varint(buf, *sent_to_site);
+                put_varint(buf, *received_from_site);
+                put_string(buf, doc);
+            }
         }
     }
 }
@@ -242,6 +277,11 @@ impl WireDecode for ReliableMsg {
             },
             TAG_RESYNC_RESP => ReliableKind::ResyncResponse {
                 received_from_site: get_varint(buf)?,
+            },
+            TAG_RESYNC_FULL => ReliableKind::ResyncFull {
+                sent_to_site: get_varint(buf)?,
+                received_from_site: get_varint(buf)?,
+                doc: get_string(buf)?,
             },
             t => return Err(WireError::BadTag(t)),
         };
@@ -564,6 +604,20 @@ struct RobustNotifier {
 }
 
 impl RobustNotifier {
+    /// Build the full-state fallback frame for a client whose replay
+    /// prefix was garbage-collected.
+    fn full_resync_frame(&self, site: SiteId, epoch: u32) -> ReliableMsg {
+        let (doc, sent_to_site, received_from_site) = self.inner.resync_snapshot_for(site);
+        ReliableMsg {
+            epoch,
+            kind: ReliableKind::ResyncFull {
+                sent_to_site,
+                received_from_site,
+                doc,
+            },
+        }
+    }
+
     fn integrate(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: ClientOpMsg) {
         let out = self.inner.on_client_op(c.clone());
         if let Some(tr) = &mut self.trace {
@@ -599,7 +653,8 @@ impl RobustNotifier {
                         .expect("reliable layer delivered an undecodable payload");
                     match decoded {
                         EditorMsg::ClientOp(c) => self.integrate(ctx, c),
-                        other => panic!("notifier received non-client-op {other:?}"),
+                        EditorMsg::ClientAck(a) => self.inner.on_client_ack(a),
+                        other => panic!("notifier received unexpected {other:?}"),
                     }
                 }
             }
@@ -628,39 +683,56 @@ impl RobustNotifier {
                     // New connection: reset sequencing (pending frames are
                     // superseded by the replay below) and serve the resync.
                     self.links[xi].reset(msg.epoch);
-                    let replay = self.inner.replay_for(x, received);
                     self.links[xi].resyncs += 1;
-                    self.links[xi].resync_replayed += replay.len() as u64;
-                    ctx.send(
-                        from,
-                        ReliableMsg {
-                            epoch: msg.epoch,
-                            kind: ReliableKind::ResyncResponse {
-                                received_from_site: integrated,
-                            },
-                        },
-                    );
-                    for sm in replay {
-                        let payload = encode_editor(&EditorMsg::ServerOp(sm));
-                        self.links[xi].send_payload(ctx, from, RETX_TAG + xi as u64, payload);
+                    match self.inner.replay_for(x, received) {
+                        Ok(replay) => {
+                            self.links[xi].resync_replayed += replay.len() as u64;
+                            ctx.send(
+                                from,
+                                ReliableMsg {
+                                    epoch: msg.epoch,
+                                    kind: ReliableKind::ResyncResponse {
+                                        received_from_site: integrated,
+                                    },
+                                },
+                            );
+                            for sm in replay {
+                                let payload = encode_editor(&EditorMsg::ServerOp(sm));
+                                self.links[xi].send_payload(
+                                    ctx,
+                                    from,
+                                    RETX_TAG + xi as u64,
+                                    payload,
+                                );
+                            }
+                        }
+                        Err(ProtocolError::ReplayTrimmed { .. }) => {
+                            // The needed prefix was garbage-collected (a
+                            // client restored from a stale backup): serve
+                            // the whole state instead.
+                            ctx.send(from, self.full_resync_frame(x, msg.epoch));
+                        }
+                        Err(e) => panic!("resync replay for {x} failed: {e}"),
                     }
                 } else if msg.epoch == self.links[xi].epoch {
                     // Duplicate request (lost response or a network dup):
                     // answer idempotently; the data retransmission timer
-                    // already covers the replayed frames.
-                    ctx.send(
-                        from,
-                        ReliableMsg {
+                    // already covers the replayed frames. A trimmed replay
+                    // re-serves the (unsequenced) snapshot frame.
+                    let kind = match self.inner.replay_for(x, received) {
+                        Ok(_) => ReliableMsg {
                             epoch: msg.epoch,
                             kind: ReliableKind::ResyncResponse {
                                 received_from_site: integrated,
                             },
                         },
-                    );
+                        Err(_) => self.full_resync_frame(x, msg.epoch),
+                    };
+                    ctx.send(from, kind);
                 }
                 // An older epoch is a late straggler: ignore.
             }
-            ReliableKind::ResyncResponse { .. } => {
+            ReliableKind::ResyncResponse { .. } | ReliableKind::ResyncFull { .. } => {
                 // Only clients receive responses; a stray one is dropped.
             }
         }
@@ -742,6 +814,12 @@ impl RobustClient {
                         other => panic!("client received unexpected {other:?}"),
                     }
                 }
+                // A quiet client still owes the notifier a periodic bare
+                // ack, or its frozen watermark would starve the GC.
+                if let Some(a) = self.inner.take_pending_ack() {
+                    let payload = encode_editor(&EditorMsg::ClientAck(a));
+                    self.link.send_payload(ctx, 0, RETX_TAG, payload);
+                }
             }
             ReliableKind::Ack { ack } => {
                 if msg.epoch == self.link.epoch {
@@ -755,6 +833,22 @@ impl RobustClient {
                     for c in self.inner.unacked_local_since(received_from_site) {
                         self.send_up(ctx, &c);
                     }
+                }
+            }
+            ReliableKind::ResyncFull {
+                sent_to_site,
+                received_from_site,
+                doc,
+            } => {
+                if msg.epoch == self.link.epoch && self.state == ConnState::AwaitingResync {
+                    self.state = ConnState::Connected;
+                    // The replica is rebuilt wholesale; unacked local work
+                    // beyond `received_from_site` is abandoned (this path
+                    // only triggers for a replica already known to be
+                    // unrecoverable by replay). `adopt_snapshot` counts the
+                    // resync in the client's own metrics.
+                    self.inner
+                        .adopt_snapshot(&doc, sent_to_site, received_from_site);
                 }
             }
             ReliableKind::ResyncRequest { .. } => {

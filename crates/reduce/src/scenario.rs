@@ -131,6 +131,11 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
     let mut prop_stamps = Vec::new();
 
     let mut notifier = Notifier::new(3, INITIAL_DOC);
+    // Ack-driven collection stays off for this transcript — and only
+    // here: the walkthrough reproduces the paper's Fig. 3 history-buffer
+    // contents by absolute index, which a mid-trace trim would shift.
+    // Live layers (sessions, benches) run with auto-GC on by default.
+    notifier.set_auto_gc(false);
     let mut c1 = Client::new(SiteId(1), INITIAL_DOC);
     let mut c2 = Client::new(SiteId(2), INITIAL_DOC);
     let mut c3 = Client::new(SiteId(3), INITIAL_DOC);

@@ -117,7 +117,11 @@ impl SessionConfig {
             net_seed: seed.wrapping_mul(31).wrapping_add(7),
             workload: WorkloadConfig::small(n, seed),
             record_deliveries: false,
-            auto_gc: false,
+            // On by default: with ack-driven collection the history buffers
+            // stay at the in-flight window, which is what flattens the
+            // per-op cost curve (E16). Baseline measurements that need the
+            // unbounded buffers opt out explicitly.
+            auto_gc: true,
             client_mode: ClientMode::Streaming,
             bandwidth_bytes_per_sec: None,
             share_carets: false,
@@ -231,6 +235,9 @@ impl Node<EditorMsg> for SessionNode {
                     ctx.send(dest.0 as usize, EditorMsg::ServerAck(ack));
                 }
             }
+            (SessionNode::Notifier(n), EditorMsg::ClientAck(a)) => {
+                n.on_client_ack(a);
+            }
             (
                 SessionNode::Client {
                     client, auto_gc, ..
@@ -240,6 +247,11 @@ impl Node<EditorMsg> for SessionNode {
                 client.on_server_op(m);
                 if *auto_gc {
                     client.gc();
+                }
+                // Quiet clients still owe the notifier a periodic bare ack,
+                // or their frozen watermarks would starve its collector.
+                if let Some(a) = client.take_pending_ack() {
+                    ctx.send(0, EditorMsg::ClientAck(a));
                 }
             }
             (SessionNode::Client { .. }, EditorMsg::ServerAck(_)) => {
@@ -633,6 +645,7 @@ mod tests {
     fn auto_gc_bounds_history_and_preserves_results() {
         let mut plain = SessionConfig::small(Deployment::StarCvc, 4, 13);
         plain.workload.ops_per_site = 40;
+        plain.auto_gc = false; // the unbounded baseline under test
         let mut gc = plain.clone();
         gc.auto_gc = true;
         let a = run_session(&plain);
@@ -658,6 +671,9 @@ mod tests {
     fn scan_modes_agree_and_suffix_touches_less() {
         let mut fast = SessionConfig::small(Deployment::StarCvc, 4, 23);
         fast.workload.ops_per_site = 30;
+        // GC off: this measures the scan bound itself, on buffers that
+        // actually grow (with GC on, both modes only ever see the window).
+        fast.auto_gc = false;
         let mut slow = fast.clone();
         slow.notifier_scan = ScanMode::FullScanReference;
         let a = run_session(&fast);
@@ -686,6 +702,7 @@ mod tests {
     fn mesh_auto_gc_bounds_history_too() {
         let mut plain = SessionConfig::small(Deployment::MeshFullVc, 4, 17);
         plain.workload.ops_per_site = 40;
+        plain.auto_gc = false; // the unbounded baseline under test
         let mut gc = plain.clone();
         gc.auto_gc = true;
         let a = run_session(&plain);

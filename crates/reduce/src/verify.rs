@@ -202,7 +202,7 @@ pub fn verify_star(cfg: &VerifyConfig) -> VerifyReport {
         }
     }
 
-    let mut docs: Vec<&str> = clients.iter().map(|c| c.doc()).collect();
+    let mut docs: Vec<String> = clients.iter().map(|c| c.doc()).collect();
     docs.push(notifier.doc());
     report.converged = docs.windows(2).all(|w| w[0] == w[1]);
     report
@@ -357,7 +357,7 @@ pub fn verify_star_dynamic(cfg: &VerifyConfig, max_clients: usize) -> VerifyRepo
         }
     }
 
-    let mut docs: Vec<&str> = clients
+    let mut docs: Vec<String> = clients
         .iter()
         .filter_map(|c| c.as_ref().map(|c| c.doc()))
         .collect();

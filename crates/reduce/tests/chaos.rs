@@ -22,7 +22,9 @@ use cvc_reduce::client::Client;
 use cvc_reduce::error::ProtocolError;
 use cvc_reduce::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
 use cvc_reduce::notifier::Notifier;
-use cvc_reduce::reliable::{run_robust_session_traced, ClientEvent, DisconnectSpec, SessionTrace};
+use cvc_reduce::reliable::{
+    run_robust_session, run_robust_session_traced, ClientEvent, DisconnectSpec, SessionTrace,
+};
 use cvc_reduce::session::{ClientMode, Deployment, SessionConfig, SessionReport};
 use cvc_reduce::workload::{EditIntent, ScheduledEdit};
 use cvc_sim::fault::{FaultPlan, FlapSpec};
@@ -222,6 +224,12 @@ fn chaos_cfg(
     cfg.reliable = true;
     cfg.fault_plan = Some(plan);
     cfg.disconnects = disconnects;
+    // The twin replay compares verdict vectors entry-for-entry, which
+    // requires the live history buffers to match the twin's exactly; GC
+    // trims are ack-driven (arrival-timing dependent), so the audit legs
+    // run with unbounded buffers. GC-on outages are covered separately by
+    // `outage_resyncs_from_the_pinned_suffix_with_gc_on`.
+    cfg.auto_gc = false;
     cfg
 }
 
@@ -310,6 +318,103 @@ fn fixed_seed_chaos_smoke() {
     assert!(total.retransmits > 0, "the plan must actually bite");
     assert!(total.resyncs >= 4, "both outages must resync");
     assert!(report.fault_stats.dropped > 0);
+}
+
+/// With ack-driven GC on (the default), a mid-session outage must still
+/// resync purely from the history buffer: the disconnected client's
+/// frozen `acked_by` watermark pins the trim, so the replay suffix is
+/// intact when it returns — while the other clients' (piggybacked and
+/// bare) acks keep everything else collectable.
+#[test]
+fn outage_resyncs_from_the_pinned_suffix_with_gc_on() {
+    let mut cfg = SessionConfig::small(Deployment::StarCvc, 4, 0xBACC);
+    cfg.workload.ops_per_site = 30;
+    cfg.client_mode = ClientMode::Streaming;
+    cfg.reliable = true;
+    cfg.disconnects = vec![DisconnectSpec {
+        client: 2,
+        at: SimTime::from_millis(300),
+        down: SimDuration::from_millis(1500),
+    }];
+    assert!(cfg.auto_gc, "GC-on is the default under test");
+    let report = run_robust_session(&cfg);
+    assert!(report.converged, "diverged: {:?}", report.final_docs);
+    let total = report.total_metrics();
+    assert!(total.resyncs >= 2, "the outage must complete a resync");
+    assert!(
+        total.resync_replayed > 0,
+        "the rejoin must be served from the pinned history suffix"
+    );
+    // The collector kept working around the frozen watermark: the buffer
+    // never held the whole session's operation stream.
+    let integrated = 4 * 30;
+    assert!(
+        total.hb_high_water < integrated,
+        "hb high water {} should stay below the {} ops integrated",
+        total.hb_high_water,
+        integrated
+    );
+}
+
+/// A client restored from a stale backup presents a `received` below its
+/// own earlier acknowledgement. The prefix it needs is gone — GC trimmed
+/// past it on the strength of that very ack — so replay must fail with
+/// the *typed* [`ProtocolError::ReplayTrimmed`] and the full-state resync
+/// must rebuild the replica, never a silent divergence.
+#[test]
+fn stale_backup_falls_back_to_full_state_resync() {
+    let initial = "shared";
+    let mut notifier = Notifier::new(2, initial);
+    notifier.set_auto_gc(true);
+    let mut c1 = Client::new(SiteId(1), initial);
+    let mut c2 = Client::new(SiteId(2), initial);
+
+    // One acknowledged edit so the backup is meaningfully stale.
+    let m = c1.insert(0, "a");
+    for (dest, sm) in notifier.on_client_op(m).broadcasts {
+        assert_eq!(dest, SiteId(2));
+        c2.on_server_op(sm);
+    }
+    let backup = c1.clone(); // received = 0: predates all of c2's traffic
+
+    // Heavy one-sided traffic: c1 stays quiet but acks periodically, so
+    // the collector trims the broadcast prefix the backup would need.
+    for _ in 0..20 {
+        let m = c2.insert(0, "x");
+        for (dest, sm) in notifier.on_client_op(m).broadcasts {
+            assert_eq!(dest, SiteId(1));
+            c1.on_server_op(sm);
+            if let Some(a) = c1.take_pending_ack() {
+                notifier.on_client_ack(a);
+            }
+        }
+    }
+
+    // The live c1 now "crashes"; the restored backup asks for a replay.
+    let stale_received = backup.state_vector().received();
+    let err = notifier.replay_for(SiteId(1), stale_received).unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::ReplayTrimmed { site, .. } if site == SiteId(1)),
+        "expected ReplayTrimmed, got {err:?}"
+    );
+
+    // Full-state fallback: adopt the notifier's snapshot wholesale.
+    let (doc, sent, recvd) = notifier.resync_snapshot_for(SiteId(1));
+    let mut restored = backup;
+    restored.adopt_snapshot(&doc, sent, recvd);
+    assert_eq!(restored.doc(), notifier.doc());
+
+    // The session continues seamlessly in both directions.
+    let m = c2.insert(0, "y");
+    for (_, sm) in notifier.on_client_op(m).broadcasts {
+        restored.on_server_op(sm);
+    }
+    let m = restored.insert(0, "z");
+    for (_, sm) in notifier.on_client_op(m).broadcasts {
+        c2.on_server_op(sm);
+    }
+    assert_eq!(restored.doc(), notifier.doc());
+    assert_eq!(c2.doc(), notifier.doc());
 }
 
 // ---------------------------------------------------------------------

@@ -192,7 +192,7 @@ fn drive(
     }
 
     // Quiesced: all active replicas and both notifiers converged.
-    let mut docs: Vec<&str> = clients
+    let mut docs: Vec<String> = clients
         .iter()
         .filter_map(|c| c.as_ref().map(|c| c.doc()))
         .collect();

@@ -18,7 +18,7 @@ use cvc_core::state_vector::CompressedStamp;
 use cvc_core::vector::VectorClock;
 use cvc_ot::seq::SeqOp;
 use cvc_ot::ttf::TtfOp;
-use cvc_reduce::msg::{ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
+use cvc_reduce::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
 use cvc_reduce::reliable::{ReliableKind, ReliableMsg};
 use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
@@ -88,7 +88,13 @@ fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
             })
         });
     let ack = any::<u64>().prop_map(|acked| EditorMsg::ServerAck(ServerAckMsg { acked }));
-    prop_oneof![client, server, mesh, ack]
+    let client_ack = (1u32..=64, any::<u64>()).prop_map(|(origin, received)| {
+        EditorMsg::ClientAck(ClientAckMsg {
+            origin: SiteId(origin),
+            received,
+        })
+    });
+    prop_oneof![client, server, mesh, ack, client_ack]
 }
 
 fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
@@ -115,6 +121,13 @@ fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
         }),
         any::<u64>()
             .prop_map(|received_from_site| ReliableKind::ResyncResponse { received_from_site }),
+        (any::<u64>(), any::<u64>(), "[a-z ]{0,48}").prop_map(
+            |(sent_to_site, received_from_site, doc)| ReliableKind::ResyncFull {
+                sent_to_site,
+                received_from_site,
+                doc,
+            }
+        ),
     ];
     (any::<u32>(), kind).prop_map(|(epoch, kind)| ReliableMsg { epoch, kind })
 }
