@@ -3,16 +3,16 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e16)
+//! repro e3                # one experiment (e1..e17)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16) sequentially. Output is always in e1..e16
-//! order and, being seeded virtual-time, bit-identical at any worker
-//! count.
+//! experiments (e7, e14, e16, e17) sequentially. Output is always in
+//! e1..e17 order and, being seeded virtual-time, bit-identical at any
+//! worker count.
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
 //! 1 when any experiment reports a `FAILED:` line; 2 on usage errors.
@@ -65,6 +65,8 @@ fn main() {
         "e15" => experiments::e15_robustness(),
         "e16" => experiments::e16_scaling(),
         "e16-smoke" => experiments::e16_scaling_smoke(),
+        "e17" => experiments::e17_recorder_overhead(),
+        "e17-smoke" => experiments::e17_recorder_overhead_smoke(),
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -81,7 +83,9 @@ fn main() {
              e14 notifier hot-path throughput (suffix vs full scan)\n\
              e15 unreliable-transport survival (reliability layer)\n\
              e16 per-op cost curve with ack-driven GC (N to 1024)\n\
-             e16-smoke  small e16 sweep for the CI bench gate"
+             e16-smoke  small e16 sweep for the CI bench gate\n\
+             e17 flight-recorder overhead vs the E16 baseline\n\
+             e17-smoke  small e17 run for the CI bench gate"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");

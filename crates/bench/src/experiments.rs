@@ -49,6 +49,7 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         fault_plan: None,
         reliable: false,
         disconnects: Vec::new(),
+        flight_recorder: false,
     }
 }
 
@@ -1249,6 +1250,193 @@ fn write_bench_pr3_json(rows: &[ScalingRow]) -> Result<String, std::io::Error> {
     Ok(path)
 }
 
+/// E17 — flight-recorder overhead (this PR's observability claim): with
+/// the recorder *off* (the hooks still compiled in, each guarded by one
+/// `bool` check) the per-executed-operation cost must stay within noise —
+/// ≤2% — of the E16 `BENCH_PR3.json` N=64 row measured before the hooks
+/// existed; with the recorder *on*, the bounded allocation-free ring must
+/// stay cheap. Writes `BENCH_PR4.json` (override with `BENCH_PR4_OUT`)
+/// with the unified metrics-registry snapshot embedded.
+pub fn e17_recorder_overhead() -> String {
+    e17_recorder_overhead_with(64, 10, 3, true)
+}
+
+/// The CI smoke variant: one small rep per configuration, still writing
+/// the JSON so the schema gate has something to validate.
+pub fn e17_recorder_overhead_smoke() -> String {
+    e17_recorder_overhead_with(8, 5, 1, true)
+}
+
+/// One measured configuration of E17 (best-of-reps).
+struct OverheadRow {
+    config: &'static str,
+    ops: u64,
+    execs: u64,
+    wall_ms: f64,
+    per_exec_us: f64,
+}
+
+fn e17_recorder_overhead_with(
+    n: usize,
+    ops_per_site: usize,
+    reps: usize,
+    write_json: bool,
+) -> String {
+    use cvc_reduce::notifier::ScanMode;
+    use cvc_reduce::registry::MetricsRegistry;
+    use std::time::Instant;
+    let reps = reps.max(1);
+    let mut registry = MetricsRegistry::new();
+    let mut rows: Vec<OverheadRow> = Vec::new();
+    for &(config, recorder_on) in &[("recorder-off", false), ("recorder-on", true)] {
+        let mut best: Option<OverheadRow> = None;
+        for rep in 0..reps {
+            // Exactly the E16 scaling configuration for this N, so the
+            // recorder-off row is directly comparable to the BENCH_PR3
+            // trajectory (constant global rate, suffix scan, GC on).
+            let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 88);
+            cfg.workload.mean_gap_us = 20_000 * n as u64;
+            cfg.notifier_scan = ScanMode::auto_for(n);
+            cfg.flight_recorder = recorder_on;
+            let start = Instant::now();
+            let r = run_session(&cfg);
+            let wall = start.elapsed();
+            assert!(r.converged, "E17 session must converge");
+            let ops: u64 = r.client_metrics.iter().map(|m| m.ops_generated).sum();
+            let execs = ops * n as u64;
+            let per_exec_us = wall.as_micros() as f64 / execs as f64;
+            registry.record(&format!("{config}.per_exec_ns"), (per_exec_us * 1e3) as u64);
+            if rep + 1 == reps {
+                // The unification path: the flat per-site counters land in
+                // the registry under stable names, once per configuration.
+                let centre = r.centre_metrics.as_ref().expect("star has a centre");
+                registry.absorb_site_metrics(&format!("{config}.notifier"), centre);
+                for m in &r.client_metrics {
+                    registry.absorb_site_metrics(&format!("{config}.clients"), m);
+                }
+            }
+            let row = OverheadRow {
+                config,
+                ops,
+                execs,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                per_exec_us,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| row.per_exec_us < b.per_exec_us)
+            {
+                best = Some(row);
+            }
+        }
+        rows.push(best.expect("at least one rep ran"));
+    }
+
+    let mut t = Table::new(vec!["config", "ops", "execs", "wall (ms)", "per-exec (µs)"]);
+    for r in &rows {
+        t.row(vec![
+            r.config.to_string(),
+            r.ops.to_string(),
+            r.execs.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}", r.per_exec_us),
+        ]);
+    }
+    let mut out = format!(
+        "E17 — flight-recorder overhead at N={n} (best of {reps} rep(s) per config)\n\n{}",
+        t.render()
+    );
+
+    let off = rows[0].per_exec_us.max(f64::EPSILON);
+    let on_ratio = rows[1].per_exec_us / off;
+    registry.set_gauge("overhead.on_vs_off_ratio", on_ratio);
+    out.push_str(&format!(
+        "\nrecorder-on vs recorder-off: {on_ratio:.3}× per executed op\n"
+    ));
+    let pr3 = pr3_per_exec_us(n);
+    match pr3 {
+        Some(base) => {
+            let ratio = off / base.max(f64::EPSILON);
+            registry.set_gauge("overhead.off_vs_pr3_ratio", ratio);
+            out.push_str(&format!(
+                "recorder-off vs BENCH_PR3.json N={n} baseline ({base:.3} µs): \
+                 {ratio:.3}× ({:+.1}%)\n",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        None => out.push_str(&format!(
+            "(no BENCH_PR3.json N={n} row found — baseline comparison skipped)\n"
+        )),
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr4_json(&rows, pr3, &registry.to_json()) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable overhead report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR4.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// The committed E16 per-exec baseline for `n`, parsed out of
+/// `BENCH_PR3.json` (path override: `BENCH_PR3_OUT`). `None` when the
+/// file or the row is absent.
+fn pr3_per_exec_us(n: usize) -> Option<f64> {
+    let path = std::env::var("BENCH_PR3_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let s = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"n\": {n},");
+    let line = s.lines().find(|l| l.contains(&needle))?;
+    let key = "\"per_exec_us\": ";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Serialise the E17 rows plus the unified metrics-registry snapshot as
+/// `BENCH_PR4.json` (override the path with `BENCH_PR4_OUT`).
+fn write_bench_pr4_json(
+    rows: &[OverheadRow],
+    pr3_baseline_us: Option<f64>,
+    metrics_json: &str,
+) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR4_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E17 flight-recorder overhead\",\n");
+    s.push_str("  \"baseline\": \"E16 per-exec row at the same N in BENCH_PR3.json\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    match pr3_baseline_us {
+        Some(b) => s.push_str(&format!("  \"pr3_per_exec_us\": {b:.3},\n")),
+        None => s.push_str("  \"pr3_per_exec_us\": null,\n"),
+    }
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"config\": \"{}\", \"ops\": {}, \"execs\": {}, \"wall_ms\": {:.3}, \"per_exec_us\": {:.3}}}{}\n",
+            r.config,
+            r.ops,
+            r.execs,
+            r.wall_ms,
+            r.per_exec_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    s.push_str("}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
@@ -1263,7 +1451,7 @@ fn mean(v: &[f64]) -> f64 {
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 16] = [
+pub const EXPERIMENTS: [ExperimentEntry; 17] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -1280,6 +1468,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 16] = [
     ("e14", true, e14_throughput),
     ("e15", false, e15_robustness),
     ("e16", true, e16_scaling),
+    ("e17", true, e17_recorder_overhead),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -1296,7 +1485,7 @@ pub fn default_threads() -> usize {
         })
 }
 
-/// Run every experiment, returning the full report in e1..e16 order.
+/// Run every experiment, returning the full report in e1..e17 order.
 ///
 /// Every experiment is seeded and virtual-time, so the *content* of each
 /// section is identical no matter how many workers run them.
@@ -1306,7 +1495,7 @@ pub fn run_all() -> String {
 
 /// [`run_all`] with an explicit worker count. Timing-insensitive
 /// experiments fan out across `threads` scoped workers (work-stealing off
-/// a shared index); the wall-clock experiments (e7, e14, e16) then run
+/// a shared index); the wall-clock experiments (e7, e14, e16, e17) then run
 /// sequentially on the idle machine. Output order is fixed regardless of
 /// completion order.
 pub fn run_all_with_threads(threads: usize) -> String {
@@ -1357,6 +1546,10 @@ pub fn run_all_with_threads(threads: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that set `BENCH_*_OUT` env vars share the process
+    /// environment — serialise them.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn e1_reports_both_topologies() {
@@ -1509,6 +1702,7 @@ mod tests {
 
     #[test]
     fn e16_json_rows_are_well_formed() {
+        let _env = ENV_LOCK.lock().expect("env lock");
         let rows = vec![ScalingRow {
             n: 64,
             ops: 640,
@@ -1535,9 +1729,81 @@ mod tests {
     }
 
     #[test]
+    fn e17_json_embeds_rows_and_metrics() {
+        let _env = ENV_LOCK.lock().expect("env lock");
+        let rows = vec![
+            OverheadRow {
+                config: "recorder-off",
+                ops: 640,
+                execs: 40_960,
+                wall_ms: 109.2,
+                per_exec_us: 2.67,
+            },
+            OverheadRow {
+                config: "recorder-on",
+                ops: 640,
+                execs: 40_960,
+                wall_ms: 112.0,
+                per_exec_us: 2.73,
+            },
+        ];
+        let mut reg = cvc_reduce::registry::MetricsRegistry::new();
+        reg.add_counter("recorder-on.notifier.transforms", 7);
+        let dir = std::env::temp_dir().join("cvc_bench_pr4_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        std::env::set_var("BENCH_PR4_OUT", &path);
+        let written = write_bench_pr4_json(&rows, Some(2.666), &reg.to_json()).expect("writable");
+        std::env::remove_var("BENCH_PR4_OUT");
+        let text = std::fs::read_to_string(written).expect("readable");
+        assert!(text.contains("\"config\": \"recorder-off\""));
+        assert!(text.contains("\"config\": \"recorder-on\""));
+        assert!(text.contains("\"pr3_per_exec_us\": 2.666"));
+        assert!(
+            text.contains("\"metrics\": {\"counters\":{\"recorder-on.notifier.transforms\":7}"),
+            "registry snapshot must be embedded: {text}"
+        );
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn e17_smoke_reports_both_configs() {
+        let _env = ENV_LOCK.lock().expect("env lock");
+        let dir = std::env::temp_dir().join("cvc_bench_pr4_smoke_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::env::set_var("BENCH_PR4_OUT", dir.join("bench.json"));
+        let s = e17_recorder_overhead_with(4, 3, 1, true);
+        std::env::remove_var("BENCH_PR4_OUT");
+        assert!(
+            s.contains("recorder-off") && s.contains("recorder-on"),
+            "{s}"
+        );
+        assert!(s.contains("recorder-on vs recorder-off"), "{s}");
+    }
+
+    #[test]
+    fn pr3_baseline_parser_reads_the_row() {
+        let _env = ENV_LOCK.lock().expect("env lock");
+        let dir = std::env::temp_dir().join("cvc_bench_pr3_parse_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("pr3.json");
+        std::fs::write(
+            &path,
+            "{\n  \"rows\": [\n    {\"n\": 4, \"per_exec_us\": 3.594, \"acks\": 2},\n    {\"n\": 64, \"per_exec_us\": 2.666, \"acks\": 4741}\n  ]\n}\n",
+        )
+        .expect("writable");
+        std::env::set_var("BENCH_PR3_OUT", &path);
+        let got = pr3_per_exec_us(64);
+        let missing = pr3_per_exec_us(1024);
+        std::env::remove_var("BENCH_PR3_OUT");
+        assert_eq!(got, Some(2.666));
+        assert_eq!(missing, None);
+    }
+
+    #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=16).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=17).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -1548,7 +1814,7 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14", "e16"]);
+        assert_eq!(timing, vec!["e7", "e14", "e16", "e17"]);
     }
 
     #[test]

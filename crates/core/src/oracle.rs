@@ -151,6 +151,23 @@ impl CausalityOracle {
     pub fn ops(&self) -> impl Iterator<Item = OpRef> + '_ {
         (0..self.preds.len()).map(OpRef)
     }
+
+    /// The causal predecessors of `op`, ascending by registration index.
+    /// This is the materialised form of the set `happened_before` queries;
+    /// the audit replayer uses it to explain a verdict mismatch.
+    pub fn predecessors(&self, op: OpRef) -> Vec<OpRef> {
+        let bits = &self.preds[op.0];
+        let mut out = Vec::with_capacity(bits.count());
+        for (bi, &block) in bits.blocks.iter().enumerate() {
+            let mut b = block;
+            while b != 0 {
+                let tz = b.trailing_zeros() as usize;
+                out.push(OpRef(bi * 64 + tz));
+                b &= b - 1;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +270,20 @@ mod tests {
         let c = o.record_generation(SiteId(1), "c");
         assert!(o.happened_before(a, c));
         assert!(o.happened_before(b, c));
+    }
+
+    #[test]
+    fn predecessors_materialise_the_causal_past() {
+        let mut o = CausalityOracle::new();
+        let a = o.record_generation(SiteId(1), "a");
+        o.record_execution(SiteId(2), a);
+        let x = o.record_generation(SiteId(2), "x");
+        o.record_execution(SiteId(3), x);
+        let b = o.record_generation(SiteId(3), "b");
+        assert_eq!(o.predecessors(a), vec![]);
+        assert_eq!(o.predecessors(x), vec![a]);
+        assert_eq!(o.predecessors(b), vec![a, x], "transitive closure");
+        assert_eq!(o.predecessors(b).len(), o.history_size(b));
     }
 
     #[test]

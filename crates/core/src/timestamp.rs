@@ -54,6 +54,16 @@ impl Timestamp {
             Timestamp::Full(v) => Some(v),
         }
     }
+
+    /// The timestamp's integer elements in wire order — `[T[1], T[2]]`
+    /// for a compressed stamp, the full entries for a vector. This is the
+    /// uniform serialisation the flight recorder and trace exports use.
+    pub fn to_elements(&self) -> Vec<u64> {
+        match self {
+            Timestamp::Compressed(c) => vec![c.get(1), c.get(2)],
+            Timestamp::Full(v) => v.entries().to_vec(),
+        }
+    }
 }
 
 impl fmt::Display for Timestamp {
@@ -160,6 +170,15 @@ mod tests {
     fn y_index_matches_formula_5() {
         assert_eq!(OriginAtClient::FromNotifier.y_index(), 1);
         assert_eq!(OriginAtClient::Local.y_index(), 2);
+    }
+
+    #[test]
+    fn elements_serialise_uniformly() {
+        let c = Timestamp::Compressed(CompressedStamp::new(3, 1));
+        assert_eq!(c.to_elements(), vec![3, 1]);
+        let f = Timestamp::Full(VectorClock::from_entries(vec![1, 2, 0]));
+        assert_eq!(f.to_elements(), vec![1, 2, 0]);
+        assert_eq!(c.to_elements().len(), c.element_count());
     }
 
     #[test]

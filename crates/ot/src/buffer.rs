@@ -9,6 +9,7 @@
 //! dominant pattern of real editing sessions (and of our workload
 //! generator's typing bursts) — while staying simple enough to audit.
 
+use crate::pos::ApplyError;
 use std::fmt;
 
 /// Default gap capacity reserved when the gap is exhausted.
@@ -111,16 +112,18 @@ impl TextBuffer {
         self.gap_end += grow;
     }
 
-    /// Insert `text` so its first character lands at position `pos`.
-    ///
-    /// # Panics
-    /// Panics if `pos > len()`.
-    pub fn insert_str(&mut self, pos: usize, text: &str) {
-        assert!(
-            pos <= self.len(),
-            "insert at {pos} beyond length {}",
-            self.len()
-        );
+    /// Insert `text` so its first character lands at position `pos`,
+    /// returning [`ApplyError::OutOfBounds`] when `pos > len()` instead of
+    /// panicking — the right entry point for positions derived from remote
+    /// or otherwise untrusted input.
+    pub fn try_insert_str(&mut self, pos: usize, text: &str) -> Result<(), ApplyError> {
+        if pos > self.len() {
+            return Err(ApplyError::OutOfBounds {
+                pos,
+                len: text.chars().count(),
+                doc_len: self.len(),
+            });
+        }
         let count = text.chars().count();
         self.move_gap(pos);
         self.reserve_gap(count);
@@ -128,42 +131,71 @@ impl TextBuffer {
             self.store[self.gap_start] = c;
             self.gap_start += 1;
         }
+        Ok(())
     }
 
-    /// Delete `count` characters starting at `pos`, returning them.
+    /// Insert `text` so its first character lands at position `pos`.
     ///
     /// # Panics
-    /// Panics if `pos + count > len()`.
-    pub fn delete_range(&mut self, pos: usize, count: usize) -> String {
-        assert!(
-            pos + count <= self.len(),
-            "delete [{pos}, {}) beyond length {}",
-            pos + count,
-            self.len()
-        );
+    /// Panics if `pos > len()`. Use [`TextBuffer::try_insert_str`] for
+    /// untrusted positions.
+    pub fn insert_str(&mut self, pos: usize, text: &str) {
+        self.try_insert_str(pos, text)
+            .expect("insert position beyond length");
+    }
+
+    /// Delete `count` characters starting at `pos`, returning them —
+    /// or [`ApplyError::OutOfBounds`] when the range exceeds `len()`.
+    pub fn try_delete_range(&mut self, pos: usize, count: usize) -> Result<String, ApplyError> {
+        if pos + count > self.len() {
+            return Err(ApplyError::OutOfBounds {
+                pos,
+                len: count,
+                doc_len: self.len(),
+            });
+        }
         self.move_gap(pos);
         let removed: String = self.store[self.gap_end..self.gap_end + count]
             .iter()
             .collect();
         self.gap_end += count;
-        removed
+        Ok(removed)
+    }
+
+    /// Delete `count` characters starting at `pos`, returning them.
+    ///
+    /// # Panics
+    /// Panics if `pos + count > len()`. Use
+    /// [`TextBuffer::try_delete_range`] for untrusted positions.
+    pub fn delete_range(&mut self, pos: usize, count: usize) -> String {
+        self.try_delete_range(pos, count)
+            .expect("delete range beyond length")
     }
 
     /// Delete `count` characters starting at `pos`, discarding them — the
-    /// allocation-free twin of [`TextBuffer::delete_range`] for callers
-    /// that do not need the removed text (the hot transform path).
-    ///
-    /// # Panics
-    /// Panics if `pos + count > len()`.
-    pub fn remove_range(&mut self, pos: usize, count: usize) {
-        assert!(
-            pos + count <= self.len(),
-            "delete [{pos}, {}) beyond length {}",
-            pos + count,
-            self.len()
-        );
+    /// allocation-free twin of [`TextBuffer::try_delete_range`] for
+    /// callers that do not need the removed text (the hot transform path).
+    pub fn try_remove_range(&mut self, pos: usize, count: usize) -> Result<(), ApplyError> {
+        if pos + count > self.len() {
+            return Err(ApplyError::OutOfBounds {
+                pos,
+                len: count,
+                doc_len: self.len(),
+            });
+        }
         self.move_gap(pos);
         self.gap_end += count;
+        Ok(())
+    }
+
+    /// Delete `count` characters starting at `pos`, discarding them.
+    ///
+    /// # Panics
+    /// Panics if `pos + count > len()`. Use
+    /// [`TextBuffer::try_remove_range`] for untrusted positions.
+    pub fn remove_range(&mut self, pos: usize, count: usize) {
+        self.try_remove_range(pos, count)
+            .expect("delete range beyond length")
     }
 
     /// The `count` characters starting at `pos`, without removing them.
@@ -354,7 +386,10 @@ mod tests {
                 let pos = (next() as usize) % len;
                 let count = 1 + (next() as usize) % (len - pos).min(5);
                 let got = buf.delete_range(pos, count);
-                let start = reference.char_indices().nth(pos).unwrap().0;
+                let start = reference
+                    .char_indices()
+                    .nth(pos)
+                    .map_or(reference.len(), |(b, _)| b);
                 let end = reference
                     .char_indices()
                     .nth(pos + count)
@@ -378,5 +413,42 @@ mod tests {
     fn delete_out_of_bounds_panics() {
         let mut b = TextBuffer::from_str("ab");
         b.delete_range(1, 2);
+    }
+
+    /// Regression: out-of-range positions must surface as the crate's
+    /// position-out-of-bounds error through the fallible twins, never as
+    /// a panic, and a rejected edit must leave the buffer untouched.
+    #[test]
+    fn out_of_bounds_edits_return_errors_not_panics() {
+        let mut b = TextBuffer::from_str("ab");
+        assert_eq!(
+            b.try_insert_str(3, "x"),
+            Err(ApplyError::OutOfBounds {
+                pos: 3,
+                len: 1,
+                doc_len: 2
+            })
+        );
+        assert_eq!(
+            b.try_delete_range(1, 2),
+            Err(ApplyError::OutOfBounds {
+                pos: 1,
+                len: 2,
+                doc_len: 2
+            })
+        );
+        assert_eq!(
+            b.try_remove_range(2, 1),
+            Err(ApplyError::OutOfBounds {
+                pos: 2,
+                len: 1,
+                doc_len: 2
+            })
+        );
+        // A rejected edit is a no-op; valid edits still work afterwards.
+        assert_eq!(b.to_string(), "ab");
+        assert_eq!(b.try_insert_str(2, "c"), Ok(()));
+        assert_eq!(b.try_delete_range(0, 1), Ok("a".into()));
+        assert_eq!(b.to_string(), "bc");
     }
 }

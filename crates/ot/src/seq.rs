@@ -555,7 +555,7 @@ impl<'a> ComponentCursor<'a> {
     /// Take up to `n` chars of the current insert component's text.
     fn take_insert_text(&mut self, n: usize) -> String {
         let Some(Component::Insert(s)) = self.peek() else {
-            panic!("take_insert_text on non-insert component")
+            unreachable!("take_insert_text on non-insert component")
         };
         let text: String = s.chars().skip(self.offset).take(n).collect();
         self.consume_insert(n);

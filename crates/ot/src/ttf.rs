@@ -221,7 +221,7 @@ impl TtfDoc {
                 seen += 1;
             }
         }
-        panic!("visible position {v} out of bounds (visible len {seen})");
+        unreachable!("visible position {v} out of bounds (visible len {seen})");
     }
 
     /// Visible index of the model cell at `m` (counting visible cells

@@ -21,6 +21,7 @@ use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
 use crate::msg::{ClientAckMsg, ClientOpMsg, ServerOpMsg};
+use crate::recorder::{EventKind, FlightEvent, FlightRecorder, NO_SITE};
 use cvc_core::formulas::formula5_client;
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::{ClientStateVector, CompressedStamp};
@@ -86,6 +87,7 @@ pub struct Client {
     /// Last known caret of each remote user, in this replica's frame.
     remote_carets: HashMap<u32, usize>,
     metrics: SiteMetrics,
+    recorder: FlightRecorder,
 }
 
 impl Client {
@@ -106,7 +108,24 @@ impl Client {
             share_caret: true,
             remote_carets: HashMap::new(),
             metrics: SiteMetrics::new(),
+            recorder: FlightRecorder::new(site),
         }
+    }
+
+    /// Enable or disable the flight recorder (disabled by default; a
+    /// compile-time no-op unless the `flight-recorder` feature is on).
+    pub fn set_flight_recorder(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+
+    /// This site's flight recorder (read-only access to the event ring).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Human-readable dump of the retained flight-recorder window.
+    pub fn dump_recorder(&self) -> String {
+        self.recorder.dump()
     }
 
     /// This site's id.
@@ -173,19 +192,40 @@ impl Client {
     /// message to send to the notifier.
     ///
     /// # Panics
-    /// Panics if `op` does not fit the current document.
+    /// Panics if `op` does not fit the current document; use
+    /// [`Client::try_local_edit`] to handle that as an error.
     pub fn local_edit(&mut self, op: SeqOp) -> ClientOpMsg {
-        // A fresh edit invalidates the redo chain (standard editor rule).
-        self.redo_stack.clear();
-        self.local_edit_inner(op, UndoKind::Fresh)
+        self.try_local_edit(op)
+            .expect("local operation must fit the current document")
     }
 
-    fn local_edit_inner(&mut self, op: SeqOp, kind: UndoKind) -> ClientOpMsg {
+    /// Fallible form of [`Client::local_edit`]: the operation is validated
+    /// against the current document **before** any state is touched, so a
+    /// rejected edit leaves the replica — including the redo chain, caret,
+    /// and clocks — exactly as it was.
+    pub fn try_local_edit(&mut self, op: SeqOp) -> Result<ClientOpMsg, ProtocolError> {
+        self.try_local_edit_inner(op, UndoKind::Fresh)
+    }
+
+    fn try_local_edit_inner(
+        &mut self,
+        op: SeqOp,
+        kind: UndoKind,
+    ) -> Result<ClientOpMsg, ProtocolError> {
+        // Validation gate: computing the inverse checks the op against the
+        // current document, and `apply_to_buffer` refuses invalid ops
+        // without partial mutation. Nothing else may change before both
+        // succeed — clearing the redo chain on an edit that then bounces
+        // would lose the user's redo history for nothing.
         let inverse = op
             .invert_in(&self.doc)
-            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+            .map_err(ProtocolError::BadOperation)?;
         op.apply_to_buffer(&mut self.doc)
-            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+            .map_err(ProtocolError::BadOperation)?;
+        if kind == UndoKind::Fresh {
+            // A fresh edit invalidates the redo chain (standard editor rule).
+            self.redo_stack.clear();
+        }
         // Our caret rides our own edit; remote carets shift around it.
         self.caret = transform_cursor(self.caret, &op, Bias::After);
         for c in self.remote_carets.values_mut() {
@@ -195,6 +235,18 @@ impl Client {
         // then timestamps the op.
         self.sv.record_local();
         let stamp = self.sv.stamp();
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Generate)
+                    .with_op(self.site.0, stamp.get(2))
+                    .with_stamp(stamp)
+                    .with_detail(match kind {
+                        UndoKind::Fresh => "edit",
+                        UndoKind::Undo => "undo",
+                        UndoKind::Redo => "redo",
+                    }),
+            );
+        }
         let seq = self.bridge.record_send(op.clone());
         debug_assert_eq!(
             seq,
@@ -240,7 +292,15 @@ impl Client {
         let crate::msg::EditorMsg::ClientOp(msg) = wire else {
             unreachable!("wrapped above")
         };
-        msg
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Send)
+                    .with_op(self.site.0, stamp.get(2))
+                    .with_stamp(stamp)
+                    .with_detail("client-op"),
+            );
+        }
+        Ok(msg)
     }
 
     /// Convenience: insert `text` at character position `pos` (the caret
@@ -284,7 +344,10 @@ impl Client {
         // The undo is itself a local op; its inverse lands on the redo
         // stack (not back on the undo stack — "undo everything" must
         // terminate).
-        Some(self.local_edit_inner(undo_op, UndoKind::Undo))
+        Some(
+            self.try_local_edit_inner(undo_op, UndoKind::Undo)
+                .expect("undo inverse is kept transformed into the current frame"),
+        )
     }
 
     /// Re-apply the most recently undone operation (transformed to the
@@ -294,7 +357,10 @@ impl Client {
         if redo_op.is_noop() {
             return None;
         }
-        Some(self.local_edit_inner(redo_op, UndoKind::Redo))
+        Some(
+            self.try_local_edit_inner(redo_op, UndoKind::Redo)
+                .expect("redo candidate is kept transformed into the current frame"),
+        )
     }
 
     /// Garbage-collect history-buffer entries that can never again be
@@ -320,7 +386,16 @@ impl Client {
         let acked = self.acked_local;
         self.hb
             .retain(|e| e.origin == OriginAtClient::Local && e.stamp.get(2) > acked);
-        before - self.hb.len()
+        let collected = before - self.hb.len();
+        if collected > 0 && self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::GcTrim)
+                    .with_op(self.site.0, 0)
+                    .with_ab(collected as u64, acked)
+                    .with_detail("client-gc"),
+            );
+        }
+        collected
     }
 
     /// Reconstruct the propagation messages for this site's local
@@ -357,9 +432,8 @@ impl Client {
     /// Panics on protocol violations; use [`Client::try_on_server_op`]
     /// to handle them.
     pub fn on_server_op(&mut self, msg: ServerOpMsg) -> ClientIntegration {
-        let site = self.site;
         self.try_on_server_op(msg)
-            .unwrap_or_else(|e| panic!("protocol violation at {site}: {e}"))
+            .expect("server operation violated the protocol")
     }
 
     /// Fallible integration: detects broken FIFO assumptions before they
@@ -368,8 +442,40 @@ impl Client {
     /// The compressed stamps make the checks cheap: a server op must carry
     /// `T[1]` exactly one past the operations received so far (the
     /// notifier's stream to this client is sequential), and can never ack
-    /// more local operations than were generated.
+    /// more local operations than were generated. A rejected message
+    /// leaves the replica untouched (beyond the violation counter and a
+    /// flight-recorder [`EventKind::Error`] event).
     pub fn try_on_server_op(
+        &mut self,
+        msg: ServerOpMsg,
+    ) -> Result<ClientIntegration, ProtocolError> {
+        let stamp = msg.stamp;
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Deliver)
+                    .with_op(NO_SITE, stamp.get(1))
+                    .with_stamp(stamp)
+                    .with_detail("server-op"),
+            );
+        }
+        match self.integrate_server_op(msg) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.metrics.protocol_errors += 1;
+                if self.recorder.is_enabled() {
+                    self.recorder.record(
+                        FlightEvent::new(EventKind::Error)
+                            .with_op(NO_SITE, stamp.get(1))
+                            .with_stamp(stamp)
+                            .with_detail(e.kind_name()),
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn integrate_server_op(
         &mut self,
         msg: ServerOpMsg,
     ) -> Result<ClientIntegration, ProtocolError> {
@@ -405,6 +511,27 @@ impl Client {
         }
         self.metrics.concurrency_checks += checked.len() as u64;
         self.metrics.concurrent_verdicts += concurrent_local as u64;
+        if self.recorder.is_enabled() {
+            // One Transform event per formula (5) check. The checked
+            // entry is identified by origin: local ops by (site, T[2]),
+            // notifier ops — whose generation identity this client cannot
+            // know — by NO_SITE plus their stream position T[1] (the
+            // audit replayer resolves positions via Broadcast events).
+            for (entry, &verdict) in self.hb.iter().zip(&checked) {
+                let (a, b) = match entry.origin {
+                    OriginAtClient::FromNotifier => (u64::from(NO_SITE), entry.stamp.get(1)),
+                    OriginAtClient::Local => (u64::from(self.site.0), entry.stamp.get(2)),
+                };
+                self.recorder.record(
+                    FlightEvent::new(EventKind::Transform)
+                        .with_op(NO_SITE, msg.stamp.get(1))
+                        .with_stamp(msg.stamp)
+                        .with_ab(a, b)
+                        .with_flag(verdict)
+                        .with_detail("formula5"),
+                );
+            }
+        }
 
         // Bridge integration: ops acked by T_O[2] = SV_0[i] are causal
         // context; the rest are the concurrent set. The author's caret
@@ -457,6 +584,16 @@ impl Client {
             op: integrated.op.clone(),
         });
         self.metrics.ops_executed_remote += 1;
+        if self.recorder.is_enabled() {
+            let sv = self.sv.stamp();
+            self.recorder.record(
+                FlightEvent::new(EventKind::Execute)
+                    .with_op(NO_SITE, msg.stamp.get(1))
+                    .with_stamp(msg.stamp)
+                    .with_ab(concurrent_local as u64, 0)
+                    .with_vector(&[sv.get(1), sv.get(2)]),
+            );
+        }
         Ok(ClientIntegration {
             executed: integrated.op,
             checked,
@@ -482,6 +619,14 @@ impl Client {
             origin: self.site,
             received,
         };
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Ack)
+                    .with_op(self.site.0, 0)
+                    .with_ab(received, 0)
+                    .with_detail("bare-ack"),
+            );
+        }
         self.metrics.acks_sent += 1;
         self.metrics.ack_bytes_sent +=
             cvc_sim::wire::WireSize::wire_bytes(&crate::msg::EditorMsg::ClientAck(msg)) as u64;

@@ -100,7 +100,7 @@ impl ComposingClient {
     pub fn local_edit(&mut self, op: SeqOp) -> Option<ClientOpMsg> {
         self.doc = op
             .apply(&self.doc)
-            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+            .expect("local op is built against the current document");
         self.metrics.ops_generated += 1;
         if self.outstanding.is_none() {
             debug_assert!(self.buffer.is_none(), "buffer without outstanding");

@@ -68,6 +68,34 @@ pub enum ProtocolError {
     },
 }
 
+impl ProtocolError {
+    /// Stable kebab-case variant name — the `detail` tag flight-recorder
+    /// error events and metrics carry (event fields hold `&'static str`,
+    /// so the full [`fmt::Display`] rendering cannot ride along).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ProtocolError::FifoViolation { .. } => "fifo-violation",
+            ProtocolError::AckOverrun { .. } => "ack-overrun",
+            ProtocolError::UnknownSite { .. } => "unknown-site",
+            ProtocolError::DepartedSite { .. } => "departed-site",
+            ProtocolError::BadOperation(_) => "bad-operation",
+            ProtocolError::ReplayTrimmed { .. } => "replay-trimmed",
+        }
+    }
+
+    /// The site the violation is attributed to, when the variant names one.
+    pub fn offending_site(&self) -> Option<SiteId> {
+        match self {
+            ProtocolError::FifoViolation { site, .. }
+            | ProtocolError::AckOverrun { site, .. }
+            | ProtocolError::UnknownSite { site, .. }
+            | ProtocolError::DepartedSite { site }
+            | ProtocolError::ReplayTrimmed { site, .. } => Some(*site),
+            ProtocolError::BadOperation(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bridge;
 pub mod client;
 pub mod composing;
@@ -45,12 +46,15 @@ pub mod mesh;
 pub mod metrics;
 pub mod msg;
 pub mod notifier;
+pub mod recorder;
+pub mod registry;
 pub mod reliable;
 pub mod scenario;
 pub mod session;
 pub mod verify;
 pub mod workload;
 
+pub use audit::{audit_streams, AuditReport, AuditViolation, AuditViolationKind};
 pub use client::Client;
 pub use composing::ComposingClient;
 pub use error::ProtocolError;
@@ -58,6 +62,8 @@ pub use mesh::MeshSite;
 pub use metrics::SiteMetrics;
 pub use msg::{ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
 pub use notifier::Notifier;
+pub use recorder::{EventKind, FlightEvent, FlightRecorder};
+pub use registry::{Histogram, MetricsRegistry};
 pub use reliable::{
     run_robust_session, run_robust_session_traced, ClientEvent, DisconnectSpec, NotifierStep,
     ReliableKind, ReliableMsg, SessionTrace,

@@ -105,9 +105,7 @@ impl MeshSite {
                 // forms it passes.
                 for j in (1..=i).rev() {
                     let (dead_first, live_after) = transpose(&self.hb[j - 1].op, &self.hb[j].op)
-                        .unwrap_or_else(|e| {
-                            panic!("impossible GC transpose at {}: {e}", self.site)
-                        });
+                        .expect("GC transpose is defined: a live entry ahead of a known-by-all one is concurrent with it");
                     self.hb.swap(j - 1, j);
                     self.hb[j - 1].op = dead_first;
                     self.hb[j].op = live_after;
@@ -184,7 +182,7 @@ impl MeshSite {
     fn generate(&mut self, op: TtfOp) -> MeshOpMsg {
         self.doc
             .apply(&op)
-            .unwrap_or_else(|e| panic!("local op invalid at {}: {e}", self.site));
+            .expect("local op is built against the current visible document");
         self.vc.record_local(self.site.client_index());
         let vector = self.vc.clone();
         self.hb.push(MeshHbEntry {
@@ -204,6 +202,20 @@ impl MeshSite {
     /// operations it unblocks) once causally ready. Returns one record per
     /// operation actually executed, in execution order.
     pub fn on_remote(&mut self, msg: MeshOpMsg) -> Vec<MeshIntegration> {
+        // Hostile-input guard: an op naming the notifier, an out-of-range
+        // origin, a wrong-width vector, or a zero own-slot count (the
+        // origin's vector must count the op itself) can never become
+        // causally ready — drop it rather than wedge the pending queue or
+        // panic downstream.
+        let width = self.vc.width();
+        if msg.origin.is_notifier()
+            || msg.origin.client_index() >= width
+            || msg.vector.width() != width
+            || msg.vector.get(msg.origin.client_index()) == 0
+        {
+            self.metrics.protocol_errors += 1;
+            return Vec::new();
+        }
         self.pending.push(msg);
         let mut executed = Vec::new();
         while let Some(idx) = self.pending.iter().position(|m| self.causally_ready(m)) {
@@ -219,7 +231,9 @@ impl MeshSite {
         let y = msg.origin.client_index();
         msg.vector.entries().iter().enumerate().all(|(j, &v)| {
             if j == y {
-                self.vc.get(j) == v - 1
+                // `checked_sub` so a hostile zero own-slot count (already
+                // rejected at ingress) can never underflow here either.
+                v.checked_sub(1) == Some(self.vc.get(j))
             } else {
                 self.vc.get(j) >= v
             }
@@ -251,7 +265,7 @@ impl MeshSite {
                     // precedes it; the two are mutually concurrent (see
                     // module docs), so the transpose is defined.
                     let (b_excl, a_incl) = transpose(&self.hb[i].op, &self.hb[i + 1].op)
-                        .unwrap_or_else(|e| panic!("impossible transpose at {}: {e}", self.site));
+                        .expect("transpose of mutually concurrent neighbours is defined");
                     self.hb.swap(i, i + 1);
                     conc.swap(i, i + 1);
                     self.hb[i].op = b_excl;
@@ -276,7 +290,7 @@ impl MeshSite {
         // 4. Execute and buffer.
         self.doc
             .apply(&op)
-            .unwrap_or_else(|e| panic!("remote op invalid at {}: {e}", self.site));
+            .expect("transformed remote op applies to the current model");
         self.vc.record_remote(msg.origin.client_index());
         self.peer_vectors[msg.origin.client_index()]
             .merge(&msg.vector)

@@ -65,6 +65,9 @@ pub struct SiteMetrics {
     pub acks_sent: u64,
     /// Encoded bytes of those bare acknowledgements.
     pub ack_bytes_sent: u64,
+    /// Protocol violations detected on remote input (the offender was
+    /// rejected — and, in sessions, quarantined — instead of panicking).
+    pub protocol_errors: u64,
 }
 
 impl SiteMetrics {
@@ -175,6 +178,7 @@ impl AddAssign for SiteMetrics {
         self.delivered_payload_bytes += o.delivered_payload_bytes;
         self.acks_sent += o.acks_sent;
         self.ack_bytes_sent += o.ack_bytes_sent;
+        self.protocol_errors += o.protocol_errors;
     }
 }
 

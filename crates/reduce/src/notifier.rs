@@ -52,6 +52,7 @@ use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
 use crate::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
+use crate::recorder::{EventKind, FlightEvent, FlightRecorder};
 #[cfg(debug_assertions)]
 use cvc_core::formulas::formula7_counters;
 use cvc_core::formulas::formula7_dynamic;
@@ -114,6 +115,10 @@ pub struct NotifierHbEntry {
     /// Operations the notifier had executed up to **and including** this
     /// one (`Σ_j` of its implied snapshot).
     pub total_after: u64,
+    /// Per-origin generation sequence (the arriving stamp's `T[2]`) — the
+    /// second half of the operation's global identity `(origin, seq)`,
+    /// carried into flight-recorder events and the audit replayer.
+    pub origin_seq: u64,
     /// The executed (transformed) form.
     pub op: SeqOp,
     /// Full `N`-element snapshot of `SV_0`, stored only in
@@ -162,6 +167,8 @@ pub struct Notifier {
     /// Reusable per-client counter scratch for the trim scan (avoids an
     /// allocation per folded-in GC pass).
     trim_scratch: Vec<u64>,
+    /// Bounded lifecycle-event ring, dumped on protocol errors.
+    recorder: FlightRecorder,
     metrics: SiteMetrics,
 }
 
@@ -187,8 +194,25 @@ impl Notifier {
             active: vec![true; n_clients],
             send_acks: false,
             trim_scratch: Vec::with_capacity(n_clients),
+            recorder: FlightRecorder::new(SiteId(0)),
             metrics: SiteMetrics::new(),
         }
+    }
+
+    /// Turn the flight recorder on or off (off by default; recording also
+    /// requires the `flight-recorder` cargo feature).
+    pub fn set_flight_recorder(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+
+    /// The notifier's flight recorder (its retained event window).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Human-readable dump of the retained flight-recorder window.
+    pub fn dump_recorder(&self) -> String {
+        self.recorder.dump()
     }
 
     /// Enable per-operation acknowledgements to the origin (for sessions
@@ -253,6 +277,17 @@ impl Notifier {
             "cannot remove unknown {site}"
         );
         self.active[site.client_index()] = false;
+    }
+
+    /// Evict `site` after a protocol violation. Unlike
+    /// [`Notifier::remove_client`] this tolerates ids that were never
+    /// members (hostile frames can claim any origin) and is idempotent —
+    /// the session layer calls it on every [`ProtocolError`] so one
+    /// misbehaving client cannot take the notifier down with it.
+    pub fn quarantine(&mut self, site: SiteId) {
+        if !site.is_notifier() && site.client_index() < self.n_clients() {
+            self.active[site.client_index()] = false;
+        }
     }
 
     /// Whether `site` is currently a member.
@@ -437,13 +472,30 @@ impl Notifier {
     /// lets a *quiet* client keep the notifier's history buffer
     /// collectable; see [`crate::client::Client::take_pending_ack`].
     pub fn on_client_ack(&mut self, msg: ClientAckMsg) {
-        let x = msg.origin;
         self.try_on_client_ack(msg)
-            .unwrap_or_else(|e| panic!("ack from {x}: protocol violation: {e}"));
+            .expect("client ack violated the protocol");
     }
 
-    /// Fallible twin of [`Notifier::on_client_ack`].
+    /// Fallible twin of [`Notifier::on_client_ack`]. On error the
+    /// violation is counted and recorded; the notifier state is untouched.
     pub fn try_on_client_ack(&mut self, msg: ClientAckMsg) -> Result<(), ProtocolError> {
+        let (origin, received) = (msg.origin, msg.received);
+        let res = self.integrate_client_ack(msg);
+        if let Err(e) = &res {
+            self.metrics.protocol_errors += 1;
+            if self.recorder.is_enabled() {
+                self.recorder.record(
+                    FlightEvent::new(EventKind::Error)
+                        .with_op(origin.0, 0)
+                        .with_ab(received, 0)
+                        .with_detail(e.kind_name()),
+                );
+            }
+        }
+        res
+    }
+
+    fn integrate_client_ack(&mut self, msg: ClientAckMsg) -> Result<(), ProtocolError> {
         let x = msg.origin;
         if x.is_notifier() || x.client_index() >= self.n_clients() {
             return Err(ProtocolError::UnknownSite {
@@ -467,6 +519,14 @@ impl Notifier {
         self.bridges[xi]
             .ack_prefix(msg.received)
             .expect("bound checked above");
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Ack)
+                    .with_op(x.0, 0)
+                    .with_ab(msg.received, 0)
+                    .with_detail("client-ack"),
+            );
+        }
         if self.auto_trim {
             self.trim_dead_prefix();
         }
@@ -528,6 +588,10 @@ impl Notifier {
                 self.trimmed_from[e.origin.client_index()] += 1;
             }
             self.trimmed += dead as u64;
+            if self.recorder.is_enabled() {
+                self.recorder
+                    .record(FlightEvent::new(EventKind::GcTrim).with_ab(dead as u64, self.trimmed));
+            }
             // Watermarks below the trim boundary snap to it.
             for idx in 0..n {
                 if self.wm_abs[idx] < self.trimmed {
@@ -544,16 +608,44 @@ impl Notifier {
     /// broadcast messages, one per destination client (everyone except the
     /// origin).
     pub fn on_client_op(&mut self, msg: ClientOpMsg) -> NotifierIntegration {
-        let x = msg.origin;
         self.try_on_client_op(msg)
-            .unwrap_or_else(|e| panic!("operation from unknown {x}: protocol violation: {e}"))
+            .expect("client operation violated the protocol")
     }
 
     /// Fallible integration: validates the origin, the per-channel FIFO
     /// counter (`T[2]` must be exactly one past the operations received
     /// from that client), and the acknowledgement bound (`T[1]` cannot
-    /// exceed the operations sent to that client).
+    /// exceed the operations sent to that client). On error the violation
+    /// is counted and recorded; the notifier state is untouched.
     pub fn try_on_client_op(
+        &mut self,
+        msg: ClientOpMsg,
+    ) -> Result<NotifierIntegration, ProtocolError> {
+        let (origin, stamp) = (msg.origin, msg.stamp);
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::Deliver)
+                    .with_op(origin.0, stamp.get(2))
+                    .with_stamp(stamp)
+                    .with_detail("client-op"),
+            );
+        }
+        let res = self.integrate_client_op(msg);
+        if let Err(e) = &res {
+            self.metrics.protocol_errors += 1;
+            if self.recorder.is_enabled() {
+                self.recorder.record(
+                    FlightEvent::new(EventKind::Error)
+                        .with_op(origin.0, stamp.get(2))
+                        .with_stamp(stamp)
+                        .with_detail(e.kind_name()),
+                );
+            }
+        }
+        res
+    }
+
+    fn integrate_client_op(
         &mut self,
         msg: ClientOpMsg,
     ) -> Result<NotifierIntegration, ProtocolError> {
@@ -662,6 +754,22 @@ impl Notifier {
         self.metrics.concurrency_checks += hb_len as u64;
         self.metrics.concurrent_verdicts += concurrent as u64;
         self.metrics.record_scan(touched);
+        if self.recorder.is_enabled() {
+            // Materialise every formula-(7) verdict (entries below the
+            // watermark are non-concurrent by construction); this extra
+            // O(|HB|) walk exists only while recording.
+            for (k, e) in self.hb.iter().enumerate() {
+                let verdict = k >= first_checked && checked[k - first_checked];
+                self.recorder.record(
+                    FlightEvent::new(EventKind::Transform)
+                        .with_op(x.0, msg.stamp.get(2))
+                        .with_stamp(msg.stamp)
+                        .with_ab(u64::from(e.origin.0), e.origin_seq)
+                        .with_flag(verdict)
+                        .with_detail("formula7"),
+                );
+            }
+        }
 
         // Bridge integration: T_O[1] acks the server ops the client had
         // seen; the pending remainder is the concurrent set.
@@ -688,6 +796,16 @@ impl Notifier {
             .map_err(ProtocolError::BadOperation)?;
         self.sv.record_receive(x);
         self.metrics.ops_executed_remote += 1;
+        if self.recorder.is_enabled() {
+            // Formula (2): the full N-element SV_0 right after execution.
+            self.recorder.record(
+                FlightEvent::new(EventKind::Execute)
+                    .with_op(x.0, msg.stamp.get(2))
+                    .with_stamp(msg.stamp)
+                    .with_ab(integrated.concurrent_with as u64, 0)
+                    .with_vector(self.sv.as_vector().entries()),
+            );
+        }
 
         // Buffer with the running counters (Section 3.3's snapshot is
         // implied; the reference mode also stores it).
@@ -695,6 +813,7 @@ impl Notifier {
             origin: x,
             width_at: self.n_clients(),
             total_after: self.sv.total(),
+            origin_seq: msg.stamp.get(2),
             op: integrated.op.clone(),
             vector: match self.scan_mode {
                 ScanMode::FullScanReference => Some(self.sv.snapshot()),
@@ -724,6 +843,14 @@ impl Notifier {
                 self.bridges[idx].their_count(),
                 "formula (2) vs bridge their_count"
             );
+            if self.recorder.is_enabled() {
+                self.recorder.record(
+                    FlightEvent::new(EventKind::Broadcast)
+                        .with_op(x.0, msg.stamp.get(2))
+                        .with_stamp(stamp)
+                        .with_ab(u64::from(dest.0), 0),
+                );
+            }
             let smsg = ServerOpMsg {
                 stamp,
                 op: integrated.op.clone(),

@@ -1,0 +1,373 @@
+//! Named metrics registry: counters, gauges, and histograms with a JSON
+//! snapshot export.
+//!
+//! [`crate::metrics::SiteMetrics`] is a flat struct of ad-hoc counters —
+//! cheap to carry per site, but every experiment that wants to *report*
+//! them re-derives names and ratios by hand. The registry gives the same
+//! quantities stable names (`notifier.transforms`, `clients.bytes_sent`,
+//! …), adds distribution-shaped metrics the flat struct cannot hold
+//! (per-op transform latency, scan length, history depth), and exports
+//! one deterministic JSON object the experiment driver embeds into its
+//! `BENCH_*.json` artifacts (see E17).
+//!
+//! Histograms use logarithmic (power-of-two) buckets: recording is O(1)
+//! and allocation-free after construction, and quantile estimates are
+//! within a factor of two — plenty for latency-shaped data spanning
+//! orders of magnitude.
+
+use crate::metrics::SiteMetrics;
+use std::collections::BTreeMap;
+
+/// Number of power-of-two histogram buckets (covers the full `u64` range).
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket logarithmic histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `v`: 0 holds the value 0, bucket `i ≥ 1` holds
+    /// `[2^(i-1), 2^i)`.
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `p`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the `⌈p·count⌉`-th sample, clamped to the observed
+    /// max. Within 2× of the exact quantile by construction.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u128 << i) - 1 } as u64;
+                return upper.min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// JSON object snapshot (count/sum/min/max/mean/p50/p90/p99).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            json_f64(self.mean()),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// Render an `f64` as a JSON number (non-finite values become 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 never prints exponents for these magnitudes and
+        // always includes enough digits to round-trip.
+        let s = format!("{v}");
+        if s.contains('e') || s.contains('E') {
+            format!("{v:.6}")
+        } else {
+            s
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the counter `name` (created at zero).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one sample into histogram `name` (created empty).
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Fold one site's flat counters in under `prefix` — this is the
+    /// unification path from the ad-hoc [`SiteMetrics`] struct to named
+    /// metrics. High-water fields land as gauges (they aggregate by max,
+    /// not sum); everything else lands as counters.
+    pub fn absorb_site_metrics(&mut self, prefix: &str, m: &SiteMetrics) {
+        let c = |reg: &mut Self, field: &str, v: u64| {
+            reg.add_counter(&format!("{prefix}.{field}"), v);
+        };
+        c(self, "ops_generated", m.ops_generated);
+        c(self, "ops_executed_remote", m.ops_executed_remote);
+        c(self, "messages_sent", m.messages_sent);
+        c(self, "bytes_sent", m.bytes_sent);
+        c(self, "stamp_bytes_sent", m.stamp_bytes_sent);
+        c(self, "stamp_integers_sent", m.stamp_integers_sent);
+        c(self, "transforms", m.transforms);
+        c(self, "concurrency_checks", m.concurrency_checks);
+        c(self, "concurrent_verdicts", m.concurrent_verdicts);
+        c(self, "scan_len_total", m.scan_len_total);
+        c(self, "retransmits", m.retransmits);
+        c(self, "retransmit_bytes", m.retransmit_bytes);
+        c(self, "dup_drops", m.dup_drops);
+        c(self, "checksum_drops", m.checksum_drops);
+        c(self, "resequenced", m.resequenced);
+        c(self, "resyncs", m.resyncs);
+        c(self, "resync_replayed", m.resync_replayed);
+        c(self, "delivered_payload_bytes", m.delivered_payload_bytes);
+        c(self, "acks_sent", m.acks_sent);
+        c(self, "ack_bytes_sent", m.ack_bytes_sent);
+        c(self, "protocol_errors", m.protocol_errors);
+        let hw = format!("{prefix}.hb_high_water");
+        let prev = self.gauge(&hw).unwrap_or(0.0);
+        self.set_gauge(&hw, prev.max(m.hb_high_water as f64));
+        let sm = format!("{prefix}.scan_len_max");
+        let prev = self.gauge(&sm).unwrap_or(0.0);
+        self.set_gauge(&sm, prev.max(m.scan_len_max as f64));
+    }
+
+    /// Deterministic JSON snapshot:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys
+    /// sorted (BTreeMap order), suitable for embedding into `BENCH_*.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{}", json_f64(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{}", h.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_basic_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_true_values() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // Log buckets: within 2x of the exact median.
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_samples() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.01), 0);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.add_counter("a.x", 2);
+        r.add_counter("a.x", 3);
+        r.set_gauge("g", 1.5);
+        r.record("h", 7);
+        assert_eq!(r.counter("a.x"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.histogram("h").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn absorb_unifies_site_metrics_under_a_prefix() {
+        let mut r = MetricsRegistry::new();
+        let m = SiteMetrics {
+            transforms: 4,
+            hb_high_water: 9,
+            ..SiteMetrics::default()
+        };
+        r.absorb_site_metrics("notifier", &m);
+        let m2 = SiteMetrics {
+            transforms: 2,
+            hb_high_water: 5,
+            ..SiteMetrics::default()
+        };
+        r.absorb_site_metrics("notifier", &m2);
+        assert_eq!(r.counter("notifier.transforms"), 6, "counters sum");
+        assert_eq!(
+            r.gauge("notifier.hb_high_water"),
+            Some(9.0),
+            "high-water marks take the max"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_parsable_shape() {
+        let mut r = MetricsRegistry::new();
+        r.add_counter("b", 1);
+        r.add_counter("a", 2);
+        r.set_gauge("g", 0.25);
+        r.record("lat_us", 10);
+        r.record("lat_us", 20);
+        let j = r.to_json();
+        assert_eq!(j, r.to_json(), "deterministic");
+        // Keys come out sorted regardless of insertion order.
+        assert!(j.find("\"a\":2").expect("a") < j.find("\"b\":1").expect("b"));
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"gauges\":{\"g\":0.25}"), "{j}");
+        assert!(j.contains("\"lat_us\":{\"count\":2"), "{j}");
+        assert!(j.ends_with("}}"));
+        // Balanced braces — a cheap well-formedness check.
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_registry_is_valid_json_shape() {
+        let j = MetricsRegistry::new().to_json();
+        assert_eq!(j, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+}

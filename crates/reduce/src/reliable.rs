@@ -30,7 +30,6 @@
 //! the run against a ground-truth oracle.
 
 use crate::client::Client;
-use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
 use crate::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
 use crate::notifier::Notifier;
@@ -334,6 +333,10 @@ pub struct ReliableLink {
     resequenced: u64,
     resyncs: u64,
     resync_replayed: u64,
+    /// Frames that passed the checksum but carried a hostile or
+    /// nonsensical payload (undecodable, wrong direction, impossible
+    /// resync counters). Folded into [`SiteMetrics::protocol_errors`].
+    hostile_drops: u64,
 }
 
 impl ReliableLink {
@@ -359,6 +362,7 @@ impl ReliableLink {
             resequenced: 0,
             resyncs: 0,
             resync_replayed: 0,
+            hostile_drops: 0,
         }
     }
 
@@ -535,6 +539,7 @@ impl ReliableLink {
         m.resyncs += self.resyncs;
         m.resync_replayed += self.resync_replayed;
         m.delivered_payload_bytes += self.delivered_payload_bytes;
+        m.protocol_errors += self.hostile_drops;
     }
 }
 
@@ -619,18 +624,31 @@ impl RobustNotifier {
     }
 
     fn integrate(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: ClientOpMsg) {
-        let out = self.inner.on_client_op(c.clone());
-        if let Some(tr) = &mut self.trace {
-            tr.push(NotifierStep {
-                msg: c,
-                verdicts: out.full_verdicts(),
-                broadcasts: out.broadcasts.clone(),
-            });
-        }
-        for (dest, sm) in out.broadcasts {
-            let di = dest.client_index();
-            let payload = encode_editor(&EditorMsg::ServerOp(sm));
-            self.links[di].send_payload(ctx, di + 1, RETX_TAG + di as u64, payload);
+        let origin = c.origin;
+        match self.inner.try_on_client_op(c.clone()) {
+            Ok(out) => {
+                if let Some(tr) = &mut self.trace {
+                    tr.push(NotifierStep {
+                        msg: c,
+                        verdicts: out.full_verdicts(),
+                        broadcasts: out.broadcasts.clone(),
+                    });
+                }
+                for (dest, sm) in out.broadcasts {
+                    let di = dest.client_index();
+                    let payload = encode_editor(&EditorMsg::ServerOp(sm));
+                    self.links[di].send_payload(ctx, di + 1, RETX_TAG + di as u64, payload);
+                }
+            }
+            Err(e) => {
+                // A frame that survived the reliable channel but violates
+                // the editor protocol is hostile input, not line noise:
+                // dump the flight recorder, quarantine the offender, and
+                // keep serving everyone else.
+                eprintln!("notifier rejected op from {origin}: {e}");
+                eprintln!("{}", self.inner.dump_recorder());
+                self.inner.quarantine(origin);
+            }
         }
     }
 
@@ -649,12 +667,26 @@ impl RobustNotifier {
                 }
                 let ready = self.links[xi].on_data(ctx, from, seq, ack, checksum, payload);
                 for p in ready {
-                    let decoded = EditorMsg::decode(&mut &p[..])
-                        .expect("reliable layer delivered an undecodable payload");
+                    // Checksum-valid but undecodable means a hostile or
+                    // buggy peer, not transport corruption: drop the frame
+                    // and keep serving.
+                    let Ok(decoded) = EditorMsg::decode(&mut &p[..]) else {
+                        self.links[xi].hostile_drops += 1;
+                        continue;
+                    };
                     match decoded {
                         EditorMsg::ClientOp(c) => self.integrate(ctx, c),
-                        EditorMsg::ClientAck(a) => self.inner.on_client_ack(a),
-                        other => panic!("notifier received unexpected {other:?}"),
+                        EditorMsg::ClientAck(a) => {
+                            if let Err(e) = self.inner.try_on_client_ack(a) {
+                                let site = SiteId(xi as u32 + 1);
+                                eprintln!("notifier rejected ack on channel {xi}: {e}");
+                                eprintln!("{}", self.inner.dump_recorder());
+                                self.inner.quarantine(site);
+                            }
+                        }
+                        // Server-to-client frames arriving upstream are
+                        // nonsense; drop rather than crash.
+                        _ => self.links[xi].hostile_drops += 1,
                     }
                 }
             }
@@ -669,16 +701,23 @@ impl RobustNotifier {
                 generated,
             } => {
                 let x = SiteId(site);
-                assert_eq!(x.client_index(), xi, "resync request from wrong channel");
-                let integrated = self
-                    .inner
-                    .state_vector()
-                    .received_from(x)
-                    .expect("resync from a session member");
-                debug_assert!(
-                    generated >= integrated,
-                    "a client cannot have generated less than the notifier integrated"
-                );
+                // Validate before serving: a resync naming the notifier
+                // itself, arriving on the wrong channel, carrying an
+                // unknown site, or claiming impossible counters (a client
+                // cannot have generated less than the notifier integrated)
+                // is hostile — drop it and keep serving.
+                if x.is_notifier() || x.client_index() != xi || !self.inner.is_active(x) {
+                    self.links[xi].hostile_drops += 1;
+                    return;
+                }
+                let Ok(integrated) = self.inner.state_vector().received_from(x) else {
+                    self.links[xi].hostile_drops += 1;
+                    return;
+                };
+                if generated < integrated {
+                    self.links[xi].hostile_drops += 1;
+                    return;
+                }
                 if msg.epoch > self.links[xi].epoch {
                     // New connection: reset sequencing (pending frames are
                     // superseded by the replay below) and serve the resync.
@@ -706,13 +745,13 @@ impl RobustNotifier {
                                 );
                             }
                         }
-                        Err(ProtocolError::ReplayTrimmed { .. }) => {
+                        Err(_) => {
                             // The needed prefix was garbage-collected (a
-                            // client restored from a stale backup): serve
-                            // the whole state instead.
+                            // client restored from a stale backup), or the
+                            // request's counters were otherwise beyond
+                            // replay: serve the whole state instead.
                             ctx.send(from, self.full_resync_frame(x, msg.epoch));
                         }
-                        Err(e) => panic!("resync replay for {x} failed: {e}"),
                     }
                 } else if msg.epoch == self.links[xi].epoch {
                     // Duplicate request (lost response or a network dup):
@@ -795,23 +834,38 @@ impl RobustClient {
                 }
                 let ready = self.link.on_data(ctx, 0, seq, ack, checksum, payload);
                 for p in ready {
-                    let decoded = EditorMsg::decode(&mut &p[..])
-                        .expect("reliable layer delivered an undecodable payload");
+                    // Checksum-valid but undecodable: hostile or buggy
+                    // notifier — drop the frame and keep editing.
+                    let Ok(decoded) = EditorMsg::decode(&mut &p[..]) else {
+                        self.link.hostile_drops += 1;
+                        continue;
+                    };
                     match decoded {
-                        EditorMsg::ServerOp(m) => {
-                            let out = self.inner.on_server_op(m.clone());
-                            if let Some(tr) = &mut self.trace {
-                                tr.push(ClientEvent::Remote {
-                                    msg: m,
-                                    checked: out.checked,
-                                });
+                        EditorMsg::ServerOp(m) => match self.inner.try_on_server_op(m.clone()) {
+                            Ok(out) => {
+                                if let Some(tr) = &mut self.trace {
+                                    tr.push(ClientEvent::Remote {
+                                        msg: m,
+                                        checked: out.checked,
+                                    });
+                                }
+                                if self.auto_gc {
+                                    self.inner.gc();
+                                }
                             }
-                            if self.auto_gc {
-                                self.inner.gc();
+                            Err(e) => {
+                                // A server op that violates the protocol is
+                                // dropped; the client stays usable offline
+                                // and a later resync can rebuild it.
+                                eprintln!("client {} rejected server op: {e}", self.inner.site());
+                                eprintln!("{}", self.inner.dump_recorder());
+                                self.link.hostile_drops += 1;
                             }
-                        }
+                        },
                         EditorMsg::ServerAck(_) => {} // streaming clients ignore acks
-                        other => panic!("client received unexpected {other:?}"),
+                        // Client-to-server frames arriving downstream are
+                        // nonsense; drop rather than crash.
+                        _ => self.link.hostile_drops += 1,
                     }
                 }
                 // A quiet client still owes the notifier a periodic bare

@@ -24,6 +24,7 @@
 use crate::client::Client;
 use crate::msg::ServerOpMsg;
 use crate::notifier::Notifier;
+use crate::recorder::FlightEvent;
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::CompressedStamp;
 use cvc_ot::buffer::TextBuffer;
@@ -84,12 +85,16 @@ pub fn fig2_report() -> Fig2Report {
 
     // The Section 2.2 intention example in isolation.
     let mut intended_buf = TextBuffer::from_str(INITIAL_DOC);
-    o1.apply(&mut intended_buf).unwrap();
+    o1.apply(&mut intended_buf).expect("O1 fits \"ABCDE\"");
     // Intention-preserved O2 on the new state is Delete[3,4].
-    PosOp::delete(4, "CDE").apply(&mut intended_buf).unwrap();
+    PosOp::delete(4, "CDE")
+        .apply(&mut intended_buf)
+        .expect("shifted O2 fits \"A12BCDE\"");
     let mut violated_buf = TextBuffer::from_str(INITIAL_DOC);
-    o1.apply_blind(&mut violated_buf).unwrap();
-    o2.apply_blind(&mut violated_buf).unwrap();
+    o1.apply_blind(&mut violated_buf)
+        .expect("O1 fits \"ABCDE\"");
+    o2.apply_blind(&mut violated_buf)
+        .expect("original O2 stays in bounds of \"A12BCDE\"");
 
     Fig2Report {
         orders,
@@ -122,6 +127,12 @@ pub struct Fig3Transcript {
     pub final_docs: [String; 4],
     /// All four replicas identical.
     pub converged: bool,
+    /// Per-site flight-recorder traces (sites 0–3, oldest event first).
+    /// The observability acceptance surface: these rings must reproduce
+    /// every Section 5 number above and replay cleanly through
+    /// [`crate::audit::audit_streams`]. Empty when the `flight-recorder`
+    /// cargo feature is off.
+    pub flight_traces: Vec<(SiteId, Vec<FlightEvent>)>,
 }
 
 /// Drive the real engine through the Fig. 3 event order.
@@ -139,6 +150,12 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
     let mut c1 = Client::new(SiteId(1), INITIAL_DOC);
     let mut c2 = Client::new(SiteId(2), INITIAL_DOC);
     let mut c3 = Client::new(SiteId(3), INITIAL_DOC);
+    // Record the whole walkthrough: the rings must independently
+    // reproduce every Section 5 number and survive the oracle audit.
+    notifier.set_flight_recorder(true);
+    c1.set_flight_recorder(true);
+    c2.set_flight_recorder(true);
+    c3.set_flight_recorder(true);
 
     // --- Generation of O2 at site 2 and O1 at site 1 (concurrent). ---
     let o2_msg = c2.delete(2, 3); // Delete[3, 2]
@@ -345,6 +362,12 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
         c3.doc().to_owned(),
     ];
     let converged = final_docs.windows(2).all(|w| w[0] == w[1]);
+    let flight_traces = vec![
+        (SiteId(0), notifier.recorder().events()),
+        (SiteId(1), c1.recorder().events()),
+        (SiteId(2), c2.recorder().events()),
+        (SiteId(3), c3.recorder().events()),
+    ];
 
     Fig3Transcript {
         narration,
@@ -355,6 +378,7 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
         o2p_at_site1,
         final_docs,
         converged,
+        flight_traces,
     }
 }
 
@@ -451,6 +475,96 @@ mod tests {
     fn fig3_o2_transforms_to_delete_3_4_at_site1() {
         let t = fig3_walkthrough();
         assert_eq!(t.o2p_at_site1, vec![PosOp::delete(4, "CDE")]);
+    }
+
+    /// The flight-recorder rings, read back cold, reproduce every number
+    /// of the Section 5 walkthrough: generation stamps, per-destination
+    /// propagation stamps, the buffered formula-(2) vectors, and all 21
+    /// concurrency verdicts.
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn fig3_flight_recorder_reproduces_the_papers_numbers() {
+        use crate::recorder::EventKind;
+        let t = fig3_walkthrough();
+        let trace = |site: u32| {
+            &t.flight_traces
+                .iter()
+                .find(|(s, _)| s.0 == site)
+                .expect("every site recorded a trace")
+                .1
+        };
+
+        // Generation stamps [0,1] [0,1] [1,1] [1,2], from the clients'
+        // Generate events (site 2 generated O2 then O3).
+        let gens = |site: u32| -> Vec<(u64, u64)> {
+            trace(site)
+                .iter()
+                .filter(|e| e.kind == EventKind::Generate)
+                .map(|e| e.stamp.as_pair())
+                .collect()
+        };
+        assert_eq!(gens(1), vec![(0, 1)], "O1");
+        assert_eq!(gens(2), vec![(0, 1), (1, 2)], "O2 then O3");
+        assert_eq!(gens(3), vec![(1, 1)], "O4");
+
+        // Per-destination propagation stamps, from the notifier's
+        // Broadcast events, in broadcast order.
+        let props: Vec<(u32, (u64, u64))> = trace(0)
+            .iter()
+            .filter(|e| e.kind == EventKind::Broadcast)
+            .map(|e| (e.a as u32, e.stamp.as_pair()))
+            .collect();
+        let expected: Vec<(u32, (u64, u64))> = t
+            .prop_stamps
+            .iter()
+            .map(|&(_, d, s)| (d, s.as_pair()))
+            .collect();
+        assert_eq!(props, expected);
+
+        // The buffered formula-(2) vectors ride the notifier's Execute
+        // events.
+        let vectors: Vec<Vec<u64>> = trace(0)
+            .iter()
+            .filter(|e| e.kind == EventKind::Execute)
+            .map(|e| e.vector_slice().to_vec())
+            .collect();
+        assert_eq!(vectors, t.buffered_vectors.to_vec());
+
+        // All 21 verdicts: each site's Transform flags, in ring order,
+        // equal the transcript's verdicts for that site.
+        let mut total = 0;
+        for site in 0..=3u32 {
+            let flags: Vec<bool> = trace(site)
+                .iter()
+                .filter(|e| e.kind == EventKind::Transform)
+                .map(|e| e.flag)
+                .collect();
+            let label = format!("site {site}");
+            let expected: Vec<bool> = t
+                .verdicts
+                .iter()
+                .filter(|(w, ..)| *w == label)
+                .map(|&(_, _, _, v)| v)
+                .collect();
+            assert_eq!(flags, expected, "verdict flags at {label}");
+            total += flags.len();
+        }
+        assert_eq!(total, 21, "the Section 5 walkthrough has 21 verdicts");
+    }
+
+    /// The audit replayer re-runs the live Fig. 3 rings through the
+    /// ground-truth oracle: every verdict agrees with Definition 1.
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn fig3_flight_traces_audit_clean_against_the_oracle() {
+        let t = fig3_walkthrough();
+        let report = crate::audit::audit_streams(&t.flight_traces)
+            .expect("the live Fig. 3 traces must replay cleanly through Definition 1");
+        assert_eq!(report.ops_registered, 4);
+        assert_eq!(report.primes_registered, 4);
+        assert_eq!(report.broadcasts_mapped, 8);
+        assert_eq!(report.verdicts_validated, 21);
+        assert_eq!(report.executions_replayed, 12);
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct SessionConfig {
     /// Scheduled client outages (each ends in a reconnect + resync).
     /// Requires `reliable`.
     pub disconnects: Vec<DisconnectSpec>,
+    /// Enable every site's flight recorder (star/CVC only). Costs one
+    /// ring of [`crate::recorder::DEFAULT_CAPACITY`] events per site;
+    /// E17 measures the overhead of both settings.
+    pub flight_recorder: bool,
 }
 
 impl SessionConfig {
@@ -129,6 +133,7 @@ impl SessionConfig {
             fault_plan: None,
             reliable: false,
             disconnects: Vec::new(),
+            flight_recorder: false,
         }
     }
 }
@@ -227,16 +232,33 @@ impl Node<EditorMsg> for SessionNode {
             (SessionNode::Notifier(n), EditorMsg::ClientOp(m)) => {
                 // GC (when enabled) is folded into the integration itself
                 // via `Notifier::set_auto_gc` — no explicit pass here.
-                let outcome = n.on_client_op(m);
-                for (dest, smsg) in outcome.broadcasts {
-                    ctx.send(dest.0 as usize, EditorMsg::ServerOp(smsg));
-                }
-                if let Some((dest, ack)) = outcome.ack {
-                    ctx.send(dest.0 as usize, EditorMsg::ServerAck(ack));
+                let origin = m.origin;
+                match n.try_on_client_op(m) {
+                    Ok(outcome) => {
+                        for (dest, smsg) in outcome.broadcasts {
+                            ctx.send(dest.0 as usize, EditorMsg::ServerOp(smsg));
+                        }
+                        if let Some((dest, ack)) = outcome.ack {
+                            ctx.send(dest.0 as usize, EditorMsg::ServerAck(ack));
+                        }
+                    }
+                    Err(e) => {
+                        // Hostile or corrupted input must never take the
+                        // session down: dump the evidence, quarantine the
+                        // offender, keep serving the surviving clients.
+                        eprintln!("notifier rejected op from {origin}: {e}");
+                        eprintln!("{}", n.dump_recorder());
+                        n.quarantine(origin);
+                    }
                 }
             }
             (SessionNode::Notifier(n), EditorMsg::ClientAck(a)) => {
-                n.on_client_ack(a);
+                let origin = a.origin;
+                if let Err(e) = n.try_on_client_ack(a) {
+                    eprintln!("notifier rejected ack from {origin}: {e}");
+                    eprintln!("{}", n.dump_recorder());
+                    n.quarantine(origin);
+                }
             }
             (
                 SessionNode::Client {
@@ -260,7 +282,7 @@ impl Node<EditorMsg> for SessionNode {
             (SessionNode::ComposingClient { client, .. }, EditorMsg::ServerOp(m)) => {
                 let (_, next) = client
                     .on_server_op(m)
-                    .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+                    .expect("server operation violated the protocol");
                 if let Some(up) = next {
                     ctx.send(0, EditorMsg::ClientOp(up));
                 }
@@ -293,7 +315,13 @@ impl Node<EditorMsg> for SessionNode {
                     }
                 }
             }
-            (_, other) => panic!("node received incompatible message {other:?}"),
+            (_, other) => {
+                // A message kind this node cannot process — impossible in a
+                // well-formed session, possible under forged frames. Drop it
+                // rather than crash; the sender's stream checks will catch
+                // any real gap.
+                eprintln!("dropping incompatible message {other:?}");
+            }
         }
     }
 
@@ -390,7 +418,7 @@ impl Node<EditorMsg> for SessionNode {
                 }
             }
             SessionNode::Notifier(..) | SessionNode::Relay { .. } => {
-                panic!("centre nodes have no scheduled edits")
+                unreachable!("centre nodes have no scheduled edits")
             }
         }
     }
@@ -424,6 +452,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
             let mut notifier = Notifier::new(n, &cfg.initial_doc);
             notifier.set_scan_mode(cfg.notifier_scan);
             notifier.set_auto_gc(cfg.auto_gc);
+            notifier.set_flight_recorder(cfg.flight_recorder);
             if cfg.client_mode == ClientMode::Composing {
                 notifier.set_send_acks(true);
             }
@@ -433,6 +462,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
                     ClientMode::Streaming => {
                         let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
                         client.set_share_caret(cfg.share_carets);
+                        client.set_flight_recorder(cfg.flight_recorder);
                         sim.add_node(SessionNode::Client {
                             client: Box::new(client),
                             script: script.clone(),

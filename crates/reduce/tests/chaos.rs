@@ -18,6 +18,8 @@
 
 use cvc_core::oracle::{CausalityOracle, OpRef};
 use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_ot::seq::SeqOp;
 use cvc_reduce::client::Client;
 use cvc_reduce::error::ProtocolError;
 use cvc_reduce::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
@@ -415,6 +417,110 @@ fn stale_backup_falls_back_to_full_state_resync() {
     }
     assert_eq!(restored.doc(), notifier.doc());
     assert_eq!(c2.doc(), notifier.doc());
+}
+
+/// Integrate one honest client edit and fan its broadcasts out to the
+/// surviving clients. Asserts the broadcast stream never targets an
+/// evicted site — the quarantine must actually stop traffic, not just
+/// reject inbound frames.
+fn pump_honest(
+    notifier: &mut Notifier,
+    survivors: &mut [&mut Client],
+    msg: ClientOpMsg,
+    evicted: Option<SiteId>,
+) {
+    let out = notifier
+        .try_on_client_op(msg)
+        .expect("honest edits must keep integrating after an eviction");
+    for (dest, sm) in out.broadcasts {
+        if let Some(bad) = evicted {
+            assert_ne!(dest, bad, "broadcast targeted the quarantined site");
+        }
+        // Sites outside `survivors` (the hostile one, pre-eviction) are
+        // legitimate broadcast targets that simply never respond.
+        if let Some(c) = survivors.iter_mut().find(|c| c.site() == dest) {
+            c.on_server_op(sm);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The eviction path end to end: a hostile frame — any stamp claiming
+    /// a generation counter ≥ 2 on first contact — is rejected as a typed
+    /// [`ProtocolError::FifoViolation`] (never a panic), the offender is
+    /// quarantined, its next frame bounces as `DepartedSite`, no further
+    /// broadcast targets it, and the surviving clients still converge
+    /// byte-for-byte with the notifier.
+    #[test]
+    fn hostile_client_is_evicted_and_survivors_converge(
+        t1 in 0u64..1_000,
+        t2 in 2u64..1_000,
+        pre in 1usize..5,
+        post in 1usize..5,
+    ) {
+        let initial = "shared";
+        let mut notifier = Notifier::new(3, initial);
+        let mut c1 = Client::new(SiteId(1), initial);
+        let mut c2 = Client::new(SiteId(2), initial);
+
+        // A healthy warm-up phase: both survivors edit and stay in sync.
+        for k in 0..pre {
+            let m1 = c1.insert(0, "a");
+            pump_honest(&mut notifier, &mut [&mut c1, &mut c2], m1, None);
+            let m2 = c2.insert(k % c2.doc_len().max(1), "b");
+            pump_honest(&mut notifier, &mut [&mut c1, &mut c2], m2, None);
+        }
+
+        // First contact from site 3 with an impossible stamp: its own
+        // generation counter says t2, the notifier expects exactly 1. The
+        // FIFO check fires before any payload validation, so this is a
+        // deterministic, typed rejection.
+        let mut op = SeqOp::new();
+        op.insert("!");
+        let hostile = ClientOpMsg {
+            origin: SiteId(3),
+            stamp: CompressedStamp::new(t1, t2),
+            op: op.clone(),
+            cursor: None,
+        };
+        let err = notifier
+            .try_on_client_op(hostile)
+            .expect_err("a first-contact stamp with counter >= 2 must be rejected");
+        prop_assert!(
+            matches!(err, ProtocolError::FifoViolation { site, .. } if site == SiteId(3)),
+            "expected FifoViolation from site 3, got {err:?}"
+        );
+        notifier.quarantine(SiteId(3));
+
+        // The evicted site's next frame — even a well-formed one — bounces.
+        let again = ClientOpMsg {
+            origin: SiteId(3),
+            stamp: CompressedStamp::new(0, 1),
+            op,
+            cursor: None,
+        };
+        let err = notifier
+            .try_on_client_op(again)
+            .expect_err("a quarantined site must stay rejected");
+        prop_assert!(
+            matches!(err, ProtocolError::DepartedSite { site } if site == SiteId(3)),
+            "expected DepartedSite for site 3, got {err:?}"
+        );
+
+        // Service continues for everyone else, with site 3 cut out of the
+        // broadcast fan-out entirely.
+        for _ in 0..post {
+            let m1 = c1.insert(0, "c");
+            pump_honest(&mut notifier, &mut [&mut c1, &mut c2], m1, Some(SiteId(3)));
+            let m2 = c2.insert(c2.doc_len(), "d");
+            pump_honest(&mut notifier, &mut [&mut c1, &mut c2], m2, Some(SiteId(3)));
+        }
+
+        prop_assert_eq!(c1.doc(), notifier.doc());
+        prop_assert_eq!(c2.doc(), notifier.doc());
+    }
 }
 
 // ---------------------------------------------------------------------

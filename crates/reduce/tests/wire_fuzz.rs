@@ -18,7 +18,9 @@ use cvc_core::state_vector::CompressedStamp;
 use cvc_core::vector::VectorClock;
 use cvc_ot::seq::SeqOp;
 use cvc_ot::ttf::TtfOp;
+use cvc_reduce::client::Client;
 use cvc_reduce::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
+use cvc_reduce::notifier::Notifier;
 use cvc_reduce::reliable::{ReliableKind, ReliableMsg};
 use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
@@ -175,6 +177,26 @@ where
     }
 }
 
+/// Route a decoded frame into live sites the way the session layer does:
+/// client-originated frames go to the notifier's fallible twins, the
+/// notifier-originated frame goes to a client, the rest are dropped.
+fn route_like_the_session_layer(notifier: &mut Notifier, client: &mut Client, msg: EditorMsg) {
+    match msg {
+        EditorMsg::ClientOp(m) => {
+            let _ = notifier.try_on_client_op(m);
+        }
+        EditorMsg::ClientAck(m) => {
+            let _ = notifier.try_on_client_ack(m);
+        }
+        EditorMsg::ServerOp(m) => {
+            let _ = client.try_on_server_op(m);
+        }
+        // ServerAck and MeshOp are meaningless in the star topology's
+        // inbound direction; the session layer counts and drops them.
+        EditorMsg::ServerAck(_) | EditorMsg::MeshOp(_) => {}
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -196,6 +218,49 @@ proptest! {
         let _ = EditorMsg::decode(&mut buf);
         let mut buf: &[u8] = &bytes;
         let _ = ReliableMsg::decode(&mut buf);
+    }
+
+    /// Remote input must never panic a live site: any structurally valid
+    /// frame — sensible or hostile — routed through the fallible entry
+    /// points (as the session layer routes it) yields `Ok` or a typed
+    /// `ProtocolError`, never a panic. Frame types that make no sense in
+    /// a direction are dropped, exactly like the session layer drops them.
+    #[test]
+    fn hostile_frames_never_panic_a_live_site(
+        msgs in proptest::collection::vec(editor_msg_strategy(), 1..48),
+    ) {
+        let mut notifier = Notifier::new(4, "hostile-input fuzz baseline");
+        let mut client = Client::new(SiteId(1), "hostile-input fuzz baseline");
+        for msg in msgs {
+            route_like_the_session_layer(&mut notifier, &mut client, msg);
+        }
+    }
+
+    /// Corrupted or random wire bytes that happen to decode are remote
+    /// input like any other: routing them into live sites is total.
+    #[test]
+    fn corrupted_frames_that_decode_never_panic_a_live_site(
+        msg in editor_msg_strategy(),
+        flips in proptest::collection::vec(any::<usize>(), 1..10),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut notifier = Notifier::new(3, "corrupted-frame baseline");
+        let mut client = Client::new(SiteId(2), "corrupted-frame baseline");
+        let mut bytes = Vec::with_capacity(msg.wire_bytes());
+        msg.encode(&mut bytes);
+        for &flip in &flips {
+            let mut mangled = bytes.clone();
+            let bit = flip % (mangled.len() * 8);
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            let mut buf: &[u8] = &mangled;
+            if let Ok(decoded) = EditorMsg::decode(&mut buf) {
+                route_like_the_session_layer(&mut notifier, &mut client, decoded);
+            }
+        }
+        let mut buf: &[u8] = &garbage;
+        if let Ok(decoded) = EditorMsg::decode(&mut buf) {
+            route_like_the_session_layer(&mut notifier, &mut client, decoded);
+        }
     }
 
     /// A hostile length field must not trigger a giant allocation or an

@@ -54,6 +54,7 @@ fn main() {
             fault_plan: None,
             reliable: false,
             disconnects: Vec::new(),
+            flight_recorder: false,
         };
         let r = run_session(&cfg);
         let m = r.total_metrics();

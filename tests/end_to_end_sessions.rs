@@ -38,6 +38,7 @@ fn cfg(
         fault_plan: None,
         reliable: false,
         disconnects: Vec::new(),
+        flight_recorder: false,
     }
 }
 

@@ -52,6 +52,7 @@ fn cfg(n: usize, ops: usize, seed: u64, auto_gc: bool) -> SessionConfig {
         fault_plan: None,
         reliable: false,
         disconnects: Vec::new(),
+        flight_recorder: false,
     }
 }
 

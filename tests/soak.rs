@@ -34,6 +34,7 @@ fn soak_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> SessionC
         fault_plan: None,
         reliable: false,
         disconnects: Vec::new(),
+        flight_recorder: false,
     }
 }
 
