@@ -3,15 +3,15 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e17)
+//! repro e3                # one experiment (e1..e18)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16, e17) sequentially. Output is always in
-//! e1..e17 order and, being seeded virtual-time, bit-identical at any
+//! experiments (e7, e14, e16, e17, e18) sequentially. Output is always in
+//! e1..e18 order and, being seeded virtual-time, bit-identical at any
 //! worker count.
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
@@ -67,6 +67,8 @@ fn main() {
         "e16-smoke" => experiments::e16_scaling_smoke(),
         "e17" => experiments::e17_recorder_overhead(),
         "e17-smoke" => experiments::e17_recorder_overhead_smoke(),
+        "e18" => experiments::e18_convergence_tracing(),
+        "e18-smoke" => experiments::e18_convergence_tracing_smoke(),
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -85,7 +87,9 @@ fn main() {
              e16 per-op cost curve with ack-driven GC (N to 1024)\n\
              e16-smoke  small e16 sweep for the CI bench gate\n\
              e17 flight-recorder overhead vs the E16 baseline\n\
-             e17-smoke  small e17 run for the CI bench gate"
+             e17-smoke  small e17 run for the CI bench gate\n\
+             e18 convergence-latency attribution (traced loss x N sweep)\n\
+             e18-smoke  small e18 run for the CI bench gate"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");

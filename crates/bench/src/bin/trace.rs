@@ -1,0 +1,240 @@
+//! `cvc-trace` — end-to-end convergence traces from flight-recorder rings.
+//!
+//! Stitches per-site flight-recorder rings into per-operation lifecycle
+//! traces (generate → send → notifier transform → broadcast → deliver →
+//! execute) and prints the slowest ones with a per-stage latency
+//! breakdown. Three modes:
+//!
+//! ```text
+//! cvc-trace fig3                         # the paper's Fig. 3 walkthrough
+//! cvc-trace run  [--n N] [--ops K] [--loss PCT] [--seed S] [--slowest K]
+//! cvc-trace read FILE                    # a ring dump from --dump
+//! ```
+//!
+//! Every mode accepts `--chrome PATH` (Chrome trace_event JSON, loadable
+//! in chrome://tracing or Perfetto) and `run`/`fig3` accept `--dump PATH`
+//! (the textual ring format `read` consumes).
+
+use cvc_core::site::SiteId;
+use cvc_reduce::audit::audit_streams;
+use cvc_reduce::recorder::FlightEvent;
+use cvc_reduce::registry::MetricsRegistry;
+use cvc_reduce::scenario::fig3_walkthrough;
+use cvc_reduce::session::{run_session, Deployment, SessionConfig};
+use cvc_reduce::trace::{dump_rings, parse_rings, TraceAssembler, TraceSet};
+use cvc_sim::prelude::FaultPlan;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cvc-trace: end-to-end convergence traces from flight-recorder rings
+
+USAGE:
+  trace fig3 [--slowest K] [--chrome PATH] [--dump PATH]
+  trace run  [--n N] [--ops K] [--loss PCT] [--seed S]
+             [--slowest K] [--chrome PATH] [--dump PATH]
+  trace read FILE [--slowest K] [--chrome PATH]
+";
+
+struct Opts {
+    n: usize,
+    ops: usize,
+    loss: f64,
+    seed: u64,
+    slowest: usize,
+    chrome: Option<String>,
+    dump: Option<String>,
+    file: Option<String>,
+}
+
+impl Opts {
+    fn default_opts() -> Opts {
+        Opts {
+            n: 8,
+            ops: 6,
+            loss: 0.0,
+            seed: 42,
+            slowest: 5,
+            chrome: None,
+            dump: None,
+            file: None,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default_opts();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--n" => o.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--ops" => o.ops = value(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--loss" => {
+                let pct: f64 = value(&mut i)?.parse().map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..=50.0).contains(&pct) {
+                    return Err(format!("--loss: {pct} out of range (percent, 0–50)"));
+                }
+                o.loss = pct / 100.0;
+            }
+            "--seed" => o.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--slowest" => {
+                o.slowest = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--slowest: {e}"))?
+            }
+            "--chrome" => o.chrome = Some(value(&mut i)?),
+            "--dump" => o.dump = Some(value(&mut i)?),
+            _ if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            _ if o.file.is_none() => o.file = Some(flag.to_string()),
+            _ => return Err(format!("unexpected argument {flag}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn print_set(set: &TraceSet, slowest: usize) {
+    let complete = set.complete_traces().count();
+    let truncated = set.traces.iter().filter(|t| t.truncated).count();
+    let dangling = set.dangling().len();
+    println!(
+        "{} op trace(s): {complete} complete, {truncated} truncated, {dangling} dangling",
+        set.traces.len()
+    );
+    if !set.quarantined.is_empty() {
+        let q: Vec<String> = set.quarantined.iter().map(|s| s.0.to_string()).collect();
+        println!("quarantined site(s): {}", q.join(", "));
+    }
+    if !set.truncated_inputs.is_empty() {
+        let t: Vec<String> = set
+            .truncated_inputs
+            .iter()
+            .map(|s| s.0.to_string())
+            .collect();
+        println!("wrapped ring(s): site {}", t.join(", site "));
+    }
+    let mut reg = MetricsRegistry::new();
+    set.register_summary(&mut reg);
+    if let Some(h) = reg.histogram("trace.convergence_us") {
+        println!(
+            "convergence latency: p50 {} us, p95 {} us, p99 {} us ({} sample(s))",
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.count()
+        );
+    }
+    println!("\nslowest {slowest} trace(s):");
+    for t in set.slowest(slowest) {
+        print!("{}", t.render());
+    }
+}
+
+fn write_artifacts(
+    set: &TraceSet,
+    traces: &[(SiteId, Vec<FlightEvent>)],
+    o: &Opts,
+) -> Result<(), String> {
+    if let Some(path) = &o.chrome {
+        std::fs::write(path, set.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("\nchrome trace written to {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = &o.dump {
+        std::fs::write(path, dump_rings(traces)).map_err(|e| format!("{path}: {e}"))?;
+        println!("ring dump written to {path} (re-read with `trace read {path}`)");
+    }
+    Ok(())
+}
+
+fn cmd_fig3(o: &Opts) -> Result<(), String> {
+    let t = fig3_walkthrough();
+    let set = TraceAssembler::assemble(&t.flight_traces);
+    println!(
+        "Fig. 3 walkthrough — {} traces (untimed: logical order only)\n",
+        set.traces.len()
+    );
+    for tr in &set.traces {
+        print!("{}", tr.render());
+    }
+    match audit_streams(&t.flight_traces) {
+        Ok(report) => println!(
+            "\ncausality oracle replay: clean ({} ops, {} verdicts validated, {} executions)",
+            report.ops_registered, report.verdicts_validated, report.executions_replayed
+        ),
+        Err(v) => return Err(format!("causality oracle replay FAILED: {v}")),
+    }
+    write_artifacts(&set, &t.flight_traces, o)
+}
+
+fn cmd_run(o: &Opts) -> Result<(), String> {
+    let mut cfg = SessionConfig::small(Deployment::StarCvc, o.n, o.seed);
+    cfg.workload.ops_per_site = o.ops;
+    cfg.flight_recorder = true;
+    // Size every ring to the workload so lifecycles survive un-wrapped.
+    let (ccap, ncap) = cvc_reduce::trace::recommended_capacities(o.n, o.ops, o.loss > 0.0);
+    cfg.flight_recorder_capacity = ccap;
+    cfg.flight_recorder_notifier_capacity = ncap;
+    cfg.reliable = true;
+    if o.loss > 0.0 {
+        cfg.fault_plan = Some(FaultPlan {
+            drop: o.loss,
+            duplicate: o.loss / 2.0,
+            reorder: o.loss / 2.0,
+            reorder_extra_us: 50_000,
+            ..FaultPlan::NONE
+        });
+    }
+    let r = run_session(&cfg);
+    println!(
+        "session: N={} ops/site={} loss={:.1}% seed={} converged={}\n",
+        o.n,
+        o.ops,
+        o.loss * 100.0,
+        o.seed,
+        r.converged
+    );
+    let set = TraceAssembler::assemble(&r.flight_traces);
+    print_set(&set, o.slowest);
+    write_artifacts(&set, &r.flight_traces, o)
+}
+
+fn cmd_read(o: &Opts) -> Result<(), String> {
+    let path = o.file.as_deref().ok_or("read needs a FILE argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let traces = parse_rings(&text)?;
+    println!("{path}: {} ring(s)\n", traces.len());
+    let set = TraceAssembler::assemble(&traces);
+    print_set(&set, o.slowest);
+    write_artifacts(&set, &traces, o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = parse_opts(&args[1..]).and_then(|o| match mode {
+        "fig3" => cmd_fig3(&o),
+        "run" => cmd_run(&o),
+        "read" => cmd_read(&o),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown mode {other:?}\n{USAGE}")),
+    });
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cvc-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

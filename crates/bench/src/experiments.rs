@@ -50,6 +50,8 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         reliable: false,
         disconnects: Vec::new(),
         flight_recorder: false,
+        flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
+        flight_recorder_notifier_capacity: 0,
     }
 }
 
@@ -1437,6 +1439,319 @@ fn write_bench_pr4_json(
     Ok(path)
 }
 
+/// E18 — convergence-latency attribution (this PR's tracing claim): the
+/// trace assembler stitches every op's lifecycle across all sites into
+/// one end-to-end trace, so tail latency can be *attributed* to a stage
+/// (upstream transport, notifier transform, broadcast fan-out, downstream
+/// delivery) instead of observed as an opaque total. Sweeps loss
+/// {0, 1, 5}% × N {16, 64, 256} over the reliability layer, reporting
+/// convergence-latency p50/p95/p99 and the critical-path stage per cell.
+///
+/// Costs are priced three ways. The hot-path hooks when *disabled* stay
+/// under the E17 gate (≤2% vs the pre-recorder baseline — E17 keeps
+/// gating that in CI, and this PR adds nothing per-op). The *capture*
+/// ratio (tracing-on vs tracing-off wall) is informational here because
+/// E18 sizes every ring to hold the entire run un-wrapped; capture with
+/// production-size rings is E17's 1.1× number. The *attribution* cost
+/// (assembling + summarising, post-hoc and off the editing path) is
+/// reported per event with a share-of-wall tripwire. The hard gate is
+/// zero dangling traces. Writes `BENCH_PR5.json` (override:
+/// `BENCH_PR5_OUT`).
+pub fn e18_convergence_tracing() -> String {
+    e18_convergence_tracing_with(&[16, 64, 256], &[0.0, 0.01, 0.05], 512, 2, true)
+}
+
+/// The CI smoke variant: one tiny cell per loss rate, still writing the
+/// JSON so the schema gate has something to validate.
+pub fn e18_convergence_tracing_smoke() -> String {
+    e18_convergence_tracing_with(&[4], &[0.0, 0.01], 20, 1, true)
+}
+
+/// One measured cell of E18.
+struct TraceCellRow {
+    n: usize,
+    loss: f64,
+    ops: u64,
+    traces: usize,
+    complete: usize,
+    truncated: usize,
+    dangling: usize,
+    retx_stalls: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    critical_stage: String,
+    stage_share: Vec<(&'static str, f64)>,
+    wall_off_ms: f64,
+    wall_on_ms: f64,
+    ratio: f64,
+    assemble_ms: f64,
+    assemble_share: f64,
+    ring_events: u64,
+}
+
+fn exact_percentile_us(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1).min((sorted.len() - 1) * pct / 100)]
+}
+
+fn e18_convergence_tracing_with(
+    ns: &[usize],
+    losses: &[f64],
+    ops_budget: usize,
+    reps: usize,
+    write_json: bool,
+) -> String {
+    use cvc_reduce::registry::MetricsRegistry;
+    use cvc_reduce::trace::{Stage, TraceAssembler};
+    use std::time::Instant;
+    let reps = reps.max(1);
+    let mut registry = MetricsRegistry::new();
+    let mut rows: Vec<TraceCellRow> = Vec::new();
+    for &n in ns {
+        // Constant op budget across N (the E16 scaling discipline), so
+        // convergence latencies compare across the sweep.
+        let ops_per_site = (ops_budget / n).max(2);
+        let total_ops = n * ops_per_site;
+        for &loss in losses {
+            let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 77);
+            cfg.reliable = true;
+            if loss > 0.0 {
+                cfg.fault_plan = Some(e15_plan(loss));
+            }
+            let mut wall_off_ms = f64::INFINITY;
+            let mut wall_on_ms = f64::INFINITY;
+            let mut assemble_ms = f64::INFINITY;
+            let mut ring_events = 0u64;
+            let mut set = None;
+            for _ in 0..reps {
+                let mut off = cfg.clone();
+                off.flight_recorder = false;
+                let t0 = Instant::now();
+                let r = run_session(&off);
+                wall_off_ms = wall_off_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                assert!(r.converged, "E18 baseline session must converge");
+
+                let mut on = cfg.clone();
+                on.flight_recorder = true;
+                // Rings sized so the whole run survives un-wrapped —
+                // the precondition for complete traces.
+                let (ccap, ncap) =
+                    cvc_reduce::trace::recommended_capacities(n, ops_per_site, loss > 0.0);
+                on.flight_recorder_capacity = ccap;
+                on.flight_recorder_notifier_capacity = ncap;
+                let t0 = Instant::now();
+                let r = run_session(&on);
+                wall_on_ms = wall_on_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                assert!(r.converged, "E18 traced session must converge");
+                let t0 = Instant::now();
+                let assembled = TraceAssembler::assemble(&r.flight_traces);
+                assemble_ms = assemble_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                ring_events = r.flight_traces.iter().map(|(_, e)| e.len() as u64).sum();
+                set = Some(assembled);
+            }
+            let set = set.expect("at least one rep ran");
+            // Virtual-time traces are seed-deterministic: the latency
+            // numbers are identical no matter which rep produced them.
+            set.register_summary(&mut registry);
+            let mut conv: Vec<u64> = set
+                .complete_traces()
+                .filter_map(|t| t.convergence_us())
+                .collect();
+            conv.sort_unstable();
+            let mut stage_totals: Vec<(&'static str, f64)> =
+                Stage::ALL.iter().map(|s| (s.name(), 0.0)).collect();
+            let mut span_total = 0.0f64;
+            let mut critical_counts: std::collections::BTreeMap<&'static str, usize> =
+                std::collections::BTreeMap::new();
+            for t in set.complete_traces() {
+                if let Some(b) = t.stage_breakdown() {
+                    for (i, (_, d)) in b.iter().enumerate() {
+                        stage_totals[i].1 += *d as f64;
+                        span_total += *d as f64;
+                    }
+                }
+                if let Some(s) = t.critical_stage() {
+                    *critical_counts.entry(s.name()).or_insert(0) += 1;
+                }
+            }
+            let stage_share: Vec<(&'static str, f64)> = stage_totals
+                .iter()
+                .map(|&(name, sum)| (name, sum / span_total.max(f64::EPSILON)))
+                .collect();
+            let critical_stage = critical_counts
+                .iter()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(s, _)| s.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let row = TraceCellRow {
+                n,
+                loss,
+                ops: total_ops as u64,
+                traces: set.traces.len(),
+                complete: set.complete_traces().count(),
+                truncated: set.traces.iter().filter(|t| t.truncated).count(),
+                dangling: set.dangling().len(),
+                retx_stalls: set.traces.iter().map(|t| t.retx_stalls).sum(),
+                p50_us: exact_percentile_us(&conv, 50),
+                p95_us: exact_percentile_us(&conv, 95),
+                p99_us: exact_percentile_us(&conv, 99),
+                critical_stage,
+                stage_share,
+                wall_off_ms,
+                wall_on_ms,
+                ratio: wall_on_ms / wall_off_ms.max(f64::EPSILON),
+                assemble_ms,
+                assemble_share: assemble_ms / wall_on_ms.max(f64::EPSILON),
+                ring_events,
+            };
+            let cell = format!("e18.n{}.loss{:.0}pct", n, loss * 100.0);
+            registry.set_gauge(&format!("{cell}.p50_us"), row.p50_us as f64);
+            registry.set_gauge(&format!("{cell}.p95_us"), row.p95_us as f64);
+            registry.set_gauge(&format!("{cell}.p99_us"), row.p99_us as f64);
+            registry.set_gauge(&format!("{cell}.overhead_ratio"), row.ratio);
+            registry.set_gauge(&format!("{cell}.assemble_share"), row.assemble_share);
+            rows.push(row);
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "N",
+        "loss",
+        "ops",
+        "complete",
+        "trunc",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "critical stage",
+        "stalls",
+        "asm %",
+        "on/off",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.0}%", 100.0 * r.loss),
+            r.ops.to_string(),
+            format!("{}/{}", r.complete, r.traces),
+            r.truncated.to_string(),
+            format!("{:.1}", r.p50_us as f64 / 1e3),
+            format!("{:.1}", r.p95_us as f64 / 1e3),
+            format!("{:.1}", r.p99_us as f64 / 1e3),
+            r.critical_stage.clone(),
+            r.retx_stalls.to_string(),
+            format!("{:.2}%", 100.0 * r.assemble_share),
+            format!("{:.3}x", r.ratio),
+        ]);
+    }
+    let mut out = format!(
+        "E18 — convergence-latency attribution (loss x N sweep, best of {reps} rep(s))\n\n{}",
+        t.render()
+    );
+
+    let dangling: usize = rows.iter().map(|r| r.dangling).sum();
+    if dangling == 0 {
+        out.push_str("\nevery generated op assembled into exactly one explained trace\n");
+    } else {
+        out.push_str(&format!(
+            "\nFAILED: {dangling} trace(s) dangle (incomplete without truncation/quarantine)\n"
+        ));
+    }
+    let mean_share = mean(&rows.iter().map(|r| r.assemble_share).collect::<Vec<_>>());
+    registry.set_gauge("e18.mean_assemble_share", mean_share);
+    let per_event_ns: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.ring_events > 0)
+        .map(|r| r.assemble_ms * 1e6 / r.ring_events as f64)
+        .collect();
+    out.push_str(&format!(
+        "attribution cost (post-hoc assemble, off the editing path): {:.0} ns/event mean, \
+         {:.1}% of traced wall (tripwire <=15%)\n",
+        mean(&per_event_ns),
+        100.0 * mean_share
+    ));
+    let mean_ratio = mean(&rows.iter().map(|r| r.ratio).collect::<Vec<_>>());
+    registry.set_gauge("e18.mean_overhead_ratio", mean_ratio);
+    out.push_str(&format!(
+        "full-lifecycle capture on/off wall ratio: {mean_ratio:.3}x mean (informational — \
+         rings here hold whole runs; production-size capture and the <=2% hooks-off gate \
+         are E17's)\n"
+    ));
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr5_json(&rows, &registry.to_json()) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable trace report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR5.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E18 rows plus the unified metrics-registry snapshot as
+/// `BENCH_PR5.json` (override the path with `BENCH_PR5_OUT`).
+fn write_bench_pr5_json(
+    rows: &[TraceCellRow],
+    metrics_json: &str,
+) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR5_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E18 convergence-latency attribution\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let shares: Vec<String> = r
+            .stage_share
+            .iter()
+            .map(|(name, f)| format!("\"{name}\": {f:.4}"))
+            .collect();
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"loss\": {}, \"ops\": {}, \"traces\": {}, \"complete\": {}, \
+             \"truncated\": {}, \"dangling\": {}, \"retx_stalls\": {}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"p99_us\": {}, \"critical_stage\": \"{}\", \
+             \"stage_share\": {{{}}}, \"wall_off_ms\": {:.3}, \"wall_on_ms\": {:.3}, \
+             \"overhead_ratio\": {:.4}, \"assemble_ms\": {:.3}, \"assemble_share\": {:.4}, \
+             \"ring_events\": {}}}{}\n",
+            r.n,
+            r.loss,
+            r.ops,
+            r.traces,
+            r.complete,
+            r.truncated,
+            r.dangling,
+            r.retx_stalls,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.critical_stage,
+            shares.join(", "),
+            r.wall_off_ms,
+            r.wall_on_ms,
+            r.ratio,
+            r.assemble_ms,
+            r.assemble_share,
+            r.ring_events,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    s.push_str("}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
@@ -1451,7 +1766,7 @@ fn mean(v: &[f64]) -> f64 {
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 17] = [
+pub const EXPERIMENTS: [ExperimentEntry; 18] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -1469,6 +1784,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 17] = [
     ("e15", false, e15_robustness),
     ("e16", true, e16_scaling),
     ("e17", true, e17_recorder_overhead),
+    ("e18", true, e18_convergence_tracing),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -1485,7 +1801,7 @@ pub fn default_threads() -> usize {
         })
 }
 
-/// Run every experiment, returning the full report in e1..e17 order.
+/// Run every experiment, returning the full report in e1..e18 order.
 ///
 /// Every experiment is seeded and virtual-time, so the *content* of each
 /// section is identical no matter how many workers run them.
@@ -1495,7 +1811,7 @@ pub fn run_all() -> String {
 
 /// [`run_all`] with an explicit worker count. Timing-insensitive
 /// experiments fan out across `threads` scoped workers (work-stealing off
-/// a shared index); the wall-clock experiments (e7, e14, e16, e17) then run
+/// a shared index); the wall-clock experiments (e7, e14, e16, e17, e18) then run
 /// sequentially on the idle machine. Output order is fixed regardless of
 /// completion order.
 pub fn run_all_with_threads(threads: usize) -> String {
@@ -1803,7 +2119,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=17).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -1814,7 +2130,7 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14", "e16", "e17"]);
+        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18"]);
     }
 
     #[test]

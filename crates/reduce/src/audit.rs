@@ -107,6 +107,25 @@ pub struct AuditReport {
     pub verdicts_validated: usize,
     /// `(destination, position) → op` mappings learnt from broadcasts.
     pub broadcasts_mapped: usize,
+    /// Sites whose rings wrapped (carried a [`EventKind::RingTruncated`]
+    /// marker): their oldest events were overwritten, so the audit only
+    /// covers a suffix of what happened there.
+    pub truncated_sites: Vec<SiteId>,
+    /// Total events lost to ring wraparound across the truncated sites.
+    pub events_lost: u64,
+    /// Events the merge could not replay because they referenced state
+    /// lost to truncation. Always 0 when no ring wrapped (such gaps are
+    /// hard violations on complete traces).
+    pub unreplayed_events: usize,
+}
+
+impl AuditReport {
+    /// Whether the audit covered every recorded event of a complete run
+    /// (no ring wrapped, nothing left unreplayed). When false, the clean
+    /// result only vouches for the suffix the rings retained.
+    pub fn complete(&self) -> bool {
+        self.truncated_sites.is_empty() && self.unreplayed_events == 0
+    }
 }
 
 /// Generation identity of an operation: `(origin site, per-origin seq)`.
@@ -120,18 +139,24 @@ type OpId = (u32, u64);
 /// summary, or the **first** event that contradicts Definition 1.
 pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditReport, AuditViolation> {
     // Phase 1: learn (destination, position) → (origin, seq) from the
-    // notifier's broadcast events.
+    // notifier's broadcast events, and find which rings wrapped — a
+    // truncated ring means the merge below is auditing a suffix, so gaps
+    // it hits are reported as truncation, not treated as violations.
     let mut broadcast_map: HashMap<(u32, u64), OpId> = HashMap::new();
+    let mut truncated_sites: Vec<SiteId> = Vec::new();
+    let mut events_lost = 0u64;
     for (site, events) in traces {
-        if site.0 != 0 {
-            continue;
-        }
         for ev in events {
-            if ev.kind == EventKind::Broadcast {
+            if ev.kind == EventKind::RingTruncated {
+                truncated_sites.push(*site);
+                events_lost += ev.a;
+            }
+            if site.0 == 0 && ev.kind == EventKind::Broadcast {
                 broadcast_map.insert((ev.a as u32, ev.stamp.get(1)), (ev.op_site, ev.op_seq));
             }
         }
     }
+    let truncated = !truncated_sites.is_empty();
 
     // Phase 2: round-robin topological merge into the oracle.
     let mut oracle = CausalityOracle::new();
@@ -142,6 +167,8 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
     let mut cursors = vec![0usize; traces.len()];
     let mut report = AuditReport {
         broadcasts_mapped: broadcast_map.len(),
+        truncated_sites,
+        events_lost,
         ..AuditReport::default()
     };
 
@@ -168,6 +195,12 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         // The notifier executes the original, then
                         // "generates" the transformed O' as site 0.
                         if ev.op_site == NO_SITE {
+                            if truncated {
+                                report.unreplayed_events += 1;
+                                cursors[ti] += 1;
+                                progressed = true;
+                                continue 'stream;
+                            }
                             return Err(unresolved(*site, ev, "notifier execute"));
                         }
                         let id: OpId = (ev.op_site, ev.op_seq);
@@ -185,6 +218,12 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         // A client executes the propagated (prime) form.
                         let r = if ev.op_site == NO_SITE {
                             let Some(&id) = broadcast_map.get(&(site.0, ev.op_seq)) else {
+                                if truncated {
+                                    report.unreplayed_events += 1;
+                                    cursors[ti] += 1;
+                                    progressed = true;
+                                    continue 'stream;
+                                }
                                 return Err(unresolved(*site, ev, "client execute"));
                             };
                             let Some(&p) = prime_map.get(&id) else {
@@ -205,6 +244,12 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         // entry — same-origin pairs through the original
                         // (the x = y rule), cross-site through the prime.
                         if ev.op_site == NO_SITE {
+                            if truncated {
+                                report.unreplayed_events += 1;
+                                cursors[ti] += 1;
+                                progressed = true;
+                                continue 'stream;
+                            }
                             return Err(unresolved(*site, ev, "notifier check (incoming)"));
                         }
                         let inc_id: OpId = (ev.op_site, ev.op_seq);
@@ -231,6 +276,12 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         // (local original, or an earlier prime by stream
                         // position).
                         let Some(&inc_id) = broadcast_map.get(&(site.0, ev.op_seq)) else {
+                            if truncated {
+                                report.unreplayed_events += 1;
+                                cursors[ti] += 1;
+                                progressed = true;
+                                continue 'stream;
+                            }
                             return Err(unresolved(*site, ev, "client check (incoming)"));
                         };
                         let Some(&inc) = prime_map.get(&inc_id) else {
@@ -238,6 +289,12 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         };
                         let chk = if ev.a == u64::from(NO_SITE) {
                             let Some(&id) = broadcast_map.get(&(site.0, ev.b)) else {
+                                if truncated {
+                                    report.unreplayed_events += 1;
+                                    cursors[ti] += 1;
+                                    progressed = true;
+                                    continue 'stream;
+                                }
                                 return Err(unresolved(*site, ev, "client check (checked)"));
                             };
                             match prime_map.get(&id) {
@@ -254,12 +311,16 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                         report.verdicts_validated += 1;
                     }
                     // Transport/bookkeeping events carry no causal claim.
+                    // (RingTruncated markers were tallied in phase 1;
+                    // RetxStall attributes transport latency only.)
                     EventKind::Send
                     | EventKind::Deliver
                     | EventKind::Broadcast
                     | EventKind::Ack
                     | EventKind::GcTrim
-                    | EventKind::Error => {}
+                    | EventKind::Error
+                    | EventKind::RingTruncated
+                    | EventKind::RetxStall => {}
                 }
                 cursors[ti] += 1;
                 progressed = true;
@@ -269,6 +330,23 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
             return Ok(report);
         }
         if !progressed {
+            if truncated {
+                // Some ring wrapped: every stuck head waits on an
+                // operation whose generation was overwritten. That is
+                // expected data loss, not causal inconsistency — skip the
+                // oldest stuck event and keep replaying whatever the
+                // surviving suffixes still support.
+                let ti = traces
+                    .iter()
+                    .enumerate()
+                    .filter(|(ti, (_, e))| cursors[*ti] < e.len())
+                    .min_by_key(|(ti, (_, e))| e[cursors[*ti]].seq)
+                    .map(|(ti, _)| ti)
+                    .expect("some trace is unfinished");
+                report.unreplayed_events += 1;
+                cursors[ti] += 1;
+                continue;
+            }
             // Every remaining head waits on an operation that will never
             // be registered: the traces are causally inconsistent.
             let (site, ev) = traces
@@ -556,5 +634,49 @@ mod tests {
     fn empty_traces_audit_clean() {
         let report = audit_streams(&[]).expect("empty is consistent");
         assert_eq!(report, AuditReport::default());
+        assert!(report.complete());
+    }
+
+    #[test]
+    fn truncated_ring_reports_partial_coverage_instead_of_stalling() {
+        let mut traces = fig_traces();
+        // Site 2's ring wrapped: its first four events (both generations
+        // among them) were overwritten. Without the marker this is the
+        // `missing_generation_stalls` violation; with it, the audit must
+        // degrade to reporting partial coverage.
+        let tail = traces[2].1.split_off(4);
+        traces[2].1 = vec![ev(EventKind::RingTruncated).with_ab(4, 3)];
+        traces[2].1.extend(tail);
+        let report = audit_streams(&traces).expect("truncation is reported, not fatal");
+        assert_eq!(report.truncated_sites, vec![SiteId(2)]);
+        assert_eq!(report.events_lost, 4);
+        assert!(!report.complete());
+        assert!(
+            report.unreplayed_events > 0,
+            "events referencing the lost generations cannot replay"
+        );
+        // What *could* be replayed still validated: O1 and O4 exist in
+        // full, so some verdicts and executions went through the oracle.
+        assert!(report.executions_replayed > 0);
+    }
+
+    /// End-to-end wraparound regression: overflow a real recorder ring and
+    /// check the audit sees (and reports) the synthesised marker.
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn overflowed_recorder_ring_audits_as_truncated() {
+        use crate::recorder::FlightRecorder;
+        let mut r = FlightRecorder::with_capacity(SiteId(1), 2);
+        r.set_enabled(true);
+        r.record(ev(EventKind::Generate).with_op(1, 1));
+        r.record(ev(EventKind::Generate).with_op(1, 2));
+        r.record(ev(EventKind::Generate).with_op(1, 3));
+        let events = r.events();
+        assert_eq!(events[0].kind, EventKind::RingTruncated);
+        let report = audit_streams(&[(SiteId(1), events)]).expect("wrapped ring audits its suffix");
+        assert_eq!(report.truncated_sites, vec![SiteId(1)]);
+        assert_eq!(report.events_lost, 1);
+        assert_eq!(report.ops_registered, 2, "the surviving suffix replays");
+        assert!(!report.complete(), "coverage must not be implied as full");
     }
 }

@@ -118,9 +118,38 @@ impl Client {
         self.recorder.set_enabled(on);
     }
 
+    /// Resize the recorder ring (before enabling; see
+    /// [`FlightRecorder::set_capacity`]).
+    pub fn set_flight_recorder_capacity(&mut self, capacity: usize) {
+        self.recorder.set_capacity(capacity);
+    }
+
     /// This site's flight recorder (read-only access to the event ring).
     pub fn recorder(&self) -> &FlightRecorder {
         &self.recorder
+    }
+
+    /// Advance the recorder's virtual clock (µs); session drivers call
+    /// this before delegating simulator callbacks so recorded events carry
+    /// virtual time. A single `u64` store — safe on the hot path.
+    #[inline]
+    pub fn set_now(&mut self, now_us: u64) {
+        self.recorder.set_now(now_us);
+    }
+
+    /// Record a reliability-layer retransmission stall on the upstream
+    /// channel (`frames` go-back-N resends, backoff doubled to `rto_us`).
+    /// No-op while the recorder is disabled; lets latency traces attribute
+    /// transport stalls to the link that caused them.
+    pub fn note_retx_stall(&mut self, frames: u64, rto_us: u64) {
+        if self.recorder.is_enabled() {
+            self.recorder.record(
+                FlightEvent::new(EventKind::RetxStall)
+                    .with_op(0, 0)
+                    .with_ab(frames, rto_us)
+                    .with_detail("go-back-n"),
+            );
+        }
     }
 
     /// Human-readable dump of the retained flight-recorder window.

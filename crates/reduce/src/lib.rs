@@ -51,6 +51,7 @@ pub mod registry;
 pub mod reliable;
 pub mod scenario;
 pub mod session;
+pub mod trace;
 pub mod verify;
 pub mod workload;
 

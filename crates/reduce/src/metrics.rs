@@ -123,6 +123,74 @@ impl SiteMetrics {
         self.hb_high_water = self.hb_high_water.max(len);
     }
 
+    /// The canonical export/aggregation schema: every summable counter
+    /// with its stable name, in declaration order. [`AddAssign`] and
+    /// `MetricsRegistry::absorb_site_metrics` both walk this list, so
+    /// adding a field here is the single step that propagates it into
+    /// session aggregation and the machine-readable bench artifacts.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 21] {
+        [
+            ("ops_generated", self.ops_generated),
+            ("ops_executed_remote", self.ops_executed_remote),
+            ("messages_sent", self.messages_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("stamp_bytes_sent", self.stamp_bytes_sent),
+            ("stamp_integers_sent", self.stamp_integers_sent),
+            ("transforms", self.transforms),
+            ("concurrency_checks", self.concurrency_checks),
+            ("concurrent_verdicts", self.concurrent_verdicts),
+            ("scan_len_total", self.scan_len_total),
+            ("retransmits", self.retransmits),
+            ("retransmit_bytes", self.retransmit_bytes),
+            ("dup_drops", self.dup_drops),
+            ("checksum_drops", self.checksum_drops),
+            ("resequenced", self.resequenced),
+            ("resyncs", self.resyncs),
+            ("resync_replayed", self.resync_replayed),
+            ("delivered_payload_bytes", self.delivered_payload_bytes),
+            ("acks_sent", self.acks_sent),
+            ("ack_bytes_sent", self.ack_bytes_sent),
+            ("protocol_errors", self.protocol_errors),
+        ]
+    }
+
+    /// Mutable view of the summable counters, in [`SiteMetrics::
+    /// counter_fields`] order (the two lists index the same fields).
+    fn counter_fields_mut(&mut self) -> [&mut u64; 21] {
+        [
+            &mut self.ops_generated,
+            &mut self.ops_executed_remote,
+            &mut self.messages_sent,
+            &mut self.bytes_sent,
+            &mut self.stamp_bytes_sent,
+            &mut self.stamp_integers_sent,
+            &mut self.transforms,
+            &mut self.concurrency_checks,
+            &mut self.concurrent_verdicts,
+            &mut self.scan_len_total,
+            &mut self.retransmits,
+            &mut self.retransmit_bytes,
+            &mut self.dup_drops,
+            &mut self.checksum_drops,
+            &mut self.resequenced,
+            &mut self.resyncs,
+            &mut self.resync_replayed,
+            &mut self.delivered_payload_bytes,
+            &mut self.acks_sent,
+            &mut self.ack_bytes_sent,
+            &mut self.protocol_errors,
+        ]
+    }
+
+    /// High-water-mark fields with their stable names: aggregation takes
+    /// the max of these, never the sum.
+    pub fn high_water_fields(&self) -> [(&'static str, u64); 2] {
+        [
+            ("hb_high_water", self.hb_high_water),
+            ("scan_len_max", self.scan_len_max),
+        ]
+    }
+
     /// True when any reliability-layer counter is non-zero.
     pub fn has_robustness_activity(&self) -> bool {
         self.retransmits != 0
@@ -155,30 +223,16 @@ impl SiteMetrics {
 
 impl AddAssign for SiteMetrics {
     fn add_assign(&mut self, o: Self) {
-        self.ops_generated += o.ops_generated;
-        self.ops_executed_remote += o.ops_executed_remote;
-        self.messages_sent += o.messages_sent;
-        self.bytes_sent += o.bytes_sent;
-        self.stamp_bytes_sent += o.stamp_bytes_sent;
-        self.stamp_integers_sent += o.stamp_integers_sent;
-        self.transforms += o.transforms;
-        self.concurrency_checks += o.concurrency_checks;
-        self.concurrent_verdicts += o.concurrent_verdicts;
-        // High-water marks aggregate by max; only the scan total is a sum.
+        for (dst, (_, v)) in self
+            .counter_fields_mut()
+            .into_iter()
+            .zip(o.counter_fields())
+        {
+            *dst += v;
+        }
+        // High-water marks aggregate by max, not sum.
         self.hb_high_water = self.hb_high_water.max(o.hb_high_water);
-        self.scan_len_total += o.scan_len_total;
         self.scan_len_max = self.scan_len_max.max(o.scan_len_max);
-        self.retransmits += o.retransmits;
-        self.retransmit_bytes += o.retransmit_bytes;
-        self.dup_drops += o.dup_drops;
-        self.checksum_drops += o.checksum_drops;
-        self.resequenced += o.resequenced;
-        self.resyncs += o.resyncs;
-        self.resync_replayed += o.resync_replayed;
-        self.delivered_payload_bytes += o.delivered_payload_bytes;
-        self.acks_sent += o.acks_sent;
-        self.ack_bytes_sent += o.ack_bytes_sent;
-        self.protocol_errors += o.protocol_errors;
     }
 }
 

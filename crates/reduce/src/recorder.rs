@@ -61,6 +61,16 @@ pub enum EventKind {
     GcTrim,
     /// A protocol error was detected (the event that triggers a dump).
     Error,
+    /// The ring wrapped and overwrote older events: `a` is how many were
+    /// lost, `b` the sequence number of the last one lost. Synthesised as
+    /// the oldest entry of [`FlightRecorder::events`] so consumers (the
+    /// audit replayer, the trace assembler) see truncation explicitly
+    /// instead of silently reading a suffix.
+    RingTruncated,
+    /// A reliability-layer retransmission timer fired and the go-back-N
+    /// window was resent: `a` is the retransmitted frame count, `b` the
+    /// doubled RTO (µs). Attributes transport stalls in latency traces.
+    RetxStall,
 }
 
 impl EventKind {
@@ -76,7 +86,27 @@ impl EventKind {
             EventKind::Ack => "ack",
             EventKind::GcTrim => "gc-trim",
             EventKind::Error => "error",
+            EventKind::RingTruncated => "ring-truncated",
+            EventKind::RetxStall => "retx-stall",
         }
+    }
+
+    /// Inverse of [`EventKind::name`], for parsing ring dumps.
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        const ALL: [EventKind; 11] = [
+            EventKind::Generate,
+            EventKind::Send,
+            EventKind::Deliver,
+            EventKind::Transform,
+            EventKind::Broadcast,
+            EventKind::Execute,
+            EventKind::Ack,
+            EventKind::GcTrim,
+            EventKind::Error,
+            EventKind::RingTruncated,
+            EventKind::RetxStall,
+        ];
+        ALL.into_iter().find(|k| k.name() == s)
     }
 }
 
@@ -90,6 +120,11 @@ impl EventKind {
 pub struct FlightEvent {
     /// Monotonic per-recorder sequence number (assigned on record).
     pub seq: u64,
+    /// Simulator virtual time (µs) at which the event was recorded, taken
+    /// from the recorder's clock (see [`FlightRecorder::set_now`]). 0 for
+    /// events recorded outside a simulation (e.g. the Fig. 3 walkthrough,
+    /// where logical event order stands in for time).
+    pub recorded_at: u64,
     /// Lifecycle stage.
     pub kind: EventKind,
     /// Origin site of the subject operation ([`NO_SITE`] when unknown —
@@ -124,6 +159,7 @@ impl FlightEvent {
     pub fn new(kind: EventKind) -> Self {
         FlightEvent {
             seq: 0,
+            recorded_at: 0,
             kind,
             op_site: NO_SITE,
             op_seq: 0,
@@ -188,6 +224,9 @@ impl FlightEvent {
 impl fmt::Display for FlightEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{:<5} {:<9}", self.seq, self.kind.name())?;
+        if self.recorded_at > 0 {
+            write!(f, " @{}us", self.recorded_at)?;
+        }
         if self.op_site == NO_SITE {
             write!(f, " op ?:{}", self.op_seq)?;
         } else {
@@ -219,6 +258,8 @@ pub struct FlightRecorder {
     next_seq: u64,
     dropped: u64,
     enabled: bool,
+    /// Current virtual time (µs), stamped onto every recorded event.
+    now_us: u64,
 }
 
 impl FlightRecorder {
@@ -238,6 +279,17 @@ impl FlightRecorder {
             next_seq: 0,
             dropped: 0,
             enabled: false,
+            now_us: 0,
+        }
+    }
+
+    /// Resize the ring. Only honoured while the ring is still empty
+    /// (capacity governs the wrap arithmetic once events are stored);
+    /// call before enabling. Traced runs size this to the workload so
+    /// full lifecycles survive (see `SessionConfig::flight_recorder_capacity`).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        if self.buf.is_empty() {
+            self.capacity = capacity.max(1);
         }
     }
 
@@ -281,6 +333,21 @@ impl FlightRecorder {
         self.dropped
     }
 
+    /// Advance the recorder's virtual clock (µs). Session drivers call
+    /// this with the simulator's `Ctx::now` before delegating into node
+    /// callbacks, so every event recorded inside carries wall-accurate
+    /// virtual time. Outside a simulation the clock stays at 0 and event
+    /// sequence numbers stand in for time.
+    #[inline]
+    pub fn set_now(&mut self, now_us: u64) {
+        self.now_us = now_us;
+    }
+
+    /// The recorder's current virtual time (µs).
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
     /// Record one event (assigns its sequence number). No-op while
     /// disabled; never allocates once the ring is warm.
     pub fn record(&mut self, mut ev: FlightEvent) {
@@ -288,6 +355,7 @@ impl FlightRecorder {
             return;
         }
         ev.seq = self.next_seq;
+        ev.recorded_at = self.now_us;
         self.next_seq += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
@@ -298,9 +366,25 @@ impl FlightRecorder {
         }
     }
 
-    /// The retained events, oldest first.
+    /// The retained events, oldest first. When the ring has wrapped, the
+    /// returned slice is **prefixed** with a synthetic
+    /// [`EventKind::RingTruncated`] marker (`a` = events lost, `b` = the
+    /// last lost sequence number) so downstream consumers — the audit
+    /// replayer, the trace assembler — see the coverage gap explicitly
+    /// instead of silently reading a suffix as if it were the whole run.
     pub fn events(&self) -> Vec<FlightEvent> {
-        let mut out = Vec::with_capacity(self.buf.len());
+        let mut out = Vec::with_capacity(self.buf.len() + 1);
+        if self.dropped > 0 {
+            let oldest = self.buf.get(self.head).or_else(|| self.buf.first());
+            let mut marker = FlightEvent::new(EventKind::RingTruncated)
+                .with_ab(self.dropped, self.dropped.saturating_sub(1))
+                .with_detail("ring-wrapped");
+            // Inherit the oldest survivor's position so the marker sorts
+            // first in both sequence and time order.
+            marker.seq = oldest.map_or(0, |e| e.seq.saturating_sub(1));
+            marker.recorded_at = oldest.map_or(0, |e| e.recorded_at);
+            out.push(marker);
+        }
         out.extend_from_slice(&self.buf[self.head..]);
         out.extend_from_slice(&self.buf[..self.head]);
         out
@@ -371,10 +455,59 @@ mod tests {
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
-        let kept: Vec<u64> = r.events().iter().map(|e| e.a).collect();
+        let kept: Vec<u64> = r
+            .events()
+            .iter()
+            .filter(|e| e.kind != EventKind::RingTruncated)
+            .map(|e| e.a)
+            .collect();
         assert_eq!(kept, vec![2, 3, 4], "oldest events were overwritten");
-        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn wrapped_ring_is_prefixed_with_a_truncation_marker() {
+        let mut r = FlightRecorder::with_capacity(SiteId(1), 4);
+        r.set_enabled(true);
+        // Not wrapped yet: no marker.
+        r.record(ev(EventKind::Generate));
+        assert!(r
+            .events()
+            .iter()
+            .all(|e| e.kind != EventKind::RingTruncated));
+        for k in 0..9u64 {
+            r.set_now(100 + k);
+            r.record(ev(EventKind::Execute).with_ab(k, 0));
+        }
+        let evs = r.events();
+        assert_eq!(evs[0].kind, EventKind::RingTruncated, "marker is oldest");
+        assert_eq!(evs[0].a, 6, "six events were overwritten");
+        assert_eq!(evs[0].b, 5, "last lost sequence number");
+        assert_eq!(
+            evs[0].recorded_at, evs[1].recorded_at,
+            "marker inherits the oldest survivor's timestamp"
+        );
+        assert!(evs[0].seq < evs[1].seq);
+        assert_eq!(
+            evs.iter()
+                .filter(|e| e.kind == EventKind::RingTruncated)
+                .count(),
+            1,
+            "exactly one marker regardless of how many times the ring wrapped"
+        );
+    }
+
+    #[test]
+    fn recorded_at_tracks_the_virtual_clock() {
+        let mut r = FlightRecorder::new(SiteId(2));
+        r.set_enabled(true);
+        r.record(ev(EventKind::Generate));
+        r.set_now(1_500);
+        r.record(ev(EventKind::Send));
+        assert_eq!(r.events()[0].recorded_at, 0);
+        assert_eq!(r.events()[1].recorded_at, 1_500);
+        assert_eq!(r.now_us(), 1_500);
+        let d = r.dump();
+        assert!(d.contains("@1500us"), "{d}");
     }
 
     #[test]

@@ -116,10 +116,10 @@ impl Histogram {
         self.max
     }
 
-    /// JSON object snapshot (count/sum/min/max/mean/p50/p90/p99).
+    /// JSON object snapshot (count/sum/min/max/mean/p50/p90/p95/p99).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
             self.count,
             self.sum,
             self.min(),
@@ -127,6 +127,7 @@ impl Histogram {
             json_f64(self.mean()),
             self.quantile(0.50),
             self.quantile(0.90),
+            self.quantile(0.95),
             self.quantile(0.99),
         )
     }
@@ -197,39 +198,20 @@ impl MetricsRegistry {
 
     /// Fold one site's flat counters in under `prefix` — this is the
     /// unification path from the ad-hoc [`SiteMetrics`] struct to named
-    /// metrics. High-water fields land as gauges (they aggregate by max,
-    /// not sum); everything else lands as counters.
+    /// metrics. The field list (names included) is owned by
+    /// [`SiteMetrics::counter_fields`] / [`SiteMetrics::high_water_fields`]
+    /// so the bench-artifact schema has exactly one definition. High-water
+    /// fields land as gauges (they aggregate by max, not sum); everything
+    /// else lands as counters.
     pub fn absorb_site_metrics(&mut self, prefix: &str, m: &SiteMetrics) {
-        let c = |reg: &mut Self, field: &str, v: u64| {
-            reg.add_counter(&format!("{prefix}.{field}"), v);
-        };
-        c(self, "ops_generated", m.ops_generated);
-        c(self, "ops_executed_remote", m.ops_executed_remote);
-        c(self, "messages_sent", m.messages_sent);
-        c(self, "bytes_sent", m.bytes_sent);
-        c(self, "stamp_bytes_sent", m.stamp_bytes_sent);
-        c(self, "stamp_integers_sent", m.stamp_integers_sent);
-        c(self, "transforms", m.transforms);
-        c(self, "concurrency_checks", m.concurrency_checks);
-        c(self, "concurrent_verdicts", m.concurrent_verdicts);
-        c(self, "scan_len_total", m.scan_len_total);
-        c(self, "retransmits", m.retransmits);
-        c(self, "retransmit_bytes", m.retransmit_bytes);
-        c(self, "dup_drops", m.dup_drops);
-        c(self, "checksum_drops", m.checksum_drops);
-        c(self, "resequenced", m.resequenced);
-        c(self, "resyncs", m.resyncs);
-        c(self, "resync_replayed", m.resync_replayed);
-        c(self, "delivered_payload_bytes", m.delivered_payload_bytes);
-        c(self, "acks_sent", m.acks_sent);
-        c(self, "ack_bytes_sent", m.ack_bytes_sent);
-        c(self, "protocol_errors", m.protocol_errors);
-        let hw = format!("{prefix}.hb_high_water");
-        let prev = self.gauge(&hw).unwrap_or(0.0);
-        self.set_gauge(&hw, prev.max(m.hb_high_water as f64));
-        let sm = format!("{prefix}.scan_len_max");
-        let prev = self.gauge(&sm).unwrap_or(0.0);
-        self.set_gauge(&sm, prev.max(m.scan_len_max as f64));
+        for (field, v) in m.counter_fields() {
+            self.add_counter(&format!("{prefix}.{field}"), v);
+        }
+        for (field, v) in m.high_water_fields() {
+            let name = format!("{prefix}.{field}");
+            let prev = self.gauge(&name).unwrap_or(0.0);
+            self.set_gauge(&name, prev.max(v as f64));
+        }
     }
 
     /// Deterministic JSON snapshot:

@@ -499,16 +499,25 @@ impl ReliableLink {
     /// Retransmission timeout fired: go-back-N resend of everything
     /// unacked, double the timeout (capped), re-arm. A timer that finds
     /// nothing in flight simply disarms; one that fires before the (ack-
-    /// advanced) deadline re-arms without resending.
-    fn on_retx_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, peer: NodeId, retx_tag: u64) {
+    /// advanced) deadline re-arms without resending. Returns
+    /// `(frames resent, new rto µs)` when a genuine stall triggered a
+    /// resend, so the caller can attribute the stall in its flight
+    /// recorder — these windows dominate tail convergence latency.
+    fn on_retx_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, ReliableMsg>,
+        peer: NodeId,
+        retx_tag: u64,
+    ) -> Option<(u64, u64)> {
         self.retx_armed = false;
         if self.send_buf.is_empty() {
-            return;
+            return None;
         }
         if ctx.now < self.retx_deadline {
             self.arm(ctx, retx_tag);
-            return;
+            return None;
         }
+        let resent = self.send_buf.len() as u64;
         for (seq, payload) in &self.send_buf {
             let msg = ReliableMsg {
                 epoch: self.epoch,
@@ -527,6 +536,7 @@ impl ReliableLink {
         let d = self.jittered(self.rto);
         self.retx_deadline = ctx.now + d;
         self.arm(ctx, retx_tag);
+        Some((resent, self.rto.as_micros()))
     }
 
     /// Fold this link's counters into a site's metrics.
@@ -779,7 +789,10 @@ impl RobustNotifier {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
         let xi = (tag - RETX_TAG) as usize;
-        self.links[xi].on_retx_timer(ctx, xi + 1, tag);
+        if let Some((frames, rto_us)) = self.links[xi].on_retx_timer(ctx, xi + 1, tag) {
+            self.inner
+                .note_retx_stall(SiteId(xi as u32 + 1), frames, rto_us);
+        }
     }
 }
 
@@ -913,7 +926,11 @@ impl RobustClient {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
         match tag {
-            RETX_TAG => self.link.on_retx_timer(ctx, 0, tag),
+            RETX_TAG => {
+                if let Some((frames, rto_us)) = self.link.on_retx_timer(ctx, 0, tag) {
+                    self.inner.note_retx_stall(frames, rto_us);
+                }
+            }
             DISCONNECT_TAG => {
                 self.state = ConnState::Disconnected;
             }
@@ -971,16 +988,30 @@ enum RobustNode {
 
 impl Node<ReliableMsg> for RobustNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, from: NodeId, msg: ReliableMsg) {
+        // Stamp the virtual clock onto the site's flight recorder before
+        // delegating, so events recorded inside carry sim time.
         match self {
-            RobustNode::Notifier(n) => n.on_message(ctx, from, msg),
-            RobustNode::Client(c) => c.on_message(ctx, msg),
+            RobustNode::Notifier(n) => {
+                n.inner.set_now(ctx.now.as_micros());
+                n.on_message(ctx, from, msg)
+            }
+            RobustNode::Client(c) => {
+                c.inner.set_now(ctx.now.as_micros());
+                c.on_message(ctx, msg)
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
         match self {
-            RobustNode::Notifier(n) => n.on_timer(ctx, tag),
-            RobustNode::Client(c) => c.on_timer(ctx, tag),
+            RobustNode::Notifier(n) => {
+                n.inner.set_now(ctx.now.as_micros());
+                n.on_timer(ctx, tag)
+            }
+            RobustNode::Client(c) => {
+                c.inner.set_now(ctx.now.as_micros());
+                c.on_timer(ctx, tag)
+            }
         }
     }
 }
@@ -1036,6 +1067,8 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
     let mut notifier = Notifier::new(n, &cfg.initial_doc);
     notifier.set_scan_mode(cfg.notifier_scan);
     notifier.set_auto_gc(cfg.auto_gc);
+    notifier.set_flight_recorder_capacity(cfg.notifier_ring_capacity(n));
+    notifier.set_flight_recorder(cfg.flight_recorder);
     sim.add_node(RobustNode::Notifier(RobustNotifier {
         inner: Box::new(notifier),
         links: (0..n)
@@ -1046,6 +1079,8 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
     for (i, script) in scripts.iter().enumerate() {
         let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
         client.set_share_caret(cfg.share_carets);
+        client.set_flight_recorder_capacity(cfg.flight_recorder_capacity);
+        client.set_flight_recorder(cfg.flight_recorder);
         sim.add_node(RobustNode::Client(Box::new(RobustClient {
             inner: Box::new(client),
             link: ReliableLink::new(cfg.net_seed.wrapping_mul(1001).wrapping_add(i as u64)),
@@ -1103,6 +1138,7 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
     let mut centre_metrics = None;
     let mut max_history = 0usize;
     let mut trace = traced.then(SessionTrace::default);
+    let mut flight_traces = Vec::new();
     for node in sim.nodes_mut() {
         match node {
             RobustNode::Notifier(rn) => {
@@ -1116,6 +1152,9 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
                 max_history = max_history.max(rn.inner.history().len());
                 if let (Some(tr), Some(steps)) = (&mut trace, rn.trace.take()) {
                     tr.notifier = steps;
+                }
+                if cfg.flight_recorder {
+                    flight_traces.push((SiteId(0), rn.inner.recorder().events()));
                 }
             }
             RobustNode::Client(rc) => {
@@ -1132,6 +1171,9 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
                 max_history = max_history.max(rc.inner.history().len());
                 if let (Some(tr), Some(events)) = (&mut trace, rc.trace.take()) {
                     tr.clients.push(events);
+                }
+                if cfg.flight_recorder {
+                    flight_traces.push((rc.inner.site(), rc.inner.recorder().events()));
                 }
             }
         }
@@ -1155,6 +1197,7 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
             deliveries: sim.deliveries().to_vec(),
             fault_stats: sim.fault_stats(),
             delivery_latencies_us,
+            flight_traces,
         },
         trace,
     )

@@ -23,6 +23,7 @@ use crate::mesh::MeshSite;
 use crate::metrics::SiteMetrics;
 use crate::msg::EditorMsg;
 use crate::notifier::{Notifier, ScanMode};
+use crate::recorder::FlightEvent;
 use crate::reliable::DisconnectSpec;
 use crate::workload::{EditIntent, ScheduledEdit, WorkloadConfig};
 use cvc_core::site::SiteId;
@@ -109,6 +110,16 @@ pub struct SessionConfig {
     /// ring of [`crate::recorder::DEFAULT_CAPACITY`] events per site;
     /// E17 measures the overhead of both settings.
     pub flight_recorder: bool,
+    /// Ring capacity per *client* when the recorder is on; the notifier's
+    /// ring is `N`× this (its stream carries the broadcast fan-out). The
+    /// default keeps E17's footprint; traced runs (`cvc-trace`, E18) size
+    /// this to the workload so full lifecycles survive without wrapping.
+    pub flight_recorder_capacity: usize,
+    /// Explicit notifier-ring capacity; `0` (the default) derives it as
+    /// `N × flight_recorder_capacity`. Traced runs set both from
+    /// [`crate::trace::recommended_capacities`], whose notifier term
+    /// follows the transform stream rather than the client rings.
+    pub flight_recorder_notifier_capacity: usize,
 }
 
 impl SessionConfig {
@@ -134,6 +145,19 @@ impl SessionConfig {
             reliable: false,
             disconnects: Vec::new(),
             flight_recorder: false,
+            flight_recorder_capacity: crate::recorder::DEFAULT_CAPACITY,
+            flight_recorder_notifier_capacity: 0,
+        }
+    }
+
+    /// The notifier's ring capacity: the explicit override when set,
+    /// otherwise `N×` the per-client capacity (its stream carries the
+    /// broadcast fan-out).
+    pub fn notifier_ring_capacity(&self, n: usize) -> usize {
+        if self.flight_recorder_notifier_capacity > 0 {
+            self.flight_recorder_notifier_capacity
+        } else {
+            self.flight_recorder_capacity.saturating_mul(n.max(1))
         }
     }
 }
@@ -172,6 +196,12 @@ pub struct SessionReport {
     /// reliability layer, send-to-usable: a dropped first copy counts
     /// until its retransmission lands. Empty for plain sessions.
     pub delivery_latencies_us: Vec<u64>,
+    /// Per-site flight-recorder rings harvested at quiescence (site 0 =
+    /// notifier), oldest event first, each stamped with virtual time.
+    /// Empty unless [`SessionConfig::flight_recorder`] was set (star/CVC
+    /// only). Feed to [`crate::trace::TraceAssembler`] or
+    /// [`crate::audit::audit_streams`].
+    pub flight_traces: Vec<(SiteId, Vec<FlightEvent>)>,
 }
 
 impl SessionReport {
@@ -228,6 +258,13 @@ impl SessionNode {
 
 impl Node<EditorMsg> for SessionNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, EditorMsg>, from: NodeId, msg: EditorMsg) {
+        // Stamp the virtual clock onto the site's flight recorder before
+        // delegating, so every event recorded inside carries sim time.
+        match self {
+            SessionNode::Notifier(n) => n.set_now(ctx.now.as_micros()),
+            SessionNode::Client { client, .. } => client.set_now(ctx.now.as_micros()),
+            _ => {}
+        }
         match (self, msg) {
             (SessionNode::Notifier(n), EditorMsg::ClientOp(m)) => {
                 // GC (when enabled) is folded into the integration itself
@@ -328,6 +365,7 @@ impl Node<EditorMsg> for SessionNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, EditorMsg>, tag: u64) {
         match self {
             SessionNode::Client { client, script, .. } => {
+                client.set_now(ctx.now.as_micros());
                 let edit = script[tag as usize].clone();
                 let len = client.doc_len();
                 match &edit.intent {
@@ -452,6 +490,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
             let mut notifier = Notifier::new(n, &cfg.initial_doc);
             notifier.set_scan_mode(cfg.notifier_scan);
             notifier.set_auto_gc(cfg.auto_gc);
+            notifier.set_flight_recorder_capacity(cfg.notifier_ring_capacity(n));
             notifier.set_flight_recorder(cfg.flight_recorder);
             if cfg.client_mode == ClientMode::Composing {
                 notifier.set_send_acks(true);
@@ -462,6 +501,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
                     ClientMode::Streaming => {
                         let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
                         client.set_share_caret(cfg.share_carets);
+                        client.set_flight_recorder_capacity(cfg.flight_recorder_capacity);
                         client.set_flight_recorder(cfg.flight_recorder);
                         sim.add_node(SessionNode::Client {
                             client: Box::new(client),
@@ -531,6 +571,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
     let mut centre_metrics: Option<SiteMetrics> = None;
     let mut max_stamp_integers = 0usize;
     let mut max_history = 0usize;
+    let mut flight_traces: Vec<(SiteId, Vec<FlightEvent>)> = Vec::new();
     for node in sim.nodes() {
         match node {
             SessionNode::Notifier(nf) => {
@@ -538,12 +579,18 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
                 final_docs.push(nf.doc().to_owned());
                 max_stamp_integers = max_stamp_integers.max(2);
                 max_history = max_history.max(nf.history().len());
+                if cfg.flight_recorder {
+                    flight_traces.push((SiteId(0), nf.recorder().events()));
+                }
             }
             SessionNode::Client { client, .. } => {
                 client_metrics.push(*client.metrics());
                 final_docs.push(client.doc().to_owned());
                 max_stamp_integers = max_stamp_integers.max(2);
                 max_history = max_history.max(client.history().len());
+                if cfg.flight_recorder {
+                    flight_traces.push((client.site(), client.recorder().events()));
+                }
             }
             SessionNode::ComposingClient { client, .. } => {
                 assert!(
@@ -604,6 +651,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
         deliveries: sim.deliveries().to_vec(),
         fault_stats: sim.fault_stats(),
         delivery_latencies_us: Vec::new(),
+        flight_traces,
     }
 }
 

@@ -1,0 +1,1023 @@
+//! Cross-site trace assembly: stitch per-site flight-recorder rings into
+//! end-to-end per-operation traces with a derived convergence latency.
+//!
+//! The paper's central trick — the notifier re-defines every operation,
+//! collapsing causality to 2 dimensions — has an observability corollary:
+//! the pair `(origin site, per-origin sequence)` plus the propagation
+//! stamp is a **complete trace context**. No extra wire bytes, no
+//! baggage headers: the identity every [`crate::recorder::FlightEvent`]
+//! already carries is enough to join one operation's lifecycle across
+//! every site into a single trace:
+//!
+//! ```text
+//! generate ──enqueue──▶ send ──upstream──▶ notifier deliver
+//!        ──notifier-transform──▶ execute@0 ──broadcast──▶ per-dest send
+//!        ──deliver──▶ dest deliver ──execute──▶ dest execute
+//! ```
+//!
+//! The derived **convergence latency** of an operation is the span from
+//! its generation until it has executed at *every live site* (the origin
+//! executes at generation; the notifier and each destination follow).
+//! [`TraceAssembler::assemble`] performs the join; [`TraceSet`] exports
+//! Chrome `trace_event` JSON (loadable in `chrome://tracing` / Perfetto)
+//! and registers a deterministic per-stage summary into a
+//! [`MetricsRegistry`].
+//!
+//! Two failure modes are first-class rather than silent:
+//!
+//! * **Retransmit stalls** — [`EventKind::RetxStall`] events from the
+//!   reliability layer are attributed to the operations whose transport
+//!   window they overlap, so tail latency points at the link that caused
+//!   it.
+//! * **Truncation** — quarantined offenders (the notifier's PR-4 eviction
+//!   path) and wrapped rings ([`EventKind::RingTruncated`]) mark the
+//!   affected traces [`OpTrace::truncated`] instead of leaving them
+//!   dangling as assembly errors.
+
+use crate::recorder::{EventKind, FlightEvent, NO_SITE};
+use crate::registry::MetricsRegistry;
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// Pack an `(site, seq)` identity into one map key — assembly folds
+/// ~10⁶ events for a long session, so the join maps hash a single `u64`
+/// instead of comparing tuples (sequence numbers stay far below 2³²).
+#[inline]
+fn pack_id(site: u32, seq: u64) -> u64 {
+    ((site as u64) << 32) | (seq & 0xffff_ffff)
+}
+
+/// One typed lifecycle stage of an operation's end-to-end trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Generation to wire send at the origin client (local queueing).
+    Enqueue,
+    /// Origin client's send to notifier delivery (upstream transport,
+    /// including any retransmit stalls).
+    Upstream,
+    /// Notifier delivery to notifier execution (formula (7) checks,
+    /// transformation, the integration queue).
+    NotifierTransform,
+    /// Notifier execution to the broadcast send for the critical
+    /// destination (per formulas (1)–(2)).
+    Broadcast,
+    /// Broadcast send to delivery at the critical destination
+    /// (downstream transport).
+    Deliver,
+    /// Delivery to execution at the critical destination (formula (5)
+    /// checks and transformation).
+    Execute,
+}
+
+impl Stage {
+    /// All stages in lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Enqueue,
+        Stage::Upstream,
+        Stage::NotifierTransform,
+        Stage::Broadcast,
+        Stage::Deliver,
+        Stage::Execute,
+    ];
+
+    /// Stable lower-case name (used by dumps, metrics, and JSON exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Enqueue => "enqueue",
+            Stage::Upstream => "upstream",
+            Stage::NotifierTransform => "notifier-transform",
+            Stage::Broadcast => "broadcast",
+            Stage::Deliver => "deliver",
+            Stage::Execute => "execute",
+        }
+    }
+
+    /// Metric-safe name (dots and dashes replaced).
+    fn metric_name(self) -> &'static str {
+        match self {
+            Stage::Enqueue => "enqueue",
+            Stage::Upstream => "upstream",
+            Stage::NotifierTransform => "notifier_transform",
+            Stage::Broadcast => "broadcast",
+            Stage::Deliver => "deliver",
+            Stage::Execute => "execute",
+        }
+    }
+}
+
+/// One operation's assembled end-to-end trace. All times are the
+/// recorder's virtual-time stamps (µs); in un-timed runs (the Fig. 3
+/// walkthrough) they are all 0 and only the structure is meaningful.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// The CVC trace context: `(origin site, per-origin sequence)`.
+    pub op: (u32, u64),
+    /// When the origin client generated (and locally executed) the op.
+    pub generated_at: u64,
+    /// When the origin client put it on the wire.
+    pub sent_at: Option<u64>,
+    /// When the notifier delivered it (pre-validation).
+    pub notifier_delivered_at: Option<u64>,
+    /// When the notifier executed (and re-defined) it.
+    pub notifier_executed_at: Option<u64>,
+    /// Formula (7) concurrency checks the notifier ran against it.
+    pub notifier_checks: u64,
+    /// Per-destination broadcast sends `(dest site, at)`.
+    pub broadcasts: Vec<(u32, u64)>,
+    /// Per-destination deliveries `(dest site, at)`.
+    pub deliveries: Vec<(u32, u64)>,
+    /// Per-destination executions `(dest site, at)`.
+    pub executions: Vec<(u32, u64)>,
+    /// Destinations that must execute this op for convergence (live
+    /// clients other than the origin).
+    pub expected_dests: Vec<u32>,
+    /// Retransmission-stall events overlapping this op's transport
+    /// windows (upstream or any downstream leg).
+    pub retx_stalls: u64,
+    /// Approximate stall time attributed from those events (µs): each
+    /// stall contributes the backoff window that elapsed before the
+    /// timer fired (half the doubled RTO it reports) — a lower bound.
+    pub retx_stall_us: u64,
+    /// The trace is incomplete *by design*: its origin was quarantined
+    /// mid-run, or an input ring wrapped over part of its lifecycle.
+    pub truncated: bool,
+}
+
+impl OpTrace {
+    fn new(op: (u32, u64)) -> Self {
+        OpTrace {
+            op,
+            generated_at: 0,
+            sent_at: None,
+            notifier_delivered_at: None,
+            notifier_executed_at: None,
+            notifier_checks: 0,
+            broadcasts: Vec::new(),
+            deliveries: Vec::new(),
+            executions: Vec::new(),
+            expected_dests: Vec::new(),
+            retx_stalls: 0,
+            retx_stall_us: 0,
+            truncated: false,
+        }
+    }
+
+    fn lookup(list: &[(u32, u64)], site: u32) -> Option<u64> {
+        list.iter().find(|(s, _)| *s == site).map(|&(_, t)| t)
+    }
+
+    /// When `dest` executed this op, if recorded.
+    pub fn executed_at(&self, dest: u32) -> Option<u64> {
+        Self::lookup(&self.executions, dest)
+    }
+
+    /// The op walked its full lifecycle: sent, integrated at the
+    /// notifier, and executed at every expected destination.
+    pub fn complete(&self) -> bool {
+        self.sent_at.is_some()
+            && self.notifier_delivered_at.is_some()
+            && self.notifier_executed_at.is_some()
+            && self
+                .expected_dests
+                .iter()
+                .all(|&d| self.executed_at(d).is_some())
+    }
+
+    /// Generation until executed at all live sites (µs); `None` until
+    /// the trace is complete.
+    pub fn convergence_us(&self) -> Option<u64> {
+        if !self.complete() {
+            return None;
+        }
+        let last_exec = self
+            .executions
+            .iter()
+            .map(|&(_, t)| t)
+            .chain(self.notifier_executed_at)
+            .max()
+            .unwrap_or(self.generated_at);
+        Some(last_exec.saturating_sub(self.generated_at))
+    }
+
+    /// The destination whose execution completed last — the critical
+    /// path runs through it.
+    pub fn critical_dest(&self) -> Option<u32> {
+        self.executions
+            .iter()
+            .max_by_key(|&&(s, t)| (t, s))
+            .map(|&(s, _)| s)
+    }
+
+    /// Critical-path decomposition of the convergence latency into the
+    /// six typed stages, through the critical destination. The durations
+    /// sum to [`OpTrace::convergence_us`] exactly when that destination
+    /// executed last (they are chained differences over the same span).
+    /// `None` until the trace is complete.
+    pub fn stage_breakdown(&self) -> Option<[(Stage, u64); 6]> {
+        if !self.complete() {
+            return None;
+        }
+        let d = self.critical_dest();
+        let t0 = self.generated_at;
+        let t1 = self.sent_at.unwrap_or(t0);
+        let t2 = self.notifier_delivered_at.unwrap_or(t1);
+        let t3 = self.notifier_executed_at.unwrap_or(t2);
+        // A wrapped ring can lose broadcast/delivery events of an
+        // otherwise complete trace; fall back to the previous anchor so
+        // the decomposition still sums to the full span.
+        let t4 = d
+            .and_then(|d| Self::lookup(&self.broadcasts, d))
+            .unwrap_or(t3);
+        let t5 = d
+            .and_then(|d| Self::lookup(&self.deliveries, d))
+            .unwrap_or(t4);
+        let t6 = d.and_then(|d| self.executed_at(d)).unwrap_or(t5);
+        Some([
+            (Stage::Enqueue, t1.saturating_sub(t0)),
+            (Stage::Upstream, t2.saturating_sub(t1)),
+            (Stage::NotifierTransform, t3.saturating_sub(t2)),
+            (Stage::Broadcast, t4.saturating_sub(t3)),
+            (Stage::Deliver, t5.saturating_sub(t4)),
+            (Stage::Execute, t6.saturating_sub(t5)),
+        ])
+    }
+
+    /// The stage contributing the most to the convergence latency.
+    pub fn critical_stage(&self) -> Option<Stage> {
+        self.stage_breakdown()
+            .map(|b| b.iter().max_by_key(|(_, d)| *d).map(|&(s, _)| s))?
+    }
+
+    /// Every recorded timestamp respects the lifecycle order: generate ≤
+    /// send ≤ notifier deliver ≤ notifier execute, and for each
+    /// destination, notifier execute ≤ broadcast ≤ deliver ≤ execute.
+    pub fn monotone(&self) -> bool {
+        let mut t = self.generated_at;
+        for next in [
+            self.sent_at,
+            self.notifier_delivered_at,
+            self.notifier_executed_at,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if next < t {
+                return false;
+            }
+            t = next;
+        }
+        let nexec = self.notifier_executed_at.unwrap_or(t);
+        let dests: BTreeSet<u32> = self
+            .broadcasts
+            .iter()
+            .chain(&self.deliveries)
+            .chain(&self.executions)
+            .map(|&(s, _)| s)
+            .collect();
+        for d in dests {
+            let mut t = nexec;
+            for next in [
+                Self::lookup(&self.broadcasts, d),
+                Self::lookup(&self.deliveries, d),
+                self.executed_at(d),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if next < t {
+                    return false;
+                }
+                t = next;
+            }
+        }
+        true
+    }
+
+    /// Multi-line human-readable rendering with the per-stage breakdown
+    /// (the `cvc-trace` CLI's display format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "op {}:{}", self.op.0, self.op.1);
+        match self.convergence_us() {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  convergence {c} us  (generated @{} us)",
+                    self.generated_at
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  INCOMPLETE{}  (generated @{} us)",
+                    if self.truncated { " (truncated)" } else { "" },
+                    self.generated_at
+                );
+            }
+        }
+        if let Some(breakdown) = self.stage_breakdown() {
+            for (stage, dur) in breakdown {
+                let _ = writeln!(out, "    {:<19} {:>10} us", stage.name(), dur);
+            }
+            if let Some(d) = self.critical_dest() {
+                let _ = writeln!(
+                    out,
+                    "    critical dest: site {d}, executed at {} of {} sites",
+                    self.executions.len(),
+                    self.expected_dests.len()
+                );
+            }
+        }
+        if self.retx_stalls > 0 {
+            let _ = writeln!(
+                out,
+                "    retx stalls: {} (~{} us attributed)",
+                self.retx_stalls, self.retx_stall_us
+            );
+        }
+        out
+    }
+}
+
+/// A set of assembled traces plus the run-level context the assembly
+/// discovered (quarantines, ring truncation, live membership).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// All assembled traces, ordered by generation time then identity.
+    pub traces: Vec<OpTrace>,
+    /// Client sites whose input ring wrapped (coverage is a suffix).
+    pub truncated_inputs: Vec<SiteId>,
+    /// Sites the notifier quarantined during the run.
+    pub quarantined: Vec<SiteId>,
+    /// Clients still live at the end of the run.
+    pub live_clients: Vec<u32>,
+}
+
+impl TraceSet {
+    /// Traces that walked their full lifecycle.
+    pub fn complete_traces(&self) -> impl Iterator<Item = &OpTrace> {
+        self.traces.iter().filter(|t| t.complete())
+    }
+
+    /// Incomplete traces *not* explained by truncation or quarantine —
+    /// on a fault-free or reliable run this must be empty.
+    pub fn dangling(&self) -> Vec<&OpTrace> {
+        self.traces
+            .iter()
+            .filter(|t| !t.complete() && !t.truncated)
+            .collect()
+    }
+
+    /// The `k` slowest complete traces, by convergence latency,
+    /// slowest first.
+    pub fn slowest(&self, k: usize) -> Vec<&OpTrace> {
+        let mut v: Vec<&OpTrace> = self.complete_traces().collect();
+        v.sort_by_key(|t| std::cmp::Reverse((t.convergence_us().unwrap_or(0), t.op)));
+        v.truncate(k);
+        v
+    }
+
+    /// Register the deterministic summary into `reg`: convergence and
+    /// per-stage histograms (exported with p50/p95/p99), completeness
+    /// counters, and the critical-path stage tallies.
+    pub fn register_summary(&self, reg: &mut MetricsRegistry) {
+        reg.add_counter("trace.ops", self.traces.len() as u64);
+        for t in &self.traces {
+            if let Some(c) = t.convergence_us() {
+                reg.add_counter("trace.complete", 1);
+                reg.record("trace.convergence_us", c);
+                if let Some(b) = t.stage_breakdown() {
+                    for (stage, dur) in b {
+                        reg.record(&format!("trace.stage.{}_us", stage.metric_name()), dur);
+                    }
+                }
+                if let Some(s) = t.critical_stage() {
+                    reg.add_counter(&format!("trace.critical_path.{}", s.metric_name()), 1);
+                }
+            } else if t.truncated {
+                reg.add_counter("trace.truncated", 1);
+            } else {
+                reg.add_counter("trace.dangling", 1);
+            }
+            reg.add_counter("trace.retx_stalls", t.retx_stalls);
+            reg.add_counter("trace.retx_stall_us", t.retx_stall_us);
+        }
+    }
+
+    /// Export as Chrome `trace_event` JSON (the "X" complete-event form),
+    /// loadable in `chrome://tracing` or Perfetto. One track per site
+    /// (`pid` = site, `tid` = origin site of the op); stage spans carry
+    /// the op identity in `args.op`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String,
+                    first: &mut bool,
+                    name: &str,
+                    pid: u32,
+                    op: (u32, u64),
+                    ts: u64,
+                    dur: u64| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+                 \"pid\":{pid},\"tid\":{tid},\"args\":{{\"op\":\"{o}:{s}\"}}}}",
+                tid = op.0,
+                o = op.0,
+                s = op.1,
+            );
+        };
+        for t in &self.traces {
+            let (o, _) = t.op;
+            if let Some(sent) = t.sent_at {
+                push(
+                    &mut out,
+                    &mut first,
+                    "enqueue",
+                    o,
+                    t.op,
+                    t.generated_at,
+                    sent - t.generated_at,
+                );
+                if let Some(nd) = t.notifier_delivered_at {
+                    push(
+                        &mut out,
+                        &mut first,
+                        "upstream",
+                        o,
+                        t.op,
+                        sent,
+                        nd.saturating_sub(sent),
+                    );
+                    if let Some(ne) = t.notifier_executed_at {
+                        push(
+                            &mut out,
+                            &mut first,
+                            "notifier-transform",
+                            0,
+                            t.op,
+                            nd,
+                            ne.saturating_sub(nd),
+                        );
+                        for &(d, tb) in &t.broadcasts {
+                            push(
+                                &mut out,
+                                &mut first,
+                                "broadcast",
+                                0,
+                                t.op,
+                                ne,
+                                tb.saturating_sub(ne),
+                            );
+                            if let Some(td) = OpTrace::lookup(&t.deliveries, d) {
+                                push(
+                                    &mut out,
+                                    &mut first,
+                                    "deliver",
+                                    d,
+                                    t.op,
+                                    tb,
+                                    td.saturating_sub(tb),
+                                );
+                                if let Some(te) = t.executed_at(d) {
+                                    push(
+                                        &mut out,
+                                        &mut first,
+                                        "execute",
+                                        d,
+                                        t.op,
+                                        td,
+                                        te.saturating_sub(td),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Ring capacities `(per client, notifier)` sized so a traced session of
+/// `n` sites × `ops_per_site` ops survives end-to-end **un-wrapped** —
+/// the precondition for every op assembling into a complete trace.
+///
+/// The dominant terms, measured over the E18 sweep (N ∈ {16, 64, 256},
+/// 512-op budget, 0–5% loss, reliable transport):
+///
+/// * a client holds a handful of events per session op (deliver +
+///   execute + gc-trim + its ack share; worst measured ~9/op), plus
+///   go-back-N retransmit churn that scales with *its own* op count
+///   when the transport is lossy;
+/// * the notifier holds the broadcast fan-out (one event per op per
+///   destination) plus the formula-(5) `transform` stream. Over
+///   reliable transport acks arrive a full RTT late, so the GC
+///   watermark lags and the scan window swells to ~300 checks/op even
+///   loss-free (worst measured: 543 events/op at N=256) — which is why
+///   the notifier term does not depend on the loss rate.
+///
+/// Both formulas carry ≥1.3× headroom over the worst measured cell.
+pub fn recommended_capacities(n: usize, ops_per_site: usize, lossy: bool) -> (usize, usize) {
+    let total = n * ops_per_site;
+    let churn = if lossy {
+        1024 * ops_per_site + 2 * total
+    } else {
+        0
+    };
+    let client = 8 * total + 128 * ops_per_site + 512 + churn;
+    let notifier = total * (n + 512) + 256;
+    (client, notifier)
+}
+
+/// One link's retransmit stalls: firing times (sorted ascending) with
+/// prefix sums of the attributed per-stall cost, so "count and total
+/// cost of stalls inside `[from, until]`" is two binary searches.
+struct StallIndex {
+    at: Vec<u64>,
+    /// `cum_us[i]` = attributed µs of the first `i` stalls.
+    cum_us: Vec<u64>,
+}
+
+impl StallIndex {
+    fn build(mut stalls: Vec<(u64, u64)>) -> Self {
+        stalls.sort_unstable();
+        let mut at = Vec::with_capacity(stalls.len());
+        let mut cum_us = Vec::with_capacity(stalls.len() + 1);
+        cum_us.push(0);
+        for (t, us) in stalls {
+            at.push(t);
+            cum_us.push(cum_us.last().copied().unwrap_or(0) + us);
+        }
+        StallIndex { at, cum_us }
+    }
+
+    /// `(count, total µs)` of stalls with `from <= at` and, when a close
+    /// time is known, `at <= until` (an op still in flight keeps
+    /// absorbing stalls until the end of the ring).
+    fn span(&self, from: u64, until: Option<u64>) -> (u64, u64) {
+        let lo = self.at.partition_point(|&a| a < from);
+        let hi = match until {
+            Some(c) => self.at.partition_point(|&a| a <= c),
+            None => self.at.len(),
+        };
+        if hi <= lo {
+            (0, 0)
+        } else {
+            ((hi - lo) as u64, self.cum_us[hi] - self.cum_us[lo])
+        }
+    }
+}
+
+/// Assembles per-site flight-recorder rings into [`OpTrace`]s, joining
+/// events on the CVC identity `(origin site, per-origin sequence)`.
+///
+/// The same join the [`crate::audit`] replayer uses for verdicts is used
+/// here for time: client-side events that identify operations only by
+/// stream position (`T[1]`) are resolved through the notifier's
+/// broadcast events.
+pub struct TraceAssembler;
+
+impl TraceAssembler {
+    /// Join `traces` (one `(site, events-oldest-first)` pair per
+    /// participant, the notifier as site 0) into per-op traces.
+    pub fn assemble(traces: &[(SiteId, Vec<FlightEvent>)]) -> TraceSet {
+        // Pass 1 over the notifier ring: the (dest, position) → identity
+        // join table, quarantined sites, and per-input truncation. A
+        // wrapped ring's `RingTruncated` marker is synthesized as the
+        // ring's first event ([`crate::recorder::FlightRecorder::events`]),
+        // so truncation detection doesn't need a full scan of every ring.
+        let mut broadcast_map: HashMap<u64, (u32, u64)> = HashMap::new();
+        let mut quarantined: BTreeSet<u32> = BTreeSet::new();
+        let mut truncated_inputs: Vec<SiteId> = Vec::new();
+        for (site, events) in traces {
+            if events
+                .first()
+                .is_some_and(|ev| ev.kind == EventKind::RingTruncated)
+            {
+                truncated_inputs.push(*site);
+            }
+            if site.0 != 0 {
+                continue;
+            }
+            for ev in events {
+                match ev.kind {
+                    EventKind::Broadcast => {
+                        broadcast_map.insert(
+                            pack_id(ev.a as u32, ev.stamp.get(1)),
+                            (ev.op_site, ev.op_seq),
+                        );
+                    }
+                    // The notifier records an Error and the session layer
+                    // quarantines the offender; treat the error's origin
+                    // as evicted for membership purposes.
+                    EventKind::Error if ev.op_site != NO_SITE && ev.op_site != 0 => {
+                        quarantined.insert(ev.op_site);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let clients: BTreeSet<u32> = traces
+            .iter()
+            .filter(|(s, _)| s.0 != 0)
+            .map(|(s, _)| s.0)
+            .collect();
+        let live: Vec<u32> = clients
+            .iter()
+            .copied()
+            .filter(|c| !quarantined.contains(c))
+            .collect();
+        let any_truncated = !truncated_inputs.is_empty();
+
+        // Pass 2: walk every ring and fold each event into its op's
+        // trace. Stall events are collected for the attribution pass.
+        let mut ops: HashMap<u64, OpTrace> = HashMap::new();
+        // (upstream? , site/peer, at, rto_us)
+        let mut client_stalls: Vec<(u32, u64, u64)> = Vec::new();
+        let mut notifier_stalls: Vec<(u32, u64, u64)> = Vec::new();
+        fn entry(ops: &mut HashMap<u64, OpTrace>, id: (u32, u64)) -> &mut OpTrace {
+            ops.entry(pack_id(id.0, id.1))
+                .or_insert_with(|| OpTrace::new(id))
+        }
+        for (site, events) in traces {
+            for ev in events {
+                if site.0 == 0 {
+                    match ev.kind {
+                        EventKind::Deliver if ev.op_site != NO_SITE => {
+                            let t = entry(&mut ops, (ev.op_site, ev.op_seq));
+                            t.notifier_delivered_at.get_or_insert(ev.recorded_at);
+                        }
+                        EventKind::Transform if ev.op_site != NO_SITE => {
+                            entry(&mut ops, (ev.op_site, ev.op_seq)).notifier_checks += 1;
+                        }
+                        EventKind::Execute if ev.op_site != NO_SITE => {
+                            let t = entry(&mut ops, (ev.op_site, ev.op_seq));
+                            t.notifier_executed_at.get_or_insert(ev.recorded_at);
+                        }
+                        EventKind::Broadcast => {
+                            let t = entry(&mut ops, (ev.op_site, ev.op_seq));
+                            t.broadcasts.push((ev.a as u32, ev.recorded_at));
+                        }
+                        EventKind::RetxStall => {
+                            notifier_stalls.push((ev.op_site, ev.recorded_at, ev.b));
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                match ev.kind {
+                    EventKind::Generate => {
+                        let t = entry(&mut ops, (ev.op_site, ev.op_seq));
+                        t.generated_at = ev.recorded_at;
+                    }
+                    EventKind::Send if ev.op_site == site.0 => {
+                        let t = entry(&mut ops, (ev.op_site, ev.op_seq));
+                        t.sent_at.get_or_insert(ev.recorded_at);
+                    }
+                    EventKind::Deliver if ev.op_site == NO_SITE => {
+                        if let Some(&id) = broadcast_map.get(&pack_id(site.0, ev.op_seq)) {
+                            entry(&mut ops, id)
+                                .deliveries
+                                .push((site.0, ev.recorded_at));
+                        }
+                    }
+                    EventKind::Execute if ev.op_site == NO_SITE => {
+                        if let Some(&id) = broadcast_map.get(&pack_id(site.0, ev.op_seq)) {
+                            entry(&mut ops, id)
+                                .executions
+                                .push((site.0, ev.recorded_at));
+                        }
+                    }
+                    EventKind::RetxStall => {
+                        client_stalls.push((site.0, ev.recorded_at, ev.b));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Pass 3: expected destinations, stall attribution, truncation.
+        // Stalls are indexed per link (sorted times + prefix sums), so
+        // attributing "every stall that fired while this op was in
+        // flight on this link" is two binary searches per (op, link)
+        // instead of a scan of every stall per op — the congested cells
+        // of E18 record 10⁵ stalls, and the scan was quadratic there.
+        let mut client_idx: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+        for (src, at, rto) in client_stalls {
+            client_idx.entry(src).or_default().push((at, rto / 2));
+        }
+        let client_idx: BTreeMap<u32, StallIndex> = client_idx
+            .into_iter()
+            .map(|(s, v)| (s, StallIndex::build(v)))
+            .collect();
+        let mut notifier_idx: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+        for (peer, at, rto) in notifier_stalls {
+            notifier_idx.entry(peer).or_default().push((at, rto / 2));
+        }
+        let notifier_idx: BTreeMap<u32, StallIndex> = notifier_idx
+            .into_iter()
+            .map(|(s, v)| (s, StallIndex::build(v)))
+            .collect();
+        for t in ops.values_mut() {
+            t.expected_dests = live.iter().copied().filter(|&d| d != t.op.0).collect();
+            // An upstream stall on the origin's link overlaps this op if
+            // it fired while the op was sent but not yet integrated.
+            if let (Some(sent), Some(ix)) = (t.sent_at, client_idx.get(&t.op.0)) {
+                let (count, us) = ix.span(sent, t.notifier_delivered_at);
+                t.retx_stalls += count;
+                t.retx_stall_us += us;
+            }
+            // A downstream stall on the link to `peer` overlaps this op
+            // if it fired between the broadcast and the delivery there.
+            let mut seen: BTreeSet<u32> = BTreeSet::new();
+            for i in 0..t.broadcasts.len() {
+                let (peer, tb) = t.broadcasts[i];
+                if !seen.insert(peer) {
+                    continue;
+                }
+                let Some(ix) = notifier_idx.get(&peer) else {
+                    continue;
+                };
+                let closed = OpTrace::lookup(&t.deliveries, peer).or(t.executed_at(peer));
+                let (count, us) = ix.span(tb, closed);
+                t.retx_stalls += count;
+                t.retx_stall_us += us;
+            }
+            if !t.complete() && (quarantined.contains(&t.op.0) || any_truncated) {
+                t.truncated = true;
+            }
+        }
+
+        let mut traces_out: Vec<OpTrace> = ops.into_values().collect();
+        traces_out.sort_by_key(|t| (t.generated_at, t.op));
+        TraceSet {
+            traces: traces_out,
+            truncated_inputs,
+            quarantined: quarantined.into_iter().map(SiteId).collect(),
+            live_clients: live,
+        }
+    }
+}
+
+/// Serialise rings to the `cvc-trace` dump format (one event per line,
+/// whitespace-separated; `#`-prefixed lines are comments). Round-trips
+/// through [`parse_rings`] up to detail-string interning.
+pub fn dump_rings(traces: &[(SiteId, Vec<FlightEvent>)]) -> String {
+    let mut out = String::from("# cvc flight rings v1\n");
+    let _ = writeln!(
+        out,
+        "# site seq recorded_at kind op_site op_seq t1 t2 a b flag detail vector trunc"
+    );
+    for (site, events) in traces {
+        for ev in events {
+            let vec_s = if ev.vector_len == 0 {
+                "-".to_string()
+            } else {
+                ev.vector_slice()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                site.0,
+                ev.seq,
+                ev.recorded_at,
+                ev.kind.name(),
+                ev.op_site,
+                ev.op_seq,
+                ev.stamp.get(1),
+                ev.stamp.get(2),
+                ev.a,
+                ev.b,
+                u8::from(ev.flag),
+                if ev.detail.is_empty() { "-" } else { ev.detail },
+                vec_s,
+                u8::from(ev.vector_truncated),
+            );
+        }
+    }
+    out
+}
+
+/// Map a detail string back to the recorder's static vocabulary; unknown
+/// details (free-form error kinds) intern to `""`.
+fn intern_detail(s: &str) -> &'static str {
+    const KNOWN: [&str; 12] = [
+        "edit",
+        "undo",
+        "redo",
+        "client-op",
+        "server-op",
+        "formula5",
+        "formula7",
+        "client-ack",
+        "bare-ack",
+        "client-gc",
+        "go-back-n",
+        "ring-wrapped",
+    ];
+    KNOWN.iter().find(|&&k| k == s).copied().unwrap_or("")
+}
+
+/// Parse a [`dump_rings`] dump back into per-site rings.
+pub fn parse_rings(input: &str) -> Result<Vec<(SiteId, Vec<FlightEvent>)>, String> {
+    let mut by_site: BTreeMap<u32, Vec<FlightEvent>> = BTreeMap::new();
+    for (ln, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 14 {
+            return Err(format!(
+                "line {}: expected 14 fields, got {}",
+                ln + 1,
+                f.len()
+            ));
+        }
+        let num = |i: usize| -> Result<u64, String> {
+            f[i].parse::<u64>()
+                .map_err(|e| format!("line {}: field {}: {e}", ln + 1, i + 1))
+        };
+        let kind = EventKind::from_name(f[3])
+            .ok_or_else(|| format!("line {}: unknown event kind {:?}", ln + 1, f[3]))?;
+        let mut ev = FlightEvent::new(kind)
+            .with_op(num(4)? as u32, num(5)?)
+            .with_stamp(CompressedStamp::new(num(6)?, num(7)?))
+            .with_ab(num(8)?, num(9)?)
+            .with_flag(num(10)? != 0)
+            .with_detail(intern_detail(f[11]));
+        if f[12] != "-" {
+            let v: Result<Vec<u64>, _> = f[12].split(',').map(str::parse::<u64>).collect();
+            ev = ev.with_vector(&v.map_err(|e| format!("line {}: vector: {e}", ln + 1))?);
+        }
+        ev.vector_truncated = num(13)? != 0;
+        ev.seq = num(1)?;
+        ev.recorded_at = num(2)?;
+        by_site.entry(num(0)? as u32).or_default().push(ev);
+    }
+    Ok(by_site.into_iter().map(|(s, e)| (SiteId(s), e)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{run_session, ClientMode, Deployment, SessionConfig};
+
+    fn traced_cfg(n: usize, seed: u64) -> SessionConfig {
+        let mut cfg = SessionConfig::small(Deployment::StarCvc, n, seed);
+        cfg.client_mode = ClientMode::Streaming;
+        cfg.flight_recorder = true;
+        cfg.flight_recorder_capacity = 16 * 1024;
+        cfg
+    }
+
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn clean_session_assembles_every_op_into_one_complete_trace() {
+        let cfg = traced_cfg(4, 7);
+        let report = run_session(&cfg);
+        assert!(report.converged);
+        assert_eq!(report.flight_traces.len(), 5, "notifier + 4 clients");
+        let set = TraceAssembler::assemble(&report.flight_traces);
+        let expected_ops: u64 = report.total_metrics().ops_generated;
+        assert_eq!(set.traces.len() as u64, expected_ops);
+        assert!(set.dangling().is_empty(), "no unexplained incompleteness");
+        assert!(set.truncated_inputs.is_empty());
+        assert!(set.quarantined.is_empty());
+        for t in &set.traces {
+            assert!(t.complete(), "op {:?} incomplete", t.op);
+            assert!(t.monotone(), "op {:?} not monotone: {t:?}", t.op);
+            let c = t.convergence_us().expect("complete");
+            assert!(c > 0, "virtual time must flow for {:?}", t.op);
+            let sum: u64 = t
+                .stage_breakdown()
+                .expect("complete")
+                .iter()
+                .map(|(_, d)| d)
+                .sum();
+            assert_eq!(sum, c, "stage decomposition must sum to convergence");
+        }
+    }
+
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn slowest_is_sorted_and_summary_registers() {
+        let report = run_session(&traced_cfg(4, 11));
+        let set = TraceAssembler::assemble(&report.flight_traces);
+        let slow = set.slowest(3);
+        assert_eq!(slow.len(), 3);
+        assert!(slow[0].convergence_us() >= slow[1].convergence_us());
+        assert!(slow[1].convergence_us() >= slow[2].convergence_us());
+        let mut reg = MetricsRegistry::new();
+        set.register_summary(&mut reg);
+        assert_eq!(reg.counter("trace.ops"), set.traces.len() as u64);
+        assert_eq!(reg.counter("trace.complete"), set.traces.len() as u64);
+        assert_eq!(reg.counter("trace.dangling"), 0);
+        let h = reg.histogram("trace.convergence_us").expect("histogram");
+        assert_eq!(h.count(), set.traces.len() as u64);
+        let j = reg.to_json();
+        assert!(j.contains("\"p95\":"), "{j}");
+        assert!(j.contains("trace.stage.upstream_us"), "{j}");
+    }
+
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn chrome_export_is_balanced_and_carries_spans() {
+        let report = run_session(&traced_cfg(3, 3));
+        let set = TraceAssembler::assemble(&report.flight_traces);
+        let j = set.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.ends_with("\"displayTimeUnit\":\"ms\"}"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for stage in Stage::ALL {
+            assert!(
+                j.contains(&format!("\"name\":\"{}\"", stage.name())),
+                "{stage:?}"
+            );
+        }
+    }
+
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn dump_round_trips_and_reassembles_identically() {
+        let report = run_session(&traced_cfg(3, 5));
+        let dump = dump_rings(&report.flight_traces);
+        let parsed = parse_rings(&dump).expect("parse own dump");
+        assert_eq!(parsed.len(), report.flight_traces.len());
+        let a = TraceAssembler::assemble(&report.flight_traces);
+        let b = TraceAssembler::assemble(&parsed);
+        assert_eq!(a.traces.len(), b.traces.len());
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x.op, y.op);
+            assert_eq!(x.convergence_us(), y.convergence_us());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_rings("1 2 3").is_err());
+        assert!(parse_rings("0 0 0 nonsense 0 0 0 0 0 0 0 - - 0").is_err());
+        assert_eq!(parse_rings("# only comments\n").expect("ok").len(), 0);
+    }
+
+    /// The Fig. 3 walkthrough (no simulator, all timestamps 0): the four
+    /// paper operations each assemble into one complete trace.
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn fig3_assembles_four_complete_traces() {
+        let t = crate::scenario::fig3_walkthrough();
+        let set = TraceAssembler::assemble(&t.flight_traces);
+        assert_eq!(set.traces.len(), 4, "O1..O4");
+        for tr in &set.traces {
+            assert!(tr.complete(), "op {:?}", tr.op);
+            assert!(tr.monotone());
+            assert_eq!(tr.convergence_us(), Some(0), "walkthrough is untimed");
+        }
+        assert_eq!(set.live_clients, vec![1, 2, 3]);
+    }
+
+    /// Quarantined offenders' incomplete traces are marked truncated.
+    #[test]
+    fn quarantined_origin_marks_traces_truncated() {
+        let s = CompressedStamp::new(0, 1);
+        let notifier = vec![FlightEvent::new(EventKind::Error)
+            .with_op(2, 1)
+            .with_stamp(s)];
+        let offender = vec![
+            FlightEvent::new(EventKind::Generate)
+                .with_op(2, 1)
+                .with_stamp(s),
+            FlightEvent::new(EventKind::Send)
+                .with_op(2, 1)
+                .with_stamp(s),
+        ];
+        let set = TraceAssembler::assemble(&[
+            (SiteId(0), notifier),
+            (SiteId(1), Vec::new()),
+            (SiteId(2), offender),
+        ]);
+        assert_eq!(set.quarantined, vec![SiteId(2)]);
+        assert_eq!(set.live_clients, vec![1]);
+        assert_eq!(set.traces.len(), 1);
+        assert!(!set.traces[0].complete());
+        assert!(
+            set.traces[0].truncated,
+            "quarantine explains incompleteness"
+        );
+        assert!(set.dangling().is_empty());
+    }
+}

@@ -284,6 +284,66 @@ proptest! {
     }
 }
 
+/// E18's structural claim, property-tested: on a lossy network behind
+/// the reliability layer, the trace assembler stitches every generated
+/// op into exactly one *complete* trace with monotone stage times —
+/// retransmits delay stages but never split or orphan a trace.
+/// (Quarantined offenders marking their traces truncated-not-dangling is
+/// covered by `trace::tests::quarantined_origin_marks_traces_truncated`.)
+#[cfg(feature = "flight-recorder")]
+mod traced_chaos {
+    use super::*;
+    use cvc_reduce::trace::TraceAssembler;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn traced_faulty_run_assembles_every_op_exactly_once(
+            n in 2usize..=5,
+            ops in 4usize..=10,
+            seed in 0u64..1_000,
+            loss in 0.0f64..0.1,
+        ) {
+            // The E15 fault-plan shape: duplicate and reorder ride along
+            // at half the drop rate.
+            let plan = FaultPlan {
+                drop: loss,
+                duplicate: loss / 2.0,
+                reorder: loss / 2.0,
+                reorder_extra_us: 50_000,
+                ..FaultPlan::NONE
+            };
+            let mut cfg = chaos_cfg(n, ops, seed, plan, Vec::new());
+            cfg.flight_recorder = true;
+            // chaos_cfg runs without GC, so formula-(5) checks (and the
+            // Transform events recording them) grow quadratically in the
+            // op total — size the rings to that bound so nothing wraps.
+            let total = n * ops;
+            cfg.flight_recorder_capacity = 2 * total * total + 12 * total + 256;
+            let report = run_robust_session(&cfg);
+            prop_assert!(report.converged);
+            let set = TraceAssembler::assemble(&report.flight_traces);
+            let expected: u64 = report
+                .client_metrics
+                .iter()
+                .map(|m| m.ops_generated)
+                .sum();
+            prop_assert_eq!(set.traces.len() as u64, expected);
+            let mut seen = std::collections::BTreeSet::new();
+            for t in &set.traces {
+                prop_assert!(seen.insert(t.op), "duplicate trace for {:?}", t.op);
+                prop_assert!(t.complete(), "incomplete trace {:?}", t.op);
+                prop_assert!(t.monotone(), "non-monotone stages: {:?}", t);
+                prop_assert!(t.convergence_us().is_some());
+            }
+            prop_assert!(set.dangling().is_empty());
+            prop_assert!(set.quarantined.is_empty());
+            prop_assert!(set.truncated_inputs.is_empty());
+        }
+    }
+}
+
 /// Deterministic CI smoke: one moderately nasty plan (all fault classes
 /// at once, plus a flap and two outages) through the full oracle audit.
 #[test]

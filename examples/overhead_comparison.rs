@@ -49,6 +49,8 @@ fn main() {
                 reliable: false,
                 disconnects: Vec::new(),
                 flight_recorder: false,
+                flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
+                flight_recorder_notifier_capacity: 0,
             };
             let r = run_session(&cfg);
             assert!(r.converged);

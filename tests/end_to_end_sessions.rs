@@ -39,6 +39,8 @@ fn cfg(
         reliable: false,
         disconnects: Vec::new(),
         flight_recorder: false,
+        flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
+        flight_recorder_notifier_capacity: 0,
     }
 }
 

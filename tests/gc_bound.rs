@@ -53,6 +53,8 @@ fn cfg(n: usize, ops: usize, seed: u64, auto_gc: bool) -> SessionConfig {
         reliable: false,
         disconnects: Vec::new(),
         flight_recorder: false,
+        flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
+        flight_recorder_notifier_capacity: 0,
     }
 }
 

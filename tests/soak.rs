@@ -35,6 +35,8 @@ fn soak_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> SessionC
         reliable: false,
         disconnects: Vec::new(),
         flight_recorder: false,
+        flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
+        flight_recorder_notifier_capacity: 0,
     }
 }
 
