@@ -6,7 +6,11 @@
 //!   string) vs the gap-buffer `TextBuffer` (moves the gap), at growing
 //!   document sizes;
 //! * **reduce** — notifier integration with ack-driven GC holding the
-//!   history at the in-flight window vs the unbounded buffer.
+//!   history at the in-flight window vs the unbounded buffer;
+//! * **checksum** — the reliable layer's frame checksum: byte-at-a-time
+//!   FNV-1a vs the word-at-a-time `FrameHasher` that replaced it on the
+//!   send/receive path, at frame sizes from a single op to a large
+//!   compound frame.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use cvc_core::site::SiteId;
@@ -17,6 +21,7 @@ use cvc_ot::seq::SeqOp;
 use cvc_reduce::client::ACK_INTERVAL;
 use cvc_reduce::msg::{ClientAckMsg, ClientOpMsg};
 use cvc_reduce::notifier::Notifier;
+use cvc_reduce::reliable::{fnv1a32, frame_checksum};
 
 fn bench_stamp_layer(c: &mut Criterion) {
     let mut g = c.benchmark_group("stamp_layer");
@@ -127,10 +132,42 @@ fn bench_notifier_layer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_checksum_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_checksum");
+    // 64 B ≈ one stamped op, 1 KiB ≈ a full compound frame at the batch
+    // byte threshold, 64 KiB stresses pure throughput.
+    for len in [64usize, 1_024, 65_536] {
+        let frame: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        g.bench_with_input(BenchmarkId::new("fnv1a32_bytewise", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(fnv1a32(std::hint::black_box(&frame))))
+        });
+        g.bench_with_input(BenchmarkId::new("frame_hasher_words", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(frame_checksum(&[std::hint::black_box(&frame)])))
+        });
+        // The shape the send path actually hashes: a small header chunk
+        // plus the shared body, without concatenating them first.
+        let (head, body) = frame.split_at(8.min(len));
+        g.bench_with_input(
+            BenchmarkId::new("frame_hasher_chunked", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(frame_checksum(&[
+                        std::hint::black_box(head),
+                        std::hint::black_box(body),
+                    ]))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_stamp_layer,
     bench_document_layer,
-    bench_notifier_layer
+    bench_notifier_layer,
+    bench_checksum_layer
 );
 criterion_main!(benches);

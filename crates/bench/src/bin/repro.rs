@@ -3,16 +3,16 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e18)
+//! repro e3                # one experiment (e1..e19)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16, e17, e18) sequentially. Output is always in
-//! e1..e18 order and, being seeded virtual-time, bit-identical at any
-//! worker count.
+//! experiments (e7, e14, e16, e17, e18, e19) sequentially. Output is
+//! always in e1..e19 order and, being seeded virtual-time, bit-identical
+//! at any worker count.
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
 //! 1 when any experiment reports a `FAILED:` line; 2 on usage errors.
@@ -69,6 +69,8 @@ fn main() {
         "e17-smoke" => experiments::e17_recorder_overhead_smoke(),
         "e18" => experiments::e18_convergence_tracing(),
         "e18-smoke" => experiments::e18_convergence_tracing_smoke(),
+        "e19" => experiments::e19_throughput(),
+        "e19-smoke" => experiments::e19_throughput_smoke(),
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -89,7 +91,9 @@ fn main() {
              e17 flight-recorder overhead vs the E16 baseline\n\
              e17-smoke  small e17 run for the CI bench gate\n\
              e18 convergence-latency attribution (traced loss x N sweep)\n\
-             e18-smoke  small e18 run for the CI bench gate"
+             e18-smoke  small e18 run for the CI bench gate\n\
+             e19 encode-once broadcast + compound-frame goodput (N to 4096)\n\
+             e19-smoke  small e19 run for the CI bench gate"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");

@@ -175,11 +175,6 @@ fn cmd_fig3(o: &Opts) -> Result<(), String> {
 fn cmd_run(o: &Opts) -> Result<(), String> {
     let mut cfg = SessionConfig::small(Deployment::StarCvc, o.n, o.seed);
     cfg.workload.ops_per_site = o.ops;
-    cfg.flight_recorder = true;
-    // Size every ring to the workload so lifecycles survive un-wrapped.
-    let (ccap, ncap) = cvc_reduce::trace::recommended_capacities(o.n, o.ops, o.loss > 0.0);
-    cfg.flight_recorder_capacity = ccap;
-    cfg.flight_recorder_notifier_capacity = ncap;
     cfg.reliable = true;
     if o.loss > 0.0 {
         cfg.fault_plan = Some(FaultPlan {
@@ -190,6 +185,19 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
             ..FaultPlan::NONE
         });
     }
+    // Probe untraced first: the notifier's live GC watermark sizes the
+    // traced rings far below the worst-case constants, and lifecycles
+    // still survive un-wrapped.
+    let probe = run_session(&cfg);
+    let watermark = probe
+        .centre_metrics
+        .map(|m| m.hb_high_water)
+        .unwrap_or(u64::MAX);
+    cfg.flight_recorder = true;
+    let (ccap, ncap) =
+        cvc_reduce::trace::recommended_capacities_measured(o.n, o.ops, o.loss > 0.0, watermark);
+    cfg.flight_recorder_capacity = ccap;
+    cfg.flight_recorder_notifier_capacity = ncap;
     let r = run_session(&cfg);
     println!(
         "session: N={} ops/site={} loss={:.1}% seed={} converged={}\n",

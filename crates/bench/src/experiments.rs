@@ -48,6 +48,7 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
         fault_plan: None,
         reliable: false,
+        compound_frames: true,
         disconnects: Vec::new(),
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
@@ -1533,13 +1534,24 @@ fn e18_convergence_tracing_with(
                 let r = run_session(&off);
                 wall_off_ms = wall_off_ms.min(t0.elapsed().as_secs_f64() * 1e3);
                 assert!(r.converged, "E18 baseline session must converge");
+                let watermark = r
+                    .centre_metrics
+                    .map(|m| m.hb_high_water)
+                    .unwrap_or(u64::MAX);
 
                 let mut on = cfg.clone();
                 on.flight_recorder = true;
-                // Rings sized so the whole run survives un-wrapped —
-                // the precondition for complete traces.
-                let (ccap, ncap) =
-                    cvc_reduce::trace::recommended_capacities(n, ops_per_site, loss > 0.0);
+                // Rings sized so the whole run survives un-wrapped — the
+                // precondition for complete traces. The notifier ring is
+                // derived from the untraced rep's live GC watermark
+                // rather than the worst-case constant, cutting traced
+                // memory by ~2-8x across the sweep.
+                let (ccap, ncap) = cvc_reduce::trace::recommended_capacities_measured(
+                    n,
+                    ops_per_site,
+                    loss > 0.0,
+                    watermark,
+                );
                 on.flight_recorder_capacity = ccap;
                 on.flight_recorder_notifier_capacity = ncap;
                 let t0 = Instant::now();
@@ -1760,13 +1772,214 @@ fn mean(v: &[f64]) -> f64 {
     }
 }
 
+/// E19 — encode-once broadcast + compound-frame goodput (this PR's perf
+/// claim). The notifier serializes each broadcast body **once** and
+/// patches the per-destination compressed stamp into a small header over
+/// the shared refcounted bytes; behind an in-flight reliable window,
+/// queued ops coalesce into compound frames carrying one header and one
+/// word-at-a-time checksum. The sweep runs the reliable star to N=4096
+/// at 0% and 1% loss under the E16 constant-global-rate discipline and
+/// reports per-exec cost, goodput (in-order delivered editor payload
+/// over total wire bytes), and frames-per-op (the coalescing ratio).
+/// Gates: per-exec stays flat (≤1.5× the N=64 row of the same loss
+/// rate) through N=4096, and goodput clears 0.7 at 1% loss for N ≥ 16.
+/// Writes `BENCH_PR6.json` (override the path with `BENCH_PR6_OUT`).
+pub fn e19_throughput() -> String {
+    e19_throughput_with(&[16, 64, 256, 1024, 4096], &[0.0, 0.01], 4096, true)
+}
+
+/// The CI smoke variant: the two smallest N, same loss sweep, still
+/// writing the JSON so the schema and goodput gates have rows to check.
+pub fn e19_throughput_smoke() -> String {
+    e19_throughput_with(&[16, 64], &[0.0, 0.01], 512, true)
+}
+
+/// One measured cell of E19.
+struct GoodputRow {
+    n: usize,
+    loss: f64,
+    ops: u64,
+    execs: u64,
+    wall_ms: f64,
+    per_exec_us: f64,
+    goodput: f64,
+    frames_per_op: f64,
+    retransmits: u64,
+    converged: bool,
+}
+
+fn e19_throughput_with(
+    ns: &[usize],
+    losses: &[f64],
+    ops_budget: usize,
+    write_json: bool,
+) -> String {
+    use cvc_reduce::notifier::ScanMode;
+    use std::time::Instant;
+    let mut rows: Vec<GoodputRow> = Vec::new();
+    for &n in ns {
+        // Constant op budget and constant global rate across N (the E16
+        // scaling discipline), so per-exec and goodput compare across
+        // the sweep.
+        let ops_per_site = (ops_budget / n).max(2);
+        for &loss in losses {
+            let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 66);
+            cfg.reliable = true;
+            cfg.workload.mean_gap_us = 20_000 * n as u64;
+            cfg.notifier_scan = ScanMode::auto_for(n);
+            if loss > 0.0 {
+                cfg.fault_plan = Some(e15_plan(loss));
+            }
+            let start = Instant::now();
+            let r = run_session(&cfg);
+            let wall = start.elapsed();
+            let ops: u64 = r.client_metrics.iter().map(|m| m.ops_generated).sum();
+            let execs = ops * n as u64;
+            let total = r.total_metrics();
+            rows.push(GoodputRow {
+                n,
+                loss,
+                ops,
+                execs,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                per_exec_us: wall.as_micros() as f64 / execs.max(1) as f64,
+                goodput: total.delivered_payload_bytes as f64 / r.net.bytes.max(1) as f64,
+                frames_per_op: total.data_frames_sent as f64 / total.editor_msgs_sent.max(1) as f64,
+                retransmits: total.retransmits,
+                converged: r.converged,
+            });
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "N",
+        "loss",
+        "ops",
+        "execs",
+        "wall (ms)",
+        "per-exec (µs)",
+        "goodput",
+        "frames/op",
+        "retx",
+        "converged",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.0}%", 100.0 * r.loss),
+            r.ops.to_string(),
+            r.execs.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}", r.per_exec_us),
+            format!("{:.3}", r.goodput),
+            format!("{:.3}", r.frames_per_op),
+            r.retransmits.to_string(),
+            r.converged.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E19 — encode-once broadcast + compound-frame goodput (reliable star to N=4096)\n\n{}",
+        t.render()
+    );
+    if rows.iter().any(|r| !r.converged) {
+        out.push_str("\nFAILED: a throughput session did not converge\n");
+    }
+    for &loss in losses {
+        let cells: Vec<&GoodputRow> = rows.iter().filter(|r| r.loss == loss).collect();
+        if let Some(base) = cells.iter().find(|r| r.n == 64).or(cells.first()) {
+            // The gate reads upward: scaling from the N=64 anchor to
+            // N=4096 must stay flat. Smaller N pay fixed session overhead
+            // over few executions and are not part of the claim.
+            let worst = cells
+                .iter()
+                .filter(|r| r.n >= base.n)
+                .map(|r| r.per_exec_us / base.per_exec_us.max(f64::EPSILON))
+                .fold(0.0f64, f64::max);
+            out.push_str(&format!(
+                "\nper-exec drift at {:.0}% loss: worst {worst:.2}x the N={} row (gate <=1.5x)",
+                100.0 * loss,
+                base.n
+            ));
+        }
+    }
+    if let Some(worst_goodput) = rows
+        .iter()
+        .filter(|r| r.loss > 0.0)
+        .map(|r| r.goodput)
+        .min_by(|a, b| a.total_cmp(b))
+    {
+        out.push_str(&format!(
+            "\nworst lossy-cell goodput: {worst_goodput:.3} (gate > 0.7)\n"
+        ));
+        // Byte counts are seeded and virtual-time, so unlike the wall
+        // clock this gate is deterministic and can fail the run.
+        if worst_goodput <= 0.7 {
+            out.push_str("FAILED: goodput under loss fell below the 0.7 gate\n");
+        }
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr6_json(&rows) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable throughput report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR6.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E19 rows as `BENCH_PR6.json` (override the path with
+/// `BENCH_PR6_OUT`).
+fn write_bench_pr6_json(rows: &[GoodputRow]) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR6_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E19 encode-once broadcast + compound-frame goodput\",\n");
+    s.push_str(
+        "  \"baseline\": \"per-destination EditorMsg::encode + one reliable frame per message\",\n",
+    );
+    s.push_str(
+        "  \"candidate\": \"shared-body ServerOpFrame broadcast + Nagle-style compound frames\",\n",
+    );
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"loss\": {}, \"ops\": {}, \"execs\": {}, \"wall_ms\": {:.3}, \
+             \"per_exec_us\": {:.3}, \"goodput\": {:.4}, \"frames_per_op\": {:.4}, \
+             \"retransmits\": {}, \"converged\": {}}}{}\n",
+            r.n,
+            r.loss,
+            r.ops,
+            r.execs,
+            r.wall_ms,
+            r.per_exec_us,
+            r.goodput,
+            r.frames_per_op,
+            r.retransmits,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
 /// experiments measure wall-clock and must not share the machine with the
 /// worker pool.
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 18] = [
+pub const EXPERIMENTS: [ExperimentEntry; 19] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -1785,6 +1998,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 18] = [
     ("e16", true, e16_scaling),
     ("e17", true, e17_recorder_overhead),
     ("e18", true, e18_convergence_tracing),
+    ("e19", true, e19_throughput),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -1811,7 +2025,7 @@ pub fn run_all() -> String {
 
 /// [`run_all`] with an explicit worker count. Timing-insensitive
 /// experiments fan out across `threads` scoped workers (work-stealing off
-/// a shared index); the wall-clock experiments (e7, e14, e16, e17, e18) then run
+/// a shared index); the wall-clock experiments (e7, e14, e16, e17, e18, e19) then run
 /// sequentially on the idle machine. Output order is fixed regardless of
 /// completion order.
 pub fn run_all_with_threads(threads: usize) -> String {
@@ -2119,7 +2333,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=19).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -2130,7 +2344,26 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18"]);
+        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18", "e19"]);
+    }
+
+    #[test]
+    fn e19_small_sweep_converges_and_coalesces() {
+        // Tiny sizes so the reliable sessions stay cheap in debug; the
+        // byte-derived columns (goodput, frames/op) are deterministic.
+        let s = e19_throughput_with(&[4, 8], &[0.0, 0.01], 64, false);
+        assert!(!s.contains("FAILED"), "{s}");
+        assert!(s.contains("goodput") && s.contains("frames/op"), "{s}");
+        // Compound framing must actually coalesce: every row's
+        // frames-per-op ratio sits strictly below one frame per message.
+        for line in s
+            .lines()
+            .filter(|l| l.starts_with(|c: char| c.is_ascii_digit()))
+        {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let frames_per_op: f64 = cols[7].parse().expect("frames/op column");
+            assert!(frames_per_op < 1.0, "no coalescing in row: {line}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use cvc_ot::cursor::{transform_cursor, Bias};
 use cvc_ot::seq::{SeqError, SeqOp};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors integrating a peer operation into a bridge.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +83,10 @@ pub struct Bridge {
     /// Operations received from the peer.
     their_count: u64,
     /// My sent ops not yet seen by the peer; front has sequence number
-    /// `first_pending_seq`.
-    pending: VecDeque<SeqOp>,
+    /// `first_pending_seq`. Shared (`Arc`) because the notifier records
+    /// the same broadcast op on `N−1` bridges at once — the clone is a
+    /// refcount bump until a transform rewrites an entry.
+    pending: VecDeque<Arc<SeqOp>>,
     first_pending_seq: u64,
 }
 
@@ -148,6 +151,13 @@ impl Bridge {
     /// Returns its sequence number (1-based; the peer's `acked` compares
     /// against these).
     pub fn record_send(&mut self, op: SeqOp) -> u64 {
+        self.record_send_shared(Arc::new(op))
+    }
+
+    /// As [`Bridge::record_send`], but sharing an already-refcounted op —
+    /// the notifier's broadcast path records one op on `N−1` bridges
+    /// without `N−1` deep clones.
+    pub fn record_send_shared(&mut self, op: Arc<SeqOp>) -> u64 {
         self.my_count += 1;
         self.pending.push_back(op);
         self.my_count
@@ -233,7 +243,7 @@ impl Bridge {
                 cursor = Some(transform_cursor(c, &mine2, Bias::Before));
             }
             incoming = inc2;
-            *mine = mine2;
+            *mine = Arc::new(mine2);
         }
         self.their_count += 1;
         Ok((

@@ -68,6 +68,13 @@ pub struct SiteMetrics {
     /// Protocol violations detected on remote input (the offender was
     /// rejected — and, in sessions, quarantined — instead of panicking).
     pub protocol_errors: u64,
+    /// Reliable data frames put on the wire (first transmissions only).
+    /// With compound framing one frame can carry several editor messages,
+    /// so this divides [`SiteMetrics::editor_msgs_sent`] to give the
+    /// frames-per-op coalescing ratio.
+    pub data_frames_sent: u64,
+    /// Editor-layer messages handed to the reliability layer for sending.
+    pub editor_msgs_sent: u64,
 }
 
 impl SiteMetrics {
@@ -128,7 +135,7 @@ impl SiteMetrics {
     /// `MetricsRegistry::absorb_site_metrics` both walk this list, so
     /// adding a field here is the single step that propagates it into
     /// session aggregation and the machine-readable bench artifacts.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 21] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 23] {
         [
             ("ops_generated", self.ops_generated),
             ("ops_executed_remote", self.ops_executed_remote),
@@ -151,12 +158,14 @@ impl SiteMetrics {
             ("acks_sent", self.acks_sent),
             ("ack_bytes_sent", self.ack_bytes_sent),
             ("protocol_errors", self.protocol_errors),
+            ("data_frames_sent", self.data_frames_sent),
+            ("editor_msgs_sent", self.editor_msgs_sent),
         ]
     }
 
     /// Mutable view of the summable counters, in [`SiteMetrics::
     /// counter_fields`] order (the two lists index the same fields).
-    fn counter_fields_mut(&mut self) -> [&mut u64; 21] {
+    fn counter_fields_mut(&mut self) -> [&mut u64; 23] {
         [
             &mut self.ops_generated,
             &mut self.ops_executed_remote,
@@ -179,6 +188,8 @@ impl SiteMetrics {
             &mut self.acks_sent,
             &mut self.ack_bytes_sent,
             &mut self.protocol_errors,
+            &mut self.data_frames_sent,
+            &mut self.editor_msgs_sent,
         ]
     }
 

@@ -29,12 +29,14 @@ use cvc_sim::wire::{
     get_string, get_varint, put_string, put_varint, string_len, varint_len, WireDecode, WireEncode,
     WireError, WireSize,
 };
+use std::sync::Arc;
 
 const TAG_CLIENT_OP: u8 = 1;
 const TAG_SERVER_OP: u8 = 2;
 const TAG_MESH_OP: u8 = 3;
 const TAG_SERVER_ACK: u8 = 4;
 const TAG_CLIENT_ACK: u8 = 5;
+pub(crate) const TAG_COMPOUND: u8 = 6;
 
 const COMP_RETAIN: u8 = 0;
 const COMP_INSERT: u8 = 1;
@@ -121,6 +123,10 @@ pub enum EditorMsg {
     ServerAck(ServerAckMsg),
     /// Star/CVC upstream acknowledgement (GC keep-alive for quiet clients).
     ClientAck(ClientAckMsg),
+    /// Several editor messages coalesced into one reliable-layer frame
+    /// (one header, one checksum). Never nested; built by the reliability
+    /// layer's flush path, not by the editor layer.
+    Compound(Vec<EditorMsg>),
 }
 
 impl EditorMsg {
@@ -132,6 +138,7 @@ impl EditorMsg {
             EditorMsg::MeshOp(m) => vector_wire_len(&m.vector),
             EditorMsg::ServerAck(m) => varint_len(m.acked),
             EditorMsg::ClientAck(m) => varint_len(m.received),
+            EditorMsg::Compound(ms) => ms.iter().map(EditorMsg::stamp_bytes).sum(),
         }
     }
 
@@ -141,11 +148,142 @@ impl EditorMsg {
             EditorMsg::ClientOp(_) | EditorMsg::ServerOp(_) => 2,
             EditorMsg::MeshOp(m) => m.vector.width(),
             EditorMsg::ServerAck(_) | EditorMsg::ClientAck(_) => 1,
+            EditorMsg::Compound(ms) => ms.iter().map(EditorMsg::stamp_integers).sum(),
         }
     }
 }
 
-fn stamp_wire_len(s: CompressedStamp) -> usize {
+/// An encoded editor frame held as `head ++ body`, where `body` is
+/// refcounted and immutable. The split is what makes the notifier's
+/// encode-once broadcast cheap: all `N−1` destinations share one `body`
+/// (the serialized operation + telepointer) and differ only in the few
+/// `head` bytes carrying the tag and the per-destination compressed stamp.
+/// A payload decoded off the wire has an empty `head`.
+///
+/// Equality and hashing are over the *logical* bytes (`head ++ body`), so
+/// the same frame split differently still compares equal.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    head: Vec<u8>,
+    body: Arc<[u8]>,
+}
+
+impl Payload {
+    /// A payload whose logical bytes are exactly `bytes` (empty head).
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Payload {
+            head: Vec::new(),
+            body: bytes.into(),
+        }
+    }
+
+    /// A payload with an owned per-destination `head` and a shared `body`.
+    pub fn from_parts(head: Vec<u8>, body: Arc<[u8]>) -> Self {
+        Payload { head, body }
+    }
+
+    /// Logical length in bytes.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.body.len()
+    }
+
+    /// True when there are no logical bytes.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.body.is_empty()
+    }
+
+    /// The two byte runs making up the logical frame, in order.
+    pub fn chunks(&self) -> [&[u8]; 2] {
+        [&self.head, &self.body]
+    }
+
+    /// Append the logical bytes to `buf`.
+    pub fn write_to<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.head);
+        buf.put_slice(&self.body);
+    }
+
+    /// The logical bytes, materialized.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(&self.head);
+        v.extend_from_slice(&self.body);
+        v
+    }
+
+    /// Flip one bit of the logical frame (fault-injection support). The
+    /// shared body is copied on write, so other holders of the same frame
+    /// are unaffected.
+    pub fn flip_bit(&mut self, byte: usize, bit: u8) {
+        if byte < self.head.len() {
+            self.head[byte] ^= 1u8 << (bit & 7);
+        } else if byte - self.head.len() < self.body.len() {
+            let mut owned = self.body.to_vec();
+            owned[byte - self.head.len()] ^= 1u8 << (bit & 7);
+            self.body = owned.into();
+        }
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .head
+                .iter()
+                .chain(self.body.iter())
+                .eq(other.head.iter().chain(other.body.iter()))
+    }
+}
+
+impl Eq for Payload {}
+
+/// The destination-independent portion of a [`ServerOpMsg`], encoded
+/// exactly once. [`ServerOpFrame::payload_for`] then stamps out one
+/// [`Payload`] per destination by prepending the 3–21 byte head (tag +
+/// compressed stamp varints) to the shared body — byte-identical to
+/// encoding `EditorMsg::ServerOp` from scratch, without the per-destination
+/// serialization of the operation.
+#[derive(Debug, Clone)]
+pub struct ServerOpFrame {
+    body: Arc<[u8]>,
+}
+
+impl ServerOpFrame {
+    /// Serialize the shared body (operation + telepointer) once.
+    pub fn new(op: &SeqOp, cursor: &Option<(u32, u64)>) -> Self {
+        let mut b = Vec::with_capacity(server_op_body_len(op, cursor));
+        put_seq_op(&mut b, op);
+        put_opt_owned_cursor(&mut b, cursor);
+        ServerOpFrame { body: b.into() }
+    }
+
+    /// Encoded bytes of the shared body.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The full frame for one destination: `[TAG_SERVER_OP, stamp] ++ body`.
+    pub fn payload_for(&self, stamp: CompressedStamp) -> Payload {
+        let mut head = Vec::with_capacity(1 + stamp_wire_len(stamp));
+        head.push(TAG_SERVER_OP);
+        put_stamp(&mut head, stamp);
+        Payload::from_parts(head, Arc::clone(&self.body))
+    }
+
+    /// Wire bytes [`ServerOpFrame::payload_for`] would produce for `stamp`.
+    pub fn wire_bytes_for(&self, stamp: CompressedStamp) -> usize {
+        1 + stamp_wire_len(stamp) + self.body.len()
+    }
+}
+
+/// Encoded size of a [`ServerOpMsg`] body (everything after the stamp):
+/// computed once per broadcast, it prices all `N−1` destination frames.
+pub(crate) fn server_op_body_len(op: &SeqOp, cursor: &Option<(u32, u64)>) -> usize {
+    seq_op_wire_len(op) + opt_owned_cursor_len(cursor)
+}
+
+pub(crate) fn stamp_wire_len(s: CompressedStamp) -> usize {
     varint_len(s.t1) + varint_len(s.t2)
 }
 
@@ -350,6 +488,9 @@ impl WireSize for EditorMsg {
             }
             EditorMsg::ServerAck(m) => varint_len(m.acked),
             EditorMsg::ClientAck(m) => varint_len(u64::from(m.origin.0)) + varint_len(m.received),
+            EditorMsg::Compound(ms) => {
+                varint_len(ms.len() as u64) + ms.iter().map(WireSize::wire_bytes).sum::<usize>()
+            }
         }
     }
 }
@@ -385,12 +526,26 @@ impl WireEncode for EditorMsg {
                 put_varint(buf, u64::from(m.origin.0));
                 put_varint(buf, m.received);
             }
+            EditorMsg::Compound(ms) => {
+                debug_assert!(
+                    ms.iter().all(|m| !matches!(m, EditorMsg::Compound(_))),
+                    "compound frames never nest"
+                );
+                buf.put_u8(TAG_COMPOUND);
+                put_varint(buf, ms.len() as u64);
+                for m in ms {
+                    m.encode(buf);
+                }
+            }
         }
     }
 }
 
-impl WireDecode for EditorMsg {
-    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+impl EditorMsg {
+    /// Decode one message. `allow_compound` is false for the sub-messages
+    /// of a compound frame, so nesting is rejected as a bad tag rather
+    /// than recursed into.
+    fn decode_inner<B: Buf>(buf: &mut B, allow_compound: bool) -> Result<Self, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::Truncated);
         }
@@ -418,8 +573,32 @@ impl WireDecode for EditorMsg {
                 origin: SiteId(get_varint(buf)? as u32),
                 received: get_varint(buf)?,
             })),
+            TAG_COMPOUND if allow_compound => {
+                let count = get_varint(buf)? as usize;
+                // An empty compound is never produced (the flush path only
+                // fires with pending frames) and a nested one is rejected
+                // below, so a hostile count cannot recurse or spin. Each
+                // sub-message costs ≥ 1 byte, bounding the allocation.
+                if count == 0 {
+                    return Err(WireError::BadTag(TAG_COMPOUND));
+                }
+                if count > buf.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut ms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ms.push(EditorMsg::decode_inner(buf, false)?);
+                }
+                Ok(EditorMsg::Compound(ms))
+            }
             t => Err(WireError::BadTag(t)),
         }
+    }
+}
+
+impl WireDecode for EditorMsg {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        EditorMsg::decode_inner(buf, true)
     }
 }
 
@@ -531,6 +710,81 @@ mod tests {
         assert_eq!(msg.wire_bytes(), 3); // tag + origin + 1-byte varint
         assert_eq!(msg.stamp_integers(), 1);
         assert_eq!(msg.stamp_bytes(), 1);
+    }
+
+    #[test]
+    fn server_op_frame_matches_per_destination_encode() {
+        // The encode-once contract: head-patching a shared body produces
+        // the exact bytes of a fresh `EditorMsg::ServerOp` encode.
+        let op = SeqOp::from_pos(&PosOp::insert(2, "stamped"), 9);
+        for cursor in [None, Some((3u32, 7u64))] {
+            let frame = ServerOpFrame::new(&op, &cursor);
+            for (t1, t2) in [(0u64, 0u64), (1, 2), (300, 7), (u64::MAX, 1 << 40)] {
+                let stamp = CompressedStamp::new(t1, t2);
+                let reference = EditorMsg::ServerOp(ServerOpMsg {
+                    stamp,
+                    op: op.clone(),
+                    cursor,
+                });
+                let mut expect = Vec::new();
+                reference.encode(&mut expect);
+                let payload = frame.payload_for(stamp);
+                assert_eq!(payload.to_vec(), expect);
+                assert_eq!(payload.len(), reference.wire_bytes());
+                assert_eq!(frame.wire_bytes_for(stamp), reference.wire_bytes());
+                assert_eq!(
+                    frame.body_len(),
+                    server_op_body_len(&op, &cursor),
+                    "body priced once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_equality_ignores_the_split() {
+        let whole = Payload::from_vec(vec![1, 2, 3, 4]);
+        let split = Payload::from_parts(vec![1, 2], vec![3u8, 4].into());
+        assert_eq!(whole, split);
+        assert_ne!(whole, Payload::from_vec(vec![1, 2, 3]));
+        let mut flipped = split.clone();
+        flipped.flip_bit(3, 0);
+        assert_ne!(whole, flipped);
+        assert_eq!(split.to_vec(), vec![1, 2, 3, 4], "copy-on-write");
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let msg = EditorMsg::Compound(vec![
+            EditorMsg::ServerOp(ServerOpMsg {
+                stamp: CompressedStamp::new(3, 1),
+                op: sample_seq_op(),
+                cursor: Some((2, 5)),
+            }),
+            EditorMsg::ServerAck(ServerAckMsg { acked: 9 }),
+            EditorMsg::ClientAck(ClientAckMsg {
+                origin: SiteId(4),
+                received: 2,
+            }),
+        ]);
+        round_trip(&msg);
+        assert_eq!(msg.stamp_integers(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn compound_rejects_nesting_and_emptiness() {
+        // Empty compound: never produced, always rejected.
+        let mut empty: &[u8] = &[6, 0];
+        assert_eq!(EditorMsg::decode(&mut empty), Err(WireError::BadTag(6)));
+        // Nested compound: the inner tag is treated as unknown.
+        let inner = EditorMsg::Compound(vec![EditorMsg::ServerAck(ServerAckMsg { acked: 1 })]);
+        let mut buf = vec![6u8, 1];
+        inner.encode(&mut buf);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(EditorMsg::decode(&mut slice), Err(WireError::BadTag(6)));
+        // A hostile count beyond the buffer is truncation, not allocation.
+        let mut huge: &[u8] = &[6, 0xff, 0xff, 0xff, 0x7f];
+        assert_eq!(EditorMsg::decode(&mut huge), Err(WireError::Truncated));
     }
 
     #[test]

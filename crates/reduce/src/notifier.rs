@@ -51,7 +51,10 @@
 use crate::bridge::{Bridge, BridgeError, BridgeRole};
 use crate::error::ProtocolError;
 use crate::metrics::SiteMetrics;
-use crate::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, ServerAckMsg, ServerOpMsg};
+use crate::msg::{
+    server_op_body_len, stamp_wire_len, ClientAckMsg, ClientOpMsg, EditorMsg, ServerAckMsg,
+    ServerOpFrame, ServerOpMsg,
+};
 use crate::recorder::{EventKind, FlightEvent, FlightRecorder};
 #[cfg(debug_assertions)]
 use cvc_core::formulas::formula7_counters;
@@ -64,6 +67,7 @@ use cvc_ot::seq::SeqOp;
 use cvc_sim::wire::WireSize;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// How the notifier evaluates formula (7) over its history buffer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -650,6 +654,19 @@ impl Notifier {
         &mut self,
         msg: ClientOpMsg,
     ) -> Result<NotifierIntegration, ProtocolError> {
+        self.try_on_client_op_outcome(msg)
+            .map(NotifierOutcome::into_integration)
+    }
+
+    /// As [`Notifier::try_on_client_op`], but returning the broadcast in
+    /// unserialized shared form (`Arc`'d op + per-destination stamps) so
+    /// the reliability layer can encode the destination-independent body
+    /// exactly once ([`NotifierOutcome::frame`]) instead of materializing
+    /// and encoding `N−1` independent [`ServerOpMsg`]s.
+    pub fn try_on_client_op_outcome(
+        &mut self,
+        msg: ClientOpMsg,
+    ) -> Result<NotifierOutcome, ProtocolError> {
         let (origin, stamp) = (msg.origin, msg.stamp);
         if self.recorder.is_enabled() {
             self.recorder.record(
@@ -674,10 +691,7 @@ impl Notifier {
         res
     }
 
-    fn integrate_client_op(
-        &mut self,
-        msg: ClientOpMsg,
-    ) -> Result<NotifierIntegration, ProtocolError> {
+    fn integrate_client_op(&mut self, msg: ClientOpMsg) -> Result<NotifierOutcome, ProtocolError> {
         let x = msg.origin;
         if x.is_notifier() || x.client_index() >= self.n_clients() {
             return Err(ProtocolError::UnknownSite {
@@ -851,14 +865,23 @@ impl Notifier {
         });
         self.metrics.record_hb_len(self.hb.len() as u64);
 
-        // Re-broadcast with per-destination compressed stamps.
+        // Re-broadcast with per-destination compressed stamps. The op is
+        // refcounted across all destination bridges and the outcome; the
+        // caller decides whether to materialize per-destination messages
+        // (plain sessions) or to serialize the shared body exactly once
+        // (the reliability layer's encode-once path).
+        let executed = Arc::new(integrated.op);
+        let owned_cursor = cursor.map(|c| (x.0, c as u64));
+        // The destination-independent body prices every broadcast frame;
+        // only the 2-varint stamp differs per destination.
+        let body_len = server_op_body_len(&executed, &owned_cursor) as u64;
         let mut out = Vec::with_capacity(self.active_clients().saturating_sub(1));
         for idx in 0..self.n_clients() {
             let dest = SiteId::from_client_index(idx);
             if dest == x || !self.active[idx] {
                 continue;
             }
-            let seq = self.bridges[idx].record_send(integrated.op.clone());
+            let seq = self.bridges[idx].record_send_shared(Arc::clone(&executed));
             // Formulas (1)/(2), shifted by the destination's join offset
             // (zero for founding members — then this IS compress_for).
             let base = self.sv.compress_for(dest);
@@ -880,22 +903,12 @@ impl Notifier {
                         .with_ab(u64::from(dest.0), 0),
                 );
             }
-            let smsg = ServerOpMsg {
-                stamp,
-                op: integrated.op.clone(),
-                cursor: cursor.map(|c| (x.0, c as u64)),
-            };
-            // Account wire cost without cloning the payload: wrap by value,
-            // measure, unwrap.
-            let wire = EditorMsg::ServerOp(smsg);
+            let stamp_len = stamp_wire_len(stamp) as u64;
             self.metrics.messages_sent += 1;
-            self.metrics.stamp_integers_sent += wire.stamp_integers() as u64;
-            self.metrics.stamp_bytes_sent += wire.stamp_bytes() as u64;
-            self.metrics.bytes_sent += wire.wire_bytes() as u64;
-            let EditorMsg::ServerOp(smsg) = wire else {
-                unreachable!("just wrapped")
-            };
-            out.push((dest, smsg));
+            self.metrics.stamp_integers_sent += 2;
+            self.metrics.stamp_bytes_sent += stamp_len;
+            self.metrics.bytes_sent += 1 + stamp_len + body_len;
+            out.push((dest, stamp));
         }
         let ack = if self.send_acks {
             let msg = ServerAckMsg {
@@ -916,13 +929,82 @@ impl Notifier {
         if self.auto_trim {
             self.trim_dead_prefix();
         }
-        Ok(NotifierIntegration {
-            executed: integrated.op,
+        Ok(NotifierOutcome {
+            executed,
+            cursor: owned_cursor,
             first_checked,
             checked,
-            broadcasts: out,
+            stamps: out,
             ack,
         })
+    }
+}
+
+/// Outcome of integrating one client operation, in shared (unserialized)
+/// form: one refcounted executed op plus the per-destination compressed
+/// stamps. [`NotifierOutcome::into_integration`] materializes the classic
+/// per-destination [`ServerOpMsg`] list; [`NotifierOutcome::frame`]
+/// serializes the destination-independent body exactly once.
+#[derive(Debug, Clone)]
+pub struct NotifierOutcome {
+    /// The executed (transformed) form `O'`, shared with every
+    /// destination bridge's pending list.
+    pub executed: Arc<SeqOp>,
+    /// Telepointer (authoring site, caret), identical for every
+    /// destination.
+    pub cursor: Option<(u32, u64)>,
+    /// Index of the first history entry `checked` covers.
+    pub first_checked: usize,
+    /// Formula (7) verdicts for entries `first_checked..`.
+    pub checked: Vec<bool>,
+    /// Per-destination compressed stamps, in destination order.
+    pub stamps: Vec<(SiteId, CompressedStamp)>,
+    /// Acknowledgement to the origin (only when acks are enabled).
+    pub ack: Option<(SiteId, ServerAckMsg)>,
+}
+
+impl NotifierOutcome {
+    /// Serialize the shared broadcast body once; combine with
+    /// [`NotifierOutcome::stamps`] via [`ServerOpFrame::payload_for`].
+    pub fn frame(&self) -> ServerOpFrame {
+        ServerOpFrame::new(&self.executed, &self.cursor)
+    }
+
+    /// Materialize the per-destination broadcast messages (op cloned per
+    /// destination) — the form plain sessions and traces consume.
+    pub fn broadcast_msgs(&self) -> Vec<(SiteId, ServerOpMsg)> {
+        self.stamps
+            .iter()
+            .map(|&(dest, stamp)| {
+                (
+                    dest,
+                    ServerOpMsg {
+                        stamp,
+                        op: (*self.executed).clone(),
+                        cursor: self.cursor,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// All formula-(7) verdicts, materialized full-length.
+    pub fn full_verdicts(&self) -> Vec<bool> {
+        let mut v = vec![false; self.first_checked];
+        v.extend_from_slice(&self.checked);
+        v
+    }
+
+    /// Convert into the classic materialized [`NotifierIntegration`].
+    pub fn into_integration(self) -> NotifierIntegration {
+        let broadcasts = self.broadcast_msgs();
+        NotifierIntegration {
+            executed: (*self.executed).clone(),
+            first_checked: self.first_checked,
+            checked: self.checked,
+            broadcasts,
+            ack: self.ack,
+        }
     }
 }
 

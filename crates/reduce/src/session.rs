@@ -103,6 +103,11 @@ pub struct SessionConfig {
     /// layer (`crate::reliable`), which restores FIFO semantics on top of
     /// whatever `fault_plan` does to the links.
     pub reliable: bool,
+    /// Coalesce editor messages queued behind an in-flight reliable
+    /// window into compound frames (one header + one checksum for several
+    /// ops). On by default; off reproduces the previous one-frame-per-
+    /// message wire behaviour exactly. Ignored without `reliable`.
+    pub compound_frames: bool,
     /// Scheduled client outages (each ends in a reconnect + resync).
     /// Requires `reliable`.
     pub disconnects: Vec<DisconnectSpec>,
@@ -143,6 +148,7 @@ impl SessionConfig {
             notifier_scan: ScanMode::SuffixBounded,
             fault_plan: None,
             reliable: false,
+            compound_frames: true,
             disconnects: Vec::new(),
             flight_recorder: false,
             flight_recorder_capacity: crate::recorder::DEFAULT_CAPACITY,

@@ -538,6 +538,34 @@ pub fn recommended_capacities(n: usize, ops_per_site: usize, lossy: bool) -> (us
     (client, notifier)
 }
 
+/// As [`recommended_capacities`], but with the notifier ring sized from
+/// a **measured** history-buffer high-water mark — e.g. the notifier's
+/// [`crate::metrics::SiteMetrics::hb_high_water`] from an untraced probe
+/// run of the same configuration — instead of the worst-case 512-
+/// checks-per-op constant.
+///
+/// The notifier ring holds, per op, the broadcast fan-out (one event per
+/// destination plus fixed deliver/execute/gc bookkeeping) and the
+/// formula-(7) transform stream, whose length is bounded by the scan
+/// window — which ack-driven GC keeps at the in-flight window, far below
+/// the worst case. The watermark gets 2× headroom (acks land a full RTT
+/// late, so a traced run's window can lag the probe's), and the result
+/// never exceeds the worst-case sizing. E18 measures the saving at
+/// roughly 2×–8× traced notifier memory across its sweep.
+pub fn recommended_capacities_measured(
+    n: usize,
+    ops_per_site: usize,
+    lossy: bool,
+    notifier_hb_high_water: u64,
+) -> (usize, usize) {
+    let (client, worst_notifier) = recommended_capacities(n, ops_per_site, lossy);
+    let total = n * ops_per_site;
+    let wm = usize::try_from(notifier_hb_high_water).unwrap_or(usize::MAX);
+    let per_op = (n + 8).saturating_add(wm.saturating_mul(2));
+    let notifier = total.saturating_mul(per_op).saturating_add(256);
+    (client, notifier.min(worst_notifier))
+}
+
 /// One link's retransmit stalls: firing times (sorted ascending) with
 /// prefix sums of the attributed per-stall cost, so "count and total
 /// cost of stalls inside `[from, until]`" is two binary searches.
@@ -882,6 +910,51 @@ mod tests {
         cfg.flight_recorder = true;
         cfg.flight_recorder_capacity = 16 * 1024;
         cfg
+    }
+
+    #[test]
+    fn measured_capacities_shrink_the_notifier_ring_but_never_exceed_worst_case() {
+        let (client_w, notifier_w) = recommended_capacities(64, 8, true);
+        // A healthy ack-driven-GC watermark is tiny next to the 512-
+        // checks/op worst case: the measured sizing must shrink a lot.
+        let (client_m, notifier_m) = recommended_capacities_measured(64, 8, true, 16);
+        assert_eq!(client_m, client_w, "client term is unchanged");
+        assert!(
+            notifier_m * 2 < notifier_w,
+            "measured {notifier_m} must at least halve worst-case {notifier_w}"
+        );
+        // A pathological watermark (GC off, unbounded history) caps at
+        // the worst-case sizing instead of exploding.
+        let (_, capped) = recommended_capacities_measured(64, 8, true, u64::MAX);
+        assert_eq!(capped, notifier_w);
+    }
+
+    /// End-to-end proof the measured sizing is still sufficient: a traced
+    /// session whose rings come from an untraced probe's live watermark
+    /// assembles every op un-wrapped.
+    #[cfg(feature = "flight-recorder")]
+    #[test]
+    fn watermark_sized_rings_still_assemble_complete_traces() {
+        let mut probe = SessionConfig::small(Deployment::StarCvc, 4, 7);
+        probe.client_mode = ClientMode::Streaming;
+        probe.reliable = true;
+        let pr = run_session(&probe);
+        let watermark = pr.centre_metrics.expect("star centre").hb_high_water;
+        let (ccap, ncap) =
+            recommended_capacities_measured(4, probe.workload.ops_per_site, false, watermark);
+        let mut cfg = probe.clone();
+        cfg.flight_recorder = true;
+        cfg.flight_recorder_capacity = ccap;
+        cfg.flight_recorder_notifier_capacity = ncap;
+        let r = run_session(&cfg);
+        assert!(r.converged);
+        let set = TraceAssembler::assemble(&r.flight_traces);
+        assert_eq!(set.traces.len() as u64, r.total_metrics().ops_generated);
+        assert!(set.truncated_inputs.is_empty(), "rings must not wrap");
+        assert!(set.dangling().is_empty());
+        for t in &set.traces {
+            assert!(t.complete(), "op {:?} incomplete", t.op);
+        }
     }
 
     #[cfg(feature = "flight-recorder")]

@@ -19,9 +19,12 @@ use cvc_core::vector::VectorClock;
 use cvc_ot::seq::SeqOp;
 use cvc_ot::ttf::TtfOp;
 use cvc_reduce::client::Client;
-use cvc_reduce::msg::{ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
+use cvc_reduce::msg::{
+    ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, Payload, ServerAckMsg, ServerOpFrame,
+    ServerOpMsg,
+};
 use cvc_reduce::notifier::Notifier;
-use cvc_reduce::reliable::{ReliableKind, ReliableMsg};
+use cvc_reduce::reliable::{frame_checksum, FrameHasher, ReliableKind, ReliableMsg};
 use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
 
@@ -52,7 +55,9 @@ fn stamp_strategy() -> impl Strategy<Value = CompressedStamp> {
     (any::<u64>(), any::<u64>()).prop_map(|(a, b)| CompressedStamp::new(a, b))
 }
 
-fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
+/// Every editor message except [`EditorMsg::Compound`] (the wire format
+/// forbids nesting, so compound bodies draw from this).
+fn leaf_editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
     let client = (
         1u32..=64,
         stamp_strategy(),
@@ -99,6 +104,15 @@ fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
     prop_oneof![client, server, mesh, ack, client_ack]
 }
 
+fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
+    prop_oneof![
+        leaf_editor_msg_strategy(),
+        leaf_editor_msg_strategy(),
+        leaf_editor_msg_strategy(),
+        proptest::collection::vec(leaf_editor_msg_strategy(), 1..5).prop_map(EditorMsg::Compound),
+    ]
+}
+
 fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
     let kind = prop_oneof![
         (
@@ -111,7 +125,7 @@ fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
                 seq,
                 ack,
                 checksum,
-                payload,
+                payload: Payload::from_vec(payload),
             }),
         any::<u64>().prop_map(|ack| ReliableKind::Ack { ack }),
         (1u32..=64, any::<u64>(), any::<u64>()).prop_map(|(site, received, generated)| {
@@ -190,6 +204,13 @@ fn route_like_the_session_layer(notifier: &mut Notifier, client: &mut Client, ms
         }
         EditorMsg::ServerOp(m) => {
             let _ = client.try_on_server_op(m);
+        }
+        // A compound frame is several messages under one header; the
+        // session layer unpacks and routes each in order.
+        EditorMsg::Compound(ms) => {
+            for m in ms {
+                route_like_the_session_layer(notifier, client, m);
+            }
         }
         // ServerAck and MeshOp are meaningless in the star topology's
         // inbound direction; the session layer counts and drops them.
@@ -274,7 +295,7 @@ proptest! {
                 seq: 1,
                 ack: 0,
                 checksum: 0,
-                payload: Vec::new(),
+                payload: Payload::from_vec(Vec::new()),
             },
         }
         .encode(&mut bytes);
@@ -283,5 +304,74 @@ proptest! {
         cvc_sim::wire::put_varint(&mut bytes, claimed);
         let mut buf: &[u8] = &bytes;
         prop_assert!(ReliableMsg::decode(&mut buf).is_err());
+    }
+
+    /// The encode-once broadcast path: serializing the destination-
+    /// independent body once and patching each destination's compressed
+    /// stamp into the header must be byte-identical to the old per-
+    /// destination `EditorMsg::encode`, for every op/cursor/stamp shape.
+    #[test]
+    fn encode_once_frame_matches_per_destination_encode(
+        op in seq_op_strategy(),
+        cursor in proptest::option::of((1u32..=64, any::<u64>())),
+        stamps in proptest::collection::vec(stamp_strategy(), 1..8),
+    ) {
+        let frame = ServerOpFrame::new(&op, &cursor);
+        for stamp in stamps {
+            let msg = EditorMsg::ServerOp(ServerOpMsg {
+                stamp,
+                op: op.clone(),
+                cursor,
+            });
+            let mut reference = Vec::with_capacity(msg.wire_bytes());
+            msg.encode(&mut reference);
+            let patched = frame.payload_for(stamp);
+            prop_assert_eq!(patched.len(), reference.len());
+            prop_assert_eq!(patched.to_vec(), reference);
+        }
+    }
+
+    /// The compound frame checksum is computed over (head, body) chunk
+    /// pairs on the send side and a contiguous buffer on the receive
+    /// side: the hasher must be split-invariant for any chunking.
+    #[test]
+    fn frame_hasher_is_chunking_invariant(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..8),
+    ) {
+        let flat: Vec<u8> = chunks.concat();
+        let parts: Vec<&[u8]> = chunks.iter().map(|c| &c[..]).collect();
+        prop_assert_eq!(frame_checksum(&parts), frame_checksum(&[&flat]));
+        let mut streamed = FrameHasher::new();
+        for c in &chunks {
+            streamed.update(c);
+        }
+        prop_assert_eq!(streamed.finish(), frame_checksum(&[&flat]));
+    }
+
+    /// Hostile compound frames: truncations and bit flips of a valid
+    /// compound encoding decode to a typed error or a (possibly
+    /// different) valid frame — never a panic — and whatever decodes
+    /// routes into live sites without panicking.
+    #[test]
+    fn hostile_compound_frames_are_survived(
+        msgs in proptest::collection::vec(leaf_editor_msg_strategy(), 1..5),
+        flips in proptest::collection::vec(any::<usize>(), 1..10),
+    ) {
+        let compound = EditorMsg::Compound(msgs);
+        battery(&compound, &flips);
+        let mut notifier = Notifier::new(4, "hostile compound baseline");
+        let mut client = Client::new(SiteId(1), "hostile compound baseline");
+        let mut bytes = Vec::with_capacity(compound.wire_bytes());
+        compound.encode(&mut bytes);
+        for &flip in &flips {
+            let mut mangled = bytes.clone();
+            let bit = flip % (mangled.len() * 8);
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            let mut buf: &[u8] = &mangled;
+            if let Ok(decoded) = EditorMsg::decode(&mut buf) {
+                route_like_the_session_layer(&mut notifier, &mut client, decoded);
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@ fn cfg(
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
         fault_plan: None,
         reliable: false,
+        compound_frames: true,
         disconnects: Vec::new(),
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,

@@ -51,6 +51,7 @@ fn cfg(n: usize, ops: usize, seed: u64, auto_gc: bool) -> SessionConfig {
         notifier_scan: ScanMode::SuffixBounded,
         fault_plan: None,
         reliable: false,
+        compound_frames: true,
         disconnects: Vec::new(),
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,

@@ -33,6 +33,7 @@ fn soak_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> SessionC
         notifier_scan: cvc_reduce::notifier::ScanMode::SuffixBounded,
         fault_plan: None,
         reliable: false,
+        compound_frames: true,
         disconnects: Vec::new(),
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,

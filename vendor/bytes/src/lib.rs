@@ -25,6 +25,43 @@ pub trait Buf {
     /// # Panics
     /// Panics when fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Present this buffer followed by `next` as one contiguous cursor
+    /// (mirrors `bytes::Buf::chain`).
+    fn chain<U: Buf>(self, next: U) -> Chain<Self, U>
+    where
+        Self: Sized,
+    {
+        Chain { a: self, b: next }
+    }
+}
+
+/// Two buffers presented as one (mirrors `bytes::buf::Chain`).
+#[derive(Debug)]
+pub struct Chain<T, U> {
+    a: T,
+    b: U,
+}
+
+impl<T: Buf, U: Buf> Buf for Chain<T, U> {
+    fn remaining(&self) -> usize {
+        self.a.remaining() + self.b.remaining()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        if self.a.has_remaining() {
+            self.a.get_u8()
+        } else {
+            self.b.get_u8()
+        }
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let from_a = self.a.remaining().min(dst.len());
+        let (first, second) = dst.split_at_mut(from_a);
+        self.a.copy_to_slice(first);
+        self.b.copy_to_slice(second);
+    }
 }
 
 impl Buf for &[u8] {
