@@ -3,7 +3,7 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e19)
+//! repro e3                # one experiment (e1..e20)
 //! repro list              # what exists
 //! ```
 //!
@@ -11,7 +11,7 @@
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
 //! experiments (e7, e14, e16, e17, e18, e19) sequentially. Output is
-//! always in e1..e19 order and, being seeded virtual-time, bit-identical
+//! always in e1..e20 order and, being seeded virtual-time, bit-identical
 //! at any worker count.
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
@@ -71,6 +71,20 @@ fn main() {
         "e18-smoke" => experiments::e18_convergence_tracing_smoke(),
         "e19" => experiments::e19_throughput(),
         "e19-smoke" => experiments::e19_throughput_smoke(),
+        "e20" => experiments::e20_failover(),
+        "e20-smoke" => experiments::e20_failover_smoke(),
+        "failover" => {
+            let t = cvc_reduce::scenario::failover_walkthrough();
+            let mut s = String::from("durability & failover walkthrough\n\n");
+            for line in &t.narration {
+                s.push_str(line);
+                s.push('\n');
+            }
+            if !t.converged {
+                s.push_str("FAILED: the walkthrough did not converge\n");
+            }
+            s
+        }
         "list" => "e1  topology message mapping (Fig. 1)\n\
              e2  divergence & intention violation (Fig. 2)\n\
              e3  compressed clock walkthrough (Fig. 3)\n\
@@ -93,7 +107,10 @@ fn main() {
              e18 convergence-latency attribution (traced loss x N sweep)\n\
              e18-smoke  small e18 run for the CI bench gate\n\
              e19 encode-once broadcast + compound-frame goodput (N to 4096)\n\
-             e19-smoke  small e19 run for the CI bench gate"
+             e19-smoke  small e19 run for the CI bench gate\n\
+             e20 notifier durability and warm-standby failover (crash sweep)\n\
+             e20-smoke  small e20 run for the CI bench gate\n\
+             failover  step-by-step WAL/promotion/resync walkthrough"
             .to_string(),
         other => {
             eprintln!("unknown experiment {other:?}; try `repro list`");

@@ -50,6 +50,9 @@ fn session_cfg(deployment: Deployment, n: usize, ops: usize, seed: u64) -> Sessi
         reliable: false,
         compound_frames: true,
         disconnects: Vec::new(),
+        compound_flush_ticks: 200_000,
+        standby: false,
+        crash: None,
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
         flight_recorder_notifier_capacity: 0,
@@ -1973,13 +1976,246 @@ fn write_bench_pr6_json(rows: &[GoodputRow]) -> Result<String, std::io::Error> {
     Ok(path)
 }
 
+/// E20 — notifier durability and warm-standby failover (this PR's
+/// robustness claim). Every cell kills the primary mid-session at a
+/// seeded crash point (before the WAL'd op's fan-out, mid-broadcast, or
+/// after it) and measures the failover: crash detection at the clients,
+/// standby promotion from the mirrored WAL, epoch-fenced resync, and the
+/// session running to convergence. All times are virtual (seeded), so
+/// every column is deterministic. Gates: every cell converges with all
+/// clients resynced, and recovery time at N=64 stays under 10 s of
+/// virtual time. WAL write amplification (framed log bytes per
+/// op-payload byte) is reported per cell but not gated — it scales
+/// with fan-in because every client's acks are logged for standby GC
+/// parity. Writes `BENCH_PR7.json` (override the path with
+/// `BENCH_PR7_OUT`).
+pub fn e20_failover() -> String {
+    e20_failover_with(&[16, 64, 256], &[0.0, 0.01], 2048, true)
+}
+
+/// The CI smoke variant: the two smallest N, same loss and crash-point
+/// sweep, still writing the JSON so the schema and gates have rows.
+pub fn e20_failover_smoke() -> String {
+    e20_failover_with(&[16, 64], &[0.0, 0.01], 512, true)
+}
+
+/// One measured cell of E20.
+struct FailoverRow {
+    n: usize,
+    loss: f64,
+    point: &'static str,
+    at_op: u64,
+    ops: u64,
+    converged: bool,
+    recovery_ms: f64,
+    replay_ops: u64,
+    resynced: usize,
+    wal_appends: u64,
+    wal_bytes: u64,
+    wal_amplification: f64,
+    compactions: u64,
+    fenced_drops: u64,
+}
+
+fn e20_failover_with(ns: &[usize], losses: &[f64], ops_budget: usize, write_json: bool) -> String {
+    use cvc_reduce::notifier::ScanMode;
+    use cvc_reduce::reliable::{run_robust_session, CrashPoint, NotifierCrash};
+    use cvc_reduce::MetricsRegistry;
+
+    let mut registry = MetricsRegistry::new();
+    let mut rows: Vec<FailoverRow> = Vec::new();
+    for &n in ns {
+        let ops_per_site = (ops_budget / n).max(2);
+        let total = (n * ops_per_site) as u64;
+        for &loss in losses {
+            for point in [
+                CrashPoint::BeforeSend,
+                CrashPoint::MidBroadcast,
+                CrashPoint::AfterSend,
+            ] {
+                // Kill the primary mid-stream: half the ops are WAL'd
+                // history the standby must replay, half arrive after
+                // promotion and exercise the fenced resync path.
+                let at_op = (total / 2).max(1);
+                let mut cfg = session_cfg(Deployment::StarCvc, n, ops_per_site, 0x20E0 + n as u64);
+                cfg.reliable = true;
+                cfg.standby = true;
+                cfg.crash = Some(NotifierCrash { at_op, point });
+                cfg.workload.mean_gap_us = 20_000 * n as u64;
+                cfg.notifier_scan = ScanMode::auto_for(n);
+                if loss > 0.0 {
+                    cfg.fault_plan = Some(e15_plan(loss));
+                }
+                let r = run_robust_session(&cfg);
+                let fo = r.failover.clone().unwrap_or_default();
+                registry.absorb_failover(&fo);
+                rows.push(FailoverRow {
+                    n,
+                    loss,
+                    point: point.name(),
+                    at_op,
+                    ops: r.client_metrics.iter().map(|m| m.ops_generated).sum(),
+                    converged: r.converged,
+                    recovery_ms: fo.recovery_us().unwrap_or(0) as f64 / 1e3,
+                    replay_ops: fo.standby_replay_ops,
+                    resynced: fo.resynced_clients,
+                    wal_appends: fo.wal_appends,
+                    wal_bytes: fo.wal_bytes,
+                    wal_amplification: fo.wal_amplification,
+                    compactions: fo.snapshot_compactions,
+                    fenced_drops: fo.fenced_drops,
+                });
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "N",
+        "loss",
+        "crash point",
+        "at op",
+        "ops",
+        "recovery (ms)",
+        "replay ops",
+        "resynced",
+        "WAL appends",
+        "WAL amp",
+        "compactions",
+        "fenced",
+        "converged",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            format!("{:.0}%", 100.0 * r.loss),
+            r.point.to_string(),
+            r.at_op.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.recovery_ms),
+            r.replay_ops.to_string(),
+            r.resynced.to_string(),
+            r.wal_appends.to_string(),
+            format!("{:.3}", r.wal_amplification),
+            r.compactions.to_string(),
+            r.fenced_drops.to_string(),
+            r.converged.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E20 — notifier durability and warm-standby failover (crash-point x loss x N sweep)\n\n{}",
+        t.render()
+    );
+
+    // Gate 1: every crash session converges with a complete failover.
+    let broken: Vec<&FailoverRow> = rows
+        .iter()
+        .filter(|r| !r.converged || r.resynced != r.n || r.recovery_ms <= 0.0)
+        .collect();
+    if broken.is_empty() {
+        out.push_str(
+            "\nevery crash point recovered: all clients resynced, all sessions converged\n",
+        );
+    } else {
+        out.push_str(&format!(
+            "\nFAILED: {} crash cell(s) did not fully recover\n",
+            broken.len()
+        ));
+    }
+    // Gate 2: recovery at the N=64 anchor stays bounded (virtual time —
+    // crash detection dominates: stall rounds x RTO, then one resync
+    // round trip per client).
+    if let Some(worst64) = rows
+        .iter()
+        .filter(|r| r.n == 64)
+        .map(|r| r.recovery_ms)
+        .max_by(f64::total_cmp)
+    {
+        out.push_str(&format!(
+            "worst N=64 recovery: {worst64:.1} ms virtual (gate <= 10000 ms)\n"
+        ));
+        if worst64 > 10_000.0 {
+            out.push_str("FAILED: N=64 recovery exceeded the 10 s gate\n");
+        }
+    }
+    // Amplification is reported, not gated: every client's acks are
+    // logged for GC parity on the standby, so framed-bytes-per-op-byte
+    // grows roughly linearly with N — a fixed threshold across the
+    // sweep would be meaningless. Compaction bounds live bytes instead.
+    if let Some(worst_amp) = rows
+        .iter()
+        .map(|r| r.wal_amplification)
+        .max_by(f64::total_cmp)
+    {
+        out.push_str(&format!(
+            "worst WAL write amplification: {worst_amp:.3}x (scales with fan-in; reported, not gated)\n"
+        ));
+    }
+    if write_json {
+        match write_bench_pr7_json(&rows, &registry.to_json()) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable failover report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR7.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E20 rows plus the unified metrics-registry snapshot
+/// (including the `failover.recovery_us` histogram) as `BENCH_PR7.json`
+/// (override the path with `BENCH_PR7_OUT`).
+fn write_bench_pr7_json(
+    rows: &[FailoverRow],
+    metrics_json: &str,
+) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR7_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E20 notifier durability and warm-standby failover\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"loss\": {}, \"crash_point\": \"{}\", \"at_op\": {}, \
+             \"ops\": {}, \"converged\": {}, \"recovery_ms\": {:.3}, \"replay_ops\": {}, \
+             \"resynced_clients\": {}, \"wal_appends\": {}, \"wal_bytes\": {}, \
+             \"wal_amplification\": {:.4}, \"snapshot_compactions\": {}, \
+             \"fenced_drops\": {}}}{}\n",
+            r.n,
+            r.loss,
+            r.point,
+            r.at_op,
+            r.ops,
+            r.converged,
+            r.recovery_ms,
+            r.replay_ops,
+            r.resynced,
+            r.wal_appends,
+            r.wal_bytes,
+            r.wal_amplification,
+            r.compactions,
+            r.fenced_drops,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    s.push_str("}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
 /// experiments measure wall-clock and must not share the machine with the
 /// worker pool.
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 19] = [
+pub const EXPERIMENTS: [ExperimentEntry; 20] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -1999,6 +2235,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 19] = [
     ("e17", true, e17_recorder_overhead),
     ("e18", true, e18_convergence_tracing),
     ("e19", true, e19_throughput),
+    ("e20", false, e20_failover),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -2333,7 +2570,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=19).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -2363,6 +2600,26 @@ mod tests {
             let cols: Vec<&str> = line.split_whitespace().collect();
             let frames_per_op: f64 = cols[7].parse().expect("frames/op column");
             assert!(frames_per_op < 1.0, "no coalescing in row: {line}");
+        }
+    }
+
+    #[test]
+    fn e20_small_sweep_recovers_every_crash_point() {
+        // Tiny sizes so the crash sessions stay cheap in debug; recovery
+        // times are virtual, so the gates are exact.
+        let s = e20_failover_with(&[4, 8], &[0.0, 0.01], 64, false);
+        assert!(!s.contains("FAILED"), "{s}");
+        assert!(
+            s.contains("every crash point recovered"),
+            "missing recovery line: {s}"
+        );
+        // All three crash points appear per (N, loss) cell.
+        for point in ["before-send", "mid-broadcast", "after-send"] {
+            assert_eq!(
+                s.matches(point).count(),
+                4,
+                "expected 4 rows for {point}: {s}"
+            );
         }
     }
 

@@ -320,7 +320,9 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                     | EventKind::GcTrim
                     | EventKind::Error
                     | EventKind::RingTruncated
-                    | EventKind::RetxStall => {}
+                    | EventKind::RetxStall
+                    | EventKind::Crash
+                    | EventKind::Promote => {}
                 }
                 cursors[ti] += 1;
                 progressed = true;

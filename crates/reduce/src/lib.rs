@@ -19,6 +19,10 @@
 //!   client disconnect/reconnect and history-buffer resync.
 //! * [`scenario`] — the paper's Fig. 2 (inconsistency demo) and Fig. 3
 //!   (compressed-clock walkthrough) reproduced step by step.
+//! * [`wal`] / [`standby`] — notifier durability: a checksummed
+//!   write-ahead log of the notifier's input stream with compacted
+//!   snapshots, and a warm standby that tails it and can be promoted when
+//!   the primary crashes (clients resync via the 2-element-clock cursor).
 //! * [`verify`] — every engine concurrency verdict compared against a
 //!   ground-truth Definition-1 oracle over randomized interleavings.
 //!
@@ -51,8 +55,10 @@ pub mod registry;
 pub mod reliable;
 pub mod scenario;
 pub mod session;
+pub mod standby;
 pub mod trace;
 pub mod verify;
+pub mod wal;
 pub mod workload;
 
 pub use audit::{audit_streams, AuditReport, AuditViolation, AuditViolationKind};
@@ -66,8 +72,12 @@ pub use notifier::Notifier;
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Histogram, MetricsRegistry};
 pub use reliable::{
-    run_robust_session, run_robust_session_traced, ClientEvent, DisconnectSpec, NotifierStep,
-    ReliableKind, ReliableMsg, SessionTrace,
+    run_robust_session, run_robust_session_traced, ClientEvent, CrashPoint, DisconnectSpec,
+    NotifierCrash, NotifierStep, ReliableKind, ReliableMsg, SessionTrace,
 };
-pub use session::{run_session, ClientMode, Deployment, SessionConfig, SessionReport};
+pub use session::{
+    run_session, ClientMode, Deployment, FailoverReport, SessionConfig, SessionReport,
+};
+pub use standby::Standby;
+pub use wal::{Wal, WalError, WalRecord, WalRecovery, WalSnapshot};
 pub use workload::WorkloadConfig;

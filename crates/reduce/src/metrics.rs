@@ -75,6 +75,11 @@ pub struct SiteMetrics {
     pub data_frames_sent: u64,
     /// Editor-layer messages handed to the reliability layer for sending.
     pub editor_msgs_sent: u64,
+    /// Compound-frame batches flushed by the deadline timer rather than by
+    /// an acknowledgement freeing the window. Non-zero means some batch sat
+    /// parked long enough to hit [`crate::session::SessionConfig::
+    /// compound_flush_ticks`]; the ack-driven path remains the normal case.
+    pub deadline_flushes: u64,
 }
 
 impl SiteMetrics {
@@ -135,7 +140,7 @@ impl SiteMetrics {
     /// `MetricsRegistry::absorb_site_metrics` both walk this list, so
     /// adding a field here is the single step that propagates it into
     /// session aggregation and the machine-readable bench artifacts.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 23] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 24] {
         [
             ("ops_generated", self.ops_generated),
             ("ops_executed_remote", self.ops_executed_remote),
@@ -160,12 +165,13 @@ impl SiteMetrics {
             ("protocol_errors", self.protocol_errors),
             ("data_frames_sent", self.data_frames_sent),
             ("editor_msgs_sent", self.editor_msgs_sent),
+            ("deadline_flushes", self.deadline_flushes),
         ]
     }
 
     /// Mutable view of the summable counters, in [`SiteMetrics::
     /// counter_fields`] order (the two lists index the same fields).
-    fn counter_fields_mut(&mut self) -> [&mut u64; 23] {
+    fn counter_fields_mut(&mut self) -> [&mut u64; 24] {
         [
             &mut self.ops_generated,
             &mut self.ops_executed_remote,
@@ -190,6 +196,7 @@ impl SiteMetrics {
             &mut self.protocol_errors,
             &mut self.data_frames_sent,
             &mut self.editor_msgs_sent,
+            &mut self.deadline_flushes,
         ]
     }
 

@@ -31,11 +31,11 @@ use cvc_sim::wire::{
 };
 use std::sync::Arc;
 
-const TAG_CLIENT_OP: u8 = 1;
+pub(crate) const TAG_CLIENT_OP: u8 = 1;
 const TAG_SERVER_OP: u8 = 2;
 const TAG_MESH_OP: u8 = 3;
 const TAG_SERVER_ACK: u8 = 4;
-const TAG_CLIENT_ACK: u8 = 5;
+pub(crate) const TAG_CLIENT_ACK: u8 = 5;
 pub(crate) const TAG_COMPOUND: u8 = 6;
 
 const COMP_RETAIN: u8 = 0;
@@ -287,12 +287,12 @@ pub(crate) fn stamp_wire_len(s: CompressedStamp) -> usize {
     varint_len(s.t1) + varint_len(s.t2)
 }
 
-fn put_stamp<B: BufMut>(buf: &mut B, s: CompressedStamp) {
+pub(crate) fn put_stamp<B: BufMut>(buf: &mut B, s: CompressedStamp) {
     put_varint(buf, s.t1);
     put_varint(buf, s.t2);
 }
 
-fn get_stamp<B: Buf>(buf: &mut B) -> Result<CompressedStamp, WireError> {
+pub(crate) fn get_stamp<B: Buf>(buf: &mut B) -> Result<CompressedStamp, WireError> {
     Ok(CompressedStamp::new(get_varint(buf)?, get_varint(buf)?))
 }
 
@@ -321,7 +321,7 @@ fn get_vector<B: Buf>(buf: &mut B) -> Result<VectorClock, WireError> {
     Ok(VectorClock::from_entries(entries))
 }
 
-fn seq_op_wire_len(op: &SeqOp) -> usize {
+pub(crate) fn seq_op_wire_len(op: &SeqOp) -> usize {
     let mut len = varint_len(op.components().len() as u64);
     for c in op.components() {
         len += 1; // component tag
@@ -333,7 +333,7 @@ fn seq_op_wire_len(op: &SeqOp) -> usize {
     len
 }
 
-fn put_seq_op<B: BufMut>(buf: &mut B, op: &SeqOp) {
+pub(crate) fn put_seq_op<B: BufMut>(buf: &mut B, op: &SeqOp) {
     put_varint(buf, op.components().len() as u64);
     for c in op.components() {
         match c {
@@ -353,7 +353,7 @@ fn put_seq_op<B: BufMut>(buf: &mut B, op: &SeqOp) {
     }
 }
 
-fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
+pub(crate) fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
     let n = get_varint(buf)? as usize;
     let mut op = SeqOp::new();
     for _ in 0..n {
@@ -376,11 +376,11 @@ fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
     Ok(op)
 }
 
-fn opt_cursor_len(c: &Option<u64>) -> usize {
+pub(crate) fn opt_cursor_len(c: &Option<u64>) -> usize {
     1 + c.map_or(0, varint_len)
 }
 
-fn put_opt_cursor<B: BufMut>(buf: &mut B, c: &Option<u64>) {
+pub(crate) fn put_opt_cursor<B: BufMut>(buf: &mut B, c: &Option<u64>) {
     match c {
         None => buf.put_u8(0),
         Some(v) => {
@@ -390,7 +390,7 @@ fn put_opt_cursor<B: BufMut>(buf: &mut B, c: &Option<u64>) {
     }
 }
 
-fn get_opt_cursor<B: Buf>(buf: &mut B) -> Result<Option<u64>, WireError> {
+pub(crate) fn get_opt_cursor<B: Buf>(buf: &mut B) -> Result<Option<u64>, WireError> {
     if !buf.has_remaining() {
         return Err(WireError::Truncated);
     }

@@ -130,6 +130,26 @@ pub struct NotifierHbEntry {
     pub vector: Option<VectorClock>,
 }
 
+/// One client's stream counters inside a notifier checkpoint: everything
+/// [`Notifier::from_checkpoint`] needs to resume that channel. At a valid
+/// checkpoint (see [`Notifier::checkpoint_ready`]) the history buffer is
+/// fully acknowledged, so these four values — plus the document — *are* the
+/// notifier: per channel, `sent` broadcasts out, `received` operations in,
+/// the join-time stream shift, and liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointCursor {
+    /// Broadcasts sent to the client so far (stream positions; `T[1]` of
+    /// the next broadcast will be `sent + 1`).
+    pub sent: u64,
+    /// Operations integrated from the client so far (formula (2)'s
+    /// per-origin count).
+    pub received: u64,
+    /// Operations executed before the client joined (zero for founders).
+    pub join_offset: u64,
+    /// False once the client departed or was quarantined.
+    pub active: bool,
+}
+
 /// The central notifier process.
 #[derive(Debug, Clone)]
 pub struct Notifier {
@@ -203,6 +223,77 @@ impl Notifier {
         }
     }
 
+    /// Rebuild a notifier from a compacted checkpoint: the document plus
+    /// one [`CheckpointCursor`] per client, as captured by
+    /// [`Notifier::checkpoint_cursors`] at a [`Notifier::checkpoint_ready`]
+    /// point. The result is indistinguishable from the original notifier
+    /// after a full garbage collection: empty history buffer, watermarks at
+    /// the trim frontier, bridges resumed at the recorded counters with no
+    /// pending (everything sent was acknowledged). Stamps on subsequent
+    /// broadcasts continue the original streams exactly.
+    ///
+    /// The scan mode is fixed at [`ScanMode::SuffixBounded`] (the universal
+    /// default): a restored notifier has a non-zero trim frontier, which
+    /// the reference mode's full snapshots cannot represent.
+    pub fn from_checkpoint(doc: &str, cursors: &[CheckpointCursor]) -> Self {
+        let n = cursors.len();
+        let mut sv = NotifierStateVector::new(n);
+        for (i, c) in cursors.iter().enumerate() {
+            for _ in 0..c.received {
+                sv.record_receive(SiteId(i as u32 + 1));
+            }
+        }
+        let total = sv.total();
+        Notifier {
+            sv,
+            doc: TextBuffer::from_str(doc),
+            bridges: cursors
+                .iter()
+                .map(|c| Bridge::resume(BridgeRole::Notifier, c.sent, c.received))
+                .collect(),
+            hb: VecDeque::new(),
+            scan_mode: ScanMode::SuffixBounded,
+            auto_trim: false,
+            trimmed: total,
+            trimmed_from: cursors.iter().map(|c| c.received).collect(),
+            wm_abs: vec![total; n],
+            wm_from_self: cursors.iter().map(|c| c.received).collect(),
+            acked_by: cursors.iter().map(|c| c.sent).collect(),
+            join_offsets: cursors.iter().map(|c| c.join_offset).collect(),
+            active: cursors.iter().map(|c| c.active).collect(),
+            send_acks: false,
+            trim_scratch: Vec::with_capacity(n),
+            recorder: FlightRecorder::new(SiteId(0)),
+            metrics: SiteMetrics::new(),
+        }
+    }
+
+    /// Per-client stream counters for a checkpoint record. Meaningful as a
+    /// recovery point only when [`Notifier::checkpoint_ready`] — callers
+    /// (the write-ahead log's compactor) must check first.
+    pub fn checkpoint_cursors(&self) -> Vec<CheckpointCursor> {
+        (0..self.n_clients())
+            .map(|i| CheckpointCursor {
+                sent: self.bridges[i].my_count(),
+                received: self.bridges[i].their_count(),
+                join_offset: self.join_offsets[i],
+                active: self.active[i],
+            })
+            .collect()
+    }
+
+    /// True when the notifier's state is fully described by the document
+    /// plus [`Notifier::checkpoint_cursors`]: the history buffer is empty
+    /// (every broadcast trimmed as acknowledged) and every active client
+    /// has acknowledged its entire stream. This implies the compaction
+    /// invariant — a snapshot cut here covers every un-acknowledged client
+    /// cursor, because there are none.
+    pub fn checkpoint_ready(&self) -> bool {
+        self.hb.is_empty()
+            && (0..self.n_clients())
+                .all(|i| !self.active[i] || self.acked_by[i] == self.bridges[i].my_count())
+    }
+
     /// Turn the flight recorder on or off (off by default; recording also
     /// requires the `flight-recorder` cargo feature).
     pub fn set_flight_recorder(&mut self, on: bool) {
@@ -240,6 +331,25 @@ impl Notifier {
                     .with_ab(frames, rto_us)
                     .with_detail("go-back-n"),
             );
+        }
+    }
+
+    /// Merge another recorder's retained events into this notifier's ring,
+    /// preserving their original timestamps (see
+    /// [`FlightRecorder::absorb`]). Standby promotion uses this to carry
+    /// the dead primary's event history into the promoted notifier so a
+    /// failover session still yields one continuous notifier trace.
+    pub fn absorb_recorder_events(&mut self, events: &[FlightEvent]) {
+        for ev in events {
+            self.recorder.absorb(*ev);
+        }
+    }
+
+    /// Record a failover lifecycle event (crash, promote) from the
+    /// reliability layer. No-op while the recorder is disabled.
+    pub fn note_lifecycle(&mut self, ev: FlightEvent) {
+        if self.recorder.is_enabled() {
+            self.recorder.record(ev);
         }
     }
 

@@ -71,6 +71,14 @@ pub enum EventKind {
     /// window was resent: `a` is the retransmitted frame count, `b` the
     /// doubled RTO (µs). Attributes transport stalls in latency traces.
     RetxStall,
+    /// The primary notifier process died: `a` is the number of operations
+    /// it had integrated, `b` the crash-point discriminant (see
+    /// `CrashPoint` in [`crate::reliable`]).
+    Crash,
+    /// A warm standby was promoted to primary: `a` is the number of WAL
+    /// operation records it had replayed, `b` the number of client
+    /// channels fenced pending an epoch-bumped resync.
+    Promote,
 }
 
 impl EventKind {
@@ -88,12 +96,14 @@ impl EventKind {
             EventKind::Error => "error",
             EventKind::RingTruncated => "ring-truncated",
             EventKind::RetxStall => "retx-stall",
+            EventKind::Crash => "crash",
+            EventKind::Promote => "promote",
         }
     }
 
     /// Inverse of [`EventKind::name`], for parsing ring dumps.
     pub fn from_name(s: &str) -> Option<EventKind> {
-        const ALL: [EventKind; 11] = [
+        const ALL: [EventKind; 13] = [
             EventKind::Generate,
             EventKind::Send,
             EventKind::Deliver,
@@ -105,6 +115,8 @@ impl EventKind {
             EventKind::Error,
             EventKind::RingTruncated,
             EventKind::RetxStall,
+            EventKind::Crash,
+            EventKind::Promote,
         ];
         ALL.into_iter().find(|k| k.name() == s)
     }
@@ -356,6 +368,28 @@ impl FlightRecorder {
         }
         ev.seq = self.next_seq;
         ev.recorded_at = self.now_us;
+        self.next_seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Merge an already-recorded event from another recorder's ring,
+    /// preserving its original timestamp. Used at standby promotion to
+    /// carry the dead primary's history into the promoted notifier's
+    /// recorder: [`FlightRecorder::record`] would re-stamp `recorded_at`
+    /// with the current clock, erasing when the event actually happened.
+    /// Sequence numbers are re-assigned so the merged ring stays
+    /// monotonic.
+    pub fn absorb(&mut self, mut ev: FlightEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        ev.seq = self.next_seq;
         self.next_seq += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);

@@ -242,6 +242,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Fold one session's durability/failover outcome in under the
+    /// `failover.` prefix: WAL volume and compaction counters, the
+    /// standby's replay work, fencing activity, and — when recovery
+    /// completed — a `failover.recovery_us` histogram sample, so a sweep
+    /// of crash sessions (E20) reports recovery-time quantiles the same
+    /// way latency is reported everywhere else.
+    pub fn absorb_failover(&mut self, fo: &crate::session::FailoverReport) {
+        self.add_counter("failover.wal_appends", fo.wal_appends);
+        self.add_counter("failover.wal_bytes", fo.wal_bytes);
+        self.add_counter("failover.snapshot_compactions", fo.snapshot_compactions);
+        self.add_counter("failover.replay_ops", fo.standby_replay_ops);
+        self.add_counter("failover.replay_acks", fo.standby_replay_acks);
+        self.add_counter("failover.resynced_clients", fo.resynced_clients as u64);
+        self.add_counter("failover.fenced_drops", fo.fenced_drops);
+        let name = "failover.wal_amplification";
+        let prev = self.gauge(name).unwrap_or(0.0);
+        self.set_gauge(name, prev.max(fo.wal_amplification));
+        if let Some(us) = fo.recovery_us() {
+            self.record("failover.recovery_us", us);
+        }
+    }
+
     /// Deterministic JSON snapshot:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys
     /// sorted (BTreeMap order), suitable for embedding into `BENCH_*.json`.
@@ -381,6 +403,46 @@ mod tests {
             r.gauge("notifier.hb_high_water"),
             Some(9.0),
             "high-water marks take the max"
+        );
+    }
+
+    #[test]
+    fn absorb_failover_names_the_durability_counters() {
+        use crate::session::FailoverReport;
+        let mut r = MetricsRegistry::new();
+        let fo = FailoverReport {
+            crash_at_us: 1_000,
+            recovered_at_us: Some(251_000),
+            resynced_clients: 4,
+            standby_replay_ops: 7,
+            standby_replay_acks: 3,
+            wal_appends: 10,
+            wal_bytes: 640,
+            wal_live_bytes: 320,
+            snapshot_compactions: 1,
+            wal_amplification: 1.6,
+            fenced_drops: 5,
+        };
+        r.absorb_failover(&fo);
+        assert_eq!(r.counter("failover.wal_appends"), 10);
+        assert_eq!(r.counter("failover.replay_ops"), 7);
+        assert_eq!(r.counter("failover.resynced_clients"), 4);
+        assert_eq!(r.counter("failover.fenced_drops"), 5);
+        assert_eq!(r.gauge("failover.wal_amplification"), Some(1.6));
+        let h = r.histogram("failover.recovery_us").expect("recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 250_000);
+        // A second session that never finished recovering adds counters
+        // but no recovery sample.
+        let fo2 = FailoverReport {
+            recovered_at_us: None,
+            ..fo
+        };
+        r.absorb_failover(&fo2);
+        assert_eq!(r.counter("failover.wal_appends"), 20);
+        assert_eq!(
+            r.histogram("failover.recovery_us").map(|h| h.count()),
+            Some(1)
         );
     }
 

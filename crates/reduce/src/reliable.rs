@@ -32,10 +32,13 @@
 use crate::client::Client;
 use crate::metrics::SiteMetrics;
 use crate::msg::{
-    ClientOpMsg, EditorMsg, Payload, ServerOpMsg, TAG_COMPOUND as EDITOR_TAG_COMPOUND,
+    ClientAckMsg, ClientOpMsg, EditorMsg, Payload, ServerOpMsg, TAG_COMPOUND as EDITOR_TAG_COMPOUND,
 };
 use crate::notifier::Notifier;
-use crate::session::{ClientMode, Deployment, SessionConfig, SessionReport};
+use crate::recorder::{EventKind, FlightEvent};
+use crate::session::{ClientMode, Deployment, FailoverReport, SessionConfig, SessionReport};
+use crate::standby::Standby;
+use crate::wal::{Wal, WalRecord, DEFAULT_COMPACT_EVERY};
 use crate::workload::{EditIntent, ScheduledEdit};
 use bytes::{Buf, BufMut};
 use cvc_core::site::SiteId;
@@ -67,6 +70,13 @@ const DISCONNECT_TAG: u64 = 2 << 40;
 const RECONNECT_TAG: u64 = 3 << 40;
 /// Timer tag retrying an unanswered resync request.
 const RESYNC_RETRY_TAG: u64 = 4 << 40;
+/// Timer tag flushing a compound-frame batch whose deadline expired (the
+/// notifier adds the peer's client index, mirroring [`RETX_TAG`]).
+const FLUSH_TAG: u64 = 5 << 40;
+/// Timer tag for a client's scheduled keep-alive probe (standby sessions:
+/// guarantees even a quiet client generates the traffic its stall
+/// detector needs to notice a dead notifier).
+const PROBE_TAG: u64 = 6 << 40;
 
 /// Initial retransmission timeout (µs) — a few internet RTTs.
 const BASE_RTO_US: u64 = 250_000;
@@ -425,6 +435,19 @@ pub struct ReliableLink {
     pending_out: VecDeque<Payload>,
     /// Total payload bytes in `pending_out`.
     pending_bytes: usize,
+    /// Maximum time a queued frame may wait for an ack-driven flush
+    /// before a timer forces one ([`SessionConfig::compound_flush_ticks`];
+    /// zero disables the deadline).
+    flush_delay: SimDuration,
+    /// Whether a flush timer event is outstanding (at most one).
+    flush_armed: bool,
+    /// When the oldest frame in `pending_out` was queued. The deadline
+    /// timer only forces a flush once this batch has genuinely waited
+    /// `flush_delay`; younger batches re-arm for the remainder, so the
+    /// deadline never preempts the ack-driven flush on a healthy link.
+    pending_since: SimTime,
+    /// Batches flushed by the deadline timer rather than an ack edge.
+    deadline_flushes: u64,
     /// Data frames put on the wire (first transmissions).
     data_frames_sent: u64,
     /// Editor messages carried by those frames (≥ `data_frames_sent`
@@ -474,6 +497,10 @@ impl ReliableLink {
             batching: true,
             pending_out: VecDeque::new(),
             pending_bytes: 0,
+            flush_delay: SimDuration::ZERO,
+            flush_armed: false,
+            pending_since: SimTime::ZERO,
+            deadline_flushes: 0,
             data_frames_sent: 0,
             editor_msgs_sent: 0,
             highest_acked: 0,
@@ -580,10 +607,42 @@ impl ReliableLink {
             self.send_payload(ctx, peer, retx_tag, payload);
             return;
         }
+        if self.pending_out.is_empty() {
+            self.pending_since = ctx.now;
+        }
         self.pending_bytes += payload.len();
         self.pending_out.push_back(payload);
         if self.pending_out.len() >= MAX_BATCH_MSGS || self.pending_bytes >= MAX_BATCH_BYTES {
             self.flush(ctx, peer, retx_tag);
+        } else if self.flush_delay > SimDuration::ZERO && !self.flush_armed {
+            // Deadline edge of the Nagle policy: if no ack opens the
+            // window first, a timer flushes this batch so a stalled or
+            // quiet channel cannot park frames indefinitely.
+            self.flush_armed = true;
+            ctx.set_timer(self.flush_delay, retx_tag - RETX_TAG + FLUSH_TAG);
+        }
+    }
+
+    /// The flush-deadline timer fired. Force out the pending batch only
+    /// if it has genuinely waited `flush_delay` — acks may have flushed
+    /// the batch the timer was armed for and a *younger* batch may now
+    /// be parked, in which case the timer re-arms for the remainder so
+    /// the deadline stays a backstop and never degrades coalescing on a
+    /// link whose ack flow is healthy. (Timers cannot be cancelled.)
+    fn on_flush_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, peer: NodeId, retx_tag: u64) {
+        self.flush_armed = false;
+        if self.pending_out.is_empty() {
+            return;
+        }
+        let age = ctx.now - self.pending_since;
+        if age >= self.flush_delay {
+            self.deadline_flushes += 1;
+            self.flush(ctx, peer, retx_tag);
+        } else {
+            self.flush_armed = true;
+            let remainder =
+                SimDuration::from_micros(self.flush_delay.as_micros() - age.as_micros());
+            ctx.set_timer(remainder, retx_tag - RETX_TAG + FLUSH_TAG);
         }
     }
 
@@ -734,6 +793,7 @@ impl ReliableLink {
 
     /// Fold this link's counters into a site's metrics.
     fn fold_into(&self, m: &mut SiteMetrics) {
+        m.deadline_flushes += self.deadline_flushes;
         m.retransmits += self.retransmits;
         m.retransmit_bytes += self.retransmit_bytes;
         m.dup_drops += self.dup_drops;
@@ -759,6 +819,73 @@ pub struct DisconnectSpec {
     /// Outage duration.
     pub down: SimDuration,
 }
+
+/// Where in its integration stride the primary notifier dies (see
+/// [`NotifierCrash`]). The WAL append always precedes every send — the
+/// write-ahead ordering under test — so "before send" is the earliest
+/// observable crash once an operation exists at all: a crash *before* the
+/// append is indistinguishable from the operation never arriving (the
+/// origin re-sends it after resync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// Die between the WAL append and the first broadcast: the log has
+    /// the op, no client does.
+    BeforeSend,
+    /// Die halfway through the broadcast fan-out: some clients got the
+    /// frame, some did not, and parked compound batches die unflushed.
+    MidBroadcast,
+    /// Die after every destination was queued but with the reliability
+    /// windows (and any still-parked compound frames) undrained.
+    AfterSend,
+}
+
+impl CrashPoint {
+    /// Stable lower-case name (used by experiment rows and event details).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeSend => "before-send",
+            CrashPoint::MidBroadcast => "mid-broadcast",
+            CrashPoint::AfterSend => "after-send",
+        }
+    }
+
+    /// Small stable discriminant for event operands.
+    pub fn index(self) -> u64 {
+        match self {
+            CrashPoint::BeforeSend => 0,
+            CrashPoint::MidBroadcast => 1,
+            CrashPoint::AfterSend => 2,
+        }
+    }
+}
+
+/// A seeded primary-notifier crash: die at the `at_op`-th integrated
+/// operation (1-based), at the chosen [`CrashPoint`]. Requires
+/// [`SessionConfig::standby`]; the warm standby is promoted in place and
+/// every client channel is fenced until that client completes an
+/// epoch-bumped resync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotifierCrash {
+    /// Crash while integrating the `at_op`-th client operation (1-based).
+    /// A count the session never reaches means the crash never fires.
+    pub at_op: u64,
+    /// Where in the integration stride to die.
+    pub point: CrashPoint,
+}
+
+/// Consecutive detection rounds (genuine retransmission stalls, or
+/// unanswered resync requests) after which a standby-session client
+/// assumes the notifier died and re-handshakes with a bumped epoch.
+const CRASH_STALLS: u32 = 3;
+
+/// Keep-alive probe interval (µs) for standby sessions: even a quiet
+/// client generates periodic upstream traffic, so its stall detector has
+/// something to time out on when the primary dies.
+const PROBE_INTERVAL_US: u64 = 500_000;
+/// How far past the last scripted edit probes keep firing (µs): covers
+/// worst-case crash detection plus the resync round trips. Probes are
+/// pre-scheduled (bounded) so the simulator still quiesces.
+const PROBE_MARGIN_US: u64 = 20_000_000;
 
 /// Connection state of a robust client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -811,6 +938,37 @@ struct RobustNotifier {
     /// One link per client; index = client index, peer node = index + 1.
     links: Vec<ReliableLink>,
     trace: Option<Vec<NotifierStep>>,
+    /// Durability pipeline (standby sessions): every integrated op/ack is
+    /// appended here *before* any broadcast reaches the wire.
+    wal: Option<Wal>,
+    /// Warm standby fed record-by-record; consumed at promotion.
+    standby: Option<Box<Standby>>,
+    /// Seeded crash plan; taken when it fires.
+    crash: Option<NotifierCrash>,
+    /// Client operations integrated so far (the crash plan's clock).
+    ops_integrated: u64,
+    /// The dead primary's links, retired at the crash: their unacked
+    /// windows and parked batches died with the process, but their
+    /// counters and latency logs still belong to the session.
+    retired_links: Vec<ReliableLink>,
+    /// Post-promotion per-channel fencing: while fenced, every data/ack
+    /// frame is discarded regardless of epoch (zombie traffic), and only
+    /// a resync request with a *bumped* epoch is served.
+    fenced: Vec<bool>,
+    /// Zombie frames the fencing rules discarded.
+    fenced_drops: u64,
+    /// When the primary died (set once).
+    crash_at: Option<SimTime>,
+    /// Per-channel unfence times; all `Some` once recovery completed.
+    unfenced_at: Vec<Option<SimTime>>,
+    /// `(replayed ops, replayed acks)` captured from the standby at
+    /// promotion.
+    promoted_replay: Option<(u64, u64)>,
+    /// Seed for the promoted incarnation's fresh links.
+    link_seed: u64,
+    /// Recorder settings to re-apply on the promoted notifier.
+    flight_recorder: bool,
+    recorder_capacity: usize,
 }
 
 impl RobustNotifier {
@@ -831,8 +989,10 @@ impl RobustNotifier {
     fn integrate(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: ClientOpMsg) {
         let origin = c.origin;
         let traced_msg = self.trace.is_some().then(|| c.clone());
+        let wal_msg = self.wal.is_some().then(|| c.clone());
         match self.inner.try_on_client_op_outcome(c) {
             Ok(out) => {
+                self.ops_integrated += 1;
                 if let (Some(tr), Some(msg)) = (&mut self.trace, traced_msg) {
                     tr.push(NotifierStep {
                         msg,
@@ -840,15 +1000,54 @@ impl RobustNotifier {
                         broadcasts: out.broadcast_msgs(),
                     });
                 }
+                // Write-ahead ordering: the record is durable (and
+                // mirrored to the warm standby) before any broadcast
+                // reaches the wire. A crash before this append is
+                // indistinguishable from the op never arriving — the
+                // origin re-sends it after resync.
+                if let (Some(wal), Some(msg)) = (&mut self.wal, wal_msg) {
+                    let rec = WalRecord::Op(msg);
+                    wal.append(&rec);
+                    if let Some(sb) = &mut self.standby {
+                        if let Err(e) = sb.observe(&rec) {
+                            // A poisoned standby refuses promotion later;
+                            // surface the divergence when it happens.
+                            eprintln!("standby rejected op from {origin}: {e}");
+                        }
+                    }
+                }
+                let crashing = self.crash.is_some_and(|cr| cr.at_op == self.ops_integrated);
                 // Encode once: the destination-independent body of the
                 // server op is serialized a single time; each destination
                 // gets a small fresh header (tag + its compressed stamp)
                 // spliced onto the shared refcounted bytes.
                 let frame = out.frame();
-                for &(dest, stamp) in &out.stamps {
+                let keep = if crashing {
+                    match self.crash.map(|cr| cr.point) {
+                        Some(CrashPoint::BeforeSend) => 0,
+                        Some(CrashPoint::MidBroadcast) => out.stamps.len().div_ceil(2),
+                        _ => out.stamps.len(),
+                    }
+                } else {
+                    out.stamps.len()
+                };
+                for &(dest, stamp) in out.stamps.iter().take(keep) {
                     let di = dest.client_index();
+                    // A fenced channel is silent in BOTH directions: the
+                    // fresh link's sequence numbers would eventually slide
+                    // into the zombie client's acceptance window and
+                    // deliver gap-skipping ops — and every epoch-matching
+                    // frame would reset its crash detector, so it would
+                    // never re-handshake. The resync replay carries these
+                    // ops instead.
+                    if self.fenced.get(di).copied().unwrap_or(false) {
+                        continue;
+                    }
                     let payload = frame.payload_for(stamp);
                     self.links[di].queue_payload(ctx, di + 1, RETX_TAG + di as u64, payload);
+                }
+                if crashing {
+                    self.crash_and_promote(ctx);
                 }
             }
             Err(e) => {
@@ -863,9 +1062,70 @@ impl RobustNotifier {
         }
     }
 
+    /// The seeded crash point was reached: the primary dies mid-stride
+    /// and the warm standby is promoted in its place, behind fenced
+    /// channels. Everything the dead process held in volatile memory —
+    /// unacked reliability windows, parked compound batches — is lost;
+    /// everything appended to the WAL survives, which is exactly the
+    /// invariant the chaos suite checks.
+    fn crash_and_promote(&mut self, ctx: &mut Ctx<'_, ReliableMsg>) {
+        let crash = self.crash.take().expect("crash plan present");
+        let standby = self
+            .standby
+            .take()
+            .expect("a crash plan requires the standby");
+        self.crash_at = Some(ctx.now);
+        let n = self.links.len();
+        // Retire the dead primary's links. The promoted incarnation
+        // starts each channel at the dead link's epoch with fresh
+        // sequencing: every pre-crash frame is thereby stale, and only a
+        // client that bumps its epoch (its crash detector firing) gets a
+        // clean handshake.
+        let fresh: Vec<ReliableLink> = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, old)| {
+                let mut l =
+                    ReliableLink::new(self.link_seed.wrapping_mul(7919).wrapping_add(i as u64));
+                l.batching = old.batching;
+                l.flush_delay = old.flush_delay;
+                l.epoch = old.epoch;
+                l
+            })
+            .collect();
+        self.retired_links = std::mem::replace(&mut self.links, fresh);
+        let replay = (standby.replayed_ops(), standby.replayed_acks());
+        // A poisoned standby means the WAL and the primary disagreed —
+        // refusing to serve divergent state beats silent corruption.
+        let mut promoted = standby.promote().expect("standby poisoned at promotion");
+        // Carry the black box across: the promoted notifier inherits the
+        // dead primary's recorded history (original timestamps preserved)
+        // and marks the lifecycle transition.
+        promoted.set_flight_recorder_capacity(self.recorder_capacity);
+        promoted.set_flight_recorder(self.flight_recorder);
+        promoted.set_now(ctx.now.as_micros());
+        promoted.absorb_recorder_events(&self.inner.recorder().events());
+        promoted.note_lifecycle(
+            FlightEvent::new(EventKind::Crash)
+                .with_ab(self.ops_integrated, crash.point.index())
+                .with_detail(crash.point.name()),
+        );
+        promoted.note_lifecycle(
+            FlightEvent::new(EventKind::Promote)
+                .with_ab(replay.0, n as u64)
+                .with_detail("standby-promoted"),
+        );
+        self.promoted_replay = Some(replay);
+        *self.inner = promoted;
+        self.fenced = vec![true; n];
+        self.unfenced_at = vec![None; n];
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, from: NodeId, msg: ReliableMsg) {
         assert!(from >= 1, "notifier is node 0; peers are clients");
         let xi = from - 1;
+        let fenced = self.fenced.get(xi).copied().unwrap_or(false);
         match msg.kind {
             ReliableKind::Data {
                 seq,
@@ -873,6 +1133,16 @@ impl RobustNotifier {
                 checksum,
                 payload,
             } => {
+                if fenced {
+                    // Zombie traffic addressed to the dead incarnation.
+                    // Plain epoch arithmetic cannot be trusted here: a
+                    // never-reconnected client's frames carry the matching
+                    // epoch but sequencing state the promoted link never
+                    // had. Drop everything until the channel re-handshakes
+                    // with a bumped epoch.
+                    self.fenced_drops += 1;
+                    return;
+                }
                 if msg.epoch != self.links[xi].epoch {
                     return; // stale epoch
                 }
@@ -896,11 +1166,34 @@ impl RobustNotifier {
                         match m {
                             EditorMsg::ClientOp(c) => self.integrate(ctx, c),
                             EditorMsg::ClientAck(a) => {
-                                if let Err(e) = self.inner.try_on_client_ack(a) {
-                                    let site = SiteId(xi as u32 + 1);
-                                    eprintln!("notifier rejected ack on channel {xi}: {e}");
-                                    eprintln!("{}", self.inner.dump_recorder());
-                                    self.inner.quarantine(site);
+                                match self.inner.try_on_client_ack(a) {
+                                    Ok(()) => {
+                                        // Acks are part of the durable input
+                                        // stream: they drive GC and the
+                                        // acked-by cursors, so a standby
+                                        // that missed them would diverge.
+                                        // They also open the compaction
+                                        // window ([`Notifier::
+                                        // checkpoint_ready`]).
+                                        if let Some(wal) = &mut self.wal {
+                                            let rec = WalRecord::Ack(a);
+                                            wal.append(&rec);
+                                            if let Some(sb) = &mut self.standby {
+                                                if let Err(e) = sb.observe(&rec) {
+                                                    eprintln!(
+                                                        "standby rejected ack on channel {xi}: {e}"
+                                                    );
+                                                }
+                                            }
+                                            wal.maybe_compact(&self.inner);
+                                        }
+                                    }
+                                    Err(e) => {
+                                        let site = SiteId(xi as u32 + 1);
+                                        eprintln!("notifier rejected ack on channel {xi}: {e}");
+                                        eprintln!("{}", self.inner.dump_recorder());
+                                        self.inner.quarantine(site);
+                                    }
                                 }
                             }
                             // Server-to-client frames arriving upstream are
@@ -914,6 +1207,10 @@ impl RobustNotifier {
                 self.links[xi].maybe_flush(ctx, from, RETX_TAG + xi as u64);
             }
             ReliableKind::Ack { ack } => {
+                if fenced {
+                    self.fenced_drops += 1;
+                    return;
+                }
                 if msg.epoch == self.links[xi].epoch {
                     self.links[xi].accept_ack(ctx.now, ack);
                     self.links[xi].maybe_flush(ctx, from, RETX_TAG + xi as u64);
@@ -977,7 +1274,23 @@ impl RobustNotifier {
                             ctx.send(from, self.full_resync_frame(x, msg.epoch));
                         }
                     }
+                    // A bumped-epoch resync is the one legitimate way back
+                    // through the post-promotion fence: the channel's
+                    // sequencing is now fresh on both ends.
+                    if fenced {
+                        self.fenced[xi] = false;
+                        self.unfenced_at[xi] = Some(ctx.now);
+                    }
                 } else if msg.epoch == self.links[xi].epoch {
+                    if fenced {
+                        // The promoted link never sent anything in this
+                        // epoch, so the idempotent re-answer below would
+                        // be a lie (nothing queued, nothing retransmitted
+                        // to cover it). Drop; the client's resync-retry
+                        // escalation bumps the epoch and re-handshakes.
+                        self.fenced_drops += 1;
+                        return;
+                    }
                     // Duplicate request (lost response or a network dup):
                     // answer idempotently; the data retransmission timer
                     // already covers the replayed frames. A trimmed replay
@@ -1002,6 +1315,14 @@ impl RobustNotifier {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, tag: u64) {
+        if tag >= FLUSH_TAG {
+            // Compound-frame flush deadline for one channel. A timer
+            // armed by a since-retired link may fire on the promoted one;
+            // at worst it flushes a fresh batch early.
+            let xi = (tag - FLUSH_TAG) as usize;
+            self.links[xi].on_flush_timer(ctx, xi + 1, RETX_TAG + xi as u64);
+            return;
+        }
         let xi = (tag - RETX_TAG) as usize;
         if let Some((frames, rto_us)) = self.links[xi].on_retx_timer(ctx, xi + 1, tag) {
             self.inner
@@ -1018,6 +1339,15 @@ struct RobustClient {
     /// Retry timeout for an unanswered resync request.
     resync_rto: SimDuration,
     auto_gc: bool,
+    /// Standby session: run the crash detector (stall counting, resync
+    /// escalation, keep-alive probes). Off for legacy sessions so their
+    /// behaviour stays byte-identical.
+    standby_mode: bool,
+    /// Consecutive genuine retransmission stalls with no ack progress;
+    /// [`CRASH_STALLS`] of them mean the notifier is presumed dead.
+    stall_rounds: u32,
+    /// Consecutive unanswered resync requests in the current epoch.
+    resync_retries: u32,
     trace: Option<Vec<ClientEvent>>,
 }
 
@@ -1025,6 +1355,18 @@ impl RobustClient {
     fn send_up(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: &ClientOpMsg) {
         let payload = encode_editor(&EditorMsg::ClientOp(c.clone()));
         self.link.queue_payload(ctx, 0, RETX_TAG, payload);
+    }
+
+    /// Start a fresh connection epoch and ask for a resync — the shared
+    /// tail of a scheduled reconnect and of the crash detector firing.
+    fn begin_reconnect(&mut self, ctx: &mut Ctx<'_, ReliableMsg>) {
+        let epoch = self.link.epoch + 1;
+        self.link.reset(epoch);
+        self.state = ConnState::AwaitingResync;
+        self.resync_rto = SimDuration::from_micros(BASE_RTO_US);
+        self.stall_rounds = 0;
+        self.resync_retries = 0;
+        self.send_resync_request(ctx);
     }
 
     fn send_resync_request(&mut self, ctx: &mut Ctx<'_, ReliableMsg>) {
@@ -1059,6 +1401,9 @@ impl RobustClient {
                 if msg.epoch != self.link.epoch {
                     return;
                 }
+                // Any epoch-matching downstream frame proves the notifier
+                // is alive: reset the crash detector.
+                self.stall_rounds = 0;
                 let ready = self.link.on_data(ctx, 0, seq, ack, checksum, payload);
                 for p in ready {
                     // Checksum-valid but undecodable: hostile or buggy
@@ -1111,10 +1456,20 @@ impl RobustClient {
                     }
                 }
                 // A quiet client still owes the notifier a periodic bare
-                // ack, or its frozen watermark would starve the GC.
-                if let Some(a) = self.inner.take_pending_ack() {
-                    let payload = encode_editor(&EditorMsg::ClientAck(a));
-                    self.link.queue_payload(ctx, 0, RETX_TAG, payload);
+                // ack, or its frozen watermark would starve the GC. NOT
+                // while awaiting a resync though: replay data can arrive
+                // ahead of the (unsequenced) resync response, and an ack
+                // emitted here would overtake the un-acked local ops the
+                // response handler re-sends — the notifier would prune
+                // exactly the pending context those ops still transform
+                // against. The ack stays latched and goes out with the
+                // first frame after the handshake completes, safely
+                // sequenced behind the re-sent ops.
+                if self.state == ConnState::Connected {
+                    if let Some(a) = self.inner.take_pending_ack() {
+                        let payload = encode_editor(&EditorMsg::ClientAck(a));
+                        self.link.queue_payload(ctx, 0, RETX_TAG, payload);
+                    }
                 }
                 // The piggybacked ack may have drained the in-flight
                 // window: flush anything batched behind it.
@@ -1122,6 +1477,7 @@ impl RobustClient {
             }
             ReliableKind::Ack { ack } => {
                 if msg.epoch == self.link.epoch {
+                    self.stall_rounds = 0;
                     self.link.accept_ack(ctx.now, ack);
                     self.link.maybe_flush(ctx, 0, RETX_TAG);
                 }
@@ -1129,6 +1485,8 @@ impl RobustClient {
             ReliableKind::ResyncResponse { received_from_site } => {
                 if msg.epoch == self.link.epoch && self.state == ConnState::AwaitingResync {
                     self.state = ConnState::Connected;
+                    self.stall_rounds = 0;
+                    self.resync_retries = 0;
                     self.link.resyncs += 1;
                     for c in self.inner.unacked_local_since(received_from_site) {
                         self.send_up(ctx, &c);
@@ -1142,6 +1500,8 @@ impl RobustClient {
             } => {
                 if msg.epoch == self.link.epoch && self.state == ConnState::AwaitingResync {
                     self.state = ConnState::Connected;
+                    self.stall_rounds = 0;
+                    self.resync_retries = 0;
                     // The replica is rebuilt wholesale; unacked local work
                     // beyond `received_from_site` is abandoned (this path
                     // only triggers for a replica already known to be
@@ -1162,21 +1522,65 @@ impl RobustClient {
             RETX_TAG => {
                 if let Some((frames, rto_us)) = self.link.on_retx_timer(ctx, 0, tag) {
                     self.inner.note_retx_stall(frames, rto_us);
+                    if self.standby_mode && self.state == ConnState::Connected {
+                        // Genuine stall with zero ack progress since the
+                        // last one. Enough in a row and the notifier is
+                        // presumed dead: re-handshake with a bumped epoch
+                        // (which is also what un-fences this channel on a
+                        // promoted standby).
+                        self.stall_rounds += 1;
+                        if self.stall_rounds >= CRASH_STALLS {
+                            self.begin_reconnect(ctx);
+                        }
+                    }
+                }
+            }
+            FLUSH_TAG => {
+                if self.state == ConnState::Connected {
+                    self.link.on_flush_timer(ctx, 0, RETX_TAG);
+                } else {
+                    // Offline or mid-resync: the pending batch either died
+                    // with the epoch or must wait for the resync replay.
+                    self.link.flush_armed = false;
+                }
+            }
+            PROBE_TAG => {
+                // Keep-alive: a quiet client owes the notifier periodic
+                // traffic, or a crashed primary would go unnoticed until
+                // the next edit. A bare cumulative ack is idempotent at
+                // the editor layer and cheap on the wire.
+                if self.standby_mode
+                    && self.state == ConnState::Connected
+                    && self.link.in_flight() == 0
+                    && self.link.pending_out.is_empty()
+                {
+                    let a = ClientAckMsg {
+                        origin: self.inner.site(),
+                        received: self.inner.state_vector().received(),
+                    };
+                    let payload = encode_editor(&EditorMsg::ClientAck(a));
+                    self.link.queue_payload(ctx, 0, RETX_TAG, payload);
                 }
             }
             DISCONNECT_TAG => {
                 self.state = ConnState::Disconnected;
             }
             RECONNECT_TAG => {
-                let epoch = self.link.epoch + 1;
-                self.link.reset(epoch);
-                self.state = ConnState::AwaitingResync;
-                self.resync_rto = SimDuration::from_micros(BASE_RTO_US);
-                self.send_resync_request(ctx);
+                self.begin_reconnect(ctx);
             }
             RESYNC_RETRY_TAG => {
                 if self.state == ConnState::AwaitingResync {
-                    self.send_resync_request(ctx);
+                    self.resync_retries += 1;
+                    if self.standby_mode && self.resync_retries >= CRASH_STALLS {
+                        // The resync itself is going unanswered: the
+                        // server may have lost this epoch mid-handshake
+                        // (crashed after resetting the channel). Bump
+                        // again — a fenced promoted notifier only answers
+                        // strictly newer epochs.
+                        self.begin_reconnect(ctx);
+                    } else {
+                        self.send_resync_request(ctx);
+                    }
                 }
             }
             k => {
@@ -1215,7 +1619,7 @@ impl RobustClient {
 }
 
 enum RobustNode {
-    Notifier(RobustNotifier),
+    Notifier(Box<RobustNotifier>),
     Client(Box<RobustClient>),
 }
 
@@ -1274,6 +1678,16 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
         ClientMode::Streaming,
         "robust sessions run streaming clients"
     );
+    assert!(
+        cfg.crash.is_none() || cfg.standby,
+        "a notifier crash plan requires the warm standby (cfg.standby)"
+    );
+    if let Some(crash) = cfg.crash {
+        assert!(
+            crash.at_op >= 1,
+            "crash points are 1-based integration counts"
+        );
+    }
     let n = cfg.workload.n_sites;
     assert!(n >= 2, "sessions need at least two clients");
     let scripts = cfg.workload.generate();
@@ -1302,17 +1716,35 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
     notifier.set_auto_gc(cfg.auto_gc);
     notifier.set_flight_recorder_capacity(cfg.notifier_ring_capacity(n));
     notifier.set_flight_recorder(cfg.flight_recorder);
-    sim.add_node(RobustNode::Notifier(RobustNotifier {
+    sim.add_node(RobustNode::Notifier(Box::new(RobustNotifier {
         inner: Box::new(notifier),
         links: (0..n)
             .map(|i| {
                 let mut l = ReliableLink::new(cfg.net_seed.wrapping_add(i as u64));
                 l.batching = cfg.compound_frames;
+                l.flush_delay = SimDuration::from_micros(cfg.compound_flush_ticks);
                 l
             })
             .collect(),
         trace: traced.then(Vec::new),
-    }));
+        wal: cfg.standby.then(|| Wal::new(DEFAULT_COMPACT_EVERY)),
+        standby: cfg.standby.then(|| {
+            let mut sb = Standby::new(n, &cfg.initial_doc, cfg.notifier_scan);
+            sb.set_auto_gc(cfg.auto_gc);
+            Box::new(sb)
+        }),
+        crash: cfg.crash,
+        ops_integrated: 0,
+        retired_links: Vec::new(),
+        fenced: Vec::new(),
+        fenced_drops: 0,
+        crash_at: None,
+        unfenced_at: Vec::new(),
+        promoted_replay: None,
+        link_seed: cfg.net_seed,
+        flight_recorder: cfg.flight_recorder,
+        recorder_capacity: cfg.notifier_ring_capacity(n),
+    })));
     for (i, script) in scripts.iter().enumerate() {
         let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
         client.set_share_caret(cfg.share_carets);
@@ -1324,12 +1756,16 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
                 let mut l =
                     ReliableLink::new(cfg.net_seed.wrapping_mul(1001).wrapping_add(i as u64));
                 l.batching = cfg.compound_frames;
+                l.flush_delay = SimDuration::from_micros(cfg.compound_flush_ticks);
                 l
             },
             script: script.clone(),
             state: ConnState::Connected,
             resync_rto: SimDuration::from_micros(BASE_RTO_US),
             auto_gc: cfg.auto_gc,
+            standby_mode: cfg.standby,
+            stall_rounds: 0,
+            resync_retries: 0,
             trace: traced.then(Vec::new),
         })));
     }
@@ -1344,6 +1780,24 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
         assert!(spec.down.as_micros() > 0, "zero-length outage");
         sim.schedule_timer(1 + spec.client, spec.at, DISCONNECT_TAG);
         sim.schedule_timer(1 + spec.client, spec.at + spec.down, RECONNECT_TAG);
+    }
+    if cfg.standby {
+        // Keep-alive probes for the crash detector. Pre-scheduled and
+        // bounded — the simulator must quiesce, so nodes cannot re-arm
+        // their own heartbeat forever. The horizon covers the scripted
+        // workload plus worst-case detection and resync.
+        let last_edit = scripts
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.at.as_micros()))
+            .max()
+            .unwrap_or(0);
+        let mut t = PROBE_INTERVAL_US;
+        while t <= last_edit + PROBE_MARGIN_US {
+            for i in 0..n {
+                sim.schedule_timer(1 + i, SimTime::from_micros(t), PROBE_TAG);
+            }
+            t += PROBE_INTERVAL_US;
+        }
     }
 
     let quiesced_at = sim.run();
@@ -1360,16 +1814,33 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
             let RobustNode::Client(rc) = &nodes[1 + i] else {
                 unreachable!("nodes 1.. are clients");
             };
-            for (down, up) in [
-                (&nlink.first_sent, &rc.link.delivered),
-                (&rc.link.first_sent, &nlink.delivered),
-            ] {
-                let sent: HashMap<(u32, u64), SimTime> =
-                    down.iter().map(|&(e, s, t)| ((e, s), t)).collect();
-                for &(e, s, t1) in up.iter() {
-                    if let Some(&t0) = sent.get(&(e, s)) {
-                        delivery_latencies_us.push((t1 - t0).as_micros());
-                    }
+            // A crashed session has two notifier incarnations per channel;
+            // their epoch ranges are disjoint (the promoted link only ever
+            // sends in bumped epochs), so the logs join without conflict.
+            let old = rn.retired_links.get(i);
+            let mut sent: HashMap<(u32, u64), SimTime> = nlink
+                .first_sent
+                .iter()
+                .map(|&(e, s, t)| ((e, s), t))
+                .collect();
+            if let Some(o) = old {
+                sent.extend(o.first_sent.iter().map(|&(e, s, t)| ((e, s), t)));
+            }
+            for &(e, s, t1) in rc.link.delivered.iter() {
+                if let Some(&t0) = sent.get(&(e, s)) {
+                    delivery_latencies_us.push((t1 - t0).as_micros());
+                }
+            }
+            let sent: HashMap<(u32, u64), SimTime> = rc
+                .link
+                .first_sent
+                .iter()
+                .map(|&(e, s, t)| ((e, s), t))
+                .collect();
+            let old_delivered = old.map(|o| o.delivered.iter()).into_iter().flatten();
+            for &(e, s, t1) in nlink.delivered.iter().chain(old_delivered) {
+                if let Some(&t0) = sent.get(&(e, s)) {
+                    delivery_latencies_us.push((t1 - t0).as_micros());
                 }
             }
         }
@@ -1381,13 +1852,21 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
     let mut max_history = 0usize;
     let mut trace = traced.then(SessionTrace::default);
     let mut flight_traces = Vec::new();
+    let mut failover = None;
     for node in sim.nodes_mut() {
         match node {
             RobustNode::Notifier(rn) => {
                 let mut m = *rn.inner.metrics();
+                // The dead primary's retired links legitimately ended with
+                // frames in flight — that is the crash under test.
+                for l in &rn.retired_links {
+                    l.fold_into(&mut m);
+                }
                 for l in &rn.links {
-                    assert_eq!(l.in_flight(), 0, "notifier left frames unacked");
-                    assert!(l.pending_out.is_empty(), "notifier left frames unflushed");
+                    if cfg.crash.is_none() {
+                        assert_eq!(l.in_flight(), 0, "notifier left frames unacked");
+                        assert!(l.pending_out.is_empty(), "notifier left frames unflushed");
+                    }
                     l.fold_into(&mut m);
                 }
                 centre_metrics = Some(m);
@@ -1399,18 +1878,47 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
                 if cfg.flight_recorder {
                     flight_traces.push((SiteId(0), rn.inner.recorder().events()));
                 }
+                if let Some(crash_at) = rn.crash_at {
+                    let wal = rn.wal.as_ref().expect("a crash implies the WAL");
+                    let recovered_at = rn
+                        .unfenced_at
+                        .iter()
+                        .copied()
+                        .collect::<Option<Vec<_>>>()
+                        .and_then(|ts| ts.into_iter().max());
+                    let (replay_ops, replay_acks) = rn.promoted_replay.unwrap_or((0, 0));
+                    failover = Some(FailoverReport {
+                        crash_at_us: crash_at.as_micros(),
+                        recovered_at_us: recovered_at.map(|t| t.as_micros()),
+                        resynced_clients: rn.unfenced_at.iter().filter(|t| t.is_some()).count(),
+                        standby_replay_ops: replay_ops,
+                        standby_replay_acks: replay_acks,
+                        wal_appends: wal.appends(),
+                        wal_bytes: wal.bytes_appended(),
+                        wal_live_bytes: wal.live_bytes() as u64,
+                        snapshot_compactions: wal.compactions(),
+                        wal_amplification: wal.amplification(),
+                        fenced_drops: rn.fenced_drops,
+                    });
+                }
             }
             RobustNode::Client(rc) => {
-                assert_eq!(
-                    rc.state,
-                    ConnState::Connected,
-                    "client left disconnected or mid-resync at quiescence"
-                );
-                assert_eq!(rc.link.in_flight(), 0, "client left frames unacked");
-                assert!(
-                    rc.link.pending_out.is_empty(),
-                    "client left frames unflushed"
-                );
+                // A crash session may legitimately end un-clean when the
+                // failure is under test; convergence (checked below) and
+                // the failover report carry the verdict instead of an
+                // abort here.
+                if cfg.crash.is_none() {
+                    assert_eq!(
+                        rc.state,
+                        ConnState::Connected,
+                        "client left disconnected or mid-resync at quiescence"
+                    );
+                    assert_eq!(rc.link.in_flight(), 0, "client left frames unacked");
+                    assert!(
+                        rc.link.pending_out.is_empty(),
+                        "client left frames unflushed"
+                    );
+                }
                 let mut m = *rc.inner.metrics();
                 rc.link.fold_into(&mut m);
                 client_metrics.push(m);
@@ -1445,6 +1953,7 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
             fault_stats: sim.fault_stats(),
             delivery_latencies_us,
             flight_traces,
+            failover,
         },
         trace,
     )
@@ -1924,5 +2433,192 @@ mod tests {
         for step in &trace.notifier {
             let _: CompressedStamp = step.msg.stamp; // two integers, by type
         }
+    }
+
+    /// A standby that only ever tails the WAL yields no failover report
+    /// and the same document. The WAL itself sits beside the wire, but
+    /// standby mode does add keep-alive probes (crash detection needs a
+    /// heartbeat), so byte counts legitimately grow — all of it bare-ack
+    /// traffic, none of it editor messages.
+    #[test]
+    fn standby_without_crash_yields_no_failover() {
+        let mut cfg = robust_cfg(4, 97);
+        cfg.workload.ops_per_site = 10;
+        let plain = run_robust_session(&cfg);
+        cfg.standby = true;
+        let shadowed = run_robust_session(&cfg);
+        assert!(plain.converged && shadowed.converged);
+        assert!(shadowed.failover.is_none(), "no crash, no failover");
+        assert_eq!(plain.final_doc, shadowed.final_doc);
+        let (p, s) = (plain.total_metrics(), shadowed.total_metrics());
+        assert_eq!(p.ops_generated, s.ops_generated);
+        assert!(
+            s.editor_msgs_sent > p.editor_msgs_sent,
+            "probe keep-alives ride the editor channel: {} vs {}",
+            s.editor_msgs_sent,
+            p.editor_msgs_sent
+        );
+    }
+
+    fn crash_cfg(n: usize, seed: u64, at_op: u64, point: CrashPoint) -> SessionConfig {
+        let mut cfg = robust_cfg(n, seed);
+        cfg.workload.ops_per_site = 12;
+        cfg.standby = true;
+        cfg.crash = Some(NotifierCrash { at_op, point });
+        cfg
+    }
+
+    fn assert_failed_over(r: &crate::session::SessionReport, n: usize) -> FailoverReport {
+        assert!(r.converged, "{:?}", r.final_docs);
+        let fo = r.failover.clone().expect("crash must yield a report");
+        assert_eq!(fo.resynced_clients, n, "every client must resync");
+        assert!(
+            fo.recovered_at_us.is_some(),
+            "recovery never completed: {fo:?}"
+        );
+        assert!(fo.recovery_us().expect("recovered") > 0);
+        assert!(fo.wal_appends > 0, "the WAL must have seen the ops");
+        assert!(
+            fo.standby_replay_ops > 0,
+            "the standby must have replayed the log"
+        );
+        // Framing, checksums and acks make the log strictly larger than
+        // its op payload, but never wildly so.
+        assert!(fo.wal_amplification > 1.0, "{}", fo.wal_amplification);
+        fo
+    }
+
+    #[test]
+    fn crash_before_send_fails_over_and_converges() {
+        let r = run_robust_session(&crash_cfg(4, 101, 7, CrashPoint::BeforeSend));
+        let fo = assert_failed_over(&r, 4);
+        // The op was logged but never broadcast: the WAL replay is the
+        // only reason the promoted notifier knows it.
+        assert!(fo.standby_replay_ops >= 7);
+    }
+
+    #[test]
+    fn crash_mid_broadcast_fails_over_and_converges() {
+        let r = run_robust_session(&crash_cfg(4, 103, 7, CrashPoint::MidBroadcast));
+        let fo = assert_failed_over(&r, 4);
+        // Some clients got the broadcast, so their acks (or next ops) hit
+        // the fence and are discarded rather than mis-sequenced.
+        assert!(fo.fenced_drops > 0, "{fo:?}");
+    }
+
+    #[test]
+    fn crash_after_send_fails_over_and_converges() {
+        let r = run_robust_session(&crash_cfg(4, 107, 7, CrashPoint::AfterSend));
+        let fo = assert_failed_over(&r, 4);
+        assert!(fo.fenced_drops > 0, "{fo:?}");
+    }
+
+    #[test]
+    fn failover_survives_a_lossy_network() {
+        for point in [
+            CrashPoint::BeforeSend,
+            CrashPoint::MidBroadcast,
+            CrashPoint::AfterSend,
+        ] {
+            let mut cfg = crash_cfg(4, 113, 9, point);
+            cfg.fault_plan = Some(FaultPlan::lossy(0.01));
+            let r = run_robust_session(&cfg);
+            assert_failed_over(&r, 4);
+        }
+    }
+
+    #[test]
+    fn failover_sessions_are_reproducible() {
+        let cfg = crash_cfg(5, 127, 11, CrashPoint::MidBroadcast);
+        let a = run_robust_session(&cfg);
+        let b = run_robust_session(&cfg);
+        assert_eq!(a.final_doc, b.final_doc);
+        assert_eq!(a.quiesced_at, b.quiesced_at);
+        let (fa, fb) = (a.failover.expect("crash"), b.failover.expect("crash"));
+        assert_eq!(fa.recovered_at_us, fb.recovered_at_us);
+        assert_eq!(fa.fenced_drops, fb.fenced_drops);
+        assert_eq!(fa.wal_bytes, fb.wal_bytes);
+    }
+
+    /// The promoted notifier inherits the primary's flight-recorder
+    /// history and stamps the crash + promotion lifecycle events onto it.
+    #[test]
+    fn promoted_recorder_carries_crash_and_promote_events() {
+        let mut cfg = crash_cfg(4, 131, 7, CrashPoint::MidBroadcast);
+        cfg.flight_recorder = true;
+        // Big enough that the keep-alive probe traffic cannot wrap the
+        // ring past the crash/promote events recorded mid-session.
+        cfg.flight_recorder_notifier_capacity = 1 << 14;
+        let r = run_robust_session(&cfg);
+        assert!(r.converged);
+        let (_, events) = r
+            .flight_traces
+            .iter()
+            .find(|(site, _)| *site == SiteId(0))
+            .expect("notifier trace");
+        let crashes: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Crash)
+            .collect();
+        let promotes: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Promote)
+            .collect();
+        assert_eq!(crashes.len(), 1, "exactly one crash");
+        assert_eq!(promotes.len(), 1, "exactly one promotion");
+        assert_eq!(crashes[0].a, 7, "ops integrated at the crash");
+        assert_eq!(crashes[0].b, CrashPoint::MidBroadcast.index());
+        assert!(promotes[0].a >= 7, "replayed at least the logged ops");
+        // The inherited pre-crash history is still there.
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Execute),
+            "primary's integrations must survive the hand-off"
+        );
+    }
+
+    /// With an aggressive deadline the Nagle edge fires; with the timer
+    /// disabled it never does. Both converge — the deadline changes when
+    /// parked batches move, never whether they move.
+    #[test]
+    fn flush_deadline_fires_only_when_enabled() {
+        let mut cfg = robust_cfg(6, 139);
+        cfg.workload.ops_per_site = 20;
+        cfg.compound_flush_ticks = 1_000; // ≪ RTT: beat the ack edge
+        let eager = run_robust_session(&cfg);
+        assert!(eager.converged, "{:?}", eager.final_docs);
+        assert!(
+            eager.total_metrics().deadline_flushes > 0,
+            "a 1 ms deadline under fan-out load must fire"
+        );
+
+        cfg.compound_flush_ticks = 0; // disabled: pure ack-driven flushing
+        let acked = run_robust_session(&cfg);
+        assert!(acked.converged);
+        assert_eq!(acked.total_metrics().deadline_flushes, 0);
+    }
+
+    /// The default deadline is a backstop, not the flush path: under
+    /// fan-out load the overwhelming share of batches still leaves on an
+    /// ack edge, and a serial workload never even arms the timer.
+    #[test]
+    fn default_flush_deadline_stays_a_backstop() {
+        let mut cfg = robust_cfg(6, 23);
+        cfg.workload.ops_per_site = 20;
+        let r = run_robust_session(&cfg);
+        assert!(r.converged);
+        let t = r.total_metrics();
+        assert!(
+            t.deadline_flushes * 3 < t.data_frames_sent,
+            "deadline flushed {} of {} frames — it is supposed to be rare",
+            t.deadline_flushes,
+            t.data_frames_sent
+        );
+
+        let mut cfg = robust_cfg(3, 37);
+        cfg.workload.ops_per_site = 6;
+        cfg.workload.mean_gap_us = 5_000_000; // ≫ RTT: nothing ever parks
+        let r = run_robust_session(&cfg);
+        assert!(r.converged);
+        assert_eq!(r.total_metrics().deadline_flushes, 0);
     }
 }

@@ -22,9 +22,11 @@
 //! `O3 = Insert["z",4]` generated at site 2 on "A12B".
 
 use crate::client::Client;
-use crate::msg::ServerOpMsg;
-use crate::notifier::Notifier;
+use crate::msg::{ClientOpMsg, ServerOpMsg};
+use crate::notifier::{Notifier, ScanMode};
 use crate::recorder::FlightEvent;
+use crate::standby::Standby;
+use crate::wal::{Wal, WalRecord};
 use cvc_core::site::SiteId;
 use cvc_core::state_vector::CompressedStamp;
 use cvc_ot::buffer::TextBuffer;
@@ -382,6 +384,178 @@ pub fn fig3_walkthrough() -> Fig3Transcript {
     }
 }
 
+/// Step-by-step transcript of the durability and failover model: the
+/// write-ahead ordering (log, mirror, execute, *then* send), a primary
+/// crash mid-broadcast, warm-standby promotion from the mirrored log,
+/// and per-client resync driven by nothing but the 2-element clock's
+/// `received` cursor. The paper's own scenario (Figures 2/3) supplies
+/// the operations; `repro failover` prints the narration.
+#[derive(Debug, Clone)]
+pub struct FailoverTranscript {
+    /// Human-readable step narration.
+    pub narration: Vec<String>,
+    /// Records in the primary's WAL at the moment it died.
+    pub wal_records_at_crash: u64,
+    /// Operations the standby had replayed when it was promoted.
+    pub standby_replay_ops: u64,
+    /// The dead primary's document…
+    pub doc_at_crash: String,
+    /// …and the promoted notifier's, rebuilt purely from the log. The
+    /// failover guarantee is that these are byte-identical.
+    pub doc_at_promotion: String,
+    /// Per-client recovery: (site, ops replayed from the promoted
+    /// notifier's history buffer). Clients that missed nothing replay
+    /// nothing — the `received` cursor tells the promoted notifier
+    /// exactly where each stream stopped.
+    pub replays: Vec<(u32, usize)>,
+    /// Final documents: promoted notifier, then sites 1–3.
+    pub final_docs: Vec<String>,
+    /// All four replicas identical after recovery plus one more edit.
+    pub converged: bool,
+}
+
+/// Drive the direct (transport-free) engine through a crash and
+/// promotion. The reliability layer's epoch fencing is exercised by the
+/// simulated sessions ([`crate::reliable`]); this walkthrough isolates
+/// the durability core those sessions rely on.
+pub fn failover_walkthrough() -> FailoverTranscript {
+    let mut narration = Vec::new();
+
+    let mut wal = Wal::new(0);
+    let mut standby = Standby::new(3, INITIAL_DOC, ScanMode::SuffixBounded);
+    let mut primary = Notifier::new(3, INITIAL_DOC);
+    let mut c1 = Client::new(SiteId(1), INITIAL_DOC);
+    let mut c2 = Client::new(SiteId(2), INITIAL_DOC);
+    let mut c3 = Client::new(SiteId(3), INITIAL_DOC);
+
+    // The write-ahead ordering every integration follows: append to the
+    // log, let the standby tail the appended record, and only then
+    // execute and broadcast. A crash between any two of these steps
+    // loses broadcasts — never logged history.
+    fn ingest(
+        primary: &mut Notifier,
+        wal: &mut Wal,
+        standby: &mut Standby,
+        msg: ClientOpMsg,
+    ) -> Vec<(SiteId, ServerOpMsg)> {
+        let rec = WalRecord::Op(msg.clone());
+        wal.append(&rec);
+        standby.observe(&rec).expect("mirrored log replays cleanly");
+        primary.on_client_op(msg).broadcasts
+    }
+
+    // --- Healthy operation: O2 and O1, logged then broadcast. ---
+    let o2 = c2.delete(2, 3); // the paper's Delete[3,2]
+    narration.push(format!(
+        "site 2 generates O2 = Delete[3,2] stamped {}; primary logs it (WAL record 1), standby tails it, then broadcasts",
+        o2.stamp
+    ));
+    for (dest, m) in ingest(&mut primary, &mut wal, &mut standby, o2) {
+        match dest.0 {
+            1 => drop(c1.on_server_op(m)),
+            3 => drop(c3.on_server_op(m)),
+            _ => unreachable!(),
+        }
+    }
+    let o1 = c1.insert(1, "12"); // the paper's Insert["12",1]
+    narration.push(format!(
+        "site 1 generates O1 = Insert[\"12\",1] stamped {}; logged (record 2), mirrored, broadcast",
+        o1.stamp
+    ));
+    for (dest, m) in ingest(&mut primary, &mut wal, &mut standby, o1) {
+        match dest.0 {
+            2 => drop(c2.on_server_op(m)),
+            3 => drop(c3.on_server_op(m)),
+            _ => unreachable!(),
+        }
+    }
+
+    // --- The crash: O4 is logged and executed, but the primary dies
+    // mid-broadcast — site 1's copy is on the wire, site 2's dies with
+    // the process. ---
+    let o4 = c3.insert(2, "xy");
+    let broadcasts = ingest(&mut primary, &mut wal, &mut standby, o4);
+    let doc_at_crash = primary.doc();
+    let wal_records_at_crash = wal.appends();
+    narration.push(format!(
+        "site 3 generates O4 = Insert[\"xy\",2]; logged (record 3), mirrored, executed — then the primary CRASHES mid-broadcast on {:?}",
+        doc_at_crash
+    ));
+    for (dest, m) in broadcasts {
+        if dest.0 == 1 {
+            drop(c1.on_server_op(m));
+            narration.push("O4' to site 1 had left the host; site 2's copy is lost".into());
+        }
+        // dest 2: lost with the primary.
+    }
+    drop(primary);
+
+    // --- Promotion: the standby has replayed exactly the logged
+    // history, so its replica equals the dead primary's. ---
+    let standby_replay_ops = standby.replayed_ops();
+    let mut promoted = standby.promote().expect("the mirrored log was clean");
+    let doc_at_promotion = promoted.doc();
+    narration.push(format!(
+        "standby promoted after replaying {} logged ops; its document {:?} is byte-identical to the dead primary's",
+        standby_replay_ops, doc_at_promotion
+    ));
+
+    // --- Resync: each client presents its `received` cursor (the second
+    // element of its compressed clock); the promoted notifier replays
+    // exactly the missed suffix of that client's stream. ---
+    let mut replays = Vec::new();
+    for (site, client) in [(1u32, &mut c1), (2, &mut c2), (3, &mut c3)] {
+        let received = client.state_vector().received();
+        let replay = promoted
+            .replay_for(SiteId(site), received)
+            .expect("nothing was trimmed");
+        narration.push(format!(
+            "site {site} resyncs from cursor received={received}: {} op(s) replayed",
+            replay.len()
+        ));
+        replays.push((site, replay.len()));
+        for m in replay {
+            drop(client.on_server_op(m));
+        }
+    }
+
+    // --- Post-recovery health: one more edit flows through the promoted
+    // primary (which starts a log of its own) and reaches everyone. ---
+    let mut wal2 = Wal::new(0);
+    let o3 = c2.insert(4, "z");
+    narration.push(
+        "site 2 generates O3 = Insert[\"z\",4] against the recovered state; \
+         the promoted primary logs and broadcasts it"
+            .into(),
+    );
+    wal2.append(&WalRecord::Op(o3.clone()));
+    for (dest, m) in promoted.on_client_op(o3).broadcasts {
+        match dest.0 {
+            1 => drop(c1.on_server_op(m)),
+            3 => drop(c3.on_server_op(m)),
+            _ => unreachable!(),
+        }
+    }
+
+    let final_docs = vec![promoted.doc(), c1.doc(), c2.doc(), c3.doc()];
+    let converged = final_docs.windows(2).all(|w| w[0] == w[1]);
+    narration.push(format!(
+        "all four replicas read {:?}: converged across the crash",
+        final_docs[0]
+    ));
+
+    FailoverTranscript {
+        narration,
+        wal_records_at_crash,
+        standby_replay_ops,
+        doc_at_crash,
+        doc_at_promotion,
+        replays,
+        final_docs,
+        converged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,6 +739,37 @@ mod tests {
         assert_eq!(report.broadcasts_mapped, 8);
         assert_eq!(report.verdicts_validated, 21);
         assert_eq!(report.executions_replayed, 12);
+    }
+
+    /// The promoted standby is the dead primary, byte for byte: the
+    /// mirrored log determines the replica completely.
+    #[test]
+    fn failover_promotes_an_identical_replica() {
+        let t = failover_walkthrough();
+        assert_eq!(t.doc_at_crash, t.doc_at_promotion);
+        assert_eq!(t.wal_records_at_crash, 3, "O2, O1, O4 were logged");
+        assert_eq!(t.standby_replay_ops, 3, "the standby tailed all three");
+    }
+
+    /// Resync is cursor-driven: the client that missed the in-flight
+    /// broadcast replays exactly one op; the others replay nothing.
+    #[test]
+    fn failover_resync_replays_exactly_the_missed_suffix() {
+        let t = failover_walkthrough();
+        assert_eq!(t.replays, vec![(1, 0), (2, 1), (3, 0)]);
+    }
+
+    /// The session survives the crash end to end: after promotion,
+    /// resync, and one more edit, all four replicas agree and every
+    /// operation's intention is preserved.
+    #[test]
+    fn failover_walkthrough_converges() {
+        let t = failover_walkthrough();
+        assert!(t.converged, "docs: {:?}", t.final_docs);
+        let doc = &t.final_docs[0];
+        assert!(doc.starts_with("A1"), "doc: {doc}");
+        assert!(doc.contains("xy") && doc.contains('z'), "doc: {doc}");
+        assert!(!doc.contains('C') && !doc.contains('D') && !doc.contains('E'));
     }
 
     #[test]

@@ -111,6 +111,20 @@ pub struct SessionConfig {
     /// Scheduled client outages (each ends in a reconnect + resync).
     /// Requires `reliable`.
     pub disconnects: Vec<DisconnectSpec>,
+    /// Deadline (µs) after which a compound-frame payload parked behind an
+    /// in-flight reliable window is flushed even though no ack has arrived
+    /// (`0` = flushing stays purely ack-driven, the pre-deadline
+    /// behaviour). Bounds the worst-case batching delay a quiet channel
+    /// can impose. Ignored without `reliable` + `compound_frames`.
+    pub compound_flush_ticks: u64,
+    /// Run the notifier with a write-ahead log and a warm standby that
+    /// tails it ([`crate::wal`] / [`crate::standby`]). Requires
+    /// `reliable`; a [`SessionConfig::crash`] plan requires this.
+    pub standby: bool,
+    /// Kill the primary notifier at a chosen integration point and promote
+    /// the standby (see [`crate::reliable::NotifierCrash`]). Requires
+    /// `standby`.
+    pub crash: Option<crate::reliable::NotifierCrash>,
     /// Enable every site's flight recorder (star/CVC only). Costs one
     /// ring of [`crate::recorder::DEFAULT_CAPACITY`] events per site;
     /// E17 measures the overhead of both settings.
@@ -150,6 +164,13 @@ impl SessionConfig {
             reliable: false,
             compound_frames: true,
             disconnects: Vec::new(),
+            // Just under the base retransmission timeout: the deadline is
+            // a last resort for pathologically parked batches, not a
+            // competitor to the ack-driven flush (which fires at RTT
+            // timescale). E19's goodput numbers are unchanged by it.
+            compound_flush_ticks: 200_000,
+            standby: false,
+            crash: None,
             flight_recorder: false,
             flight_recorder_capacity: crate::recorder::DEFAULT_CAPACITY,
             flight_recorder_notifier_capacity: 0,
@@ -165,6 +186,47 @@ impl SessionConfig {
         } else {
             self.flight_recorder_capacity.saturating_mul(n.max(1))
         }
+    }
+}
+
+/// What a notifier crash + standby promotion cost, measured inside one
+/// session (present on [`SessionReport::failover`] when a
+/// [`SessionConfig::crash`] plan fired).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// Virtual time (µs) the primary died.
+    pub crash_at_us: u64,
+    /// Virtual time (µs) the *last* client channel was unfenced — i.e.
+    /// every survivor had completed an epoch-bumped resync against the
+    /// promoted notifier. `None` if some channel never recovered (the
+    /// session will also have failed to converge).
+    pub recovered_at_us: Option<u64>,
+    /// Clients that resynced against the promoted notifier.
+    pub resynced_clients: usize,
+    /// WAL operation records the standby had replayed at promotion.
+    pub standby_replay_ops: u64,
+    /// WAL ack records the standby had replayed at promotion.
+    pub standby_replay_acks: u64,
+    /// Records appended to the WAL over the whole session.
+    pub wal_appends: u64,
+    /// Framed bytes appended to the WAL over the whole session.
+    pub wal_bytes: u64,
+    /// Live WAL size (bytes) at quiescence, after compactions.
+    pub wal_live_bytes: u64,
+    /// Snapshot compactions performed.
+    pub snapshot_compactions: u64,
+    /// Write amplification: framed WAL bytes per byte of op payload.
+    pub wal_amplification: f64,
+    /// Zombie-epoch frames the fencing rules discarded after promotion.
+    pub fenced_drops: u64,
+}
+
+impl FailoverReport {
+    /// Recovery time (µs), crash to last unfence; `None` while any
+    /// channel is still fenced.
+    pub fn recovery_us(&self) -> Option<u64> {
+        self.recovered_at_us
+            .map(|t| t.saturating_sub(self.crash_at_us))
     }
 }
 
@@ -208,6 +270,9 @@ pub struct SessionReport {
     /// only). Feed to [`crate::trace::TraceAssembler`] or
     /// [`crate::audit::audit_streams`].
     pub flight_traces: Vec<(SiteId, Vec<FlightEvent>)>,
+    /// Failover accounting, present when a [`SessionConfig::crash`] plan
+    /// fired during the session.
+    pub failover: Option<FailoverReport>,
 }
 
 impl SessionReport {
@@ -477,6 +542,10 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
         cfg.disconnects.is_empty(),
         "client outages require the reliability layer (cfg.reliable)"
     );
+    assert!(
+        !cfg.standby && cfg.crash.is_none(),
+        "notifier durability/failover requires the reliability layer (cfg.reliable)"
+    );
     let n = cfg.workload.n_sites;
     assert!(n >= 2, "sessions need at least two clients");
     let scripts = cfg.workload.generate();
@@ -658,6 +727,7 @@ pub fn run_session(cfg: &SessionConfig) -> SessionReport {
         fault_stats: sim.fault_stats(),
         delivery_latencies_us: Vec::new(),
         flight_traces,
+        failover: None,
     }
 }
 

@@ -25,7 +25,8 @@ use cvc_reduce::error::ProtocolError;
 use cvc_reduce::msg::{ClientOpMsg, EditorMsg, ServerOpMsg};
 use cvc_reduce::notifier::Notifier;
 use cvc_reduce::reliable::{
-    run_robust_session, run_robust_session_traced, ClientEvent, DisconnectSpec, SessionTrace,
+    run_robust_session, run_robust_session_traced, ClientEvent, CrashPoint, DisconnectSpec,
+    NotifierCrash, SessionTrace,
 };
 use cvc_reduce::session::{ClientMode, Deployment, SessionConfig, SessionReport};
 use cvc_reduce::workload::{EditIntent, ScheduledEdit};
@@ -281,6 +282,41 @@ proptest! {
             })
             .collect();
         run_and_audit(&chaos_cfg(n, ops, seed, plan, disconnects));
+    }
+
+    /// The failover chaos property: killing the primary notifier at a
+    /// seeded operation count and crash point — optionally on a lossy
+    /// network — is fully masked. The promoted standby's session still
+    /// converges, every causal-readiness verdict matches the oracle, and
+    /// the final documents equal a perfect-network twin replay of the
+    /// same interleaving (the twin never crashes at all, so this also
+    /// proves the crash leaked no operation and duplicated none).
+    #[test]
+    fn notifier_crash_is_fully_masked(
+        n in 2usize..=5,
+        ops in 4usize..=10,
+        seed in 0u64..1_000,
+        at_op_frac in 0.0f64..1.0,
+        point_ix in 0usize..3,
+        loss in 0.0f64..0.05,
+    ) {
+        let mut cfg = chaos_cfg(n, ops, seed, FaultPlan::lossy(loss), Vec::new());
+        let total = (n * ops) as u64;
+        // Anywhere from the very first integration to near the end of
+        // the stream — late enough to always fire.
+        let at_op = 1 + (at_op_frac * (total - 2) as f64) as u64;
+        let point = [
+            CrashPoint::BeforeSend,
+            CrashPoint::MidBroadcast,
+            CrashPoint::AfterSend,
+        ][point_ix];
+        cfg.standby = true;
+        cfg.crash = Some(NotifierCrash { at_op, point });
+        let report = run_and_audit(&cfg);
+        let fo = report.failover.as_ref().expect("crash fired");
+        prop_assert_eq!(fo.resynced_clients, n);
+        prop_assert!(fo.recovered_at_us.is_some());
+        prop_assert!(fo.standby_replay_ops >= 1);
     }
 }
 

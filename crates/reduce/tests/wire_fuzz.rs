@@ -25,6 +25,7 @@ use cvc_reduce::msg::{
 };
 use cvc_reduce::notifier::Notifier;
 use cvc_reduce::reliable::{frame_checksum, FrameHasher, ReliableKind, ReliableMsg};
+use cvc_reduce::wal::{WalRecord, WalSnapshot};
 use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
 
@@ -148,6 +149,48 @@ fn reliable_msg_strategy() -> impl Strategy<Value = ReliableMsg> {
     (any::<u32>(), kind).prop_map(|(epoch, kind)| ReliableMsg { epoch, kind })
 }
 
+/// Durability-log records: ops and acks reuse the editor wire format
+/// byte-for-byte; snapshots add a checkpoint frame of their own.
+fn wal_record_strategy() -> impl Strategy<Value = WalRecord> {
+    use cvc_reduce::notifier::CheckpointCursor;
+    let op = (
+        1u32..=64,
+        stamp_strategy(),
+        seq_op_strategy(),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(origin, stamp, op, cursor)| {
+            WalRecord::Op(ClientOpMsg {
+                origin: SiteId(origin),
+                stamp,
+                op,
+                cursor,
+            })
+        });
+    let ack = (1u32..=64, any::<u64>()).prop_map(|(origin, received)| {
+        WalRecord::Ack(ClientAckMsg {
+            origin: SiteId(origin),
+            received,
+        })
+    });
+    let snapshot = (
+        "[a-z ]{0,32}",
+        proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+                |(sent, received, join_offset, active)| CheckpointCursor {
+                    sent,
+                    received,
+                    join_offset,
+                    active,
+                },
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(doc, clients)| WalRecord::Snapshot(WalSnapshot { doc, clients }));
+    prop_oneof![op, ack, snapshot]
+}
+
 /// Run the full hostile-input battery against one message's encoding.
 fn battery<M>(msg: &M, flips: &[usize])
 where
@@ -231,6 +274,14 @@ proptest! {
         battery(&msg, &flips);
     }
 
+    /// The durability log's record codec gets the same battery as the
+    /// wire frames — a recovering standby reads WAL bytes exactly as
+    /// hostile input, so its decoder must be total too.
+    #[test]
+    fn wal_record_codec_is_total(msg in wal_record_strategy(), flips in proptest::collection::vec(any::<usize>(), 1..12)) {
+        battery(&msg, &flips);
+    }
+
     /// Pure noise: decoding random byte strings never panics or reads past
     /// the buffer, for either frame type.
     #[test]
@@ -239,6 +290,8 @@ proptest! {
         let _ = EditorMsg::decode(&mut buf);
         let mut buf: &[u8] = &bytes;
         let _ = ReliableMsg::decode(&mut buf);
+        let mut buf: &[u8] = &bytes;
+        let _ = WalRecord::decode(&mut buf);
     }
 
     /// Remote input must never panic a live site: any structurally valid

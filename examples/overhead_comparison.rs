@@ -49,6 +49,9 @@ fn main() {
                 reliable: false,
                 compound_frames: true,
                 disconnects: Vec::new(),
+                compound_flush_ticks: 200_000,
+                standby: false,
+                crash: None,
                 flight_recorder: false,
                 flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
                 flight_recorder_notifier_capacity: 0,

@@ -53,6 +53,9 @@ fn cfg(n: usize, ops: usize, seed: u64, auto_gc: bool) -> SessionConfig {
         reliable: false,
         compound_frames: true,
         disconnects: Vec::new(),
+        compound_flush_ticks: 200_000,
+        standby: false,
+        crash: None,
         flight_recorder: false,
         flight_recorder_capacity: cvc_reduce::recorder::DEFAULT_CAPACITY,
         flight_recorder_notifier_capacity: 0,
