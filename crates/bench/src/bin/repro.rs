@@ -3,15 +3,15 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e20)
+//! repro e3                # one experiment (e1..e21)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16, e17, e18, e19) sequentially. Output is
-//! always in e1..e20 order and, being seeded virtual-time, bit-identical
+//! experiments (e7, e14, e16, e17, e18, e19, e21) sequentially. Output is
+//! always in e1..e21 order and, being seeded virtual-time, bit-identical
 //! at any worker count.
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
@@ -73,6 +73,8 @@ fn main() {
         "e19-smoke" => experiments::e19_throughput_smoke(),
         "e20" => experiments::e20_failover(),
         "e20-smoke" => experiments::e20_failover_smoke(),
+        "e21" => experiments::e21_federation(),
+        "e21-smoke" => experiments::e21_federation_smoke(),
         "failover" => {
             let t = cvc_reduce::scenario::failover_walkthrough();
             let mut s = String::from("durability & failover walkthrough\n\n");
@@ -110,6 +112,8 @@ fn main() {
              e19-smoke  small e19 run for the CI bench gate\n\
              e20 notifier durability and warm-standby failover (crash sweep)\n\
              e20-smoke  small e20 run for the CI bench gate\n\
+             e21 multi-notifier federation throughput (K to 8, N to 1024)\n\
+             e21-smoke  small e21 run for the CI bench gate\n\
              failover  step-by-step WAL/promotion/resync walkthrough"
             .to_string(),
         other => {

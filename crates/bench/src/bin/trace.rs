@@ -12,8 +12,11 @@
 //! ```
 //!
 //! Every mode accepts `--chrome PATH` (Chrome trace_event JSON, loadable
-//! in chrome://tracing or Perfetto) and `run`/`fig3` accept `--dump PATH`
-//! (the textual ring format `read` consumes).
+//! in chrome://tracing or Perfetto) and `--otlp PATH` (an OTLP/JSON
+//! `ExportTraceServiceRequest`, the OpenTelemetry file/HTTP-JSON shape —
+//! feed it to any OTLP-compatible backend or collector file receiver; no
+//! network, no SDK, written offline). `run`/`fig3` also accept
+//! `--dump PATH` (the textual ring format `read` consumes).
 
 use cvc_core::site::SiteId;
 use cvc_reduce::audit::audit_streams;
@@ -29,10 +32,10 @@ const USAGE: &str = "\
 cvc-trace: end-to-end convergence traces from flight-recorder rings
 
 USAGE:
-  trace fig3 [--slowest K] [--chrome PATH] [--dump PATH]
+  trace fig3 [--slowest K] [--chrome PATH] [--otlp PATH] [--dump PATH]
   trace run  [--n N] [--ops K] [--loss PCT] [--seed S]
-             [--slowest K] [--chrome PATH] [--dump PATH]
-  trace read FILE [--slowest K] [--chrome PATH]
+             [--slowest K] [--chrome PATH] [--otlp PATH] [--dump PATH]
+  trace read FILE [--slowest K] [--chrome PATH] [--otlp PATH]
 ";
 
 struct Opts {
@@ -42,6 +45,7 @@ struct Opts {
     seed: u64,
     slowest: usize,
     chrome: Option<String>,
+    otlp: Option<String>,
     dump: Option<String>,
     file: Option<String>,
 }
@@ -55,6 +59,7 @@ impl Opts {
             seed: 42,
             slowest: 5,
             chrome: None,
+            otlp: None,
             dump: None,
             file: None,
         }
@@ -89,6 +94,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--slowest: {e}"))?
             }
             "--chrome" => o.chrome = Some(value(&mut i)?),
+            "--otlp" => o.otlp = Some(value(&mut i)?),
             "--dump" => o.dump = Some(value(&mut i)?),
             _ if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             _ if o.file.is_none() => o.file = Some(flag.to_string()),
@@ -144,6 +150,10 @@ fn write_artifacts(
     if let Some(path) = &o.chrome {
         std::fs::write(path, set.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("\nchrome trace written to {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = &o.otlp {
+        std::fs::write(path, set.to_otlp_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("OTLP/JSON trace written to {path} (ExportTraceServiceRequest)");
     }
     if let Some(path) = &o.dump {
         std::fs::write(path, dump_rings(traces)).map_err(|e| format!("{path}: {e}"))?;

@@ -2209,13 +2209,266 @@ fn write_bench_pr7_json(
     Ok(path)
 }
 
+/// E21 — multi-notifier federation: aggregate throughput vs shard count
+/// (this PR's perf claim). The global client population and the global
+/// edit rate are held constant while the session is split over
+/// `K ∈ {1, 2, 4, 8}` notifiers, each shard a full reliable star (WAL +
+/// warm standby + flight recorder) stepped on its own OS thread; the
+/// shards exchange operations through the checksummed go-back-N relay
+/// bus and the mesh-replica relay tier. Gates: every cell converges with
+/// zero Definition-1 violations, zero dangling traces and a clean audit;
+/// every multi-shard cell actually relays; and at the largest N the
+/// 4-shard cell clears a ≥2.5× wall-clock speedup over its single-shard
+/// twin (checked only when the host exposes ≥4 cores — the speedup is
+/// real parallelism, not virtual-time bookkeeping). WAL write
+/// amplification is reported per cell: the packed ack-frontier records
+/// (1 frontier per 16 acks) replace PR 7's per-ack appends, so the N=256
+/// column lands far below the 22.6× measured there. Writes
+/// `BENCH_PR8.json` (override the path with `BENCH_PR8_OUT`).
+pub fn e21_federation() -> String {
+    e21_federation_with(&[64, 256, 1024], &[1, 2, 4, 8], 4096, true)
+}
+
+/// The CI smoke variant: one small N, `K ∈ {1, 2, 4}`, same gates and
+/// the same JSON schema so the CI job has rows to validate.
+pub fn e21_federation_smoke() -> String {
+    e21_federation_with(&[64], &[1, 2, 4], 2048, true)
+}
+
+/// One measured cell of E21.
+struct FederationRow {
+    n: usize,
+    k: u32,
+    ops: u64,
+    relay_frames: u64,
+    redeliveries: u64,
+    rounds: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    /// Wall-clock speedup over the K=1 cell of the same N.
+    speedup: f64,
+    hop_us_mean: f64,
+    wal_amp: f64,
+    dangling: usize,
+    audit_ok: bool,
+    oracle_checks: u64,
+    oracle_violations: u64,
+    converged: bool,
+}
+
+fn e21_federation_with(ns: &[usize], ks: &[u32], ops_budget: usize, write_json: bool) -> String {
+    use cvc_reduce::relay::{run_federation, FederationConfig};
+
+    let mut rows: Vec<FederationRow> = Vec::new();
+    for &n in ns {
+        let ops_per_client = (ops_budget / n).max(2);
+        let mut k1_ops_per_sec: Option<f64> = None;
+        for &k in ks {
+            if k as usize > n || n % k as usize != 0 {
+                continue;
+            }
+            let mut cfg = FederationConfig::small(k, n / k as usize, 0x21E0 + n as u64);
+            cfg.ops_per_client = ops_per_client;
+            // Hold the *global* edit rate constant as N grows (the E16
+            // convention: each client slows down by N), so within one N
+            // block the shard count is the only variable.
+            cfg.mean_gap_us = 20_000 * n as u64;
+            cfg.standby = true;
+            cfg.flight_recorder = true;
+            let r = run_federation(&cfg);
+            if k == 1 {
+                k1_ops_per_sec = Some(r.ops_per_sec);
+            }
+            let speedup = r.ops_per_sec / k1_ops_per_sec.unwrap_or(f64::EPSILON).max(f64::EPSILON);
+            let accepted: u64 = r.shards.iter().map(|s| s.relayed_in).sum();
+            let hop_us_mean = if accepted == 0 {
+                0.0
+            } else {
+                r.shards
+                    .iter()
+                    .map(|s| s.hop_us_mean * s.relayed_in as f64)
+                    .sum::<f64>()
+                    / accepted as f64
+            };
+            rows.push(FederationRow {
+                n,
+                k,
+                ops: r.local_ops_total,
+                relay_frames: r.relay_frames_total,
+                redeliveries: r.bus.redeliveries,
+                rounds: r.rounds,
+                wall_ms: r.wall_us as f64 / 1e3,
+                ops_per_sec: r.ops_per_sec,
+                speedup,
+                hop_us_mean,
+                wal_amp: r
+                    .shards
+                    .iter()
+                    .map(|s| s.wal_amplification)
+                    .fold(0.0, f64::max),
+                dangling: r.shards.iter().map(|s| s.dangling_traces).sum(),
+                audit_ok: r.shards.iter().all(|s| s.audit_ok),
+                oracle_checks: r.oracle_checks,
+                oracle_violations: r.oracle_violations,
+                converged: r.converged,
+            });
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "N",
+        "K",
+        "ops",
+        "relay frames",
+        "redeliv",
+        "rounds",
+        "wall (ms)",
+        "ops/sec",
+        "speedup",
+        "hop µs",
+        "WAL amp",
+        "dangling",
+        "audit",
+        "converged",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.k.to_string(),
+            r.ops.to_string(),
+            r.relay_frames.to_string(),
+            r.redeliveries.to_string(),
+            r.rounds.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.2}x", r.speedup),
+            format!("{:.0}", r.hop_us_mean),
+            format!("{:.3}", r.wal_amp),
+            r.dangling.to_string(),
+            r.audit_ok.to_string(),
+            r.converged.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E21 — multi-notifier federation: aggregate throughput vs shard count \
+         (constant global rate)\n\n{}",
+        t.render()
+    );
+
+    // Gate 1: correctness everywhere — convergence, the Definition-1
+    // oracle, trace completeness and the causality audit.
+    let broken: Vec<&FederationRow> = rows
+        .iter()
+        .filter(|r| !r.converged || r.oracle_violations > 0 || r.dangling > 0 || !r.audit_ok)
+        .collect();
+    if broken.is_empty() {
+        out.push_str(
+            "\nevery federation cell converged: 0 oracle violations, 0 dangling traces, audits clean\n",
+        );
+    } else {
+        out.push_str(&format!(
+            "\nFAILED: {} federation cell(s) broke a correctness gate\n",
+            broken.len()
+        ));
+    }
+    // Gate 2: multi-shard cells must actually cross shards.
+    if rows
+        .iter()
+        .any(|r| r.k > 1 && (r.relay_frames == 0 || r.oracle_checks == 0))
+    {
+        out.push_str("FAILED: a multi-shard cell relayed nothing\n");
+    }
+    // Gate 3: the scaling claim. Wall-clock speedup needs real cores;
+    // on a starved runner the number is reported but not gated.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let n_max = ns.iter().copied().max().unwrap_or(0);
+    if let Some(r4) = rows.iter().find(|r| r.n == n_max && r.k == 4) {
+        out.push_str(&format!(
+            "1 -> 4 shard speedup at N={}: {:.2}x (gate >= 2.50x on >= 4 cores; {} cores here)\n",
+            n_max, r4.speedup, cores
+        ));
+        if cores >= 4 && r4.speedup < 2.5 {
+            out.push_str("FAILED: 4-shard federation under 2.5x its single-notifier twin\n");
+        }
+    }
+    // The PR-7 comparison: delta-encoded ack-frontier records (one O(W)
+    // record per W-ack window) vs one framed record per ack.
+    if let Some(r) = rows.iter().find(|r| r.n == 256 && r.k == 1) {
+        out.push_str(&format!(
+            "WAL write amplification at N=256: {:.1}x with delta ack frontiers \
+             (PR 7 per-ack baseline: 22.6x)\n",
+            r.wal_amp
+        ));
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr8_json(&rows, cores) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable federation report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR8.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E21 rows as `BENCH_PR8.json` (override the path with
+/// `BENCH_PR8_OUT`). Returns the path written.
+fn write_bench_pr8_json(rows: &[FederationRow], cores: usize) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR8_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E21 multi-notifier federation throughput\",\n");
+    s.push_str("  \"baseline\": \"K=1: the same driver, one notifier, no relay traffic\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"ops\": {}, \"relay_frames\": {}, \
+             \"redeliveries\": {}, \"rounds\": {}, \"wall_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"speedup\": {:.3}, \"hop_us_mean\": {:.1}, \
+             \"wal_amplification\": {:.4}, \"dangling_traces\": {}, \"audit_ok\": {}, \
+             \"oracle_checks\": {}, \"oracle_violations\": {}, \"converged\": {}}}{}\n",
+            r.n,
+            r.k,
+            r.ops,
+            r.relay_frames,
+            r.redeliveries,
+            r.rounds,
+            r.wall_ms,
+            r.ops_per_sec,
+            r.speedup,
+            r.hop_us_mean,
+            r.wal_amp,
+            r.dangling,
+            r.audit_ok,
+            r.oracle_checks,
+            r.oracle_violations,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
 /// experiments measure wall-clock and must not share the machine with the
 /// worker pool.
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 20] = [
+pub const EXPERIMENTS: [ExperimentEntry; 21] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -2236,6 +2489,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 20] = [
     ("e18", true, e18_convergence_tracing),
     ("e19", true, e19_throughput),
     ("e20", false, e20_failover),
+    ("e21", true, e21_federation),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -2570,7 +2824,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -2581,7 +2835,7 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18", "e19"]);
+        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18", "e19", "e21"]);
     }
 
     #[test]

@@ -229,6 +229,12 @@ impl TtfDoc {
     pub fn model_to_visible(&self, m: usize) -> usize {
         self.cells[..m].iter().filter(|c| c.visible).count()
     }
+
+    /// Whether the model cell at `m` is visible (not a tombstone).
+    /// `m` must be in bounds.
+    pub fn is_visible(&self, m: usize) -> bool {
+        self.cells[m].visible
+    }
 }
 
 /// TTF inclusion transformation: rewrite `op` to apply after `against`

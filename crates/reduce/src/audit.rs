@@ -322,7 +322,8 @@ pub fn audit_streams(traces: &[(SiteId, Vec<FlightEvent>)]) -> Result<AuditRepor
                     | EventKind::RingTruncated
                     | EventKind::RetxStall
                     | EventKind::Crash
-                    | EventKind::Promote => {}
+                    | EventKind::Promote
+                    | EventKind::Relay => {}
                 }
                 cursors[ti] += 1;
                 progressed = true;

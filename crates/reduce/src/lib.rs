@@ -19,6 +19,9 @@
 //!   client disconnect/reconnect and history-buffer resync.
 //! * [`scenario`] — the paper's Fig. 2 (inconsistency demo) and Fig. 3
 //!   (compressed-clock walkthrough) reproduced step by step.
+//! * [`relay`] — multi-notifier federation: `K` sharded stars bridged by
+//!   a mesh-replica relay tier over a checksummed go-back-N bus, stepped
+//!   in parallel and verified against the Definition-1 oracle.
 //! * [`wal`] / [`standby`] — notifier durability: a checksummed
 //!   write-ahead log of the notifier's input stream with compacted
 //!   snapshots, and a warm standby that tails it and can be promoted when
@@ -52,6 +55,7 @@ pub mod msg;
 pub mod notifier;
 pub mod recorder;
 pub mod registry;
+pub mod relay;
 pub mod reliable;
 pub mod scenario;
 pub mod session;
@@ -71,6 +75,10 @@ pub use msg::{ClientOpMsg, EditorMsg, MeshOpMsg, ServerAckMsg, ServerOpMsg};
 pub use notifier::Notifier;
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Histogram, MetricsRegistry};
+pub use relay::{
+    run_federation, FederationConfig, FederationReport, RelayBus, RelayBusStats, RelayFaultPlan,
+    ShardMap, ShardReport,
+};
 pub use reliable::{
     run_robust_session, run_robust_session_traced, ClientEvent, CrashPoint, DisconnectSpec,
     NotifierCrash, NotifierStep, ReliableKind, ReliableMsg, SessionTrace,

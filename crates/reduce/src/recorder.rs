@@ -79,6 +79,10 @@ pub enum EventKind {
     /// operation records it had replayed, `b` the number of client
     /// channels fenced pending an epoch-bumped resync.
     Promote,
+    /// A cross-shard relay frame was integrated at this notifier: `a` is
+    /// the origin shard, `b` the relay hop latency (µs) from the moment
+    /// the origin shard emitted the frame to its integration here.
+    Relay,
 }
 
 impl EventKind {
@@ -98,12 +102,13 @@ impl EventKind {
             EventKind::RetxStall => "retx-stall",
             EventKind::Crash => "crash",
             EventKind::Promote => "promote",
+            EventKind::Relay => "relay",
         }
     }
 
     /// Inverse of [`EventKind::name`], for parsing ring dumps.
     pub fn from_name(s: &str) -> Option<EventKind> {
-        const ALL: [EventKind; 13] = [
+        const ALL: [EventKind; 14] = [
             EventKind::Generate,
             EventKind::Send,
             EventKind::Deliver,
@@ -117,6 +122,7 @@ impl EventKind {
             EventKind::RetxStall,
             EventKind::Crash,
             EventKind::Promote,
+            EventKind::Relay,
         ];
         ALL.into_iter().find(|k| k.name() == s)
     }

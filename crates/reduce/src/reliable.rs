@@ -30,18 +30,23 @@
 //! the run against a ground-truth oracle.
 
 use crate::client::Client;
+use crate::mesh::VisibleEffect;
 use crate::metrics::SiteMetrics;
 use crate::msg::{
-    ClientAckMsg, ClientOpMsg, EditorMsg, Payload, ServerOpMsg, TAG_COMPOUND as EDITOR_TAG_COMPOUND,
+    ClientAckMsg, ClientOpMsg, EditorMsg, Payload, RelayOpMsg, ServerOpMsg,
+    TAG_COMPOUND as EDITOR_TAG_COMPOUND,
 };
 use crate::notifier::Notifier;
 use crate::recorder::{EventKind, FlightEvent};
+use crate::relay::RelayState;
 use crate::session::{ClientMode, Deployment, FailoverReport, SessionConfig, SessionReport};
 use crate::standby::Standby;
-use crate::wal::{Wal, WalRecord, DEFAULT_COMPACT_EVERY};
+use crate::wal::{AckFrontierRecord, Wal, WalRecord, DEFAULT_COMPACT_EVERY};
 use crate::workload::{EditIntent, ScheduledEdit};
 use bytes::{Buf, BufMut};
 use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_ot::seq::{Component, SeqOp};
 use cvc_sim::fault::FaultPlan;
 use cvc_sim::sim::{Ctx, Node, NodeId, Simulator};
 use cvc_sim::time::{SimDuration, SimTime};
@@ -412,9 +417,19 @@ fn encode_editor(msg: &EditorMsg) -> Payload {
 }
 
 /// Flush a pending batch once it reaches this many editor messages…
+/// (seed value — [`ReliableLink::retune`] adapts the live threshold to
+/// the measured RTT × op-rate, clamped to `[seed/2, seed*4]`).
 const MAX_BATCH_MSGS: usize = 16;
-/// …or this many payload bytes, whichever comes first.
+/// …or this many payload bytes, whichever comes first (seed value, same
+/// adaptive clamp as [`MAX_BATCH_MSGS`]).
 const MAX_BATCH_BYTES: usize = 1024;
+
+/// Append one packed [`WalRecord::AckFrontier`] per this many client-ack
+/// WAL records the frontier replaces. Per-ack records between frontiers
+/// are elided entirely — the frontier carries the full `acked_by` vector,
+/// so recovery replays at most one stale window of ack progress (which
+/// only makes the recovered notifier retain *more* history, never less).
+pub(crate) const ACK_FRONTIER_EVERY: u64 = 16;
 
 /// Reliability state for one direction-pair of a channel: outgoing
 /// sequencing/retransmission plus incoming dedup/resequencing.
@@ -486,6 +501,24 @@ pub struct ReliableLink {
     /// nonsensical payload (undecodable, wrong direction, impossible
     /// resync counters). Folded into [`SiteMetrics::protocol_errors`].
     hostile_drops: u64,
+    /// Smoothed round-trip time (µs); 0 until the first clean sample.
+    srtt_us: u64,
+    /// The single outstanding RTT probe: `(epoch, seq, first_sent)`.
+    /// Karn's rule — any retransmission invalidates the probe so an
+    /// ambiguous (possibly re-sent) frame never contributes a sample.
+    rtt_probe: Option<(u32, u64, SimTime)>,
+    /// Smoothed gap between consecutive queued editor frames (µs); 0
+    /// until two enqueues have been observed. The reciprocal is the
+    /// measured per-channel op rate.
+    enqueue_gap_us: u64,
+    /// When the previous editor frame was queued on this link.
+    last_enqueue: Option<SimTime>,
+    /// Adaptive flush threshold (messages): roughly one RTT's worth of
+    /// traffic at the measured rate, clamped around [`MAX_BATCH_MSGS`].
+    batch_max_msgs: usize,
+    /// Adaptive flush threshold (bytes), derived alongside
+    /// `batch_max_msgs` and clamped around [`MAX_BATCH_BYTES`].
+    batch_max_bytes: usize,
 }
 
 impl ReliableLink {
@@ -521,6 +554,12 @@ impl ReliableLink {
             resyncs: 0,
             resync_replayed: 0,
             hostile_drops: 0,
+            srtt_us: 0,
+            rtt_probe: None,
+            enqueue_gap_us: 0,
+            last_enqueue: None,
+            batch_max_msgs: MAX_BATCH_MSGS,
+            batch_max_bytes: MAX_BATCH_BYTES,
         }
     }
 
@@ -538,6 +577,9 @@ impl ReliableLink {
         self.next_expected = 1;
         self.resequence.clear();
         self.rto = SimDuration::from_micros(BASE_RTO_US);
+        // The probe's frame died with the epoch; the RTT estimate itself
+        // survives (same physical channel, new connection).
+        self.rtt_probe = None;
     }
 
     /// Frames sent but not yet cumulatively acknowledged.
@@ -570,6 +612,9 @@ impl ReliableLink {
         self.next_seq += 1;
         self.first_sent.push((self.epoch, seq, ctx.now));
         self.data_frames_sent += 1;
+        if self.rtt_probe.is_none() {
+            self.rtt_probe = Some((self.epoch, seq, ctx.now));
+        }
         let msg = ReliableMsg {
             epoch: self.epoch,
             kind: ReliableKind::Data {
@@ -603,6 +648,16 @@ impl ReliableLink {
         payload: Payload,
     ) {
         self.editor_msgs_sent += 1;
+        if let Some(prev) = self.last_enqueue {
+            let gap = (ctx.now - prev).as_micros().max(1);
+            self.enqueue_gap_us = if self.enqueue_gap_us == 0 {
+                gap
+            } else {
+                (7 * self.enqueue_gap_us + gap) / 8
+            };
+            self.retune();
+        }
+        self.last_enqueue = Some(ctx.now);
         if !self.batching || (self.send_buf.is_empty() && self.pending_out.is_empty()) {
             self.send_payload(ctx, peer, retx_tag, payload);
             return;
@@ -612,7 +667,9 @@ impl ReliableLink {
         }
         self.pending_bytes += payload.len();
         self.pending_out.push_back(payload);
-        if self.pending_out.len() >= MAX_BATCH_MSGS || self.pending_bytes >= MAX_BATCH_BYTES {
+        if self.pending_out.len() >= self.batch_max_msgs
+            || self.pending_bytes >= self.batch_max_bytes
+        {
             self.flush(ctx, peer, retx_tag);
         } else if self.flush_delay > SimDuration::ZERO && !self.flush_armed {
             // Deadline edge of the Nagle policy: if no ack opens the
@@ -684,6 +741,18 @@ impl ReliableLink {
             return;
         }
         self.highest_acked = ack;
+        if let Some((ep, seq, sent)) = self.rtt_probe {
+            if ep == self.epoch && ack >= seq {
+                let sample = (now - sent).as_micros().max(1);
+                self.srtt_us = if self.srtt_us == 0 {
+                    sample
+                } else {
+                    (7 * self.srtt_us + sample) / 8
+                };
+                self.rtt_probe = None;
+                self.retune();
+            }
+        }
         while self.send_buf.front().is_some_and(|(s, _)| *s <= ack) {
             self.send_buf.pop_front();
         }
@@ -770,6 +839,9 @@ impl ReliableLink {
             return None;
         }
         let resent = self.send_buf.len() as u64;
+        // Karn's rule: the probe frame is about to be re-sent, so its
+        // eventual ack can no longer be matched to one transmission.
+        self.rtt_probe = None;
         for (seq, payload) in &self.send_buf {
             let msg = ReliableMsg {
                 epoch: self.epoch,
@@ -789,6 +861,24 @@ impl ReliableLink {
         self.retx_deadline = ctx.now + d;
         self.arm(ctx, retx_tag);
         Some((resent, self.rto.as_micros()))
+    }
+
+    /// Re-derive the flush thresholds from the measured channel: a batch
+    /// should hold roughly one RTT's worth of traffic at the observed
+    /// enqueue rate (`srtt / gap` frames), clamped to `[seed/2, seed*4]`
+    /// around the static seeds. Until *both* the RTT and the rate have
+    /// been measured the seeds stand unchanged, so a serial workload over
+    /// a clean link (nothing ever batches) stays byte-identical to the
+    /// fixed policy, and the E19 coalescing gates only ever see equal or
+    /// larger windows under load.
+    fn retune(&mut self) {
+        if self.srtt_us == 0 || self.enqueue_gap_us == 0 {
+            return;
+        }
+        let per_rtt = (self.srtt_us / self.enqueue_gap_us) as usize;
+        self.batch_max_msgs = per_rtt.clamp(MAX_BATCH_MSGS / 2, MAX_BATCH_MSGS * 4);
+        self.batch_max_bytes =
+            (self.batch_max_msgs * 64).clamp(MAX_BATCH_BYTES / 2, MAX_BATCH_BYTES * 4);
     }
 
     /// Fold this link's counters into a site's metrics.
@@ -933,20 +1023,20 @@ pub struct SessionTrace {
     pub clients: Vec<Vec<ClientEvent>>,
 }
 
-struct RobustNotifier {
-    inner: Box<Notifier>,
+pub(crate) struct RobustNotifier {
+    pub(crate) inner: Box<Notifier>,
     /// One link per client; index = client index, peer node = index + 1.
-    links: Vec<ReliableLink>,
-    trace: Option<Vec<NotifierStep>>,
+    pub(crate) links: Vec<ReliableLink>,
+    pub(crate) trace: Option<Vec<NotifierStep>>,
     /// Durability pipeline (standby sessions): every integrated op/ack is
     /// appended here *before* any broadcast reaches the wire.
-    wal: Option<Wal>,
+    pub(crate) wal: Option<Wal>,
     /// Warm standby fed record-by-record; consumed at promotion.
-    standby: Option<Box<Standby>>,
+    pub(crate) standby: Option<Box<Standby>>,
     /// Seeded crash plan; taken when it fires.
     crash: Option<NotifierCrash>,
     /// Client operations integrated so far (the crash plan's clock).
-    ops_integrated: u64,
+    pub(crate) ops_integrated: u64,
     /// The dead primary's links, retired at the crash: their unacked
     /// windows and parked batches died with the process, but their
     /// counters and latency logs still belong to the session.
@@ -969,6 +1059,19 @@ struct RobustNotifier {
     /// Recorder settings to re-apply on the promoted notifier.
     flight_recorder: bool,
     recorder_capacity: usize,
+    /// Cross-shard federation state ([`crate::relay`]): the shard's mesh
+    /// mirror, the virtual relay client's counters, and the outbox of
+    /// frames awaiting the driver's next barrier exchange. `None` for
+    /// ordinary (single-notifier) sessions, whose behaviour is untouched.
+    pub(crate) relay: Option<Box<RelayState>>,
+    /// Client acks integrated since the WAL opened; drives the
+    /// [`ACK_FRONTIER_EVERY`] coalescing cadence.
+    acks_integrated: u64,
+    /// The `acked_by` vector as of the last appended frontier record;
+    /// each new frontier carries only the entries that advanced past
+    /// this. Starts empty (treated as all-zero), so the first frontier
+    /// simply names every client that has acked at all.
+    frontier_flushed: Vec<u64>,
 }
 
 impl RobustNotifier {
@@ -984,6 +1087,242 @@ impl RobustNotifier {
                 doc,
             },
         }
+    }
+
+    /// Durably record one *integrated* client ack. Acks are part of the
+    /// durable input stream — they drive GC and the acked-by cursors, so
+    /// a standby that missed them would diverge — but per-ack records
+    /// dominated the log byte-for-byte (E20 measured 22.6× write
+    /// amplification at N=256). Instead of one record per ack, every
+    /// [`ACK_FRONTIER_EVERY`]-th integrated ack appends one packed
+    /// [`WalRecord::AckFrontier`] carrying the acked-by entries that
+    /// *changed* since the previous frontier; the records in between are
+    /// elided. The delta shape matters: a window of W acks touches at
+    /// most W entries, so each record is O(W) bytes regardless of session
+    /// width — logging the whole vector would be O(N) per window and
+    /// overtake the per-ack baseline it replaced once N outgrows the
+    /// window. Recovery then replays ack progress at most one frontier
+    /// window stale, which only makes the recovered notifier retain
+    /// *more* history — never serve less. Compaction still gets its look
+    /// on every ack, so the checkpoint cadence
+    /// ([`Notifier::checkpoint_ready`]) is unchanged.
+    fn wal_ack(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        self.acks_integrated += 1;
+        if self.acks_integrated.is_multiple_of(ACK_FRONTIER_EVERY) {
+            let acked = self.inner.acked_by();
+            let entries: Vec<(u32, u64)> = acked
+                .iter()
+                .enumerate()
+                .filter(|&(i, &a)| a > self.frontier_flushed.get(i).copied().unwrap_or(0))
+                .map(|(i, &a)| (i as u32, a))
+                .collect();
+            if !entries.is_empty() {
+                self.frontier_flushed = acked.to_vec();
+                let rec = WalRecord::AckFrontier(AckFrontierRecord { entries });
+                let wal = self.wal.as_mut().expect("checked above");
+                wal.append(&rec);
+                if let Some(sb) = &mut self.standby {
+                    if let Err(e) = sb.observe(&rec) {
+                        eprintln!("standby rejected ack frontier: {e}");
+                    }
+                }
+            }
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.maybe_compact(&self.inner);
+        }
+    }
+
+    /// Decompose one executed (notifier-form) operation into
+    /// per-character mesh ops and queue them for cross-shard relay.
+    ///
+    /// Invariant: the mesh's visible text equals the notifier document
+    /// *before* `executed` was applied — `integrate` calls this
+    /// immediately after every integration, so walking the component run
+    /// against a running visible position replays the exact edit on the
+    /// mesh replica (whose own vector clock then carries it to the peer
+    /// shards).
+    fn mirror_to_relay(&mut self, executed: &SeqOp, now_us: u64) {
+        let rel = self.relay.as_mut().expect("caller checked relay");
+        let mut pos = 0usize;
+        for comp in executed.components() {
+            match comp {
+                Component::Retain(n) => pos += n,
+                Component::Insert(s) => {
+                    for ch in s.chars() {
+                        let m = rel.mesh.local_insert(pos, ch);
+                        rel.queue_out(m, now_us);
+                        pos += 1;
+                    }
+                }
+                Component::Delete(n) => {
+                    for _ in 0..*n {
+                        let m = rel.mesh.local_delete(pos);
+                        rel.queue_out(m, now_us);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            rel.mesh.doc(),
+            self.inner.doc(),
+            "relay mesh mirror diverged from the shard document"
+        );
+    }
+
+    /// Integrate one inbound relay frame from a peer shard (delivered by
+    /// the federation driver at a barrier exchange). Hostile shard ids
+    /// and broken sequencing are quarantined — counted, never panicking;
+    /// an in-order frame runs the mesh's vector-clock transformation and
+    /// each resulting visible effect is re-injected through the ordinary
+    /// client-op path as the *virtual relay client*, so the WAL, the warm
+    /// standby, broadcast stamping, GC, and the flight recorder all see
+    /// it as a first-class operation.
+    pub(crate) fn on_relay_frame(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, r: RelayOpMsg) {
+        let Some(rel) = self.relay.as_mut() else {
+            // A relay frame at a non-federated notifier is hostile input;
+            // there is no relay state to count it against, so drop it.
+            return;
+        };
+        let oi = r.origin_shard as usize;
+        if r.origin_shard == rel.shard || oi >= rel.n_shards as usize {
+            rel.relay_hostile_drops += 1;
+            return;
+        }
+        match r.seq.cmp(&rel.next_in_seq[oi]) {
+            std::cmp::Ordering::Less => {
+                rel.relay_dup_drops += 1;
+                return;
+            }
+            std::cmp::Ordering::Greater => {
+                // A gap: the bus retransmits go-back-N from the lowest
+                // unacked frame, so the missing ones come again in order
+                // — drop rather than buffer out-of-order state.
+                rel.relay_gap_drops += 1;
+                return;
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        rel.next_in_seq[oi] = r.seq + 1;
+        rel.relayed_in += 1;
+        let hop = ctx.now.as_micros().saturating_sub(r.sent_at_us);
+        rel.hop_us_total += hop;
+        rel.hop_us_max = rel.hop_us_max.max(hop);
+        // Mesh integration: 0 (buffered / hostile), 1, or several
+        // executions if this frame unblocked causally-pending peers.
+        // Hostile payloads die inside `on_remote` (its own guard set).
+        let mut len = rel.mesh.visible_len();
+        let hostile_before = rel.mesh.metrics().protocol_errors;
+        let integrations = rel.mesh.on_remote(r.inner);
+        if rel.mesh.metrics().protocol_errors > hostile_before {
+            rel.relay_hostile_drops += 1;
+        }
+        // Convert each visible effect into a notifier-form SeqOp against
+        // the evolving document length, then inject.
+        let origin_shard = r.origin_shard;
+        let mut injected = Vec::new();
+        for ing in integrations {
+            // Log the *actual* integration (a causally-pending frame
+            // buffers in the mesh and surfaces here later, possibly
+            // carried in by a different frame) for the driver's oracle.
+            rel.integration_log
+                .push((ing.origin.client_index() as u32, ing.seq));
+            match ing.effect {
+                VisibleEffect::Insert { pos, ch } => {
+                    let mut op = SeqOp::new();
+                    op.retain(pos).insert(&ch.to_string()).retain(len - pos);
+                    len += 1;
+                    injected.push(op);
+                }
+                VisibleEffect::Delete { pos } => {
+                    let mut op = SeqOp::new();
+                    op.retain(pos).delete(1).retain(len - pos - 1);
+                    len -= 1;
+                    injected.push(op);
+                }
+                // A delete whose target was already a tombstone here:
+                // idempotent at the mesh, nothing to inject.
+                VisibleEffect::None => {}
+            }
+        }
+        for op in injected {
+            let rel = self.relay.as_mut().expect("still federated");
+            rel.virtual_seq += 1;
+            let t2 = rel.virtual_seq;
+            let vs = rel.virtual_site;
+            // T1 for the virtual client is exactly what the notifier has
+            // sent it (`record_send_shared` counts every active
+            // destination, fenced or not), so formula (7) finds zero
+            // concurrency and the transformed-at-the-mesh op applies
+            // verbatim — the cross-shard transformation happened in the
+            // mesh tier, the star tier just executes.
+            let t1 = self.inner.state_vector().compress_for(vs).get(1);
+            self.inner.note_lifecycle(
+                FlightEvent::new(EventKind::Relay)
+                    .with_op(vs.0, t2)
+                    .with_ab(origin_shard as u64, hop)
+                    .with_detail("relay-inject"),
+            );
+            self.integrate(
+                ctx,
+                ClientOpMsg {
+                    origin: vs,
+                    stamp: CompressedStamp::new(t1, t2),
+                    op,
+                    cursor: None,
+                },
+            );
+        }
+    }
+
+    /// Advance the virtual relay client's ack watermark to everything
+    /// this notifier has sent it. The virtual channel is permanently
+    /// fenced (no process ever acks on it), so without this driver-called
+    /// keepalive a quiet federation link would pin history GC forever.
+    pub(crate) fn relay_keepalive(&mut self) {
+        let Some(rel) = &self.relay else { return };
+        let vs = rel.virtual_site;
+        let sent = self.inner.state_vector().compress_for(vs).get(1);
+        let have = self.inner.acked_by()[vs.client_index()];
+        if sent > have {
+            match self.inner.try_on_client_ack(ClientAckMsg {
+                origin: vs,
+                received: sent,
+            }) {
+                Ok(()) => self.wal_ack(),
+                Err(e) => eprintln!("relay keepalive rejected: {e}"),
+            }
+        }
+    }
+
+    /// Drain the frames queued for the peer shards (driver-called at each
+    /// barrier exchange).
+    pub(crate) fn take_relay_outbox(&mut self) -> Vec<RelayOpMsg> {
+        match &mut self.relay {
+            Some(rel) => std::mem::take(&mut rel.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain the mesh-integration log (driver-called; feeds the
+    /// federation's causality oracle with real execution order).
+    pub(crate) fn take_relay_integrations(&mut self) -> Vec<(u32, u64)> {
+        match &mut self.relay {
+            Some(rel) => std::mem::take(&mut rel.integration_log),
+            None => Vec::new(),
+        }
+    }
+
+    /// The in-order cursor for frames from `origin_shard` (next expected
+    /// sequence) — what a cumulative relay ack carries back.
+    pub(crate) fn relay_cursor(&self, origin_shard: u32) -> u64 {
+        self.relay
+            .as_ref()
+            .map(|rel| rel.next_in_seq[origin_shard as usize])
+            .unwrap_or(0)
     }
 
     fn integrate(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: ClientOpMsg) {
@@ -1031,6 +1370,18 @@ impl RobustNotifier {
                 } else {
                     out.stamps.len()
                 };
+                // Federation: mirror the executed form into this shard's
+                // mesh replica and queue per-character relay frames for
+                // the peer shards. Skipped for the virtual relay client's
+                // own injections — those *came from* the mesh, so
+                // re-relaying them would echo forever.
+                let mirror = match &self.relay {
+                    Some(rel) => origin != rel.virtual_site,
+                    None => false,
+                };
+                if mirror {
+                    self.mirror_to_relay(&out.executed, ctx.now.as_micros());
+                }
                 for &(dest, stamp) in out.stamps.iter().take(keep) {
                     let di = dest.client_index();
                     // A fenced channel is silent in BOTH directions: the
@@ -1165,37 +1516,15 @@ impl RobustNotifier {
                     for m in msgs {
                         match m {
                             EditorMsg::ClientOp(c) => self.integrate(ctx, c),
-                            EditorMsg::ClientAck(a) => {
-                                match self.inner.try_on_client_ack(a) {
-                                    Ok(()) => {
-                                        // Acks are part of the durable input
-                                        // stream: they drive GC and the
-                                        // acked-by cursors, so a standby
-                                        // that missed them would diverge.
-                                        // They also open the compaction
-                                        // window ([`Notifier::
-                                        // checkpoint_ready`]).
-                                        if let Some(wal) = &mut self.wal {
-                                            let rec = WalRecord::Ack(a);
-                                            wal.append(&rec);
-                                            if let Some(sb) = &mut self.standby {
-                                                if let Err(e) = sb.observe(&rec) {
-                                                    eprintln!(
-                                                        "standby rejected ack on channel {xi}: {e}"
-                                                    );
-                                                }
-                                            }
-                                            wal.maybe_compact(&self.inner);
-                                        }
-                                    }
-                                    Err(e) => {
-                                        let site = SiteId(xi as u32 + 1);
-                                        eprintln!("notifier rejected ack on channel {xi}: {e}");
-                                        eprintln!("{}", self.inner.dump_recorder());
-                                        self.inner.quarantine(site);
-                                    }
+                            EditorMsg::ClientAck(a) => match self.inner.try_on_client_ack(a) {
+                                Ok(()) => self.wal_ack(),
+                                Err(e) => {
+                                    let site = SiteId(xi as u32 + 1);
+                                    eprintln!("notifier rejected ack on channel {xi}: {e}");
+                                    eprintln!("{}", self.inner.dump_recorder());
+                                    self.inner.quarantine(site);
                                 }
-                            }
+                            },
                             // Server-to-client frames arriving upstream are
                             // nonsense; drop rather than crash.
                             _ => self.links[xi].hostile_drops += 1,
@@ -1331,9 +1660,9 @@ impl RobustNotifier {
     }
 }
 
-struct RobustClient {
-    inner: Box<Client>,
-    link: ReliableLink,
+pub(crate) struct RobustClient {
+    pub(crate) inner: Box<Client>,
+    pub(crate) link: ReliableLink,
     script: Vec<ScheduledEdit>,
     state: ConnState,
     /// Retry timeout for an unanswered resync request.
@@ -1352,6 +1681,12 @@ struct RobustClient {
 }
 
 impl RobustClient {
+    /// Whether the client ended the run connected (federation harvest
+    /// assertion; fault-free shards must quiesce fully connected).
+    pub(crate) fn is_connected(&self) -> bool {
+        self.state == ConnState::Connected
+    }
+
     fn send_up(&mut self, ctx: &mut Ctx<'_, ReliableMsg>, c: &ClientOpMsg) {
         let payload = encode_editor(&EditorMsg::ClientOp(c.clone()));
         self.link.queue_payload(ctx, 0, RETX_TAG, payload);
@@ -1618,9 +1953,41 @@ impl RobustClient {
     }
 }
 
-enum RobustNode {
+pub(crate) enum RobustNode {
     Notifier(Box<RobustNotifier>),
     Client(Box<RobustClient>),
+}
+
+impl RobustNode {
+    /// The shard notifier (node 0 of a federation shard simulator).
+    ///
+    /// These accessors encode a *construction* invariant of the crate's
+    /// own driver (`build_shard_sim` always places the notifier at node
+    /// 0), not a remote-input path — no wire bytes can steer which
+    /// variant lives where, so `unreachable!` here is consistent with
+    /// the §12 panic-free-on-remote-input policy.
+    pub(crate) fn as_notifier(&self) -> &RobustNotifier {
+        match self {
+            RobustNode::Notifier(n) => n,
+            RobustNode::Client(_) => unreachable!("node is a client, not the notifier"),
+        }
+    }
+
+    /// Mutable access for the federation driver's barrier exchange.
+    pub(crate) fn as_notifier_mut(&mut self) -> &mut RobustNotifier {
+        match self {
+            RobustNode::Notifier(n) => n,
+            RobustNode::Client(_) => unreachable!("node is a client, not the notifier"),
+        }
+    }
+
+    /// The client at this node (federation harvest).
+    pub(crate) fn as_client(&self) -> &RobustClient {
+        match self {
+            RobustNode::Client(c) => c,
+            RobustNode::Notifier(_) => unreachable!("node is the notifier, not a client"),
+        }
+    }
 }
 
 impl Node<ReliableMsg> for RobustNode {
@@ -1665,6 +2032,145 @@ pub fn run_robust_session(cfg: &SessionConfig) -> SessionReport {
 pub fn run_robust_session_traced(cfg: &SessionConfig) -> (SessionReport, SessionTrace) {
     let (report, trace) = run_robust_inner(cfg, true);
     (report, trace.expect("trace requested"))
+}
+
+/// One shard of a multi-notifier federation: its simulator plus the
+/// construction facts the federation driver needs for stepping, barrier
+/// exchange, and harvest.
+pub(crate) struct ShardSim {
+    /// The shard's own star/CVC world: notifier at node 0, its local
+    /// clients at nodes `1..=n_local`.
+    pub(crate) sim: Simulator<ReliableMsg, RobustNode>,
+    /// Real clients hosted on this shard.
+    pub(crate) n_local: usize,
+    /// Virtual time of this shard's last scripted edit (µs).
+    pub(crate) last_edit_us: u64,
+}
+
+/// Build one federation shard: a star/CVC session whose notifier carries
+/// `n_local + 1` client slots — the extra, permanently fenced slot is the
+/// *virtual relay client* through which peer-shard operations enter this
+/// star (see [`crate::relay`] for the federation model).
+/// `cfg.workload.n_sites` is the number of real clients on this shard.
+pub(crate) fn build_shard_sim(
+    cfg: &SessionConfig,
+    shard: u32,
+    n_shards: u32,
+    traced: bool,
+) -> ShardSim {
+    assert!(n_shards >= 1 && shard < n_shards, "shard id in range");
+    assert!(
+        cfg.crash.is_none(),
+        "federation shards do not run crash plans (per-shard failover is a \
+         separate concern; see DESIGN §16)"
+    );
+    let n_local = cfg.workload.n_sites;
+    assert!(n_local >= 1, "a shard hosts at least one client");
+    let slots = n_local + 1; // + the virtual relay client
+    let scripts = cfg.workload.generate();
+    let mut sim: Simulator<ReliableMsg, RobustNode> = Simulator::new(cfg.latency, cfg.net_seed);
+    sim.set_default_bandwidth(cfg.bandwidth_bytes_per_sec);
+    let plan = cfg.fault_plan.unwrap_or(FaultPlan::NONE);
+    if !plan.is_none() {
+        sim.set_default_fault_plan(plan);
+    }
+    if plan.corrupt > 0.0 {
+        sim.set_corruptor(|msg: &mut ReliableMsg, rng: &mut SmallRng| {
+            if let ReliableKind::Data { payload, .. } = &mut msg.kind {
+                if !payload.is_empty() {
+                    let i = rng.gen_range(0..payload.len());
+                    payload.flip_bit(i, rng.gen_range(0..8u8));
+                }
+            }
+        });
+    }
+
+    let mut notifier = Notifier::new(slots, &cfg.initial_doc);
+    notifier.set_scan_mode(cfg.notifier_scan);
+    notifier.set_auto_gc(cfg.auto_gc);
+    notifier.set_flight_recorder_capacity(cfg.notifier_ring_capacity(slots));
+    notifier.set_flight_recorder(cfg.flight_recorder);
+    // The virtual slot is fenced from birth: its broadcasts are silently
+    // skipped (the mesh relay carries them instead) and no node exists at
+    // its address.
+    let mut fenced = vec![false; slots];
+    fenced[n_local] = true;
+    sim.add_node(RobustNode::Notifier(Box::new(RobustNotifier {
+        inner: Box::new(notifier),
+        links: (0..slots)
+            .map(|i| {
+                let mut l = ReliableLink::new(cfg.net_seed.wrapping_add(i as u64));
+                l.batching = cfg.compound_frames;
+                l.flush_delay = SimDuration::from_micros(cfg.compound_flush_ticks);
+                l
+            })
+            .collect(),
+        trace: traced.then(Vec::new),
+        wal: cfg.standby.then(|| Wal::new(DEFAULT_COMPACT_EVERY)),
+        standby: cfg.standby.then(|| {
+            let mut sb = Standby::new(slots, &cfg.initial_doc, cfg.notifier_scan);
+            sb.set_auto_gc(cfg.auto_gc);
+            Box::new(sb)
+        }),
+        crash: None,
+        ops_integrated: 0,
+        retired_links: Vec::new(),
+        fenced,
+        fenced_drops: 0,
+        crash_at: None,
+        unfenced_at: Vec::new(),
+        promoted_replay: None,
+        link_seed: cfg.net_seed,
+        flight_recorder: cfg.flight_recorder,
+        recorder_capacity: cfg.notifier_ring_capacity(slots),
+        relay: Some(Box::new(RelayState::new(
+            shard,
+            n_shards,
+            n_local,
+            &cfg.initial_doc,
+        ))),
+        acks_integrated: 0,
+        frontier_flushed: Vec::new(),
+    })));
+    for (i, script) in scripts.iter().enumerate() {
+        let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);
+        client.set_share_caret(cfg.share_carets);
+        client.set_flight_recorder_capacity(cfg.flight_recorder_capacity);
+        client.set_flight_recorder(cfg.flight_recorder);
+        sim.add_node(RobustNode::Client(Box::new(RobustClient {
+            inner: Box::new(client),
+            link: {
+                let mut l =
+                    ReliableLink::new(cfg.net_seed.wrapping_mul(1001).wrapping_add(i as u64));
+                l.batching = cfg.compound_frames;
+                l.flush_delay = SimDuration::from_micros(cfg.compound_flush_ticks);
+                l
+            },
+            script: script.clone(),
+            state: ConnState::Connected,
+            resync_rto: SimDuration::from_micros(BASE_RTO_US),
+            auto_gc: cfg.auto_gc,
+            standby_mode: cfg.standby,
+            stall_rounds: 0,
+            resync_retries: 0,
+            trace: traced.then(Vec::new),
+        })));
+    }
+    for (i, script) in scripts.iter().enumerate() {
+        for (k, edit) in script.iter().enumerate() {
+            sim.schedule_timer(1 + i, edit.at, k as u64);
+        }
+    }
+    let last_edit_us = scripts
+        .iter()
+        .flat_map(|s| s.iter().map(|e| e.at.as_micros()))
+        .max()
+        .unwrap_or(0);
+    ShardSim {
+        sim,
+        n_local,
+        last_edit_us,
+    }
 }
 
 fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option<SessionTrace>) {
@@ -1744,6 +2250,9 @@ fn run_robust_inner(cfg: &SessionConfig, traced: bool) -> (SessionReport, Option
         link_seed: cfg.net_seed,
         flight_recorder: cfg.flight_recorder,
         recorder_capacity: cfg.notifier_ring_capacity(n),
+        relay: None,
+        acks_integrated: 0,
+        frontier_flushed: Vec::new(),
     })));
     for (i, script) in scripts.iter().enumerate() {
         let mut client = Client::new(SiteId(i as u32 + 1), &cfg.initial_doc);

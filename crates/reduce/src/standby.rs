@@ -96,6 +96,7 @@ impl Standby {
         let res = match rec {
             WalRecord::Op(m) => self.notifier.try_on_client_op(m.clone()).map(|_| ()),
             WalRecord::Ack(m) => self.notifier.try_on_client_ack(*m),
+            WalRecord::AckFrontier(f) => self.observe_frontier(f),
             WalRecord::Snapshot(s) => {
                 self.notifier = s.restore();
                 self.notifier.set_auto_gc(self.auto_gc);
@@ -105,12 +106,43 @@ impl Standby {
         match &res {
             Ok(()) => match rec {
                 WalRecord::Op(_) => self.replayed_ops += 1,
-                WalRecord::Ack(_) => self.replayed_acks += 1,
+                WalRecord::Ack(_) | WalRecord::AckFrontier(_) => self.replayed_acks += 1,
                 WalRecord::Snapshot(_) => {}
             },
             Err(e) => self.poisoned = Some(e.clone()),
         }
         res
+    }
+
+    /// Apply a packed ack frontier: advance each named client's watermark
+    /// to the recorded count. Entries at or below the current watermark
+    /// are no-ops (counts are cumulative and monotone), so replaying a
+    /// frontier after the per-ack records it coalesced — or after a newer
+    /// one — is harmless. An entry naming a client outside the session is
+    /// the one genuinely impossible shape and poisons like any divergent
+    /// record.
+    fn observe_frontier(&mut self, f: &crate::wal::AckFrontierRecord) -> Result<(), ProtocolError> {
+        for &(idx, target) in &f.entries {
+            let i = idx as usize;
+            let site = cvc_core::site::SiteId::from_client_index(i);
+            if i >= self.notifier.n_clients() {
+                return Err(ProtocolError::UnknownSite {
+                    site,
+                    n_clients: self.notifier.n_clients(),
+                });
+            }
+            if !self.notifier.is_active(site) {
+                continue;
+            }
+            let have = self.notifier.acked_by().get(i).copied().unwrap_or(0);
+            if target > have {
+                self.notifier.try_on_client_ack(crate::msg::ClientAckMsg {
+                    origin: site,
+                    received: target,
+                })?;
+            }
+        }
+        Ok(())
     }
 
     /// Mirror the primary's auto-GC setting so the shadow history buffer

@@ -62,6 +62,10 @@ use cvc_sim::wire::{
 /// it; the snapshot tag lives outside the editor tag space.
 const WAL_TAG_SNAPSHOT: u8 = 32;
 
+/// Record tag for [`WalRecord::AckFrontier`] — like the snapshot tag, it
+/// lives outside the editor tag space.
+const WAL_TAG_ACK_FRONTIER: u8 = 33;
+
 /// Default ops between compaction attempts (see [`Wal::new`]).
 pub const DEFAULT_COMPACT_EVERY: u64 = 256;
 
@@ -77,9 +81,34 @@ pub enum WalRecord {
     /// A bare acknowledgement the notifier integrated (GC watermark
     /// advance).
     Ack(ClientAckMsg),
+    /// A packed acknowledgement frontier: the `acked_by` entries that
+    /// *changed* since the previous frontier, coalescing a window of
+    /// per-client [`WalRecord::Ack`] records. Cuts the WAL's ack-driven
+    /// write amplification from one framed record per incoming ack to one
+    /// delta record per [`crate::reliable::ACK_FRONTIER_EVERY`] acks —
+    /// and because a window of W acks can touch at most W entries, the
+    /// record is O(W) regardless of session width (a full-vector frontier
+    /// would be O(N) every window, i.e. *quadratic* log bytes per op at
+    /// large N, worse than the per-ack records it replaced). A crash
+    /// between frontiers loses at most that window of watermark advances,
+    /// which is safe — a standby behind on acks only *retains more*
+    /// history, and clients re-ack on their next edit.
+    AckFrontier(AckFrontierRecord),
     /// A compacted checkpoint: document plus per-client stream cursors.
     /// Supersedes every earlier record.
     Snapshot(WalSnapshot),
+}
+
+/// The packed acknowledgement frontier of [`WalRecord::AckFrontier`]:
+/// each entry is `(client index, cumulative ack count)` for a client
+/// whose watermark advanced since the previous frontier record. Counts
+/// are cumulative and monotone, so replaying a stale or duplicate entry
+/// is a no-op — order between frontier records is all that matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckFrontierRecord {
+    /// Changed `(client index, cumulative ack count)` pairs, ascending by
+    /// client index as produced (decoders must not rely on the order).
+    pub entries: Vec<(u32, u64)>,
 }
 
 /// A compacted notifier checkpoint, cut only at a
@@ -116,6 +145,13 @@ impl WireSize for WalRecord {
         match self {
             WalRecord::Op(m) => EditorMsg::ClientOp(m.clone()).wire_bytes(),
             WalRecord::Ack(m) => EditorMsg::ClientAck(*m).wire_bytes(),
+            WalRecord::AckFrontier(f) => {
+                1 + varint_len(f.entries.len() as u64)
+                    + f.entries
+                        .iter()
+                        .map(|&(i, a)| varint_len(u64::from(i)) + varint_len(a))
+                        .sum::<usize>()
+            }
             WalRecord::Snapshot(s) => {
                 1 + string_len(&s.doc)
                     + varint_len(s.clients.len() as u64)
@@ -140,6 +176,14 @@ impl WireEncode for WalRecord {
             // field codec) — the log format *is* the wire format.
             WalRecord::Op(m) => EditorMsg::ClientOp(m.clone()).encode(buf),
             WalRecord::Ack(m) => EditorMsg::ClientAck(*m).encode(buf),
+            WalRecord::AckFrontier(f) => {
+                buf.put_u8(WAL_TAG_ACK_FRONTIER);
+                put_varint(buf, f.entries.len() as u64);
+                for &(i, a) in &f.entries {
+                    put_varint(buf, u64::from(i));
+                    put_varint(buf, a);
+                }
+            }
             WalRecord::Snapshot(s) => {
                 buf.put_u8(WAL_TAG_SNAPSHOT);
                 put_string(buf, &s.doc);
@@ -173,6 +217,22 @@ impl WireDecode for WalRecord {
                 origin: SiteId(get_varint(buf)? as u32),
                 received: get_varint(buf)?,
             })),
+            WAL_TAG_ACK_FRONTIER => {
+                let n = get_varint(buf)? as usize;
+                // Each (index, count) entry costs ≥ 2 bytes on the wire; a
+                // hostile count cannot drive the allocation past the buffer.
+                if n.saturating_mul(2) > buf.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // A client index is a u32 everywhere else in the
+                    // protocol; a wider varint here is an overlong value.
+                    let idx = u32::try_from(get_varint(buf)?).map_err(|_| WireError::Overlong)?;
+                    entries.push((idx, get_varint(buf)?));
+                }
+                Ok(WalRecord::AckFrontier(AckFrontierRecord { entries }))
+            }
             WAL_TAG_SNAPSHOT => {
                 let doc = get_string(buf)?;
                 let n = get_varint(buf)? as usize;
@@ -316,6 +376,27 @@ impl WalRecovery {
                     notifier.try_on_client_op(m.clone())?;
                 }
                 WalRecord::Ack(m) => notifier.try_on_client_ack(*m)?,
+                WalRecord::AckFrontier(f) => {
+                    // Advance the named clients' watermarks to the packed
+                    // frontier; entries at or below the current watermark
+                    // are no-ops (counts are cumulative and monotone), so
+                    // replaying a frontier after per-ack records — or a
+                    // newer frontier — is harmless. An entry naming a
+                    // client outside the session is a genuine log/state
+                    // mismatch and surfaces as the notifier's typed error.
+                    for &(idx, target) in &f.entries {
+                        let i = idx as usize;
+                        let site = cvc_core::site::SiteId::from_client_index(i);
+                        match notifier.acked_by().get(i).copied() {
+                            Some(have) if target <= have => {}
+                            Some(_) if !notifier.is_active(site) => {}
+                            _ => notifier.try_on_client_ack(crate::msg::ClientAckMsg {
+                                origin: site,
+                                received: target,
+                            })?,
+                        }
+                    }
+                }
                 WalRecord::Snapshot(s) => notifier = s.restore(),
             }
             replayed += 1;

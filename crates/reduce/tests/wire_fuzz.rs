@@ -20,10 +20,11 @@ use cvc_ot::seq::SeqOp;
 use cvc_ot::ttf::TtfOp;
 use cvc_reduce::client::Client;
 use cvc_reduce::msg::{
-    ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, Payload, ServerAckMsg, ServerOpFrame,
-    ServerOpMsg,
+    ClientAckMsg, ClientOpMsg, EditorMsg, MeshOpMsg, Payload, RelayAckMsg, RelayOpMsg,
+    ServerAckMsg, ServerOpFrame, ServerOpMsg,
 };
 use cvc_reduce::notifier::Notifier;
+use cvc_reduce::relay::{RelayBus, RelayFaultPlan};
 use cvc_reduce::reliable::{frame_checksum, FrameHasher, ReliableKind, ReliableMsg};
 use cvc_reduce::wal::{WalRecord, WalSnapshot};
 use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
@@ -56,6 +57,44 @@ fn stamp_strategy() -> impl Strategy<Value = CompressedStamp> {
     (any::<u64>(), any::<u64>()).prop_map(|(a, b)| CompressedStamp::new(a, b))
 }
 
+/// A structurally valid shard-mesh operation — the body of both the
+/// mesh baseline's wire frame and the federation relay frame.
+fn mesh_op_msg_strategy() -> impl Strategy<Value = MeshOpMsg> {
+    (
+        1u32..=16,
+        proptest::collection::vec(any::<u64>(), 1..8),
+        prop_oneof![
+            (0usize..1000, proptest::char::range(' ', '~'), 0u32..16)
+                .prop_map(|(pos, ch, site)| TtfOp::Insert { pos, ch, site }),
+            (0usize..1000).prop_map(|pos| TtfOp::Delete { pos }),
+        ],
+    )
+        .prop_map(|(origin, entries, op)| MeshOpMsg {
+            origin: SiteId(origin),
+            vector: VectorClock::from_entries(entries),
+            op,
+        })
+}
+
+/// A federation relay frame with an **arbitrary** shard id — including
+/// self-referential and out-of-range ones. The codec must be total for
+/// all of them; shard-range policy lives in the notifier's quarantine
+/// counters, never in the decoder.
+fn relay_op_msg_strategy() -> impl Strategy<Value = RelayOpMsg> {
+    (
+        any::<u32>(),
+        1u64..1_000_000,
+        any::<u64>(),
+        mesh_op_msg_strategy(),
+    )
+        .prop_map(|(origin_shard, seq, sent_at_us, inner)| RelayOpMsg {
+            origin_shard,
+            seq,
+            sent_at_us,
+            inner,
+        })
+}
+
 /// Every editor message except [`EditorMsg::Compound`] (the wire format
 /// forbids nesting, so compound bodies draw from this).
 fn leaf_editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
@@ -79,22 +118,7 @@ fn leaf_editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
         proptest::option::of((1u32..=64, any::<u64>())),
     )
         .prop_map(|(stamp, op, cursor)| EditorMsg::ServerOp(ServerOpMsg { stamp, op, cursor }));
-    let mesh = (
-        1u32..=16,
-        proptest::collection::vec(any::<u64>(), 1..8),
-        prop_oneof![
-            (0usize..1000, proptest::char::range(' ', '~'), 0u32..16)
-                .prop_map(|(pos, ch, site)| TtfOp::Insert { pos, ch, site }),
-            (0usize..1000).prop_map(|pos| TtfOp::Delete { pos }),
-        ],
-    )
-        .prop_map(|(origin, entries, op)| {
-            EditorMsg::MeshOp(MeshOpMsg {
-                origin: SiteId(origin),
-                vector: VectorClock::from_entries(entries),
-                op,
-            })
-        });
+    let mesh = mesh_op_msg_strategy().prop_map(EditorMsg::MeshOp);
     let ack = any::<u64>().prop_map(|acked| EditorMsg::ServerAck(ServerAckMsg { acked }));
     let client_ack = (1u32..=64, any::<u64>()).prop_map(|(origin, received)| {
         EditorMsg::ClientAck(ClientAckMsg {
@@ -102,7 +126,14 @@ fn leaf_editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
             received,
         })
     });
-    prop_oneof![client, server, mesh, ack, client_ack]
+    let relay_op = relay_op_msg_strategy().prop_map(EditorMsg::RelayOp);
+    let relay_ack = (any::<u32>(), any::<u64>()).prop_map(|(origin_shard, received)| {
+        EditorMsg::RelayAck(RelayAckMsg {
+            origin_shard,
+            received,
+        })
+    });
+    prop_oneof![client, server, mesh, ack, client_ack, relay_op, relay_ack]
 }
 
 fn editor_msg_strategy() -> impl Strategy<Value = EditorMsg> {
@@ -188,7 +219,9 @@ fn wal_record_strategy() -> impl Strategy<Value = WalRecord> {
         ),
     )
         .prop_map(|(doc, clients)| WalRecord::Snapshot(WalSnapshot { doc, clients }));
-    prop_oneof![op, ack, snapshot]
+    let frontier = proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8)
+        .prop_map(|entries| WalRecord::AckFrontier(cvc_reduce::wal::AckFrontierRecord { entries }));
+    prop_oneof![op, ack, frontier, snapshot]
 }
 
 /// Run the full hostile-input battery against one message's encoding.
@@ -256,8 +289,13 @@ fn route_like_the_session_layer(notifier: &mut Notifier, client: &mut Client, ms
             }
         }
         // ServerAck and MeshOp are meaningless in the star topology's
-        // inbound direction; the session layer counts and drops them.
-        EditorMsg::ServerAck(_) | EditorMsg::MeshOp(_) => {}
+        // inbound direction, and the federation relay frames never reach
+        // a star edge at all (they live on the inter-notifier bus); the
+        // session layer counts and drops all of them.
+        EditorMsg::ServerAck(_)
+        | EditorMsg::MeshOp(_)
+        | EditorMsg::RelayOp(_)
+        | EditorMsg::RelayAck(_) => {}
     }
 }
 
@@ -426,5 +464,80 @@ proptest! {
                 route_like_the_session_layer(&mut notifier, &mut client, decoded);
             }
         }
+    }
+
+    /// The federation wire frames get the full battery — round trip,
+    /// truncation to `WireError`, no over-read, bit-flip totality — with
+    /// hostile shard ids baked into the strategy (`any::<u32>()`): the
+    /// codec never polices shard range, the notifier's quarantine does.
+    #[test]
+    fn relay_frame_codec_is_total(
+        op in relay_op_msg_strategy(),
+        origin_shard in any::<u32>(),
+        received in any::<u64>(),
+        flips in proptest::collection::vec(any::<usize>(), 1..12),
+    ) {
+        battery(&EditorMsg::RelayOp(op), &flips);
+        battery(&EditorMsg::RelayAck(RelayAckMsg { origin_shard, received }), &flips);
+    }
+
+    /// A fault-free bus is exact: every frame sent to a peer shard comes
+    /// out of `deliver` intact and in FIFO order — including frames whose
+    /// shard ids are hostile. The bus is a transport, not a policeman.
+    #[test]
+    fn fault_free_bus_is_exact_and_ordered(
+        inners in proptest::collection::vec((any::<u32>(), mesh_op_msg_strategy()), 1..12),
+    ) {
+        let mut bus = RelayBus::new(2, RelayFaultPlan::NONE);
+        let sent: Vec<RelayOpMsg> = inners
+            .into_iter()
+            .enumerate()
+            .map(|(i, (origin_shard, inner))| RelayOpMsg {
+                origin_shard,
+                seq: i as u64 + 1,
+                sent_at_us: i as u64,
+                inner,
+            })
+            .collect();
+        for f in &sent {
+            bus.send(0, f);
+        }
+        prop_assert_eq!(bus.deliver(0, 1), sent.clone());
+        let st = bus.stats();
+        prop_assert_eq!(st.deliveries, sent.len() as u64);
+        prop_assert_eq!(st.corrupt_drops, 0);
+        prop_assert_eq!(st.drops, 0);
+    }
+
+    /// The inter-notifier bus under **total** corruption: every delivery
+    /// attempt is bit-flipped in flight, so the checksum/decoder gate
+    /// must quarantine every frame — zero deliveries, zero panics — while
+    /// the queue keeps the frames for go-back-N redelivery.
+    #[test]
+    fn fully_corrupted_bus_quarantines_every_frame(
+        frames in proptest::collection::vec((any::<u32>(), mesh_op_msg_strategy()), 1..10),
+        seed in any::<u64>(),
+        barriers in 1usize..4,
+    ) {
+        let mut bus = RelayBus::new(
+            2,
+            RelayFaultPlan { drop: 0.0, corrupt: 1.0, seed },
+        );
+        let n = frames.len() as u64;
+        for (i, (origin_shard, inner)) in frames.into_iter().enumerate() {
+            bus.send(0, &RelayOpMsg {
+                origin_shard,
+                seq: i as u64 + 1,
+                sent_at_us: 0,
+                inner,
+            });
+        }
+        for _ in 0..barriers {
+            prop_assert!(bus.deliver(0, 1).is_empty());
+        }
+        let st = bus.stats();
+        prop_assert_eq!(st.deliveries, 0);
+        prop_assert_eq!(st.corrupt_drops, n * barriers as u64);
+        prop_assert!(!bus.is_empty(), "quarantined frames must stay queued");
     }
 }

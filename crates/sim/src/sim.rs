@@ -170,8 +170,11 @@ pub struct Simulator<M, N> {
     partitions: Vec<(NodeId, NodeId, SimTime, SimTime)>,
     fault_rng: SmallRng,
     fault_stats: FaultStats,
+    /// `Send` so a whole simulator can be stepped on a worker thread
+    /// (the federation driver runs one simulator per notifier shard
+    /// under `std::thread::scope`).
     #[allow(clippy::type_complexity)]
-    corruptor: Option<Box<dyn FnMut(&mut M, &mut SmallRng)>>,
+    corruptor: Option<Box<dyn FnMut(&mut M, &mut SmallRng) + Send>>,
 }
 
 impl<M: WireSize + Clone, N: Node<M>> Simulator<M, N> {
@@ -256,7 +259,7 @@ impl<M: WireSize + Clone, N: Node<M>> Simulator<M, N> {
     /// closure mutates the message, which is then delivered anyway — the
     /// receiver's integrity check is expected to reject it. Without a
     /// corruptor, corruption degrades to a separately-counted drop.
-    pub fn set_corruptor(&mut self, f: impl FnMut(&mut M, &mut SmallRng) + 'static) {
+    pub fn set_corruptor(&mut self, f: impl FnMut(&mut M, &mut SmallRng) + Send + 'static) {
         self.corruptor = Some(Box::new(f));
     }
 
