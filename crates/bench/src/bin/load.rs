@@ -1,0 +1,115 @@
+//! `cvc-load` — open-loop load generation against a running `cvc-serve`.
+//!
+//! ```text
+//! cvc-load --addr 127.0.0.1:4100 --clients 10000 --ops 50000 --rate 5000
+//! ```
+//!
+//! Connects `--clients` concurrent loopback editors, issues `--ops` total
+//! operations at a global `--rate` (ops/sec, 0 = as fast as possible),
+//! then drains until every replica converges. Prints a JSON summary with
+//! ack-RTT latency quantiles and exits 0 only on full convergence with
+//! zero protocol and connection errors.
+
+use cvc_net::{run_load, LoadConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cvc-load --addr HOST:PORT [--clients N] [--ops N] \
+         [--rate OPS_PER_SEC] [--threads N] [--seed N] [--timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = LoadConfig {
+        addr: String::new(),
+        n_clients: 64,
+        total_ops: 4096,
+        rate: 0.0,
+        threads: 1,
+        seed: 0xC0FFEE,
+        timeout: Duration::from_secs(120),
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().unwrap_or_else(|| usage()),
+            "--clients" => {
+                cfg.n_clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--ops" => {
+                cfg.total_ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--rate" => {
+                cfg.rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--timeout" => {
+                cfg.timeout = Duration::from_secs(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage();
+    }
+
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cvc-load: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{{\"ops_sent\":{},\"ops_acked\":{},\"converged\":{},\
+         \"distinct_checksums\":{},\"doc_checksum\":{},\"protocol_errors\":{},\
+         \"conn_errors\":{},\"elapsed_secs\":{:.3},\"achieved_rate\":{:.1},\
+         \"rtt_count\":{},\"rtt_mean_us\":{:.1},\"rtt_p50_us\":{},\
+         \"rtt_p95_us\":{},\"rtt_p99_us\":{},\"rtt_max_us\":{}}}",
+        report.ops_sent,
+        report.ops_acked,
+        report.converged,
+        report.distinct_checksums,
+        report.doc_checksum,
+        report.protocol_errors,
+        report.conn_errors,
+        report.elapsed.as_secs_f64(),
+        report.achieved_rate,
+        report.rtt.count,
+        report.rtt.mean_us,
+        report.rtt.p50_us,
+        report.rtt.p95_us,
+        report.rtt.p99_us,
+        report.rtt.max_us,
+    );
+    std::process::exit(i32::from(!report.converged));
+}

@@ -3,16 +3,17 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e21)
+//! repro e3                # one experiment (e1..e22)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16, e17, e18, e19, e21) sequentially. Output is
-//! always in e1..e21 order and, being seeded virtual-time, bit-identical
-//! at any worker count.
+//! experiments (e7, e14, e16, e17, e18, e19, e21, e22) sequentially. Output
+//! is always in e1..e22 order and, being seeded virtual-time, bit-identical
+//! at any worker count (E22 alone measures real sockets, so its timing
+//! columns vary run to run; its gates do not).
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
 //! 1 when any experiment reports a `FAILED:` line; 2 on usage errors.
@@ -75,6 +76,8 @@ fn main() {
         "e20-smoke" => experiments::e20_failover_smoke(),
         "e21" => experiments::e21_federation(),
         "e21-smoke" => experiments::e21_federation_smoke(),
+        "e22" => experiments::e22_loopback(),
+        "e22-smoke" => experiments::e22_loopback_smoke(),
         "failover" => {
             let t = cvc_reduce::scenario::failover_walkthrough();
             let mut s = String::from("durability & failover walkthrough\n\n");
@@ -114,6 +117,8 @@ fn main() {
              e20-smoke  small e20 run for the CI bench gate\n\
              e21 multi-notifier federation throughput (K to 8, N to 1024)\n\
              e21-smoke  small e21 run for the CI bench gate\n\
+             e22 loopback saturation sweep over real TCP (N to 4096)\n\
+             e22-smoke  small e22 run for the CI bench gate\n\
              failover  step-by-step WAL/promotion/resync walkthrough"
             .to_string(),
         other => {

@@ -3,13 +3,22 @@
 //! Stitches per-site flight-recorder rings into per-operation lifecycle
 //! traces (generate → send → notifier transform → broadcast → deliver →
 //! execute) and prints the slowest ones with a per-stage latency
-//! breakdown. Three modes:
+//! breakdown. Four modes:
 //!
 //! ```text
 //! cvc-trace fig3                         # the paper's Fig. 3 walkthrough
 //! cvc-trace run  [--n N] [--ops K] [--loss PCT] [--seed S] [--slowest K]
 //! cvc-trace read FILE                    # a ring dump from --dump
+//! cvc-trace tail FILE [--n N] [--follow] # stream traces as they close
 //! ```
+//!
+//! `tail` is the incremental twin of `read`: it consumes a (possibly
+//! still growing) ring dump line by line and prints each op's trace the
+//! moment its lifecycle closes, so a live run streams convergence
+//! traces instead of waiting for the session to end. `--n N` pins the
+//! live client set (otherwise membership is learned from the stream and
+//! emission is conservative); `--follow` keeps polling for appended
+//! lines until the file goes quiet for `--idle` seconds.
 //!
 //! Every mode accepts `--chrome PATH` (Chrome trace_event JSON, loadable
 //! in chrome://tracing or Perfetto) and `--otlp PATH` (an OTLP/JSON
@@ -36,14 +45,21 @@ USAGE:
   trace run  [--n N] [--ops K] [--loss PCT] [--seed S]
              [--slowest K] [--chrome PATH] [--otlp PATH] [--dump PATH]
   trace read FILE [--slowest K] [--chrome PATH] [--otlp PATH]
+  trace tail FILE [--n N] [--follow] [--idle SECS]
+             [--slowest K] [--chrome PATH] [--otlp PATH]
 ";
 
 struct Opts {
     n: usize,
+    /// `--n` was passed explicitly (tail pins membership only then).
+    n_given: bool,
     ops: usize,
     loss: f64,
     seed: u64,
     slowest: usize,
+    follow: bool,
+    /// Seconds of no file growth before `--follow` gives up (0 = never).
+    idle: u64,
     chrome: Option<String>,
     otlp: Option<String>,
     dump: Option<String>,
@@ -54,10 +70,13 @@ impl Opts {
     fn default_opts() -> Opts {
         Opts {
             n: 8,
+            n_given: false,
             ops: 6,
             loss: 0.0,
             seed: 42,
             slowest: 5,
+            follow: false,
+            idle: 5,
             chrome: None,
             otlp: None,
             dump: None,
@@ -78,7 +97,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag {
-            "--n" => o.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--n" => {
+                o.n = value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?;
+                o.n_given = true;
+            }
             "--ops" => o.ops = value(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--loss" => {
                 let pct: f64 = value(&mut i)?.parse().map_err(|e| format!("--loss: {e}"))?;
@@ -93,6 +115,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--slowest: {e}"))?
             }
+            "--follow" => o.follow = true,
+            "--idle" => o.idle = value(&mut i)?.parse().map_err(|e| format!("--idle: {e}"))?,
             "--chrome" => o.chrome = Some(value(&mut i)?),
             "--otlp" => o.otlp = Some(value(&mut i)?),
             "--dump" => o.dump = Some(value(&mut i)?),
@@ -222,6 +246,83 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     write_artifacts(&set, &r.flight_traces, o)
 }
 
+/// Poll cadence while `--follow` waits for the dump to grow.
+const TAIL_POLL_MS: u64 = 200;
+
+fn cmd_tail(o: &Opts) -> Result<(), String> {
+    use cvc_reduce::trace::{parse_ring_line, TraceTailer};
+    use std::io::{Read, Seek, SeekFrom};
+
+    let path = o.file.as_deref().ok_or("tail needs a FILE argument")?;
+    let mut tailer = if o.n_given {
+        TraceTailer::with_clients(1..=o.n as u32)
+    } else {
+        TraceTailer::new()
+    };
+    let mut pos = 0u64;
+    let mut carry = String::new();
+    let mut line_no = 0usize;
+    let mut streamed = 0usize;
+    let mut idle_ms = 0u64;
+    loop {
+        let mut fh = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let len = fh.metadata().map_err(|e| format!("{path}: {e}"))?.len();
+        if len < pos {
+            return Err(format!("{path}: shrank while tailing (rotated?)"));
+        }
+        if len > pos {
+            idle_ms = 0;
+            fh.seek(SeekFrom::Start(pos))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let mut chunk = String::new();
+            fh.take(len - pos)
+                .read_to_string(&mut chunk)
+                .map_err(|e| format!("{path}: {e}"))?;
+            pos = len;
+            carry.push_str(&chunk);
+            // Feed only whole lines; a torn final line waits for its
+            // newline — exactly the reassembly discipline of the wire.
+            while let Some(nl) = carry.find('\n') {
+                let line: String = carry.drain(..=nl).collect();
+                line_no += 1;
+                if let Some((site, ev)) =
+                    parse_ring_line(&line).map_err(|e| format!("line {line_no}: {e}"))?
+                {
+                    tailer.push(site, &ev);
+                }
+            }
+            for t in tailer.drain_complete() {
+                streamed += 1;
+                print!("{}", t.render());
+            }
+        } else if !o.follow {
+            break;
+        } else {
+            idle_ms += TAIL_POLL_MS;
+            if o.idle > 0 && idle_ms >= o.idle * 1000 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(TAIL_POLL_MS));
+        }
+    }
+    if !carry.trim().is_empty() {
+        println!("(ignored torn trailing line without newline)");
+    }
+    let set = tailer.finish();
+    let open = set.traces.len() - streamed;
+    println!("\nstreamed {streamed} complete trace(s); {open} still open at end of stream");
+    print_set(&set, o.slowest);
+    if let Some(p) = &o.chrome {
+        std::fs::write(p, set.to_chrome_json()).map_err(|e| format!("{p}: {e}"))?;
+        println!("\nchrome trace written to {p} (open in chrome://tracing)");
+    }
+    if let Some(p) = &o.otlp {
+        std::fs::write(p, set.to_otlp_json()).map_err(|e| format!("{p}: {e}"))?;
+        println!("OTLP/JSON trace written to {p} (ExportTraceServiceRequest)");
+    }
+    Ok(())
+}
+
 fn cmd_read(o: &Opts) -> Result<(), String> {
     let path = o.file.as_deref().ok_or("read needs a FILE argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -242,6 +343,7 @@ fn main() -> ExitCode {
         "fig3" => cmd_fig3(&o),
         "run" => cmd_run(&o),
         "read" => cmd_read(&o),
+        "tail" => cmd_tail(&o),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())

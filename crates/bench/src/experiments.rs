@@ -2241,6 +2241,9 @@ struct FederationRow {
     k: u32,
     ops: u64,
     relay_frames: u64,
+    /// Physical bus frames enqueued per relayed op (compound coalescing
+    /// drives this below 1.0; 0 when nothing relayed).
+    frames_per_op: f64,
     redeliveries: u64,
     rounds: u64,
     wall_ms: f64,
@@ -2295,6 +2298,7 @@ fn e21_federation_with(ns: &[usize], ks: &[u32], ops_budget: usize, write_json: 
                 k,
                 ops: r.local_ops_total,
                 relay_frames: r.relay_frames_total,
+                frames_per_op: r.bus.frames_per_op(),
                 redeliveries: r.bus.redeliveries,
                 rounds: r.rounds,
                 wall_ms: r.wall_us as f64 / 1e3,
@@ -2320,6 +2324,7 @@ fn e21_federation_with(ns: &[usize], ks: &[u32], ops_budget: usize, write_json: 
         "K",
         "ops",
         "relay frames",
+        "frames/op",
         "redeliv",
         "rounds",
         "wall (ms)",
@@ -2337,6 +2342,7 @@ fn e21_federation_with(ns: &[usize], ks: &[u32], ops_budget: usize, write_json: 
             r.k.to_string(),
             r.ops.to_string(),
             r.relay_frames.to_string(),
+            format!("{:.3}", r.frames_per_op),
             r.redeliveries.to_string(),
             r.rounds.to_string(),
             format!("{:.1}", r.wall_ms),
@@ -2377,6 +2383,18 @@ fn e21_federation_with(ns: &[usize], ks: &[u32], ops_budget: usize, write_json: 
         .any(|r| r.k > 1 && (r.relay_frames == 0 || r.oracle_checks == 0))
     {
         out.push_str("FAILED: a multi-shard cell relayed nothing\n");
+    }
+    // Gate 2b: compound coalescing on the relay bus. Every relaying cell
+    // must ship at most one physical frame per op, and at least one cell
+    // must genuinely batch (strictly fewer frames than ops) — the
+    // per-character decomposition of multi-char inserts guarantees
+    // same-barrier runs whenever any relay traffic exists.
+    let relaying: Vec<&FederationRow> = rows.iter().filter(|r| r.k > 1).collect();
+    if relaying.iter().any(|r| r.frames_per_op > 1.0) {
+        out.push_str("FAILED: a cell shipped more than one physical frame per relayed op\n");
+    }
+    if !relaying.is_empty() && !relaying.iter().any(|r| r.frames_per_op < 1.0) {
+        out.push_str("FAILED: the relay bus never coalesced a batch\n");
     }
     // Gate 3: the scaling claim. Wall-clock speedup needs real cores;
     // on a starved runner the number is reported but not gated.
@@ -2434,6 +2452,7 @@ fn write_bench_pr8_json(rows: &[FederationRow], cores: usize) -> Result<String, 
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"n\": {}, \"k\": {}, \"ops\": {}, \"relay_frames\": {}, \
+             \"frames_per_op\": {:.4}, \
              \"redeliveries\": {}, \"rounds\": {}, \"wall_ms\": {:.3}, \
              \"ops_per_sec\": {:.1}, \"speedup\": {:.3}, \"hop_us_mean\": {:.1}, \
              \"wal_amplification\": {:.4}, \"dangling_traces\": {}, \"audit_ok\": {}, \
@@ -2442,6 +2461,7 @@ fn write_bench_pr8_json(rows: &[FederationRow], cores: usize) -> Result<String, 
             r.k,
             r.ops,
             r.relay_frames,
+            r.frames_per_op,
             r.redeliveries,
             r.rounds,
             r.wall_ms,
@@ -2462,13 +2482,240 @@ fn write_bench_pr8_json(rows: &[FederationRow], cores: usize) -> Result<String, 
     Ok(path)
 }
 
+/// E22 — loopback saturation sweep: the real TCP server (`cvc-serve`'s
+/// engine) driven by the open-loop generator over real loopback
+/// sockets, in-process. Client count escalates at maximum rate (`rate
+/// 0` = saturation); each cell reports achieved throughput, the ack-RTT
+/// distribution from the `MetricsRegistry` histogram, and the socket
+/// path's compound coalescing ratio (messages per physical frame).
+/// Gates per cell: converged with one distinct checksum, zero
+/// protocol/connection/framing errors, every op's ack RTT measured, and
+/// the server's integration log replayed through an offline sim twin
+/// (`replay_twin`) reproducing the same stamps and document — the sim
+/// stays the correctness oracle; the server is only the wall-clock
+/// truth. Writes `BENCH_PR9.json` (override with `BENCH_PR9_OUT`).
+/// The sweep tops out at 4096 in-process clients (2 fds per loopback
+/// client; the two-process `cvc-serve`/`cvc-load` pair is how the 10k
+/// acceptance run is driven — see EXPERIMENTS.md E22).
+pub fn e22_loopback() -> String {
+    e22_loopback_with(&[64, 512, 2048, 4096], true)
+}
+
+/// The CI smoke variant: two small cells, same gates, same JSON schema.
+pub fn e22_loopback_smoke() -> String {
+    e22_loopback_with(&[32, 128], true)
+}
+
+/// One measured cell of E22.
+struct LoopbackRow {
+    n: usize,
+    ops: u64,
+    acked: u64,
+    achieved_rate: f64,
+    rtt_count: u64,
+    rtt_p50_us: u64,
+    rtt_p95_us: u64,
+    rtt_p99_us: u64,
+    /// Outbound messages per physical frame on the socket path (the
+    /// compound coalescing win; 1.0 = no batching).
+    msgs_per_frame: f64,
+    wal_amp: f64,
+    protocol_errors: u64,
+    conn_errors: u64,
+    frame_errors: u64,
+    distinct: usize,
+    twin_ok: bool,
+    converged: bool,
+}
+
+fn e22_loopback_with(ns: &[usize], write_json: bool) -> String {
+    use cvc_net::{replay_twin, run_load, EditorServer, LoadConfig, ServerConfig};
+    use std::time::Duration;
+
+    let mut rows: Vec<LoopbackRow> = Vec::new();
+    for &n in ns {
+        // Constant-ish delivery budget: every op fans out to n-1
+        // receivers, so ops shrink as clients grow.
+        let ops = (65_536 / n).clamp(64, 1024) as u64;
+        let server = EditorServer::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            n_clients: n,
+            capture_integrations: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback server");
+        let load = run_load(&LoadConfig {
+            addr: server.addr().to_string(),
+            n_clients: n,
+            total_ops: ops,
+            rate: 0.0,
+            threads: 2,
+            seed: 0x22E0 + n as u64,
+            timeout: Duration::from_secs(240),
+        })
+        .expect("loopback load run");
+        let rep = server.shutdown();
+        let twin_ok = replay_twin(n, &rep.integration_log)
+            .map(|t| t.doc_checksum == rep.doc_checksum && t.doc_checksum == load.doc_checksum)
+            .unwrap_or(false);
+        rows.push(LoopbackRow {
+            n,
+            ops,
+            acked: load.ops_acked,
+            achieved_rate: load.achieved_rate,
+            rtt_count: load.rtt.count,
+            rtt_p50_us: load.rtt.p50_us,
+            rtt_p95_us: load.rtt.p95_us,
+            rtt_p99_us: load.rtt.p99_us,
+            msgs_per_frame: rep.msgs_out as f64 / (rep.frames_out.max(1)) as f64,
+            wal_amp: rep.wal_amplification,
+            protocol_errors: load.protocol_errors + rep.protocol_errors,
+            conn_errors: load.conn_errors,
+            frame_errors: rep.frame_errors,
+            distinct: load.distinct_checksums,
+            twin_ok,
+            converged: load.converged,
+        });
+    }
+
+    let mut t = Table::new(vec![
+        "clients",
+        "ops",
+        "acked",
+        "ops/sec",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "msgs/frame",
+        "WAL amp",
+        "errors",
+        "twin",
+        "converged",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.ops.to_string(),
+            r.acked.to_string(),
+            format!("{:.0}", r.achieved_rate),
+            r.rtt_p50_us.to_string(),
+            r.rtt_p95_us.to_string(),
+            r.rtt_p99_us.to_string(),
+            format!("{:.1}", r.msgs_per_frame),
+            format!("{:.3}", r.wal_amp),
+            (r.protocol_errors + r.conn_errors + r.frame_errors).to_string(),
+            r.twin_ok.to_string(),
+            r.converged.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E22 — loopback saturation sweep: real TCP sockets, open-loop load, \
+         sim-twin certification\n\n{}",
+        t.render()
+    );
+
+    // Gate 1: every cell clean — converged, one checksum, zero errors.
+    let broken = rows
+        .iter()
+        .filter(|r| {
+            !r.converged
+                || r.distinct != 1
+                || r.protocol_errors + r.conn_errors + r.frame_errors > 0
+        })
+        .count();
+    if broken == 0 {
+        out.push_str(
+            "\nevery cell converged on one checksum with 0 protocol/connection/framing errors\n",
+        );
+    } else {
+        out.push_str(&format!(
+            "\nFAILED: {broken} cell(s) broke a cleanliness gate\n"
+        ));
+    }
+    // Gate 2: the sim twin certifies every cell's integration log.
+    if rows.iter().all(|r| r.twin_ok) {
+        out.push_str("sim twin replayed every cell's integration log to the same document\n");
+    } else {
+        out.push_str("FAILED: a cell's sim twin diverged from the live server\n");
+    }
+    // Gate 3: RTT accounting — every op measured, quantiles ordered.
+    if rows
+        .iter()
+        .any(|r| r.rtt_count != r.ops || r.rtt_p99_us < r.rtt_p50_us || r.rtt_p99_us == 0)
+    {
+        out.push_str("FAILED: an RTT histogram lost samples or produced unordered quantiles\n");
+    }
+    // Gate 4: the socket path coalesces under fan-out load.
+    if rows.iter().any(|r| r.n >= 64 && r.msgs_per_frame <= 1.0) {
+        out.push_str("FAILED: a fan-out cell never coalesced outbound frames\n");
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr9_json(&rows) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable loopback report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR9.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E22 rows as `BENCH_PR9.json` (override the path with
+/// `BENCH_PR9_OUT`). Returns the path written.
+fn write_bench_pr9_json(rows: &[LoopbackRow]) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR9_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E22 loopback saturation sweep\",\n");
+    s.push_str("  \"transport\": \"real TCP over loopback, in-process server\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"ops\": {}, \"acked\": {}, \
+             \"achieved_rate\": {:.1}, \"rtt_count\": {}, \"rtt_p50_us\": {}, \
+             \"rtt_p95_us\": {}, \"rtt_p99_us\": {}, \"msgs_per_frame\": {:.2}, \
+             \"wal_amplification\": {:.4}, \"protocol_errors\": {}, \
+             \"conn_errors\": {}, \"frame_errors\": {}, \
+             \"distinct_checksums\": {}, \"twin_ok\": {}, \"converged\": {}}}{}\n",
+            r.n,
+            r.ops,
+            r.acked,
+            r.achieved_rate,
+            r.rtt_count,
+            r.rtt_p50_us,
+            r.rtt_p95_us,
+            r.rtt_p99_us,
+            r.msgs_per_frame,
+            r.wal_amp,
+            r.protocol_errors,
+            r.conn_errors,
+            r.frame_errors,
+            r.distinct,
+            r.twin_ok,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
 /// experiments measure wall-clock and must not share the machine with the
 /// worker pool.
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 21] = [
+pub const EXPERIMENTS: [ExperimentEntry; 22] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -2490,6 +2737,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 21] = [
     ("e19", true, e19_throughput),
     ("e20", false, e20_failover),
     ("e21", true, e21_federation),
+    ("e22", true, e22_loopback),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -2824,7 +3072,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -2835,7 +3083,10 @@ mod tests {
             .filter(|&&(_, t, _)| t)
             .map(|&(n, _, _)| n)
             .collect();
-        assert_eq!(timing, vec!["e7", "e14", "e16", "e17", "e18", "e19", "e21"]);
+        assert_eq!(
+            timing,
+            vec!["e7", "e14", "e16", "e17", "e18", "e19", "e21", "e22"]
+        );
     }
 
     #[test]

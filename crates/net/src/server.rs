@@ -1,0 +1,803 @@
+//! `cvc-serve`'s engine: the paper's notifier behind real TCP.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            accept thread ──round robin──►  shard workers (thread per core)
+//!                                             │  epoll loop, Conn state machines
+//!                 frames in (mpsc)  ◄─────────┤  frame reassembly + decode
+//!                      │                      ▲
+//!                      ▼                      │ outbox (Mutex<VecDeque> + eventfd waker)
+//!            core thread: Notifier + WAL ─────┘ per-destination payloads,
+//!            append-before-broadcast            coalesced into compound frames
+//! ```
+//!
+//! The I/O tier never touches editor state and the core never touches a
+//! socket: workers own reads, reassembly, decode, and writes; the single
+//! core thread owns the `Notifier` and its WAL, preserving the exact
+//! integration semantics (and total order) the simulator validates. TCP
+//! supplies the reliable-FIFO channel the paper assumes, so the sim's
+//! go-back-N layer stays home; what crosses over is the framing
+//! discipline — fnv1a32-checksummed frames, compound coalescing on the
+//! write path, WAL append **before** broadcast.
+//!
+//! A connection binds to its site with a hello frame: a `ClientAck`
+//! carrying the site id and `received: 0`. Every later frame must agree
+//! with that binding; disagreement, protocol violations, or unparseable
+//! framing evict the connection (and quarantine the site for protocol
+//! violations, mirroring the sim's hostile-site policy).
+
+use crate::conn::{Conn, ConnError};
+use crate::poll::{Interest, PollEvent, Poller, Waker};
+use cvc_core::site::SiteId;
+use cvc_reduce::msg::{compound_header, ClientAckMsg, ClientOpMsg, EditorMsg, Payload};
+use cvc_reduce::notifier::Notifier;
+use cvc_reduce::wal::{Wal, WalRecord};
+use cvc_sim::wire::{WireDecode, WireEncode, WireError, WireSize};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+/// How a server instance is shaped.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of client sites (the notifier's width); sites `1..=n`.
+    pub n_clients: usize,
+    /// Shard worker threads. 0 = one per available core.
+    pub workers: usize,
+    /// WAL compaction cadence (records between checkpoint probes).
+    pub wal_compact_every: u64,
+    /// Acknowledge every integrated op to its origin (`ServerAck`) — what
+    /// `cvc-load` measures RTT against.
+    pub send_acks: bool,
+    /// Record every accepted `ClientOpMsg` in arrival order, for the
+    /// sim-twin differential oracle. Costs memory; off for soak runs.
+    pub capture_integrations: bool,
+    /// Most sub-messages one compound frame may carry on the write path.
+    pub compound_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            n_clients: 16,
+            workers: 0,
+            wal_compact_every: 4096,
+            send_acks: true,
+            capture_integrations: false,
+            compound_max: 32,
+        }
+    }
+}
+
+/// Shared I/O-tier counters (workers increment, the report snapshots).
+#[derive(Debug, Default)]
+struct IoStats {
+    accepted: AtomicU64,
+    frames_in: AtomicU64,
+    msgs_in: AtomicU64,
+    frames_out: AtomicU64,
+    msgs_out: AtomicU64,
+    compound_frames_out: AtomicU64,
+    frame_errors: AtomicU64,
+    closed: AtomicU64,
+}
+
+/// Everything the server learned, returned at shutdown.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// The notifier's final document.
+    pub doc: String,
+    /// FNV checksum of the final document.
+    pub doc_checksum: u64,
+    /// Client operations integrated.
+    pub ops_integrated: u64,
+    /// Protocol violations rejected (notifier counter).
+    pub protocol_errors: u64,
+    /// Connections whose byte stream failed framing or decode.
+    pub frame_errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Frames read off sockets.
+    pub frames_in: u64,
+    /// Editor messages decoded (compound sub-messages counted singly).
+    pub msgs_in: u64,
+    /// Frames written to sockets.
+    pub frames_out: u64,
+    /// Editor messages those frames carried.
+    pub msgs_out: u64,
+    /// Frames that coalesced more than one message.
+    pub compound_frames_out: u64,
+    /// Broadcasts dropped because the destination had no live connection.
+    pub dropped_broadcasts: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// WAL write amplification (bytes appended / op payload bytes).
+    pub wal_amplification: f64,
+    /// Final WAL byte image (recover with `Wal::recover`).
+    pub wal_bytes: Vec<u8>,
+    /// Peak history-buffer length at the notifier.
+    pub hb_high_water: u64,
+    /// Accepted client ops in integration order (when capture was on).
+    pub integration_log: Vec<ClientOpMsg>,
+}
+
+/// Most broadcasts parked for a not-yet-connected site before the rest
+/// overflow (counted as drops). A late joiner past this window needs a
+/// snapshot sync, not a replay.
+const MAX_PARKED_PER_SITE: usize = 1 << 16;
+
+/// A command from the core to a worker's write side.
+enum OutCmd {
+    /// Queue one editor-message payload for a connection.
+    Frame { conn: u64, payload: Payload },
+    /// Flush-and-close a connection (eviction or quarantine).
+    Close { conn: u64 },
+}
+
+/// What workers tell the core.
+enum CoreMsg {
+    /// Decoded messages from one connection, in stream order.
+    Frames {
+        worker: usize,
+        conn: u64,
+        msgs: Vec<EditorMsg>,
+    },
+    /// A connection is gone (peer close, error, or eviction done).
+    Disconnected { worker: usize, conn: u64 },
+    /// Stop and produce the report.
+    Shutdown,
+}
+
+/// Per-worker mailboxes shared between threads.
+struct WorkerShared {
+    waker: Waker,
+    /// Freshly accepted streams awaiting registration.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Write-side commands from the core.
+    outbox: Mutex<VecDeque<OutCmd>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned mutex means a peer thread died mid-update; the data is
+    // plain queues, safe to keep draining during teardown.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A running server instance.
+pub struct EditorServer;
+
+/// Handle to a spawned server: the bound address plus the shutdown path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_waker: Arc<Waker>,
+    workers: Vec<Arc<WorkerShared>>,
+    core_tx: mpsc::Sender<CoreMsg>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    worker_threads: Vec<thread::JoinHandle<()>>,
+    core_thread: Option<thread::JoinHandle<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the tiers, and return the final report.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.stop.store(true, Ordering::SeqCst);
+        self.accept_waker.wake();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in &self.workers {
+            w.waker.wake();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        let _ = self.core_tx.send(CoreMsg::Shutdown);
+        let report = self.core_thread.take().map(|t| t.join());
+        match report {
+            Some(Ok(r)) => r,
+            // The core thread never panics by construction; an empty
+            // report here means it was killed externally.
+            _ => ServerReport {
+                doc: String::new(),
+                doc_checksum: 0,
+                ops_integrated: 0,
+                protocol_errors: 0,
+                frame_errors: 0,
+                accepted: 0,
+                frames_in: 0,
+                msgs_in: 0,
+                frames_out: 0,
+                msgs_out: 0,
+                compound_frames_out: 0,
+                dropped_broadcasts: 0,
+                wal_appends: 0,
+                wal_amplification: 0.0,
+                wal_bytes: Vec::new(),
+                hb_high_water: 0,
+                integration_log: Vec::new(),
+            },
+        }
+    }
+}
+
+impl EditorServer {
+    /// Bind, spawn the accept/worker/core threads, and return a handle.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let n_workers = if cfg.workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(IoStats::default());
+        let (core_tx, core_rx) = mpsc::channel::<CoreMsg>();
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            workers.push(Arc::new(WorkerShared {
+                waker: Waker::new()?,
+                inbox: Mutex::new(Vec::new()),
+                outbox: Mutex::new(VecDeque::new()),
+            }));
+        }
+
+        let accept_waker = Arc::new(Waker::new()?);
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let workers: Vec<Arc<WorkerShared>> = workers.clone();
+            let stats = Arc::clone(&stats);
+            let waker = Arc::clone(&accept_waker);
+            thread::Builder::new()
+                .name("cvc-accept".to_string())
+                .spawn(move || accept_loop(listener, &workers, &stats, &stop, &waker))?
+        };
+
+        let mut worker_threads = Vec::with_capacity(n_workers);
+        for (wi, shared) in workers.iter().enumerate() {
+            let shared = Arc::clone(shared);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let tx = core_tx.clone();
+            let compound_max = cfg.compound_max.max(1);
+            worker_threads.push(
+                thread::Builder::new()
+                    .name(format!("cvc-worker-{wi}"))
+                    .spawn(move || worker_loop(wi, &shared, &stats, &stop, &tx, compound_max))?,
+            );
+        }
+
+        let core_thread = {
+            let cfg = cfg.clone();
+            let workers: Vec<Arc<WorkerShared>> = workers.clone();
+            let stats = Arc::clone(&stats);
+            thread::Builder::new()
+                .name("cvc-core".to_string())
+                .spawn(move || core_loop(&cfg, core_rx, &workers, &stats))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_waker,
+            workers,
+            core_tx,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            core_thread: Some(core_thread),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    workers: &[Arc<WorkerShared>],
+    stats: &IoStats,
+    stop: &AtomicBool,
+    waker: &Waker,
+) {
+    let Ok(poller) = Poller::new() else { return };
+    if poller.register(waker.fd(), 0, Interest::READ).is_err() {
+        return;
+    }
+    if poller
+        .register(listener.as_raw_fd(), 1, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        events.clear();
+        if poller.wait(&mut events, 500).is_err() {
+            break;
+        }
+        waker.drain();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let w = &workers[next % workers.len()];
+                    next = next.wrapping_add(1);
+                    lock(&w.inbox).push(stream);
+                    w.waker.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures (ECONNABORTED,
+                // EMFILE pressure): skip; the poller will re-arm.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Decode every reassembled payload into exactly one editor message.
+fn decode_frames(payloads: &[Vec<u8>]) -> Result<Vec<EditorMsg>, WireError> {
+    let mut msgs = Vec::with_capacity(payloads.len());
+    for p in payloads {
+        let mut slice: &[u8] = p;
+        let m = EditorMsg::decode(&mut slice)?;
+        if let Some(&junk) = slice.first() {
+            // Trailing bytes after a complete message: the frame length
+            // lied about the message — a desync or an attack.
+            return Err(WireError::BadTag(junk));
+        }
+        msgs.push(m);
+    }
+    Ok(msgs)
+}
+
+fn worker_loop(
+    wi: usize,
+    shared: &WorkerShared,
+    stats: &IoStats,
+    stop: &AtomicBool,
+    tx: &mpsc::Sender<CoreMsg>,
+    compound_max: usize,
+) {
+    let Ok(poller) = Poller::new() else { return };
+    if poller
+        .register(shared.waker.fd(), 0, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    // Slab of connections; token = slot + 1 (token 0 is the waker).
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<PollEvent> = Vec::new();
+
+    let close_slot =
+        |poller: &Poller, conns: &mut Vec<Option<Conn>>, free: &mut Vec<usize>, slot: usize| {
+            if let Some(conn) = conns.get_mut(slot).and_then(Option::take) {
+                let _ = poller.deregister(conn.fd());
+                free.push(slot);
+                stats.closed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(CoreMsg::Disconnected {
+                    worker: wi,
+                    conn: slot as u64,
+                });
+            }
+        };
+
+    while !stop.load(Ordering::SeqCst) {
+        events.clear();
+        if poller.wait(&mut events, 500).is_err() {
+            break;
+        }
+
+        for ev in &events {
+            if ev.token == 0 {
+                shared.waker.drain();
+                continue;
+            }
+            let slot = (ev.token - 1) as usize;
+            let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            let mut dead = false;
+            if ev.readable || ev.hangup {
+                let mut payloads = Vec::new();
+                let res = conn.on_readable(&mut payloads);
+                if !payloads.is_empty() {
+                    stats
+                        .frames_in
+                        .fetch_add(payloads.len() as u64, Ordering::Relaxed);
+                    match decode_frames(&payloads) {
+                        Ok(msgs) => {
+                            stats
+                                .msgs_in
+                                .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                            let _ = tx.send(CoreMsg::Frames {
+                                worker: wi,
+                                conn: slot as u64,
+                                msgs,
+                            });
+                        }
+                        Err(_) => {
+                            stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                            dead = true;
+                        }
+                    }
+                }
+                match res {
+                    Ok(()) => {}
+                    Err(ConnError::Frame(_)) => {
+                        stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                        dead = true;
+                    }
+                    Err(_) => dead = true,
+                }
+            }
+            if !dead && ev.writable {
+                dead = conn.flush().is_err()
+                    || (!conn.wants_write()
+                        && poller.modify(conn.fd(), ev.token, Interest::READ).is_err());
+            }
+            if dead || (ev.hangup && !ev.readable) {
+                close_slot(&poller, &mut conns, &mut free, slot);
+            }
+        }
+
+        // Adopt freshly accepted connections.
+        let fresh: Vec<TcpStream> = std::mem::take(&mut *lock(&shared.inbox));
+        for stream in fresh {
+            let Ok(conn) = Conn::new(stream) else {
+                continue;
+            };
+            let slot = free.pop().unwrap_or_else(|| {
+                conns.push(None);
+                conns.len() - 1
+            });
+            let token = slot as u64 + 1;
+            if poller.register(conn.fd(), token, Interest::READ).is_ok() {
+                conns[slot] = Some(conn);
+            } else {
+                free.push(slot);
+            }
+        }
+
+        // Drain the core's write commands, coalescing per connection.
+        let cmds: VecDeque<OutCmd> = std::mem::take(&mut *lock(&shared.outbox));
+        if cmds.is_empty() {
+            continue;
+        }
+        let mut batches: HashMap<u64, Vec<Payload>> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        let mut closes: Vec<u64> = Vec::new();
+        for cmd in cmds {
+            match cmd {
+                OutCmd::Frame { conn, payload } => {
+                    batches.entry(conn).or_insert_with(|| {
+                        order.push(conn);
+                        Vec::new()
+                    });
+                    if let Some(b) = batches.get_mut(&conn) {
+                        b.push(payload);
+                    }
+                }
+                OutCmd::Close { conn } => closes.push(conn),
+            }
+        }
+        for conn_id in order {
+            let slot = conn_id as usize;
+            let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            let Some(batch) = batches.remove(&conn_id) else {
+                continue;
+            };
+            let mut failed = false;
+            for group in batch.chunks(compound_max) {
+                let res = if group.len() == 1 {
+                    let [head, body] = group[0].chunks();
+                    conn.queue_frame(&[head, body])
+                } else {
+                    // Compound coalescing: one frame header + checksum
+                    // over the whole group — the PR 6 freight saving,
+                    // applied at the socket boundary.
+                    let header = compound_header(group.len());
+                    let mut chunks: Vec<&[u8]> = Vec::with_capacity(1 + group.len() * 2);
+                    chunks.push(&header);
+                    for p in group {
+                        let [head, body] = p.chunks();
+                        chunks.push(head);
+                        chunks.push(body);
+                    }
+                    stats.compound_frames_out.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_frame(&chunks)
+                };
+                stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .msgs_out
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                if res.is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            if !failed && conn.flush().is_err() {
+                failed = true;
+            }
+            if failed {
+                close_slot(&poller, &mut conns, &mut free, slot);
+                continue;
+            }
+            if conn.wants_write() {
+                let _ = poller.modify(conn.fd(), conn_id + 1, Interest::READ_WRITE);
+            }
+        }
+        for conn_id in closes {
+            let slot = conn_id as usize;
+            // Best-effort final flush so eviction notices drain.
+            if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
+                let _ = conn.flush();
+            }
+            close_slot(&poller, &mut conns, &mut free, slot);
+        }
+    }
+}
+
+/// The editor brain: single-threaded `Notifier` + WAL, fed decoded
+/// messages, emitting per-destination payloads to worker outboxes.
+struct Core<'a> {
+    cfg: &'a ServerConfig,
+    workers: &'a [Arc<WorkerShared>],
+    notifier: Notifier,
+    wal: Wal,
+    /// (worker, conn) → bound site.
+    bound: HashMap<(usize, u64), SiteId>,
+    /// client index → (worker, conn) route.
+    routes: Vec<Option<(usize, u64)>>,
+    /// Broadcasts for sites that have not bound (yet): the notifier
+    /// integrates as soon as any client speaks, but a destination's
+    /// connection may still be in the accept queue. Its stream must start
+    /// at op 1 regardless, so payloads park here and flush, in order, the
+    /// moment the hello lands.
+    parked: Vec<VecDeque<Payload>>,
+    /// Workers touched in the current drain (woken once at the end).
+    touched: Vec<bool>,
+    dropped_broadcasts: u64,
+    integration_log: Vec<ClientOpMsg>,
+    ops_integrated: u64,
+}
+
+impl<'a> Core<'a> {
+    fn push(&mut self, worker: usize, cmd: OutCmd) {
+        lock(&self.workers[worker].outbox).push_back(cmd);
+        self.touched[worker] = true;
+    }
+
+    fn send_to_site(&mut self, site: SiteId, payload: Payload) {
+        let idx = site.client_index();
+        let route = self.routes.get(idx).copied().flatten();
+        match route {
+            Some((worker, conn)) => self.push(worker, OutCmd::Frame { conn, payload }),
+            None => {
+                let parked = &mut self.parked[idx];
+                if parked.len() < MAX_PARKED_PER_SITE {
+                    parked.push_back(payload);
+                } else {
+                    self.dropped_broadcasts += 1;
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, worker: usize, conn: u64) {
+        if let Some(site) = self.bound.remove(&(worker, conn)) {
+            if let Some(r) = self.routes.get_mut(site.client_index()) {
+                *r = None;
+            }
+        }
+        self.push(worker, OutCmd::Close { conn });
+    }
+
+    /// Handle one decoded message from a (worker, conn) stream.
+    fn on_msg(&mut self, worker: usize, conn: u64, msg: EditorMsg) {
+        match msg {
+            EditorMsg::ClientAck(a) => self.on_client_ack(worker, conn, a),
+            EditorMsg::ClientOp(op) => self.on_client_op(worker, conn, op),
+            EditorMsg::Compound(ms) => {
+                for m in ms {
+                    // Nesting is impossible (the codec rejects it), so
+                    // this recursion is depth-1.
+                    self.on_msg(worker, conn, m);
+                }
+            }
+            // Downstream-only and federation frame types arriving on a
+            // client edge are hostile input: evict the connection.
+            EditorMsg::ServerOp(_)
+            | EditorMsg::ServerAck(_)
+            | EditorMsg::MeshOp(_)
+            | EditorMsg::RelayOp(_)
+            | EditorMsg::RelayAck(_) => self.evict(worker, conn),
+        }
+    }
+
+    fn on_client_ack(&mut self, worker: usize, conn: u64, a: ClientAckMsg) {
+        let key = (worker, conn);
+        if let Some(&site) = self.bound.get(&key) {
+            if site != a.origin {
+                self.notifier.quarantine(a.origin);
+                self.evict(worker, conn);
+                return;
+            }
+            self.wal.append(&WalRecord::Ack(a));
+            if self.notifier.try_on_client_ack(a).is_err() {
+                self.notifier.quarantine(site);
+                self.evict(worker, conn);
+            }
+            return;
+        }
+        // Hello: bind the connection to its site.
+        let idx = a.origin.client_index();
+        let valid = !a.origin.is_notifier()
+            && idx < self.cfg.n_clients
+            && self.routes.get(idx).is_some_and(Option::is_none);
+        if !valid {
+            self.evict(worker, conn);
+            return;
+        }
+        self.bound.insert(key, a.origin);
+        if let Some(r) = self.routes.get_mut(idx) {
+            *r = Some(key);
+        }
+        // Flush everything integrated while this site was still
+        // connecting — its stream must begin at op 1.
+        while let Some(payload) = self.parked[idx].pop_front() {
+            self.push(worker, OutCmd::Frame { conn, payload });
+        }
+    }
+
+    fn on_client_op(&mut self, worker: usize, conn: u64, op: ClientOpMsg) {
+        let Some(&site) = self.bound.get(&(worker, conn)) else {
+            // An op before the hello: the peer skipped the handshake.
+            self.evict(worker, conn);
+            return;
+        };
+        if site != op.origin {
+            self.notifier.quarantine(op.origin);
+            self.evict(worker, conn);
+            return;
+        }
+        // Durability before visibility: the WAL record lands before any
+        // broadcast leaves — the discipline the crash chaos suite pins.
+        self.wal.append(&WalRecord::Op(op.clone()));
+        match self.notifier.try_on_client_op_outcome(op.clone()) {
+            Ok(outcome) => {
+                self.ops_integrated += 1;
+                if self.cfg.capture_integrations {
+                    self.integration_log.push(op);
+                }
+                let frame = outcome.frame();
+                for &(dest, stamp) in &outcome.stamps {
+                    self.send_to_site(dest, frame.payload_for(stamp));
+                }
+                if let Some((dest, ack)) = outcome.ack {
+                    let msg = EditorMsg::ServerAck(ack);
+                    let mut bytes = Vec::with_capacity(msg.wire_bytes());
+                    msg.encode(&mut bytes);
+                    self.send_to_site(dest, Payload::from_vec(bytes));
+                }
+                self.wal.maybe_compact(&self.notifier);
+            }
+            Err(_) => {
+                // The notifier already counted the violation; hostile
+                // sites are quarantined and their connection evicted,
+                // the sim's policy verbatim.
+                self.notifier.quarantine(site);
+                self.evict(worker, conn);
+            }
+        }
+    }
+
+    fn wake_touched(&mut self) {
+        for (wi, touched) in self.touched.iter_mut().enumerate() {
+            if *touched {
+                self.workers[wi].waker.wake();
+                *touched = false;
+            }
+        }
+    }
+}
+
+fn core_loop(
+    cfg: &ServerConfig,
+    rx: mpsc::Receiver<CoreMsg>,
+    workers: &[Arc<WorkerShared>],
+    stats: &IoStats,
+) -> ServerReport {
+    let mut notifier = Notifier::new(cfg.n_clients, "");
+    notifier.set_send_acks(cfg.send_acks);
+    let mut core = Core {
+        cfg,
+        workers,
+        notifier,
+        wal: Wal::new(cfg.wal_compact_every.max(1)),
+        bound: HashMap::new(),
+        routes: vec![None; cfg.n_clients],
+        parked: vec![VecDeque::new(); cfg.n_clients],
+        touched: vec![false; workers.len()],
+        dropped_broadcasts: 0,
+        integration_log: Vec::new(),
+        ops_integrated: 0,
+    };
+
+    // Block for the first message, then drain greedily so a burst is
+    // processed (and workers woken) in one pass.
+    'outer: while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < 512 {
+            match rx.try_recv() {
+                Ok(m) => batch.push(m),
+                Err(_) => break,
+            }
+        }
+        for m in batch {
+            match m {
+                CoreMsg::Frames { worker, conn, msgs } => {
+                    for msg in msgs {
+                        core.on_msg(worker, conn, msg);
+                    }
+                }
+                CoreMsg::Disconnected { worker, conn } => {
+                    if let Some(site) = core.bound.remove(&(worker, conn)) {
+                        if let Some(r) = core.routes.get_mut(site.client_index()) {
+                            *r = None;
+                        }
+                    }
+                }
+                CoreMsg::Shutdown => {
+                    core.wake_touched();
+                    break 'outer;
+                }
+            }
+        }
+        core.wake_touched();
+    }
+
+    let m = core.notifier.metrics();
+    ServerReport {
+        doc: core.notifier.doc(),
+        doc_checksum: core.notifier.doc_checksum(),
+        ops_integrated: core.ops_integrated,
+        protocol_errors: m.protocol_errors,
+        frame_errors: stats.frame_errors.load(Ordering::Relaxed),
+        accepted: stats.accepted.load(Ordering::Relaxed),
+        frames_in: stats.frames_in.load(Ordering::Relaxed),
+        msgs_in: stats.msgs_in.load(Ordering::Relaxed),
+        frames_out: stats.frames_out.load(Ordering::Relaxed),
+        msgs_out: stats.msgs_out.load(Ordering::Relaxed),
+        compound_frames_out: stats.compound_frames_out.load(Ordering::Relaxed),
+        dropped_broadcasts: core.dropped_broadcasts,
+        wal_appends: core.wal.appends(),
+        wal_amplification: core.wal.amplification(),
+        wal_bytes: core.wal.bytes().to_vec(),
+        hb_high_water: m.hb_high_water,
+        integration_log: core.integration_log,
+    }
+}

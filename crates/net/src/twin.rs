@@ -1,0 +1,194 @@
+//! The sim twin: replay a server's integration log through fresh
+//! simulator-grade replicas and demand byte-identical convergence.
+//!
+//! The TCP server and the discrete-event simulator host the *same*
+//! `Notifier`, so any divergence between them is a transport bug — a
+//! frame decoded wrong, a broadcast dropped, an integration reordered.
+//! This module turns that observation into an oracle: given the ops the
+//! server accepted, **in its integration order**, rebuild the whole star
+//! offline — a twin notifier plus a twin `Client` per site, with the
+//! notifier→client streams modelled as FIFO queues — and check that
+//!
+//! 1. each twin client, once caught up to the causal context the real
+//!    client claimed (`T_O[1]` server ops received), generates an op with
+//!    the **same stamp** the wire carried, and
+//! 2. after full delivery, every twin document equals the twin notifier's
+//!    document.
+//!
+//! The caller then compares [`TwinReport::doc_checksum`] against the live
+//! server's and the live load clients' checksums; equality closes the
+//! loop wire → server → wire → replica against sim semantics.
+
+use cvc_core::site::SiteId;
+use cvc_core::state_vector::CompressedStamp;
+use cvc_reduce::client::Client;
+use cvc_reduce::msg::{ClientOpMsg, ServerOpMsg};
+use cvc_reduce::notifier::Notifier;
+use std::collections::VecDeque;
+
+/// Why a replay refused to certify the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwinError {
+    /// A logged op's stamp claims more received context than the log can
+    /// deliver — the server integrated an op whose causal past it never
+    /// broadcast (or the log is out of order).
+    MissingContext {
+        /// The authoring site.
+        site: SiteId,
+        /// Server ops the stamp says the author had received.
+        claimed: u64,
+        /// Server ops the twin could actually deliver.
+        available: u64,
+    },
+    /// The twin client, in the same causal context, stamped the op
+    /// differently than the wire did.
+    StampMismatch {
+        /// The authoring site.
+        site: SiteId,
+        /// What the wire carried.
+        wire: CompressedStamp,
+        /// What the twin generated.
+        twin: CompressedStamp,
+    },
+    /// A replica (twin client or twin notifier) rejected a logged op.
+    Rejected {
+        /// The authoring site.
+        site: SiteId,
+        /// Which op in the log (0-based).
+        index: usize,
+    },
+    /// All ops integrated but a twin document diverged from the twin
+    /// notifier's.
+    Diverged {
+        /// The divergent replica.
+        site: SiteId,
+    },
+}
+
+impl std::fmt::Display for TwinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwinError::MissingContext {
+                site,
+                claimed,
+                available,
+            } => write!(
+                f,
+                "site {site:?} op claims {claimed} received, only {available} deliverable"
+            ),
+            TwinError::StampMismatch { site, wire, twin } => {
+                write!(
+                    f,
+                    "site {site:?} stamp mismatch: wire {wire} vs twin {twin}"
+                )
+            }
+            TwinError::Rejected { site, index } => {
+                write!(f, "log[{index}] from site {site:?} rejected by twin")
+            }
+            TwinError::Diverged { site } => write!(f, "site {site:?} document diverged"),
+        }
+    }
+}
+
+impl std::error::Error for TwinError {}
+
+/// A certified replay.
+#[derive(Debug)]
+pub struct TwinReport {
+    /// The converged document (notifier's == every twin's).
+    pub doc: String,
+    /// Its checksum — compare against the live server and load clients.
+    pub doc_checksum: u64,
+    /// Ops replayed.
+    pub ops_replayed: usize,
+}
+
+/// Replay `log` (a server's accepted ops, in integration order) through a
+/// fresh offline star and certify convergence.
+pub fn replay_twin(n_clients: usize, log: &[ClientOpMsg]) -> Result<TwinReport, TwinError> {
+    let mut notifier = Notifier::new(n_clients, "");
+    notifier.set_send_acks(false);
+    let mut twins: Vec<Client> = (0..n_clients)
+        .map(|i| Client::new(SiteId::from_client_index(i), ""))
+        .collect();
+    // The notifier→client FIFO streams TCP provides for real.
+    let mut streams: Vec<VecDeque<ServerOpMsg>> = vec![VecDeque::new(); n_clients];
+
+    let deliver_until =
+        |twin: &mut Client, stream: &mut VecDeque<ServerOpMsg>, target: u64| -> Result<(), ()> {
+            while twin.state_vector().received() < target {
+                let Some(m) = stream.pop_front() else {
+                    return Err(());
+                };
+                if twin.try_on_server_op(m).is_err() {
+                    return Err(());
+                }
+            }
+            Ok(())
+        };
+
+    for (index, m) in log.iter().enumerate() {
+        let site = m.origin;
+        let idx = site.client_index();
+
+        // Catch the twin up to the causal context the wire stamp claims
+        // (`T_O[1]` = server ops received at generation time).
+        let twin = &mut twins[idx];
+        let available = twin.state_vector().received() + streams[idx].len() as u64;
+        if available < m.stamp.t1 {
+            return Err(TwinError::MissingContext {
+                site,
+                claimed: m.stamp.t1,
+                available,
+            });
+        }
+        if deliver_until(twin, &mut streams[idx], m.stamp.t1).is_err() {
+            return Err(TwinError::Rejected { site, index });
+        }
+
+        // Regenerate the op at the twin and demand the identical stamp.
+        let Ok(regen) = twin.try_local_edit(m.op.clone()) else {
+            return Err(TwinError::Rejected { site, index });
+        };
+        if regen.stamp != m.stamp {
+            return Err(TwinError::StampMismatch {
+                site,
+                wire: m.stamp,
+                twin: regen.stamp,
+            });
+        }
+
+        // Integrate at the twin notifier and queue its broadcasts.
+        let Ok(outcome) = notifier.try_on_client_op_outcome(regen) else {
+            return Err(TwinError::Rejected { site, index });
+        };
+        for &(dest, stamp) in &outcome.stamps {
+            streams[dest.client_index()].push_back(ServerOpMsg {
+                stamp,
+                op: (*outcome.executed).clone(),
+                cursor: outcome.cursor,
+            });
+        }
+    }
+
+    // Drain every remaining broadcast, then demand convergence.
+    for (idx, twin) in twins.iter_mut().enumerate() {
+        while let Some(m) = streams[idx].pop_front() {
+            if twin.try_on_server_op(m).is_err() {
+                return Err(TwinError::Rejected {
+                    site: twin.site(),
+                    index: log.len(),
+                });
+            }
+        }
+        if twin.doc_checksum() != notifier.doc_checksum() {
+            return Err(TwinError::Diverged { site: twin.site() });
+        }
+    }
+
+    Ok(TwinReport {
+        doc: notifier.doc(),
+        doc_checksum: notifier.doc_checksum(),
+        ops_replayed: log.len(),
+    })
+}

@@ -1,0 +1,178 @@
+//! End-to-end checks for the TCP tier: torn-read reassembly equivalence,
+//! a live server ↔ sim-twin differential, and hostile-peer eviction.
+
+use cvc_net::frame::{write_frame, FrameReader};
+use cvc_net::{replay_twin, run_load, EditorServer, LoadConfig, ServerConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Reassemble `stream` delivered in the given chunk sizes.
+fn reassemble(stream: &[u8], chunks: &[usize]) -> Vec<Vec<u8>> {
+    let mut r = FrameReader::new();
+    let mut got = Vec::new();
+    let mut off = 0;
+    for &c in chunks {
+        let end = (off + c).min(stream.len());
+        r.extend(&stream[off..end]);
+        while let Some(p) = r.next_frame().expect("valid stream must parse") {
+            got.push(p);
+        }
+        off = end;
+        if off == stream.len() {
+            break;
+        }
+    }
+    r.extend(&stream[off..]);
+    while let Some(p) = r.next_frame().expect("valid stream must parse") {
+        got.push(p);
+    }
+    got
+}
+
+proptest! {
+    /// Any fragmentation of a valid frame stream — byte-by-byte, random
+    /// splits, or whole — yields the byte-identical payload sequence.
+    #[test]
+    fn torn_reads_reassemble_byte_identically(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200),
+            1..8,
+        ),
+        split_seed in any::<u64>(),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, &[p]);
+        }
+
+        let whole = reassemble(&stream, &[stream.len()]);
+        prop_assert_eq!(&whole, &payloads);
+
+        let byte_by_byte = reassemble(&stream, &vec![1; stream.len()]);
+        prop_assert_eq!(&byte_by_byte, &payloads);
+
+        let mut rng = SmallRng::seed_from_u64(split_seed);
+        let mut random_chunks = Vec::new();
+        let mut left = stream.len();
+        while left > 0 {
+            let c = rng.gen_range(1..=left.min(31));
+            random_chunks.push(c);
+            left -= c;
+        }
+        let random = reassemble(&stream, &random_chunks);
+        prop_assert_eq!(&random, &payloads);
+    }
+}
+
+/// The full differential: real sockets → server → broadcasts → replicas,
+/// then the captured integration order replayed through fresh sim-grade
+/// twins. Every document checksum in sight must agree.
+#[test]
+fn server_and_sim_twin_converge_byte_identically() {
+    let n = 8;
+    let server = EditorServer::spawn(ServerConfig {
+        n_clients: n,
+        workers: 2,
+        capture_integrations: true,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+
+    let load = run_load(&LoadConfig {
+        addr,
+        n_clients: n,
+        total_ops: 512,
+        rate: 0.0,
+        threads: 2,
+        seed: 7,
+        timeout: Duration::from_secs(60),
+    })
+    .expect("load runs");
+
+    assert_eq!(load.conn_errors, 0, "no connection may die");
+    assert_eq!(load.protocol_errors, 0, "no replica may see a violation");
+    assert_eq!(load.ops_sent, 512);
+    assert_eq!(load.ops_acked, 512, "every op must be acked");
+    assert!(load.converged, "all replicas must converge");
+    assert_eq!(load.distinct_checksums, 1);
+    assert_eq!(load.rtt.count, 512, "every op's RTT must be measured");
+
+    let report = server.shutdown();
+    assert_eq!(report.ops_integrated, 512);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.frame_errors, 0);
+    assert_eq!(
+        report.doc_checksum, load.doc_checksum,
+        "server and replicas must agree"
+    );
+    assert_eq!(report.doc, load.doc);
+    assert_eq!(report.doc.chars().count(), 512);
+
+    // The WAL must recover to the same document the live server reached.
+    let recovery = cvc_reduce::wal::Wal::recover(&report.wal_bytes).expect("WAL recovers");
+    let (recovered, _) = recovery.restore(n, "").expect("WAL restores");
+    assert_eq!(recovered.doc_checksum(), report.doc_checksum);
+
+    // The sim twin certifies the integration order offline.
+    let twin = replay_twin(n, &report.integration_log).expect("twin replay certifies");
+    assert_eq!(twin.ops_replayed, 512);
+    assert_eq!(
+        twin.doc_checksum, report.doc_checksum,
+        "sim twin and server must agree"
+    );
+    assert_eq!(twin.doc, report.doc);
+}
+
+/// A peer speaking garbage is evicted without taking the server down;
+/// well-behaved clients converge around it.
+#[test]
+fn hostile_peer_is_evicted_not_fatal() {
+    let n = 4;
+    let server = EditorServer::spawn(ServerConfig {
+        n_clients: n,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+
+    // A hostile length claim straight on the socket: 2^32 + 5, the exact
+    // shape a 32-bit truncation bug would misread as tiny.
+    let mut hostile = TcpStream::connect(&addr).expect("connect");
+    let mut claim = Vec::new();
+    cvc_sim::wire::put_varint(&mut claim, (1u64 << 32) + 5);
+    hostile.write_all(&claim).expect("write");
+
+    // And a peer whose frame wraps undecodable bytes.
+    let mut garbled = TcpStream::connect(&addr).expect("connect");
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &[&[0xEE, 0xFF, 0x00, 0x01]]);
+    garbled.write_all(&frame).expect("write");
+
+    let load = run_load(&LoadConfig {
+        addr,
+        n_clients: n,
+        total_ops: 64,
+        rate: 0.0,
+        threads: 1,
+        seed: 11,
+        timeout: Duration::from_secs(30),
+    })
+    .expect("load runs");
+    assert!(load.converged, "honest clients still converge");
+
+    drop(hostile);
+    drop(garbled);
+    let report = server.shutdown();
+    assert_eq!(report.ops_integrated, 64);
+    assert!(
+        report.frame_errors >= 1,
+        "the hostile stream must be counted"
+    );
+    assert_eq!(report.doc_checksum, load.doc_checksum);
+}

@@ -26,8 +26,8 @@ use cvc_core::vector::VectorClock;
 use cvc_ot::seq::{Component, SeqOp};
 use cvc_ot::ttf::TtfOp;
 use cvc_sim::wire::{
-    get_string, get_varint, put_string, put_varint, string_len, varint_len, WireDecode, WireEncode,
-    WireError, WireSize,
+    get_bounded_len, get_bounded_span, get_string, get_varint, put_string, put_varint, string_len,
+    varint_len, WireDecode, WireEncode, WireError, WireSize,
 };
 use std::sync::Arc;
 
@@ -319,6 +319,19 @@ impl ServerOpFrame {
     }
 }
 
+/// Header bytes of a compound frame wrapping `count` sub-messages:
+/// `[TAG_COMPOUND][count varint]`, to be followed by each sub-message's
+/// full encoding. This is how transports outside this crate (the TCP
+/// server's socket write path) coalesce several queued editor messages
+/// into one frame — the same wire shape the reliability layer's flush
+/// path produces, so `EditorMsg::decode` reads both identically.
+pub fn compound_header(count: usize) -> Vec<u8> {
+    let mut h = Vec::with_capacity(1 + varint_len(count as u64));
+    h.push(TAG_COMPOUND);
+    put_varint(&mut h, count as u64);
+    h
+}
+
 /// Encoded size of a [`ServerOpMsg`] body (everything after the stamp):
 /// computed once per broadcast, it prices all `N−1` destination frames.
 pub(crate) fn server_op_body_len(op: &SeqOp, cursor: &Option<(u32, u64)>) -> usize {
@@ -350,12 +363,11 @@ fn put_vector<B: BufMut>(buf: &mut B, v: &VectorClock) {
 }
 
 fn get_vector<B: Buf>(buf: &mut B) -> Result<VectorClock, WireError> {
-    let n = get_varint(buf)? as usize;
     // A hostile width field must not drive the allocation: each entry is at
-    // least one byte on the wire, so anything beyond the buffer is a lie.
-    if n > buf.remaining() {
-        return Err(WireError::Truncated);
-    }
+    // least one byte on the wire, so anything beyond the buffer is a lie —
+    // checked in the u64 domain so 2^32-straddling widths cannot truncate
+    // into plausible ones on 32-bit targets.
+    let n = get_bounded_len(buf, 1)?;
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
         entries.push(get_varint(buf)?);
@@ -396,7 +408,11 @@ pub(crate) fn put_seq_op<B: BufMut>(buf: &mut B, op: &SeqOp) {
 }
 
 pub(crate) fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
-    let n = get_varint(buf)? as usize;
+    // Every component costs at least two bytes (tag + one varint byte), so
+    // a component count past `remaining / 2` is a lie; retain/delete run
+    // lengths are additionally capped at the document-size bound so a
+    // hostile span cannot drive downstream position arithmetic.
+    let n = get_bounded_len(buf, 2)?;
     let mut op = SeqOp::new();
     for _ in 0..n {
         if !buf.has_remaining() {
@@ -404,13 +420,13 @@ pub(crate) fn get_seq_op<B: Buf>(buf: &mut B) -> Result<SeqOp, WireError> {
         }
         match buf.get_u8() {
             COMP_RETAIN => {
-                op.retain(get_varint(buf)? as usize);
+                op.retain(get_bounded_span(buf)?);
             }
             COMP_INSERT => {
                 op.insert(&get_string(buf)?);
             }
             COMP_DELETE => {
-                op.delete(get_varint(buf)? as usize);
+                op.delete(get_bounded_span(buf)?);
             }
             t => return Err(WireError::BadTag(t)),
         }
@@ -499,13 +515,16 @@ fn get_ttf_op<B: Buf>(buf: &mut B) -> Result<TtfOp, WireError> {
     }
     match buf.get_u8() {
         TTF_INSERT => {
-            let pos = get_varint(buf)? as usize;
+            // Positions are document offsets: cap them like spans so a
+            // hostile 64-bit position neither truncates on 32-bit targets
+            // nor reaches the transform layer's index arithmetic.
+            let pos = get_bounded_span(buf)?;
             let ch = char::from_u32(get_varint(buf)? as u32).ok_or(WireError::BadUtf8)?;
             let site = get_varint(buf)? as u32;
             Ok(TtfOp::Insert { pos, ch, site })
         }
         TTF_DELETE => Ok(TtfOp::Delete {
-            pos: get_varint(buf)? as usize,
+            pos: get_bounded_span(buf)?,
         }),
         t => Err(WireError::BadTag(t)),
     }
@@ -655,16 +674,14 @@ impl EditorMsg {
                 received: get_varint(buf)?,
             })),
             TAG_COMPOUND if allow_compound => {
-                let count = get_varint(buf)? as usize;
                 // An empty compound is never produced (the flush path only
                 // fires with pending frames) and a nested one is rejected
                 // below, so a hostile count cannot recurse or spin. Each
-                // sub-message costs ≥ 1 byte, bounding the allocation.
+                // sub-message costs ≥ 2 bytes (tag + one payload byte),
+                // bounding the allocation — checked in the u64 domain.
+                let count = get_bounded_len(buf, 2)?;
                 if count == 0 {
                     return Err(WireError::BadTag(TAG_COMPOUND));
-                }
-                if count > buf.remaining() {
-                    return Err(WireError::Truncated);
                 }
                 let mut ms = Vec::with_capacity(count);
                 for _ in 0..count {

@@ -51,8 +51,8 @@ use cvc_sim::fault::FaultPlan;
 use cvc_sim::sim::{Ctx, Node, NodeId, Simulator};
 use cvc_sim::time::{SimDuration, SimTime};
 use cvc_sim::wire::{
-    get_string, get_varint, put_string, put_varint, varint_len, WireDecode, WireEncode, WireError,
-    WireSize,
+    get_bounded_len, get_string, get_varint, put_string, put_varint, varint_len, WireDecode,
+    WireEncode, WireError, WireSize,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -373,12 +373,10 @@ impl WireDecode for ReliableMsg {
                 let seq = get_varint(buf)?;
                 let ack = get_varint(buf)?;
                 let checksum = get_varint(buf)? as u32;
-                let len = get_varint(buf)? as usize;
-                // Length check before the allocation: a bit-flipped length
-                // prefix must not cause a huge reservation or an over-read.
-                if buf.remaining() < len {
-                    return Err(WireError::Truncated);
-                }
+                // Length check before the allocation, in the u64 domain: a
+                // bit-flipped or hostile length prefix must not cause a huge
+                // reservation, an over-read, or a 32-bit truncation.
+                let len = get_bounded_len(buf, 1)?;
                 let mut payload = vec![0u8; len];
                 buf.copy_to_slice(&mut payload);
                 ReliableKind::Data {

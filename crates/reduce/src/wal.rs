@@ -52,8 +52,8 @@ use crate::reliable::fnv1a32;
 use bytes::{Buf, BufMut};
 use cvc_core::site::SiteId;
 use cvc_sim::wire::{
-    get_string, get_varint, put_string, put_varint, string_len, varint_len, WireDecode, WireEncode,
-    WireError, WireSize,
+    get_bounded_len, get_string, get_varint, put_string, put_varint, string_len, varint_len,
+    WireDecode, WireEncode, WireError, WireSize,
 };
 
 /// Record tag for [`WalRecord::Snapshot`]. Op and ack records reuse the
@@ -218,12 +218,10 @@ impl WireDecode for WalRecord {
                 received: get_varint(buf)?,
             })),
             WAL_TAG_ACK_FRONTIER => {
-                let n = get_varint(buf)? as usize;
                 // Each (index, count) entry costs ≥ 2 bytes on the wire; a
-                // hostile count cannot drive the allocation past the buffer.
-                if n.saturating_mul(2) > buf.remaining() {
-                    return Err(WireError::Truncated);
-                }
+                // hostile count cannot drive the allocation past the buffer
+                // (checked in u64, so no 32-bit truncation).
+                let n = get_bounded_len(buf, 2)?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     // A client index is a u32 everywhere else in the
@@ -235,12 +233,10 @@ impl WireDecode for WalRecord {
             }
             WAL_TAG_SNAPSHOT => {
                 let doc = get_string(buf)?;
-                let n = get_varint(buf)? as usize;
                 // Each cursor costs ≥ 4 bytes; a hostile count cannot force
-                // an allocation past the buffer it arrived in.
-                if n > buf.remaining() {
-                    return Err(WireError::Truncated);
-                }
+                // an allocation past the buffer it arrived in (checked in
+                // u64, so no 32-bit truncation).
+                let n = get_bounded_len(buf, 4)?;
                 let mut clients = Vec::with_capacity(n);
                 for _ in 0..n {
                     let sent = get_varint(buf)?;

@@ -27,8 +27,109 @@ use cvc_reduce::notifier::Notifier;
 use cvc_reduce::relay::{RelayBus, RelayFaultPlan};
 use cvc_reduce::reliable::{frame_checksum, FrameHasher, ReliableKind, ReliableMsg};
 use cvc_reduce::wal::{WalRecord, WalSnapshot};
-use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
+use cvc_sim::wire::{put_varint, WireDecode, WireEncode, WireError, WireSize, MAX_WIRE_SPAN};
 use proptest::prelude::*;
+
+/// Decode `bytes` as an [`EditorMsg`] and return the error it must produce.
+fn must_reject(bytes: &[u8]) -> WireError {
+    let mut buf: &[u8] = bytes;
+    match EditorMsg::decode(&mut buf) {
+        Err(e) => e,
+        Ok(m) => panic!("hostile frame decoded to {m:?}"),
+    }
+}
+
+/// The 64-bit hostile-length battery: every length, count, span, and
+/// position field in the editor wire format is fed a value that straddles
+/// `2^32` — the shape that truncates into a small, plausible value when
+/// cast to a 32-bit `usize` before the bounds check. Each must be rejected
+/// with a typed error; none may allocate, over-read, or mis-parse. Frames
+/// are built byte-by-byte against the stable wire tags (client-op 1,
+/// server-op 2, mesh-op 3, compound 6; components retain 0 / insert 1 /
+/// delete 2; TTF insert 0 / delete 1).
+#[test]
+fn hostile_64_bit_lengths_are_rejected_at_every_site() {
+    let hostile = (1u64 << 32) + 5; // truncates to 5 on 32-bit usize
+
+    // Site 1 — `get_vector` width (MeshOp): claims 2^32+5 entries over a
+    // buffer holding 5 plausible entry bytes.
+    let mut b = vec![3u8];
+    put_varint(&mut b, 1); // origin
+    put_varint(&mut b, hostile); // vector width
+    b.extend_from_slice(&[0, 0, 0, 0, 0]);
+    assert_eq!(must_reject(&b), WireError::Truncated);
+
+    // Site 2 — `get_seq_op` component count (ServerOp): 2^32+5 components
+    // over ten bytes that would parse as five retain components.
+    let mut b = vec![2u8];
+    put_varint(&mut b, 0);
+    put_varint(&mut b, 0); // stamp
+    put_varint(&mut b, hostile); // component count
+    b.extend_from_slice(&[0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+    assert_eq!(must_reject(&b), WireError::Truncated);
+
+    // Sites 3 and 4 — retain/delete run lengths: a single component whose
+    // span is past the document cap must surface the claimed value.
+    for comp_tag in [0u8, 2u8] {
+        let mut b = vec![2u8];
+        put_varint(&mut b, 0);
+        put_varint(&mut b, 0); // stamp
+        put_varint(&mut b, 1); // one component
+        b.push(comp_tag);
+        put_varint(&mut b, hostile); // span
+        b.push(0); // cursor: none
+        assert_eq!(must_reject(&b), WireError::HostileLength(hostile));
+    }
+
+    // Insert-string byte length (the `get_string` site the spans share a
+    // frame with): 2^32+5 claimed bytes over 5 actual ones.
+    let mut b = vec![2u8];
+    put_varint(&mut b, 0);
+    put_varint(&mut b, 0); // stamp
+    put_varint(&mut b, 1); // one component
+    b.push(1); // insert
+    put_varint(&mut b, hostile); // string byte length
+    b.extend_from_slice(b"aaaaa");
+    assert_eq!(must_reject(&b), WireError::Truncated);
+
+    // Sites 5 and 6 — TTF insert/delete positions (MeshOp): positions are
+    // document offsets and must hit the same cap as spans.
+    let mut b = vec![3u8];
+    put_varint(&mut b, 1); // origin
+    put_varint(&mut b, 1); // width 1
+    put_varint(&mut b, 0); // entry
+    b.push(0); // TTF insert
+    put_varint(&mut b, u64::MAX); // pos
+    assert_eq!(must_reject(&b), WireError::HostileLength(u64::MAX));
+    let mut b = vec![3u8];
+    put_varint(&mut b, 1);
+    put_varint(&mut b, 1);
+    put_varint(&mut b, 0);
+    b.push(1); // TTF delete
+    put_varint(&mut b, hostile); // pos
+    assert_eq!(must_reject(&b), WireError::HostileLength(hostile));
+
+    // Site 7 — compound sub-message count: 2^32+5 claimed messages over
+    // six bytes holding three plausible server-acks.
+    let mut b = vec![6u8];
+    put_varint(&mut b, hostile);
+    b.extend_from_slice(&[4, 1, 4, 2, 4, 3]);
+    assert_eq!(must_reject(&b), WireError::Truncated);
+
+    // The WAL shares the codec: frontier and snapshot cursor counts get
+    // the same u64-domain bound (tags 33 and 32).
+    let mut b = vec![33u8];
+    put_varint(&mut b, hostile);
+    b.extend_from_slice(&[1, 1, 1, 1]);
+    let mut buf: &[u8] = &b;
+    assert!(WalRecord::decode(&mut buf).is_err());
+    let mut b = vec![32u8];
+    put_varint(&mut b, 0); // empty doc
+    put_varint(&mut b, hostile); // cursor count
+    b.extend_from_slice(&[0, 0, 0, 1, 0, 0, 0, 1]);
+    let mut buf: &[u8] = &b;
+    assert!(WalRecord::decode(&mut buf).is_err());
+}
 
 /// A structurally valid (not necessarily applicable) sequence operation.
 fn seq_op_strategy() -> impl Strategy<Value = SeqOp> {
@@ -373,6 +474,21 @@ proptest! {
         if let Ok(decoded) = EditorMsg::decode(&mut buf) {
             route_like_the_session_layer(&mut notifier, &mut client, decoded);
         }
+    }
+
+    /// Every span/position past the document cap is rejected with the
+    /// claimed value, across the full 64-bit hostile range — not just the
+    /// 2^32-straddling shapes the deterministic battery pins down.
+    #[test]
+    fn hostile_spans_reject_across_the_64_bit_range(claimed in MAX_WIRE_SPAN + 1..u64::MAX) {
+        let mut b = vec![2u8];
+        put_varint(&mut b, 0);
+        put_varint(&mut b, 0);
+        put_varint(&mut b, 1);
+        b.push(0); // retain
+        put_varint(&mut b, claimed);
+        b.push(0);
+        prop_assert_eq!(must_reject(&b), WireError::HostileLength(claimed));
     }
 
     /// A hostile length field must not trigger a giant allocation or an

@@ -343,11 +343,10 @@ impl<M: WireSize + Clone, N: Node<M>> Simulator<M, N> {
     /// Process events with `time <= deadline`; returns the current time
     /// afterwards.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
+        // Peek decides, pop consumes: folding both into one guarded pop
+        // keeps the loop panic-free (no "peeked therefore poppable" claim).
+        while self.queue.peek().is_some_and(|ev| ev.time <= deadline) {
+            let Some(ev) = self.queue.pop() else { break };
             self.now = ev.time;
             self.events_processed += 1;
             let mut outbox = Vec::new();
@@ -368,11 +367,11 @@ impl<M: WireSize + Clone, N: Node<M>> Simulator<M, N> {
                         index,
                     } => {
                         let latency = self.now - sent_at;
-                        {
-                            let ch = self
-                                .channels
-                                .get_mut(&(from, ev.to))
-                                .expect("delivery on unknown channel");
+                        // A delivery is only ever enqueued by
+                        // `enqueue_send`, which creates the channel entry
+                        // first — so the entry always exists and the guard
+                        // (rather than a panic) only skips accounting.
+                        if let Some(ch) = self.channels.get_mut(&(from, ev.to)) {
                             ch.stats.messages += 1;
                             ch.stats.bytes += bytes as u64;
                             ch.stats.total_latency_us += latency.as_micros();

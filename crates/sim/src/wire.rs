@@ -40,6 +40,10 @@ pub enum WireError {
     BadUtf8,
     /// An enum tag byte was not recognised.
     BadTag(u8),
+    /// A span, position, or count field claimed a value past the
+    /// document-size cap ([`MAX_WIRE_SPAN`]) — carried verbatim so logs
+    /// show what the peer actually claimed.
+    HostileLength(u64),
 }
 
 impl std::fmt::Display for WireError {
@@ -49,6 +53,7 @@ impl std::fmt::Display for WireError {
             WireError::Overlong => write!(f, "overlong varint"),
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
             WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::HostileLength(n) => write!(f, "hostile length field {n}"),
         }
     }
 }
@@ -96,6 +101,42 @@ pub fn get_varint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
     }
 }
 
+/// Upper bound on any single span, position, or repeat count accepted off
+/// the wire (retain/delete run lengths, TTF positions). Generous — a
+/// billion-character document is far past anything the sessions produce —
+/// yet small enough that the decoded value survives a cast to a 32-bit
+/// `usize` and leaves headroom for downstream arithmetic.
+pub const MAX_WIRE_SPAN: u64 = 1 << 30;
+
+/// Read a varint that prefixes a run of items costing at least `min_unit`
+/// bytes each, rejecting any count the remaining input cannot possibly
+/// hold. The comparison happens in the `u64` domain *before* the cast to
+/// `usize`, so a 64-bit hostile length (for example `2^32 + 5`) can never
+/// truncate into a small, in-bounds value on a 32-bit target. The returned
+/// count is safe to use as an allocation hint: it is bounded by
+/// `buf.remaining()`.
+pub fn get_bounded_len<B: Buf>(buf: &mut B, min_unit: usize) -> Result<usize, WireError> {
+    let n = get_varint(buf)?;
+    let fits = (buf.remaining() / min_unit.max(1)) as u64;
+    if n > fits {
+        return Err(WireError::Truncated);
+    }
+    Ok(n as usize)
+}
+
+/// Read a varint span or position field, rejecting values past
+/// [`MAX_WIRE_SPAN`] as [`WireError::HostileLength`]. Unlike
+/// [`get_bounded_len`] the value does not prefix wire bytes — a retain
+/// span costs one varint no matter how far it reaches — so the bound is a
+/// document-size cap rather than a remaining-input check.
+pub fn get_bounded_span<B: Buf>(buf: &mut B) -> Result<usize, WireError> {
+    let n = get_varint(buf)?;
+    if n > MAX_WIRE_SPAN {
+        return Err(WireError::HostileLength(n));
+    }
+    Ok(n as usize)
+}
+
 /// Encoded size of a length-prefixed UTF-8 string.
 pub fn string_len(s: &str) -> usize {
     varint_len(s.len() as u64) + s.len()
@@ -107,12 +148,11 @@ pub fn put_string<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-/// Read a length-prefixed UTF-8 string.
+/// Read a length-prefixed UTF-8 string. The length is checked against the
+/// remaining input in the `u64` domain before any cast, so hostile 64-bit
+/// lengths neither allocate nor truncate.
 pub fn get_string<B: Buf>(buf: &mut B) -> Result<String, WireError> {
-    let len = get_varint(buf)? as usize;
-    if buf.remaining() < len {
-        return Err(WireError::Truncated);
-    }
+    let len = get_bounded_len(buf, 1)?;
     let mut bytes = vec![0u8; len];
     buf.copy_to_slice(&mut bytes);
     String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
@@ -157,7 +197,7 @@ mod tests {
             put_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "length mismatch for {v}");
             let mut slice = &buf[..];
-            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert_eq!(get_varint(&mut slice), Ok(v));
             assert!(slice.is_empty(), "decode must consume exactly");
         }
     }
@@ -180,7 +220,7 @@ mod tests {
             put_string(&mut buf, s);
             assert_eq!(buf.len(), string_len(s));
             let mut slice = &buf[..];
-            assert_eq!(get_string(&mut slice).unwrap(), s);
+            assert_eq!(get_string(&mut slice), Ok(s.to_string()));
         }
     }
 
@@ -201,12 +241,49 @@ mod tests {
     }
 
     #[test]
+    fn bounded_len_rejects_64_bit_hostile_counts() {
+        // 2^32 + 5 truncates to 5 on a 32-bit usize; the u64-domain check
+        // must reject it against a 5-byte buffer instead of reading 5.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, (1u64 << 32) + 5);
+        buf.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let mut slice = &buf[..];
+        assert_eq!(get_bounded_len(&mut slice, 1), Err(WireError::Truncated));
+        // An honest count passes and is returned exactly.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3);
+        buf.extend_from_slice(&[9, 9, 9]);
+        let mut slice = &buf[..];
+        assert_eq!(get_bounded_len(&mut slice, 1), Ok(3));
+        // min_unit scales the bound: 3 two-byte items need 6 bytes.
+        let mut slice = &buf[..];
+        assert_eq!(get_bounded_len(&mut slice, 2), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bounded_span_caps_at_document_size() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, MAX_WIRE_SPAN);
+        let mut slice = &buf[..];
+        assert_eq!(get_bounded_span(&mut slice), Ok(MAX_WIRE_SPAN as usize));
+        for hostile in [MAX_WIRE_SPAN + 1, u64::MAX, (1 << 32) + 5] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, hostile);
+            let mut slice = &buf[..];
+            assert_eq!(
+                get_bounded_span(&mut slice),
+                Err(WireError::HostileLength(hostile))
+            );
+        }
+    }
+
+    #[test]
     fn u64_trait_impls() {
         let v = 300u64;
         assert_eq!(v.wire_bytes(), 2);
         let mut buf = Vec::new();
         v.encode(&mut buf);
         let mut slice = &buf[..];
-        assert_eq!(u64::decode(&mut slice).unwrap(), 300);
+        assert_eq!(u64::decode(&mut slice), Ok(300));
     }
 }
