@@ -74,6 +74,7 @@ fn main() {
 
     println!(
         "{{\"ops_integrated\":{},\"protocol_errors\":{},\"frame_errors\":{},\
+         \"io_errors\":{},\
          \"accepted\":{},\"frames_in\":{},\"msgs_in\":{},\"frames_out\":{},\
          \"msgs_out\":{},\"compound_frames_out\":{},\"dropped_broadcasts\":{},\
          \"wal_appends\":{},\"wal_amplification\":{:.3},\"hb_high_water\":{},\
@@ -81,6 +82,7 @@ fn main() {
         r.ops_integrated,
         r.protocol_errors,
         r.frame_errors,
+        r.io_errors,
         r.accepted,
         r.frames_in,
         r.msgs_in,
@@ -94,5 +96,7 @@ fn main() {
         r.doc.chars().count(),
         r.doc_checksum,
     );
-    std::process::exit(i32::from(r.protocol_errors > 0 || r.frame_errors > 0));
+    std::process::exit(i32::from(
+        r.protocol_errors > 0 || r.frame_errors > 0 || r.io_errors > 0,
+    ));
 }

@@ -46,6 +46,13 @@ impl From<FrameError> for ConnError {
 /// it protects the worker's memory (slow-consumer eviction).
 const MAX_PENDING_OUT: usize = 8 << 20;
 
+/// Most bytes one readable event may drain from a socket. Without a cap,
+/// a firehose peer keeps `read` returning data and monopolizes its
+/// worker, starving the shard's other connections; with one, the poller's
+/// level-triggering re-arms the connection on the next tick, so nothing
+/// is lost — the drain just interleaves fairly.
+const MAX_READ_PER_EVENT: usize = 256 * 1024;
+
 /// One framed, nonblocking connection.
 #[derive(Debug)]
 pub struct Conn {
@@ -78,10 +85,13 @@ impl Conn {
     }
 
     /// Drain the socket and append every completed frame payload to
-    /// `frames`. Returns when the socket would block; errors are fatal to
-    /// the connection.
+    /// `frames`. Returns when the socket would block or the per-event
+    /// byte budget ([`MAX_READ_PER_EVENT`]) is spent — level-triggered
+    /// polling redelivers the event, so a capped return is a fairness
+    /// yield, not data loss. Errors are fatal to the connection.
     pub fn on_readable(&mut self, frames: &mut Vec<Vec<u8>>) -> Result<(), ConnError> {
         let mut chunk = [0u8; 16 * 1024];
+        let mut consumed = 0usize;
         loop {
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
@@ -93,6 +103,10 @@ impl Conn {
                     self.reader.extend(&chunk[..n]);
                     while let Some(payload) = self.reader.next_frame()? {
                         frames.push(payload);
+                    }
+                    consumed += n;
+                    if consumed >= MAX_READ_PER_EVENT {
+                        return Ok(());
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),

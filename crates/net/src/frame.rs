@@ -84,13 +84,17 @@ pub fn write_frame(out: &mut Vec<u8>, chunks: &[&[u8]]) {
 
 /// Parse one varint from `bytes`. `Ok(Some((value, consumed)))` on a
 /// complete varint, `Ok(None)` when the input ends mid-varint (torn —
-/// wait for more bytes), `Err` when 10 bytes pass without the
-/// continuation bit clearing (no valid u64 — fatal).
+/// wait for more bytes), `Err` on any 10-byte encoding that cannot
+/// represent a u64 (no valid value — fatal).
 fn try_varint(bytes: &[u8]) -> Result<Option<(u64, usize)>, FrameError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     for (i, &b) in bytes.iter().enumerate() {
-        if shift >= 70 {
+        // The 10th byte holds only u64 bit 63: a set continuation bit or
+        // any payload bit above the lowest is overlong — rejecting it
+        // here (rather than letting the shift discard high bits) matches
+        // the wire codec's `Overlong` policy.
+        if shift == 63 && b > 0x01 {
             return Err(FrameError::TornVarint);
         }
         v |= u64::from(b & 0x7f) << shift;
@@ -98,9 +102,6 @@ fn try_varint(bytes: &[u8]) -> Result<Option<(u64, usize)>, FrameError> {
             return Ok(Some((v, i + 1)));
         }
         shift += 7;
-    }
-    if bytes.len() >= 10 {
-        return Err(FrameError::TornVarint);
     }
     Ok(None)
 }
@@ -259,6 +260,32 @@ mod tests {
         assert_eq!(r.next_frame(), Err(FrameError::TornVarint));
         // Poisoned: the error is sticky.
         assert_eq!(r.next_frame(), Err(FrameError::TornVarint));
+    }
+
+    #[test]
+    fn overlong_terminating_tenth_byte_rejected() {
+        // Nine continuation bytes then a terminator with bits above u64
+        // bit 63: the encoding ends, but no u64 holds the value. It must
+        // error, never silently truncate to the low bit.
+        for tenth in [0x02u8, 0x40, 0x7f] {
+            let mut r = FrameReader::new();
+            r.extend(&[0x80; 9]);
+            assert_eq!(r.next_frame().unwrap(), None, "still torn at 9 bytes");
+            r.extend(&[tenth]);
+            assert_eq!(r.next_frame(), Err(FrameError::TornVarint));
+        }
+    }
+
+    #[test]
+    fn maximal_ten_byte_varint_still_parses() {
+        // u64::MAX is the one legitimate 10-byte encoding shape; it must
+        // survive the overlong gate and then fail only the length cap.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, u64::MAX);
+        assert_eq!(bytes.len(), 10);
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        assert_eq!(r.next_frame(), Err(FrameError::Oversized(u64::MAX)));
     }
 
     #[test]

@@ -22,10 +22,19 @@
 //! write path, WAL append **before** broadcast.
 //!
 //! A connection binds to its site with a hello frame: a `ClientAck`
-//! carrying the site id and `received: 0`. Every later frame must agree
-//! with that binding; disagreement, protocol violations, or unparseable
-//! framing evict the connection (and quarantine the site for protocol
-//! violations, mirroring the sim's hostile-site policy).
+//! carrying the site id and the client's ack frontier (`received: 0` for
+//! a fresh client; a reconnecting site resumes with its real count, which
+//! is validated and applied like any other ack). Every later frame must
+//! agree with that binding; disagreement, protocol violations, or
+//! unparseable framing evict the connection (and quarantine the site for
+//! protocol violations, mirroring the sim's hostile-site policy).
+//!
+//! Workers address connections by a **generation-tagged id** (slab slot
+//! in the low 32 bits, a per-slot generation in the high 32). Slots are
+//! recycled, and the core learns of a close asynchronously — so a write
+//! command it queued for a dead connection can still be in flight when a
+//! new stream adopts the same slot. The generation check makes such
+//! commands die instead of reaching the unrelated new connection.
 
 use crate::conn::{Conn, ConnError};
 use crate::poll::{Interest, PollEvent, Poller, Waker};
@@ -89,6 +98,9 @@ struct IoStats {
     compound_frames_out: AtomicU64,
     frame_errors: AtomicU64,
     closed: AtomicU64,
+    /// Abnormal I/O-tier thread exits (a wedged accept loop or a worker
+    /// whose poller died). Nonzero means the server is silently degraded.
+    io_errors: AtomicU64,
 }
 
 /// Everything the server learned, returned at shutdown.
@@ -104,6 +116,10 @@ pub struct ServerReport {
     pub protocol_errors: u64,
     /// Connections whose byte stream failed framing or decode.
     pub frame_errors: u64,
+    /// I/O-tier threads that exited abnormally (accept loop or worker
+    /// poller failure). Nonzero distinguishes a wedged listener from an
+    /// idle one.
+    pub io_errors: u64,
     /// Connections accepted over the server's lifetime.
     pub accepted: u64,
     /// Frames read off sockets.
@@ -135,7 +151,22 @@ pub struct ServerReport {
 /// snapshot sync, not a replay.
 const MAX_PARKED_PER_SITE: usize = 1 << 16;
 
-/// A command from the core to a worker's write side.
+/// Pack a worker-local connection identity: the slab slot in the low
+/// 32 bits, a per-slot generation in the high 32. The generation bumps on
+/// every close, so an id names one connection *incarnation*, never merely
+/// a slot.
+fn conn_id(slot: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | slot as u64
+}
+
+/// Split a connection id back into `(slot, generation)`.
+fn conn_parts(id: u64) -> (usize, u32) {
+    ((id & 0xFFFF_FFFF) as usize, (id >> 32) as u32)
+}
+
+/// A command from the core to a worker's write side. `conn` is a
+/// generation-tagged id ([`conn_id`]); the worker drops commands whose
+/// generation no longer matches the slot's occupant.
 enum OutCmd {
     /// Queue one editor-message payload for a connection.
     Frame { conn: u64, payload: Payload },
@@ -143,7 +174,8 @@ enum OutCmd {
     Close { conn: u64 },
 }
 
-/// What workers tell the core.
+/// What workers tell the core. `conn` is a generation-tagged id
+/// ([`conn_id`]).
 enum CoreMsg {
     /// Decoded messages from one connection, in stream order.
     Frames {
@@ -221,6 +253,7 @@ impl ServerHandle {
                 ops_integrated: 0,
                 protocol_errors: 0,
                 frame_errors: 0,
+                io_errors: 0,
                 accepted: 0,
                 frames_in: 0,
                 msgs_in: 0,
@@ -317,23 +350,29 @@ fn accept_loop(
     stop: &AtomicBool,
     waker: &Waker,
 ) {
-    let Ok(poller) = Poller::new() else { return };
-    if poller.register(waker.fd(), 0, Interest::READ).is_err() {
-        return;
+    if accept_inner(&listener, workers, stats, stop, waker).is_err() {
+        // A dead accept thread leaves the server silently refusing every
+        // new connection; the counter lets the report tell that apart
+        // from an idle listener.
+        stats.io_errors.fetch_add(1, Ordering::Relaxed);
     }
-    if poller
-        .register(listener.as_raw_fd(), 1, Interest::READ)
-        .is_err()
-    {
-        return;
-    }
+}
+
+fn accept_inner(
+    listener: &TcpListener,
+    workers: &[Arc<WorkerShared>],
+    stats: &IoStats,
+    stop: &AtomicBool,
+    waker: &Waker,
+) -> io::Result<()> {
+    let poller = Poller::new()?;
+    poller.register(waker.fd(), 0, Interest::READ)?;
+    poller.register(listener.as_raw_fd(), 1, Interest::READ)?;
     let mut events: Vec<PollEvent> = Vec::new();
     let mut next = 0usize;
     while !stop.load(Ordering::SeqCst) {
         events.clear();
-        if poller.wait(&mut events, 500).is_err() {
-            break;
-        }
+        poller.wait(&mut events, 500)?;
         waker.drain();
         loop {
             match listener.accept() {
@@ -352,6 +391,7 @@ fn accept_loop(
             }
         }
     }
+    Ok(())
 }
 
 /// Decode every reassembled payload into exactly one editor message.
@@ -378,36 +418,54 @@ fn worker_loop(
     tx: &mpsc::Sender<CoreMsg>,
     compound_max: usize,
 ) {
-    let Ok(poller) = Poller::new() else { return };
-    if poller
-        .register(shared.waker.fd(), 0, Interest::READ)
-        .is_err()
-    {
-        return;
+    if worker_inner(wi, shared, stats, stop, tx, compound_max).is_err() {
+        // This shard's connections are orphaned; surface the degradation.
+        stats.io_errors.fetch_add(1, Ordering::Relaxed);
     }
-    // Slab of connections; token = slot + 1 (token 0 is the waker).
+}
+
+fn worker_inner(
+    wi: usize,
+    shared: &WorkerShared,
+    stats: &IoStats,
+    stop: &AtomicBool,
+    tx: &mpsc::Sender<CoreMsg>,
+    compound_max: usize,
+) -> io::Result<()> {
+    let poller = Poller::new()?;
+    poller.register(shared.waker.fd(), 0, Interest::READ)?;
+    // Slab of connections; epoll token = slot + 1 (token 0 is the waker).
+    // `gens[slot]` is the slot's current generation — together they form
+    // the connection id the core addresses ([`conn_id`]).
     let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut gens: Vec<u32> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
     let mut events: Vec<PollEvent> = Vec::new();
 
-    let close_slot =
-        |poller: &Poller, conns: &mut Vec<Option<Conn>>, free: &mut Vec<usize>, slot: usize| {
-            if let Some(conn) = conns.get_mut(slot).and_then(Option::take) {
-                let _ = poller.deregister(conn.fd());
-                free.push(slot);
-                stats.closed.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(CoreMsg::Disconnected {
-                    worker: wi,
-                    conn: slot as u64,
-                });
-            }
-        };
+    let close_slot = |poller: &Poller,
+                      conns: &mut Vec<Option<Conn>>,
+                      gens: &mut [u32],
+                      free: &mut Vec<usize>,
+                      slot: usize| {
+        if let Some(conn) = conns.get_mut(slot).and_then(Option::take) {
+            let _ = poller.deregister(conn.fd());
+            let _ = tx.send(CoreMsg::Disconnected {
+                worker: wi,
+                conn: conn_id(slot, gens[slot]),
+            });
+            // Retire the identity *before* the slot becomes reusable:
+            // commands the core already queued for this connection now
+            // fail the generation check instead of reaching the slot's
+            // next occupant.
+            gens[slot] = gens[slot].wrapping_add(1);
+            free.push(slot);
+            stats.closed.fetch_add(1, Ordering::Relaxed);
+        }
+    };
 
     while !stop.load(Ordering::SeqCst) {
         events.clear();
-        if poller.wait(&mut events, 500).is_err() {
-            break;
-        }
+        poller.wait(&mut events, 500)?;
 
         for ev in &events {
             if ev.token == 0 {
@@ -433,7 +491,7 @@ fn worker_loop(
                                 .fetch_add(msgs.len() as u64, Ordering::Relaxed);
                             let _ = tx.send(CoreMsg::Frames {
                                 worker: wi,
-                                conn: slot as u64,
+                                conn: conn_id(slot, gens[slot]),
                                 msgs,
                             });
                         }
@@ -458,7 +516,7 @@ fn worker_loop(
                         && poller.modify(conn.fd(), ev.token, Interest::READ).is_err());
             }
             if dead || (ev.hangup && !ev.readable) {
-                close_slot(&poller, &mut conns, &mut free, slot);
+                close_slot(&poller, &mut conns, &mut gens, &mut free, slot);
             }
         }
 
@@ -470,6 +528,7 @@ fn worker_loop(
             };
             let slot = free.pop().unwrap_or_else(|| {
                 conns.push(None);
+                gens.push(0);
                 conns.len() - 1
             });
             let token = slot as u64 + 1;
@@ -502,12 +561,19 @@ fn worker_loop(
                 OutCmd::Close { conn } => closes.push(conn),
             }
         }
-        for conn_id in order {
-            let slot = conn_id as usize;
+        for id in order {
+            let (slot, gen) = conn_parts(id);
+            // A stale generation means the addressed connection closed
+            // after the core queued this; the slot may already hold an
+            // unrelated stream, so the batch must be dropped, not
+            // delivered.
+            if gens.get(slot).copied() != Some(gen) {
+                continue;
+            }
             let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
                 continue;
             };
-            let Some(batch) = batches.remove(&conn_id) else {
+            let Some(batch) = batches.remove(&id) else {
                 continue;
             };
             let mut failed = false;
@@ -543,22 +609,28 @@ fn worker_loop(
                 failed = true;
             }
             if failed {
-                close_slot(&poller, &mut conns, &mut free, slot);
+                close_slot(&poller, &mut conns, &mut gens, &mut free, slot);
                 continue;
             }
             if conn.wants_write() {
-                let _ = poller.modify(conn.fd(), conn_id + 1, Interest::READ_WRITE);
+                let _ = poller.modify(conn.fd(), slot as u64 + 1, Interest::READ_WRITE);
             }
         }
-        for conn_id in closes {
-            let slot = conn_id as usize;
+        for id in closes {
+            let (slot, gen) = conn_parts(id);
+            // Same staleness rule: never close a successor connection on
+            // behalf of its slot's previous occupant.
+            if gens.get(slot).copied() != Some(gen) {
+                continue;
+            }
             // Best-effort final flush so eviction notices drain.
             if let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) {
                 let _ = conn.flush();
             }
-            close_slot(&poller, &mut conns, &mut free, slot);
+            close_slot(&poller, &mut conns, &mut gens, &mut free, slot);
         }
     }
+    Ok(())
 }
 
 /// The editor brain: single-threaded `Notifier` + WAL, fed decoded
@@ -646,11 +718,15 @@ impl<'a> Core<'a> {
                 self.evict(worker, conn);
                 return;
             }
-            self.wal.append(&WalRecord::Ack(a));
+            // Validate before persisting: recovery replays WAL acks
+            // through this same fallible path, so a rejected ack must
+            // never land in the log.
             if self.notifier.try_on_client_ack(a).is_err() {
                 self.notifier.quarantine(site);
                 self.evict(worker, conn);
+                return;
             }
+            self.wal.append(&WalRecord::Ack(a));
             return;
         }
         // Hello: bind the connection to its site.
@@ -662,6 +738,16 @@ impl<'a> Core<'a> {
             self.evict(worker, conn);
             return;
         }
+        // The hello's `received` is the client's real ack frontier — 0
+        // for a fresh client, its stream position on a reconnect. Apply
+        // it like any other ack so the notifier's history-buffer GC sees
+        // the frontier; an overrun claim is hostile and refuses the bind.
+        if self.notifier.try_on_client_ack(a).is_err() {
+            self.notifier.quarantine(a.origin);
+            self.evict(worker, conn);
+            return;
+        }
+        self.wal.append(&WalRecord::Ack(a));
         self.bound.insert(key, a.origin);
         if let Some(r) = self.routes.get_mut(idx) {
             *r = Some(key);
@@ -787,6 +873,7 @@ fn core_loop(
         ops_integrated: core.ops_integrated,
         protocol_errors: m.protocol_errors,
         frame_errors: stats.frame_errors.load(Ordering::Relaxed),
+        io_errors: stats.io_errors.load(Ordering::Relaxed),
         accepted: stats.accepted.load(Ordering::Relaxed),
         frames_in: stats.frames_in.load(Ordering::Relaxed),
         msgs_in: stats.msgs_in.load(Ordering::Relaxed),

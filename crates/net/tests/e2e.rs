@@ -1,14 +1,63 @@
 //! End-to-end checks for the TCP tier: torn-read reassembly equivalence,
-//! a live server ↔ sim-twin differential, and hostile-peer eviction.
+//! a live server ↔ sim-twin differential, hostile-peer eviction,
+//! reconnect rebinding, and connection churn over recycled slab slots.
 
+use cvc_core::site::SiteId;
 use cvc_net::frame::{write_frame, FrameReader};
 use cvc_net::{replay_twin, run_load, EditorServer, LoadConfig, ServerConfig};
+use cvc_reduce::client::Client;
+use cvc_reduce::msg::{ClientAckMsg, EditorMsg};
+use cvc_sim::wire::{WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A hand-driven framed client for tests that need exact control over
+/// connect/disconnect timing (blocking I/O, 10 s read timeout).
+struct TestPeer {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl TestPeer {
+    fn connect(addr: &str) -> TestPeer {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set timeout");
+        TestPeer {
+            stream,
+            reader: FrameReader::new(),
+        }
+    }
+
+    fn send(&mut self, msg: &EditorMsg) {
+        let mut body = Vec::with_capacity(msg.wire_bytes());
+        msg.encode(&mut body);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &[&body]);
+        self.stream.write_all(&frame).expect("write frame");
+    }
+
+    /// Block until the next editor message arrives.
+    fn recv(&mut self) -> EditorMsg {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(p) = self.reader.next_frame().expect("valid frame") {
+                let mut slice: &[u8] = &p;
+                return EditorMsg::decode(&mut slice).expect("decodable frame");
+            }
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed the connection unexpectedly");
+            self.reader.extend(&chunk[..n]);
+        }
+    }
+}
 
 /// Reassemble `stream` delivered in the given chunk sizes.
 fn reassemble(stream: &[u8], chunks: &[usize]) -> Vec<Vec<u8>> {
@@ -106,6 +155,7 @@ fn server_and_sim_twin_converge_byte_identically() {
     assert_eq!(report.ops_integrated, 512);
     assert_eq!(report.protocol_errors, 0);
     assert_eq!(report.frame_errors, 0);
+    assert_eq!(report.io_errors, 0, "no I/O-tier thread may die");
     assert_eq!(
         report.doc_checksum, load.doc_checksum,
         "server and replicas must agree"
@@ -174,5 +224,172 @@ fn hostile_peer_is_evicted_not_fatal() {
         report.frame_errors >= 1,
         "the hostile stream must be counted"
     );
+    assert_eq!(report.io_errors, 0, "hostile peers must not kill a worker");
+    assert_eq!(report.doc_checksum, load.doc_checksum);
+}
+
+/// A reconnecting site rebinds with its *real* ack frontier in the hello,
+/// and receives exactly the ops integrated while it was away — no replay
+/// of what it already acknowledged, no loss of the parked tail.
+#[test]
+fn reconnect_rebinds_with_real_ack_frontier() {
+    let server = EditorServer::spawn(ServerConfig {
+        n_clients: 2,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+
+    let site1 = SiteId::from_client_index(0);
+    let site2 = SiteId::from_client_index(1);
+    let mut editor1 = Client::new(site1, "");
+    let mut replica2 = Client::new(site2, "");
+
+    let mut peer1 = TestPeer::connect(&addr);
+    peer1.send(&EditorMsg::ClientAck(ClientAckMsg {
+        origin: site1,
+        received: 0,
+    }));
+    let mut peer2 = TestPeer::connect(&addr);
+    peer2.send(&EditorMsg::ClientAck(ClientAckMsg {
+        origin: site2,
+        received: 0,
+    }));
+
+    // Op 1 reaches site 2's first connection.
+    peer1.send(&EditorMsg::ClientOp(editor1.insert(0, "a")));
+    apply_server_ops(&mut peer2, &mut replica2, 1);
+    assert_eq!(replica2.doc(), "a");
+
+    // Site 2 drops. Wait for the server to process the disconnect (route
+    // cleared) before site 1 keeps editing, so op 2 parks for the rebind.
+    drop(peer2);
+    std::thread::sleep(Duration::from_millis(300));
+    peer1.send(&EditorMsg::ClientOp(editor1.insert(1, "b")));
+
+    // Reconnect with the true frontier: one broadcast already received.
+    let mut peer2 = TestPeer::connect(&addr);
+    peer2.send(&EditorMsg::ClientAck(ClientAckMsg {
+        origin: site2,
+        received: replica2.state_vector().received(),
+    }));
+    apply_server_ops(&mut peer2, &mut replica2, 1);
+    assert_eq!(replica2.doc(), "ab", "exactly the parked tail arrives");
+
+    let report = server.shutdown();
+    assert_eq!(report.ops_integrated, 2);
+    assert_eq!(
+        report.protocol_errors, 0,
+        "the hello frontier must be valid"
+    );
+    assert_eq!(report.frame_errors, 0);
+    assert_eq!(report.io_errors, 0);
+    assert_eq!(report.doc, replica2.doc());
+
+    // The WAL carries the hello frontiers too: recovery must replay them
+    // (and everything else) back to the live document.
+    let recovery = cvc_reduce::wal::Wal::recover(&report.wal_bytes).expect("WAL recovers");
+    let (recovered, _) = recovery.restore(2, "").expect("WAL restores");
+    assert_eq!(recovered.doc_checksum(), report.doc_checksum);
+}
+
+/// Pump `peer` until `count` server ops have been applied to `replica`.
+fn apply_server_ops(peer: &mut TestPeer, replica: &mut Client, count: usize) {
+    let mut applied = 0;
+    let mut queue = std::collections::VecDeque::new();
+    while applied < count {
+        let msg = queue.pop_front().unwrap_or_else(|| peer.recv());
+        match msg {
+            EditorMsg::ServerOp(m) => {
+                replica.try_on_server_op(m).expect("server op applies");
+                applied += 1;
+            }
+            EditorMsg::Compound(ms) => queue.extend(ms),
+            EditorMsg::ServerAck(_) => {}
+            other => panic!("unexpected downstream message: {other:?}"),
+        }
+    }
+}
+
+/// Heavy connect/disconnect churn forces the workers to recycle slab
+/// slots while honest traffic flows and evictions race disconnects. The
+/// generation tag on connection ids must keep every stale write or close
+/// command away from a slot's next occupant: the honest session still
+/// converges and no cross-connection leak corrupts a stream.
+#[test]
+fn connection_churn_never_leaks_across_slot_reuse() {
+    let n = 4;
+    let server = EditorServer::spawn(ServerConfig {
+        n_clients: n,
+        // One worker: every churned connection shares the honest
+        // clients' slab, maximizing slot reuse.
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+
+    let churn_stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&churn_stop);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(mut s) = TcpStream::connect(&addr) else {
+                    continue;
+                };
+                match i % 3 {
+                    // Connect-and-drop: pure slot churn.
+                    0 => {}
+                    // Out-of-range hello: the bind is refused and an
+                    // eviction Close is queued — a command that can race
+                    // this drop and the slot's reuse.
+                    1 => {
+                        let msg = EditorMsg::ClientAck(ClientAckMsg {
+                            origin: SiteId::from_client_index(64),
+                            received: 0,
+                        });
+                        let mut body = Vec::with_capacity(msg.wire_bytes());
+                        msg.encode(&mut body);
+                        let mut frame = Vec::new();
+                        write_frame(&mut frame, &[&body]);
+                        let _ = s.write_all(&frame);
+                    }
+                    // Unparseable garbage: a frame-error close in the
+                    // worker's event phase.
+                    _ => {
+                        let _ = s.write_all(&[0xDE, 0xAD, 0xBE, 0xEF]);
+                    }
+                }
+                drop(s);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let load = run_load(&LoadConfig {
+        addr,
+        n_clients: n,
+        total_ops: 64,
+        rate: 0.0,
+        threads: 1,
+        seed: 23,
+        timeout: Duration::from_secs(30),
+    })
+    .expect("load runs");
+    churn_stop.store(true, Ordering::Relaxed);
+    churner.join().expect("churner joins");
+
+    assert_eq!(load.conn_errors, 0, "honest connections must survive churn");
+    assert_eq!(load.protocol_errors, 0);
+    assert!(load.converged, "honest clients converge through the churn");
+
+    let report = server.shutdown();
+    assert_eq!(report.ops_integrated, 64);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.io_errors, 0);
     assert_eq!(report.doc_checksum, load.doc_checksum);
 }
