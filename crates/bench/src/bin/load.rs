@@ -21,6 +21,16 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// JSON-safe float: ratios over zero (a zero-op run's rate or RTT mean)
+/// must print as a number, never as `NaN`/`inf`, which are not JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0".to_string()
+    }
+}
+
 fn main() {
     let mut cfg = LoadConfig {
         addr: String::new(),
@@ -92,8 +102,8 @@ fn main() {
     println!(
         "{{\"ops_sent\":{},\"ops_acked\":{},\"converged\":{},\
          \"distinct_checksums\":{},\"doc_checksum\":{},\"protocol_errors\":{},\
-         \"conn_errors\":{},\"elapsed_secs\":{:.3},\"achieved_rate\":{:.1},\
-         \"rtt_count\":{},\"rtt_mean_us\":{:.1},\"rtt_p50_us\":{},\
+         \"conn_errors\":{},\"elapsed_secs\":{:.3},\"achieved_rate\":{},\
+         \"rtt_count\":{},\"rtt_mean_us\":{},\"rtt_p50_us\":{},\
          \"rtt_p95_us\":{},\"rtt_p99_us\":{},\"rtt_max_us\":{}}}",
         report.ops_sent,
         report.ops_acked,
@@ -103,9 +113,9 @@ fn main() {
         report.protocol_errors,
         report.conn_errors,
         report.elapsed.as_secs_f64(),
-        report.achieved_rate,
+        json_f64(report.achieved_rate),
         report.rtt.count,
-        report.rtt.mean_us,
+        json_f64(report.rtt.mean_us),
         report.rtt.p50_us,
         report.rtt.p95_us,
         report.rtt.p99_us,

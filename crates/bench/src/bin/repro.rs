@@ -3,17 +3,17 @@
 //! ```text
 //! repro all               # run every experiment (parallel workers)
 //! repro all --threads 4   # cap the worker pool
-//! repro e3                # one experiment (e1..e22)
+//! repro e3                # one experiment (e1..e23)
 //! repro list              # what exists
 //! ```
 //!
 //! `all` fans the timing-insensitive experiments out across a scoped
 //! worker pool (default: the machine's parallelism, override with
 //! `--threads N` or `REPRO_THREADS=N`), then runs the wall-clock
-//! experiments (e7, e14, e16, e17, e18, e19, e21, e22) sequentially. Output
-//! is always in e1..e22 order and, being seeded virtual-time, bit-identical
-//! at any worker count (E22 alone measures real sockets, so its timing
-//! columns vary run to run; its gates do not).
+//! experiments (e7, e14, e16, e17, e18, e19, e21, e22, e23) sequentially. Output
+//! is always in e1..e23 order and, being seeded virtual-time, bit-identical
+//! at any worker count (E22 and E23 alone measure real sockets, so their
+//! timing columns vary run to run; their gates do not).
 //!
 //! Exit status: 0 when every experiment's internal verification holds;
 //! 1 when any experiment reports a `FAILED:` line; 2 on usage errors.
@@ -78,6 +78,8 @@ fn main() {
         "e21-smoke" => experiments::e21_federation_smoke(),
         "e22" => experiments::e22_loopback(),
         "e22-smoke" => experiments::e22_loopback_smoke(),
+        "e23" => experiments::e23_observability(),
+        "e23-smoke" => experiments::e23_observability_smoke(),
         "failover" => {
             let t = cvc_reduce::scenario::failover_walkthrough();
             let mut s = String::from("durability & failover walkthrough\n\n");
@@ -119,6 +121,8 @@ fn main() {
              e21-smoke  small e21 run for the CI bench gate\n\
              e22 loopback saturation sweep over real TCP (N to 4096)\n\
              e22-smoke  small e22 run for the CI bench gate\n\
+             e23 live observability plane: scrape overhead, attach, probes\n\
+             e23-smoke  small e23 run for the CI bench gate\n\
              failover  step-by-step WAL/promotion/resync walkthrough"
             .to_string(),
         other => {

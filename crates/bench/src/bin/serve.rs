@@ -17,9 +17,20 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: cvc-serve [--addr HOST:PORT] [--clients N] [--workers N] \
-         [--seconds SECS] [--no-acks] [--capture]"
+         [--seconds SECS] [--no-acks] [--capture] \
+         [--admin-addr HOST:PORT] [--trace] [--trace-log-mb MB]"
     );
     std::process::exit(2);
+}
+
+/// JSON-safe float: a ratio over a zero denominator must print as a
+/// number (0), never as `NaN`/`inf`, which are not JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
 }
 
 fn main() {
@@ -56,6 +67,19 @@ fn main() {
             }
             "--no-acks" => cfg.send_acks = false,
             "--capture" => cfg.capture_integrations = true,
+            "--admin-addr" => cfg.admin_addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace" => cfg.trace_rings = true,
+            // Dump volume is O(ops × clients) deliver lines, so a large
+            // traced session needs more retention than the default for
+            // an attached tailer to see every line.
+            "--trace-log-mb" => {
+                let mb: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| usage());
+                cfg.ring_log_cap = mb << 20;
+            }
             _ => usage(),
         }
     }
@@ -68,6 +92,9 @@ fn main() {
         }
     };
     println!("LISTEN {}", server.addr());
+    if let Some(admin) = server.admin_addr() {
+        println!("ADMIN {admin}");
+    }
 
     std::thread::sleep(Duration::from_secs(seconds));
     let r = server.shutdown();
@@ -76,8 +103,9 @@ fn main() {
         "{{\"ops_integrated\":{},\"protocol_errors\":{},\"frame_errors\":{},\
          \"io_errors\":{},\
          \"accepted\":{},\"frames_in\":{},\"msgs_in\":{},\"frames_out\":{},\
-         \"msgs_out\":{},\"compound_frames_out\":{},\"dropped_broadcasts\":{},\
-         \"wal_appends\":{},\"wal_amplification\":{:.3},\"hb_high_water\":{},\
+         \"msgs_out\":{},\"compound_frames_out\":{},\"msgs_per_frame\":{},\
+         \"active_connections\":{},\"evicted\":{},\"dropped_broadcasts\":{},\
+         \"wal_appends\":{},\"wal_amplification\":{},\"hb_high_water\":{},\
          \"doc_len\":{},\"doc_checksum\":{}}}",
         r.ops_integrated,
         r.protocol_errors,
@@ -89,9 +117,12 @@ fn main() {
         r.frames_out,
         r.msgs_out,
         r.compound_frames_out,
+        r.msgs_per_frame.map_or("null".to_string(), json_f64),
+        r.active_connections,
+        r.evicted,
         r.dropped_broadcasts,
         r.wal_appends,
-        r.wal_amplification,
+        json_f64(r.wal_amplification),
         r.hb_high_water,
         r.doc.chars().count(),
         r.doc_checksum,

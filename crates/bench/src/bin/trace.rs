@@ -10,6 +10,7 @@
 //! cvc-trace run  [--n N] [--ops K] [--loss PCT] [--seed S] [--slowest K]
 //! cvc-trace read FILE                    # a ring dump from --dump
 //! cvc-trace tail FILE [--n N] [--follow] # stream traces as they close
+//! cvc-trace attach HOST:PORT [--follow]  # live server (admin port)
 //! ```
 //!
 //! `tail` is the incremental twin of `read`: it consumes a (possibly
@@ -19,6 +20,13 @@
 //! live client set (otherwise membership is learned from the stream and
 //! emission is conservative); `--follow` keeps polling for appended
 //! lines until the file goes quiet for `--idle` seconds.
+//!
+//! `attach` is `tail` over the wire: it connects to a `cvc-serve
+//! --admin-addr … --trace` admin port and pulls the server's streaming
+//! ring dump (`rings` frames) instead of a file, assembling the same
+//! lifecycle traces from a live process. The stream ends when the
+//! server eof-marks the log at shutdown, the connection drops, or the
+//! `--idle` window passes without growth.
 //!
 //! Every mode accepts `--chrome PATH` (Chrome trace_event JSON, loadable
 //! in chrome://tracing or Perfetto) and `--otlp PATH` (an OTLP/JSON
@@ -46,6 +54,8 @@ USAGE:
              [--slowest K] [--chrome PATH] [--otlp PATH] [--dump PATH]
   trace read FILE [--slowest K] [--chrome PATH] [--otlp PATH]
   trace tail FILE [--n N] [--follow] [--idle SECS]
+             [--slowest K] [--chrome PATH] [--otlp PATH]
+  trace attach HOST:PORT [--n N] [--follow] [--idle SECS]
              [--slowest K] [--chrome PATH] [--otlp PATH]
 ";
 
@@ -305,6 +315,17 @@ fn cmd_tail(o: &Opts) -> Result<(), String> {
             std::thread::sleep(std::time::Duration::from_millis(TAIL_POLL_MS));
         }
     }
+    finish_stream(tailer, streamed, &carry, o)
+}
+
+/// Shared epilogue for the streaming modes (`tail`/`attach`): report
+/// torn input, close the tailer, print the set, write artifacts.
+fn finish_stream(
+    tailer: cvc_reduce::trace::TraceTailer,
+    streamed: usize,
+    carry: &str,
+    o: &Opts,
+) -> Result<(), String> {
     if !carry.trim().is_empty() {
         println!("(ignored torn trailing line without newline)");
     }
@@ -321,6 +342,84 @@ fn cmd_tail(o: &Opts) -> Result<(), String> {
         println!("OTLP/JSON trace written to {p} (ExportTraceServiceRequest)");
     }
     Ok(())
+}
+
+fn cmd_attach(o: &Opts) -> Result<(), String> {
+    use cvc_net::{parse_rings_response, AdminClient};
+    use cvc_reduce::trace::{parse_ring_line, TraceTailer};
+
+    let addr = o
+        .file
+        .as_deref()
+        .ok_or("attach needs a HOST:PORT argument")?;
+    let mut client = AdminClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut tailer = if o.n_given {
+        TraceTailer::with_clients(1..=o.n as u32)
+    } else {
+        TraceTailer::new()
+    };
+    let mut offset = 0u64;
+    let mut carry = String::new();
+    let mut line_no = 0usize;
+    let mut streamed = 0usize;
+    let mut idle_ms = 0u64;
+    let mut evicted = 0u64;
+    loop {
+        let payload = match client.request(&format!("rings {offset}")) {
+            Ok(p) => p,
+            Err(e) => {
+                // The server went away mid-stream (shutdown past its
+                // drain window, or a crash): close out with what we have.
+                println!("(admin connection lost: {e})");
+                break;
+            }
+        };
+        let Some((start, next, eof, body)) = parse_rings_response(&payload) else {
+            return Err(format!("{addr}: malformed rings response"));
+        };
+        if start > offset {
+            // The server's bounded ring log evicted lines we never saw.
+            evicted += start - offset;
+        }
+        offset = next;
+        if !body.is_empty() {
+            idle_ms = 0;
+            carry.push_str(&String::from_utf8_lossy(body));
+            // Feed only whole lines; a torn final line waits for its
+            // newline (the server serves whole lines, so this is belt
+            // and braces against a lossy UTF-8 boundary).
+            while let Some(nl) = carry.find('\n') {
+                let line: String = carry.drain(..=nl).collect();
+                line_no += 1;
+                if let Some((site, ev)) =
+                    parse_ring_line(&line).map_err(|e| format!("line {line_no}: {e}"))?
+                {
+                    tailer.push(site, &ev);
+                }
+            }
+            for t in tailer.drain_complete() {
+                streamed += 1;
+                print!("{}", t.render());
+            }
+            if eof {
+                break;
+            }
+            continue;
+        }
+        if eof || !o.follow {
+            break;
+        }
+        idle_ms += TAIL_POLL_MS;
+        if o.idle > 0 && idle_ms >= o.idle * 1000 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(TAIL_POLL_MS));
+    }
+    if evicted > 0 {
+        println!("({evicted} byte(s) of ring dump evicted server-side before they were read)");
+    }
+    finish_stream(tailer, streamed, &carry, o)
 }
 
 fn cmd_read(o: &Opts) -> Result<(), String> {
@@ -344,6 +443,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&o),
         "read" => cmd_read(&o),
         "tail" => cmd_tail(&o),
+        "attach" => cmd_attach(&o),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())

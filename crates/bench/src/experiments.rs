@@ -2709,13 +2709,586 @@ fn write_bench_pr9_json(rows: &[LoopbackRow]) -> Result<String, std::io::Error> 
     Ok(path)
 }
 
+/// E23 — live observability overhead and fidelity: the admin plane of
+/// PR 10 measured against the exact same load with no admin plane at
+/// all. Three checks per run:
+///
+/// 1. **Scrape overhead** — for each client count, the per-executed-op
+///    wall time of a plain server vs one with `admin_addr` set and a
+///    scraper hammering `delta`/`prom`/`ready` the whole run (≥10
+///    scrapes/s). Gate: ≤5% overhead (best of 2 interleaved runs per
+///    configuration), zero malformed responses, twin certification
+///    intact on the scraped cell.
+/// 2. **Attach fidelity** — a `--trace` server under load with an
+///    in-process `cvc-trace attach`-style tailer streaming `rings`
+///    chunks over the admin socket. Gate: ≥95% of ops assemble into
+///    complete traces once the eof-marked final chunk is consumed.
+/// 3. **Readiness flip** — killing the core thread must flip the
+///    `ready` probe to `unready core thread dead` while the admin
+///    plane itself stays up to report it.
+///
+/// Writes `BENCH_PR10.json` (override with `BENCH_PR10_OUT`). The
+/// scrape-overhead gate deliberately excludes `--trace` (the ring-dump
+/// plane is an opt-in debugging aid with its own documented cost); the
+/// attach cell carries the tracing cost and is gated on fidelity, not
+/// time.
+pub fn e23_observability() -> String {
+    // Release cells must run for seconds, not sub-second: the paired
+    // off/on comparison is wall-clock, and this box's run-to-run spread
+    // on a sub-second cell exceeds the 5% gate by itself.
+    e23_observability_with(&[64, 256], 262_144, 4096, true)
+}
+
+/// The CI smoke variant: smaller cells, same gates, same JSON schema.
+/// The ops budget still buys multi-second release cells — the overhead
+/// gate is a wall-clock pair, and sub-second cells flake on a busy
+/// runner (see e23_observability).
+pub fn e23_observability_smoke() -> String {
+    e23_observability_with(&[32, 128], 262_144, 2048, true)
+}
+
+/// One scrape-overhead cell of E23 (a client count, measured twice).
+struct ObsRow {
+    n: usize,
+    ops: u64,
+    /// Best per-executed-op wall time without an admin plane (µs).
+    per_off_us: f64,
+    /// Best per-executed-op wall time with admin plane + live scraper.
+    per_on_us: f64,
+    overhead_pct: f64,
+    scrapes: u64,
+    scrape_rate: f64,
+    scrape_errors: u64,
+    ready_ok: u64,
+    clean: bool,
+    twin_ok: bool,
+}
+
+/// What the attach-fidelity cell measured.
+struct AttachCell {
+    n: usize,
+    ops: u64,
+    complete: usize,
+    truncated: usize,
+    dangling: usize,
+    parse_errors: u64,
+    complete_pct: f64,
+    clean: bool,
+    twin_ok: bool,
+}
+
+/// First integer right after `"key":` in a flat JSON rendering.
+fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = text.find(&pat)? + pat.len();
+    let digits: String = text[i..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Scrape counters shared with the background scraper thread.
+#[derive(Default)]
+struct ScrapeStats {
+    scrapes: std::sync::atomic::AtomicU64,
+    errors: std::sync::atomic::AtomicU64,
+    ready_ok: std::sync::atomic::AtomicU64,
+}
+
+/// One measured load pass. `admin` attaches the admin plane and a
+/// scraper thread driving `delta`/`prom`/`ready` for the whole run.
+/// Returns (per-executed-op µs, run-was-clean, twin-ok, elapsed secs).
+fn e23_pass(
+    n: usize,
+    ops: u64,
+    seed: u64,
+    admin: bool,
+    stats: &std::sync::Arc<ScrapeStats>,
+) -> (f64, bool, bool, f64) {
+    use cvc_net::{replay_twin, run_load, AdminClient, EditorServer, LoadConfig, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let server = EditorServer::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        n_clients: n,
+        capture_integrations: true,
+        admin_addr: admin.then(|| "127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = admin.then(|| {
+        let addr = server
+            .admin_addr()
+            .expect("admin plane requested")
+            .to_string();
+        let stop = stop.clone();
+        let stats = stats.clone();
+        std::thread::spawn(move || {
+            let Ok(mut client) = AdminClient::connect(&addr, Duration::from_secs(2)) else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let mut cursor = 0u64;
+            let mut iter = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match client.request_text(&format!("delta {cursor}")) {
+                    Ok(t) if t.starts_with('{') => {
+                        if let Some(s) = json_u64_field(&t, "seq") {
+                            cursor = s;
+                        }
+                    }
+                    _ => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // The full Prometheus exposition serialises the whole
+                // registry per request — that is what the delta channel
+                // exists to avoid at high frequency. Pull it at 1-in-10
+                // (~2.5/s, still ~40× a production Prometheus cadence);
+                // delta + ready carry the per-iteration scrape.
+                if iter.is_multiple_of(10) {
+                    match client.request_text("prom") {
+                        Ok(t) if t.contains("cvc_admin_ready") => {}
+                        _ => {
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                iter += 1;
+                match client.request_text("ready") {
+                    Ok(t) if t == "ready" => {
+                        stats.ready_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                stats.scrapes.fetch_add(1, Ordering::Relaxed);
+                // ~25 scrapes/s: comfortably past the 10/s acceptance
+                // floor and already 25-100× a production Prometheus
+                // cadence, without turning the overhead measurement
+                // into single-core CPU-share arithmetic.
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        })
+    });
+
+    let load = run_load(&LoadConfig {
+        addr: server.addr().to_string(),
+        n_clients: n,
+        total_ops: ops,
+        rate: 0.0,
+        threads: 2,
+        seed,
+        timeout: Duration::from_secs(240),
+    })
+    .expect("loopback load run");
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = scraper {
+        let _ = h.join();
+    }
+    let rep = server.shutdown();
+
+    let clean = load.converged
+        && load.distinct_checksums == 1
+        && load.protocol_errors + load.conn_errors == 0
+        && rep.protocol_errors + rep.frame_errors + rep.io_errors == 0;
+    let twin_ok = replay_twin(n, &rep.integration_log)
+        .map(|t| t.doc_checksum == rep.doc_checksum && t.doc_checksum == load.doc_checksum)
+        .unwrap_or(false);
+    let per_exec = load.elapsed.as_secs_f64() * 1e6 / load.ops_acked.max(1) as f64;
+    (per_exec, clean, twin_ok, load.elapsed.as_secs_f64())
+}
+
+/// The attach-fidelity cell: a `--trace` server under load with an
+/// in-process tailer streaming `rings` chunks like `cvc-trace attach`.
+fn e23_attach_cell(n: usize, ops: u64) -> AttachCell {
+    use cvc_net::{parse_rings_response, replay_twin, run_load, AdminClient, EditorServer};
+    use cvc_net::{LoadConfig, ServerConfig};
+    use cvc_reduce::trace::{parse_ring_line, TraceTailer};
+    use std::time::{Duration, Instant};
+
+    let server = EditorServer::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        n_clients: n,
+        capture_integrations: true,
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        trace_rings: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let admin_addr = server.admin_addr().expect("admin plane on").to_string();
+
+    // Set whenever the tailer polls an empty chunk, i.e. it has consumed
+    // everything published so far. Shutdown waits for it: the admin
+    // plane's post-shutdown drain window is sized for the final chunk,
+    // not for a debug-build tailer's whole parsing backlog.
+    let caught_up = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let caught_up_tailer = caught_up.clone();
+
+    let tailer_thread = std::thread::spawn(move || {
+        let mut tailer = TraceTailer::with_clients(1..=n as u32);
+        let mut parse_errors = 0u64;
+        let Ok(mut client) = AdminClient::connect(&admin_addr, Duration::from_secs(2)) else {
+            return (tailer.finish(), 1);
+        };
+        let mut offset = 0u64;
+        let mut carry = String::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        // Server past its drain window => request errors end the stream.
+        while let Ok(payload) = client.request(&format!("rings {offset}")) {
+            let Some((_, next, eof, body)) = parse_rings_response(&payload) else {
+                parse_errors += 1;
+                break;
+            };
+            offset = next;
+            if !body.is_empty() {
+                carry.push_str(&String::from_utf8_lossy(body));
+                while let Some(nl) = carry.find('\n') {
+                    let line: String = carry.drain(..=nl).collect();
+                    match parse_ring_line(&line) {
+                        Ok(Some((site, ev))) => tailer.push(site, &ev),
+                        Ok(None) => {}
+                        Err(_) => parse_errors += 1,
+                    }
+                }
+            }
+            if eof || Instant::now() > deadline {
+                break;
+            }
+            if body.is_empty() {
+                caught_up_tailer.store(true, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        (tailer.finish(), parse_errors)
+    });
+
+    let load = run_load(&LoadConfig {
+        addr: server.addr().to_string(),
+        n_clients: n,
+        total_ops: ops,
+        rate: 0.0,
+        threads: 2,
+        seed: 0x23A7 + n as u64,
+        timeout: Duration::from_secs(240),
+    })
+    .expect("loopback load run");
+    // The flag may have been set mid-run (tailer briefly level with the
+    // live stream); clear it and wait for a fresh catch-up against the
+    // post-load ring end before tearing the server down.
+    caught_up.store(false, std::sync::atomic::Ordering::Relaxed);
+    let wait_deadline = Instant::now() + Duration::from_secs(90);
+    while !caught_up.load(std::sync::atomic::Ordering::Relaxed)
+        && !tailer_thread.is_finished()
+        && Instant::now() < wait_deadline
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let rep = server.shutdown();
+    let (set, parse_errors) = tailer_thread.join().expect("tailer thread");
+
+    let complete = set.traces.iter().filter(|t| t.complete()).count();
+    let truncated = set.traces.iter().filter(|t| t.truncated).count();
+    let twin_ok = replay_twin(n, &rep.integration_log)
+        .map(|t| t.doc_checksum == rep.doc_checksum && t.doc_checksum == load.doc_checksum)
+        .unwrap_or(false);
+    AttachCell {
+        n,
+        ops,
+        complete,
+        truncated,
+        dangling: set.traces.len().saturating_sub(complete + truncated),
+        parse_errors,
+        complete_pct: complete as f64 * 100.0 / ops.max(1) as f64,
+        clean: load.converged
+            && load.protocol_errors + load.conn_errors == 0
+            && rep.protocol_errors + rep.frame_errors + rep.io_errors == 0,
+        twin_ok,
+    }
+}
+
+/// Kill the core thread on a live server and watch the `ready` probe
+/// flip while the admin plane stays answerable.
+fn e23_readiness_flip() -> bool {
+    use cvc_net::{AdminClient, EditorServer, ServerConfig};
+    use std::time::Duration;
+
+    let server = EditorServer::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        n_clients: 2,
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.admin_addr().expect("admin plane on").to_string();
+    let Ok(mut client) = AdminClient::connect(&addr, Duration::from_secs(2)) else {
+        return false;
+    };
+    if client.request_text("ready").ok().as_deref() != Some("ready") {
+        return false;
+    }
+    server.halt_core();
+    let mut flipped = false;
+    for _ in 0..200 {
+        match client.request_text("ready") {
+            Ok(t) if t.starts_with("unready core thread dead") => {
+                flipped = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => break,
+        }
+    }
+    drop(client);
+    server.shutdown();
+    flipped
+}
+
+fn e23_observability_with(
+    ns: &[usize],
+    ops_budget: usize,
+    max_ops: usize,
+    write_json: bool,
+) -> String {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    let mut rows: Vec<ObsRow> = Vec::new();
+    for &n in ns {
+        let ops = (ops_budget / n).clamp(64, max_ops) as u64;
+        let stats = Arc::new(ScrapeStats::default());
+        let unused = Arc::new(ScrapeStats::default());
+        let mut per_off = f64::INFINITY;
+        let mut per_on = f64::INFINITY;
+        let mut clean = true;
+        let mut twin_ok = true;
+        let mut elapsed_on = 0.0f64;
+        // Interleave the two configurations so machine drift hits both;
+        // keep the best of three passes each (load noise is one-sided,
+        // and on a shared single core one stalled pass is routine).
+        for round in 0..3u64 {
+            let seed = 0x23E0 + n as u64 + round * 7919;
+            let (p, c, _t, _e) = e23_pass(n, ops, seed, false, &unused);
+            per_off = per_off.min(p);
+            clean &= c;
+            let (p, c, t, e) = e23_pass(n, ops, seed, true, &stats);
+            per_on = per_on.min(p);
+            elapsed_on += e;
+            clean &= c;
+            twin_ok &= t;
+        }
+        let scrapes = stats.scrapes.load(Ordering::Relaxed);
+        rows.push(ObsRow {
+            n,
+            ops,
+            per_off_us: per_off,
+            per_on_us: per_on,
+            overhead_pct: (per_on / per_off - 1.0) * 100.0,
+            scrapes,
+            scrape_rate: scrapes as f64 / elapsed_on.max(1e-9),
+            scrape_errors: stats.errors.load(Ordering::Relaxed),
+            ready_ok: stats.ready_ok.load(Ordering::Relaxed),
+            clean,
+            twin_ok,
+        });
+    }
+
+    // Sized so the full ring-dump text (O(ops × HB) transform lines)
+    // fits the server's bounded ring log even if the tailer lags a
+    // whole burst behind; eviction would show up as dangling traces.
+    let attach = e23_attach_cell(8, 1024);
+    let flip_ok = e23_readiness_flip();
+
+    let mut t = Table::new(vec![
+        "clients",
+        "ops",
+        "off µs/op",
+        "on µs/op",
+        "overhead",
+        "scrapes",
+        "scrapes/s",
+        "errors",
+        "clean",
+        "twin",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.per_off_us),
+            format!("{:.1}", r.per_on_us),
+            format!("{:+.1}%", r.overhead_pct),
+            r.scrapes.to_string(),
+            format!("{:.0}", r.scrape_rate),
+            r.scrape_errors.to_string(),
+            r.clean.to_string(),
+            r.twin_ok.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "E23 — live observability plane: scrape overhead, attach fidelity, \
+         readiness probes\n\n{}",
+        t.render()
+    );
+    out.push_str(&format!(
+        "\nattach cell: {} clients × {} ops — {} complete ({:.1}%), \
+         {} truncated, {} dangling, {} parse error(s)\n",
+        attach.n,
+        attach.ops,
+        attach.complete,
+        attach.complete_pct,
+        attach.truncated,
+        attach.dangling,
+        attach.parse_errors,
+    ));
+    out.push_str(&format!(
+        "readiness flip on core death: {}\n",
+        if flip_ok { "observed" } else { "NOT observed" }
+    ));
+
+    // Gate 1: every overhead cell clean, twin-certified, scraped fast
+    // enough, with zero malformed scrape responses.
+    for r in &rows {
+        if !r.clean || !r.twin_ok {
+            out.push_str(&format!(
+                "FAILED: the {}-client cell broke a cleanliness/twin gate\n",
+                r.n
+            ));
+        }
+        if r.scrape_errors > 0 {
+            out.push_str(&format!(
+                "FAILED: {} malformed scrape response(s) at {} clients\n",
+                r.scrape_errors, r.n
+            ));
+        }
+        if r.scrape_rate < 10.0 {
+            out.push_str(&format!(
+                "FAILED: scrape rate {:.1}/s at {} clients is below the 10/s floor\n",
+                r.scrape_rate, r.n
+            ));
+        }
+        if r.ready_ok == 0 {
+            out.push_str(&format!(
+                "FAILED: the ready probe never answered `ready` at {} clients\n",
+                r.n
+            ));
+        }
+    }
+    // Gate 2: the scrape overhead ceiling.
+    let worst = rows
+        .iter()
+        .map(|r| r.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst > 5.0 {
+        out.push_str(&format!(
+            "FAILED: worst-cell scrape overhead {worst:+.1}% exceeds the 5% ceiling\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "scrape overhead within the 5% ceiling (worst cell {worst:+.1}%)\n"
+        ));
+    }
+    // Gate 3: attach fidelity.
+    if attach.complete_pct < 95.0 || attach.parse_errors > 0 || !attach.clean || !attach.twin_ok {
+        out.push_str(&format!(
+            "FAILED: attach assembled {:.1}% complete traces \
+             (need ≥95% with 0 parse errors, clean, twin-certified)\n",
+            attach.complete_pct
+        ));
+    }
+    // Gate 4: the readiness probe notices a dead core.
+    if !flip_ok {
+        out.push_str("FAILED: killing the core never flipped the ready probe\n");
+    }
+    if cfg!(debug_assertions) {
+        out.push_str("\nNOTE: debug build — timings are not representative; use --release.\n");
+    }
+    if write_json {
+        match write_bench_pr10_json(&rows, &attach, flip_ok, worst) {
+            Ok(path) => out.push_str(&format!("\nmachine-readable report: {path}\n")),
+            Err(e) => out.push_str(&format!("\n(could not write BENCH_PR10.json: {e})\n")),
+        }
+    }
+    out
+}
+
+/// Serialise the E23 results as `BENCH_PR10.json` (override the path
+/// with `BENCH_PR10_OUT`). Returns the path written.
+fn write_bench_pr10_json(
+    rows: &[ObsRow],
+    attach: &AttachCell,
+    flip_ok: bool,
+    worst_pct: f64,
+) -> Result<String, std::io::Error> {
+    let path = std::env::var("BENCH_PR10_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"E23 live observability plane\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"ops\": {}, \"per_exec_off_us\": {:.2}, \
+             \"per_exec_on_us\": {:.2}, \"overhead_pct\": {:.2}, \
+             \"scrapes\": {}, \"scrape_rate_per_sec\": {:.1}, \
+             \"scrape_errors\": {}, \"ready_ok\": {}, \"clean\": {}, \
+             \"twin_ok\": {}}}{}\n",
+            r.n,
+            r.ops,
+            r.per_off_us,
+            r.per_on_us,
+            r.overhead_pct,
+            r.scrapes,
+            r.scrape_rate,
+            r.scrape_errors,
+            r.ready_ok,
+            r.clean,
+            r.twin_ok,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"attach\": {{\"clients\": {}, \"ops\": {}, \"complete\": {}, \
+         \"truncated\": {}, \"dangling\": {}, \"parse_errors\": {}, \
+         \"complete_pct\": {:.2}, \"clean\": {}, \"twin_ok\": {}}},\n",
+        attach.n,
+        attach.ops,
+        attach.complete,
+        attach.truncated,
+        attach.dangling,
+        attach.parse_errors,
+        attach.complete_pct,
+        attach.clean,
+        attach.twin_ok,
+    ));
+    s.push_str(&format!("  \"readiness_flip_ok\": {flip_ok},\n"));
+    s.push_str(&format!(
+        "  \"overhead_gate\": {{\"limit_pct\": 5.0, \"worst_pct\": {worst_pct:.2}, \"ok\": {}}}\n",
+        worst_pct <= 5.0
+    ));
+    s.push_str("}\n");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// One registry entry: `(name, timing_sensitive, run)`. Timing-sensitive
 /// experiments measure wall-clock and must not share the machine with the
 /// worker pool.
 pub type ExperimentEntry = (&'static str, bool, fn() -> String);
 
 /// Every experiment, in report order.
-pub const EXPERIMENTS: [ExperimentEntry; 22] = [
+pub const EXPERIMENTS: [ExperimentEntry; 23] = [
     ("e1", false, e1_topology),
     ("e2", false, e2_fig2),
     ("e3", false, e3_fig3),
@@ -2738,6 +3311,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 22] = [
     ("e20", false, e20_failover),
     ("e21", true, e21_federation),
     ("e22", true, e22_loopback),
+    ("e23", true, e23_observability),
 ];
 
 /// Worker-thread count for [`run_all`]: the `REPRO_THREADS` environment
@@ -3072,7 +3646,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_ordered() {
         let names: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _, _)| n).collect();
-        let expected: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=23).map(|i| format!("e{i}")).collect();
         assert_eq!(
             names,
             expected.iter().map(String::as_str).collect::<Vec<_>>()
@@ -3085,7 +3659,7 @@ mod tests {
             .collect();
         assert_eq!(
             timing,
-            vec!["e7", "e14", "e16", "e17", "e18", "e19", "e21", "e22"]
+            vec!["e7", "e14", "e16", "e17", "e18", "e19", "e21", "e22", "e23"]
         );
     }
 

@@ -35,6 +35,7 @@
 //! artifact; what the server reuses from it is the framing discipline
 //! (checksums, compound coalescing) and the WAL.
 
+pub mod admin;
 pub mod conn;
 pub mod frame;
 pub mod load;
@@ -42,6 +43,7 @@ pub mod poll;
 pub mod server;
 pub mod twin;
 
+pub use admin::{parse_rings_response, AdminClient};
 pub use conn::{Conn, ConnError};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use load::{run_load, LoadConfig, LoadReport, RttSummary};

@@ -368,6 +368,20 @@ fn shard_loop(
         }
     }
 
+    // Final courtesy ack: convergence lands mid-ACK_INTERVAL for most
+    // clients, leaving the notifier's `acked_by` — its GC watermark and
+    // the admin plane's client-execution evidence — pinned a few stream
+    // positions short forever. One bare ack per client closes the gap
+    // before the sockets drop.
+    for lc in clients.iter_mut().filter(|lc| !lc.dead) {
+        let received = lc.client.state_vector().received();
+        let ack = ClientAckMsg {
+            origin: lc.site,
+            received,
+        };
+        lc.queue_msg(&EditorMsg::ClientAck(ack));
+    }
+
     Ok((clients, rtt_us, conn_errors))
 }
 

@@ -36,14 +36,19 @@
 //! new stream adopts the same slot. The generation check makes such
 //! commands die instead of reaching the unrelated new connection.
 
+use crate::admin::{spawn_admin, AdminHandle, AdminShared, AliveGuard, Tier, RING_LOG_CAP};
 use crate::conn::{Conn, ConnError};
 use crate::poll::{Interest, PollEvent, Poller, Waker};
-use cvc_core::site::SiteId;
+use cvc_core::site::{SiteId, NOTIFIER};
 use cvc_reduce::msg::{compound_header, ClientAckMsg, ClientOpMsg, EditorMsg, Payload};
 use cvc_reduce::notifier::Notifier;
+use cvc_reduce::recorder::NO_SITE;
+use cvc_reduce::registry::MetricsRegistry;
+use cvc_reduce::trace::dump_event_line;
 use cvc_reduce::wal::{Wal, WalRecord};
 use cvc_sim::wire::{WireDecode, WireEncode, WireError, WireSize};
 use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -51,6 +56,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// How a server instance is shaped.
 #[derive(Debug, Clone)]
@@ -71,6 +77,19 @@ pub struct ServerConfig {
     pub capture_integrations: bool,
     /// Most sub-messages one compound frame may carry on the write path.
     pub compound_max: usize,
+    /// Where the admin plane listens (`None` disables it). Port 0 picks
+    /// an ephemeral port, resolvable via [`ServerHandle::admin_addr`].
+    pub admin_addr: Option<String>,
+    /// Stream flight-recorder ring dumps on the admin port (`cvc-trace
+    /// attach`). Requires `admin_addr`; costs one bounded text log.
+    pub trace_rings: bool,
+    /// Notifier flight-recorder ring capacity when `trace_rings` is on.
+    pub trace_ring_capacity: usize,
+    /// Ring-dump log retention in bytes (`cvc-serve --trace-log-mb`).
+    /// Dump volume is O(ops × clients) deliver lines plus O(ops × |HB|)
+    /// transform lines, so large sessions need more than the default
+    /// for an attached tailer to see every line.
+    pub ring_log_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,24 +102,36 @@ impl Default for ServerConfig {
             send_acks: true,
             capture_integrations: false,
             compound_max: 32,
+            admin_addr: None,
+            trace_rings: false,
+            // Sized for a full 512-message core batch at burst-level
+            // transform fan-out; the per-batch drain empties it between
+            // batches, so this bounds single-batch loss, not total load.
+            trace_ring_capacity: 1 << 18,
+            ring_log_cap: RING_LOG_CAP,
         }
     }
 }
 
-/// Shared I/O-tier counters (workers increment, the report snapshots).
+/// Shared I/O-tier counters (workers increment, the report and the
+/// admin plane snapshot).
 #[derive(Debug, Default)]
-struct IoStats {
-    accepted: AtomicU64,
-    frames_in: AtomicU64,
-    msgs_in: AtomicU64,
-    frames_out: AtomicU64,
-    msgs_out: AtomicU64,
-    compound_frames_out: AtomicU64,
-    frame_errors: AtomicU64,
-    closed: AtomicU64,
+pub(crate) struct IoStats {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) msgs_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) msgs_out: AtomicU64,
+    pub(crate) compound_frames_out: AtomicU64,
+    pub(crate) frame_errors: AtomicU64,
+    pub(crate) closed: AtomicU64,
+    /// Connections the core shed for protocol violations or backpressure.
+    pub(crate) evicted: AtomicU64,
+    /// Messages queued toward the core and not yet drained by it.
+    pub(crate) core_queue: AtomicU64,
     /// Abnormal I/O-tier thread exits (a wedged accept loop or a worker
     /// whose poller died). Nonzero means the server is silently degraded.
-    io_errors: AtomicU64,
+    pub(crate) io_errors: AtomicU64,
 }
 
 /// Everything the server learned, returned at shutdown.
@@ -132,6 +163,15 @@ pub struct ServerReport {
     pub msgs_out: u64,
     /// Frames that coalesced more than one message.
     pub compound_frames_out: u64,
+    /// Mean messages per written frame, `None` when nothing was written
+    /// (a zero-op run must report null, not NaN).
+    pub msgs_per_frame: Option<f64>,
+    /// Connections still open at shutdown.
+    pub active_connections: u64,
+    /// Connections the core shed (protocol violations, backpressure).
+    pub evicted: u64,
+    /// Per-worker peak queued write commands (outbox depth high-water).
+    pub outbox_high_water: Vec<u64>,
     /// Broadcasts dropped because the destination had no live connection.
     pub dropped_broadcasts: u64,
     /// WAL records appended.
@@ -196,9 +236,30 @@ struct WorkerShared {
     inbox: Mutex<Vec<TcpStream>>,
     /// Write-side commands from the core.
     outbox: Mutex<VecDeque<OutCmd>>,
+    /// Connections this worker currently owns.
+    active_conns: AtomicU64,
+    /// Commands sitting in `outbox` right now / at peak.
+    outbox_depth: AtomicU64,
+    outbox_high_water: AtomicU64,
+    /// Peak unsent bytes observed on any one connection after a flush.
+    pending_out_high_water: AtomicU64,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+impl WorkerShared {
+    fn new() -> io::Result<WorkerShared> {
+        Ok(WorkerShared {
+            waker: Waker::new()?,
+            inbox: Mutex::new(Vec::new()),
+            outbox: Mutex::new(VecDeque::new()),
+            active_conns: AtomicU64::new(0),
+            outbox_depth: AtomicU64::new(0),
+            outbox_high_water: AtomicU64::new(0),
+            pending_out_high_water: AtomicU64::new(0),
+        })
+    }
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // A poisoned mutex means a peer thread died mid-update; the data is
     // plain queues, safe to keep draining during teardown.
     match m.lock() {
@@ -220,12 +281,25 @@ pub struct ServerHandle {
     accept_thread: Option<thread::JoinHandle<()>>,
     worker_threads: Vec<thread::JoinHandle<()>>,
     core_thread: Option<thread::JoinHandle<ServerReport>>,
+    admin: Option<AdminHandle>,
 }
 
 impl ServerHandle {
     /// The address the server actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin plane's bound address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.addr)
+    }
+
+    /// Test hook: stop the core thread alone, leaving the I/O tier and
+    /// admin plane up — the readiness probe must flip to unready. A full
+    /// [`ServerHandle::shutdown`] still joins cleanly afterwards.
+    pub fn halt_core(&self) {
+        let _ = self.core_tx.send(CoreMsg::Shutdown);
     }
 
     /// Stop accepting, drain the tiers, and return the final report.
@@ -243,6 +317,14 @@ impl ServerHandle {
         }
         let _ = self.core_tx.send(CoreMsg::Shutdown);
         let report = self.core_thread.take().map(|t| t.join());
+        // Stop the admin plane only after the core published its final
+        // registry delta and eof-marked the ring log; the admin thread
+        // lingers briefly so attached tailers can pull that last chunk.
+        if let Some(a) = self.admin.take() {
+            a.stop.store(true, Ordering::SeqCst);
+            a.waker.wake();
+            let _ = a.thread.join();
+        }
         match report {
             Some(Ok(r)) => r,
             // The core thread never panics by construction; an empty
@@ -260,6 +342,10 @@ impl ServerHandle {
                 frames_out: 0,
                 msgs_out: 0,
                 compound_frames_out: 0,
+                msgs_per_frame: None,
+                active_connections: 0,
+                evicted: 0,
+                outbox_high_water: Vec::new(),
                 dropped_broadcasts: 0,
                 wal_appends: 0,
                 wal_amplification: 0.0,
@@ -289,12 +375,21 @@ impl EditorServer {
 
         let mut workers = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
-            workers.push(Arc::new(WorkerShared {
-                waker: Waker::new()?,
-                inbox: Mutex::new(Vec::new()),
-                outbox: Mutex::new(VecDeque::new()),
-            }));
+            workers.push(Arc::new(WorkerShared::new()?));
         }
+
+        // The admin plane binds before any serving thread spawns: a bad
+        // --admin-addr fails the whole spawn instead of degrading silently.
+        let admin_shared = cfg
+            .admin_addr
+            .as_ref()
+            .map(|_| Arc::new(AdminShared::new(cfg.ring_log_cap)));
+        let admin = match (&cfg.admin_addr, &admin_shared) {
+            (Some(addr), Some(shared)) => {
+                Some(spawn_admin(addr, Arc::clone(shared), Arc::clone(&stats))?)
+            }
+            _ => None,
+        };
 
         let accept_waker = Arc::new(Waker::new()?);
         let accept_thread = {
@@ -302,9 +397,15 @@ impl EditorServer {
             let workers: Vec<Arc<WorkerShared>> = workers.clone();
             let stats = Arc::clone(&stats);
             let waker = Arc::clone(&accept_waker);
+            let guard = admin_shared
+                .as_ref()
+                .map(|s| AliveGuard::new(Arc::clone(s), Tier::Accept));
             thread::Builder::new()
                 .name("cvc-accept".to_string())
-                .spawn(move || accept_loop(listener, &workers, &stats, &stop, &waker))?
+                .spawn(move || {
+                    let _alive = guard;
+                    accept_loop(listener, &workers, &stats, &stop, &waker);
+                })?
         };
 
         let mut worker_threads = Vec::with_capacity(n_workers);
@@ -325,9 +426,17 @@ impl EditorServer {
             let cfg = cfg.clone();
             let workers: Vec<Arc<WorkerShared>> = workers.clone();
             let stats = Arc::clone(&stats);
+            let admin_shared = admin_shared.clone();
             thread::Builder::new()
                 .name("cvc-core".to_string())
-                .spawn(move || core_loop(&cfg, core_rx, &workers, &stats))?
+                .spawn(move || {
+                    let guard = admin_shared
+                        .as_ref()
+                        .map(|s| AliveGuard::new(Arc::clone(s), Tier::Core));
+                    let report = core_loop(&cfg, core_rx, &workers, &stats, admin_shared);
+                    drop(guard);
+                    report
+                })?
         };
 
         Ok(ServerHandle {
@@ -339,6 +448,7 @@ impl EditorServer {
             accept_thread: Some(accept_thread),
             worker_threads,
             core_thread: Some(core_thread),
+            admin,
         })
     }
 }
@@ -449,10 +559,12 @@ fn worker_inner(
                       slot: usize| {
         if let Some(conn) = conns.get_mut(slot).and_then(Option::take) {
             let _ = poller.deregister(conn.fd());
+            stats.core_queue.fetch_add(1, Ordering::Relaxed);
             let _ = tx.send(CoreMsg::Disconnected {
                 worker: wi,
                 conn: conn_id(slot, gens[slot]),
             });
+            shared.active_conns.fetch_sub(1, Ordering::Relaxed);
             // Retire the identity *before* the slot becomes reusable:
             // commands the core already queued for this connection now
             // fail the generation check instead of reaching the slot's
@@ -489,6 +601,7 @@ fn worker_inner(
                             stats
                                 .msgs_in
                                 .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                            stats.core_queue.fetch_add(1, Ordering::Relaxed);
                             let _ = tx.send(CoreMsg::Frames {
                                 worker: wi,
                                 conn: conn_id(slot, gens[slot]),
@@ -534,6 +647,7 @@ fn worker_inner(
             let token = slot as u64 + 1;
             if poller.register(conn.fd(), token, Interest::READ).is_ok() {
                 conns[slot] = Some(conn);
+                shared.active_conns.fetch_add(1, Ordering::Relaxed);
             } else {
                 free.push(slot);
             }
@@ -541,6 +655,7 @@ fn worker_inner(
 
         // Drain the core's write commands, coalescing per connection.
         let cmds: VecDeque<OutCmd> = std::mem::take(&mut *lock(&shared.outbox));
+        shared.outbox_depth.store(0, Ordering::Relaxed);
         if cmds.is_empty() {
             continue;
         }
@@ -612,6 +727,9 @@ fn worker_inner(
                 close_slot(&poller, &mut conns, &mut gens, &mut free, slot);
                 continue;
             }
+            shared
+                .pending_out_high_water
+                .fetch_max(conn.pending_out() as u64, Ordering::Relaxed);
             if conn.wants_write() {
                 let _ = poller.modify(conn.fd(), slot as u64 + 1, Interest::READ_WRITE);
             }
@@ -655,11 +773,44 @@ struct Core<'a> {
     dropped_broadcasts: u64,
     integration_log: Vec<ClientOpMsg>,
     ops_integrated: u64,
+    stats: &'a IoStats,
+    /// The observability plane, when configured. The core only ever
+    /// *pushes* here on its publish cadence; scrapes read the copies.
+    admin: Option<Arc<AdminShared>>,
+    /// Microsecond clock for recorder timestamps (elapsed since spawn).
+    now_us: u64,
+    /// The live registry image `publish` diffs against the admin plane.
+    live: MetricsRegistry,
+    /// Next unread notifier flight-recorder sequence.
+    recorder_cursor: u64,
+    /// Synthesized client-side dump lines (Generate/Send at integration,
+    /// Execute from ack-frontier advancement) pending the next publish.
+    synth: String,
+    /// Per-client synthesized-event sequence numbers.
+    synth_seq: Vec<u64>,
+    /// Per-client acked stream position already emitted as synthetic
+    /// Execute lines; the live frontier is the notifier's `acked_by`.
+    ack_published: Vec<u64>,
+    /// Bytes currently parked for not-yet-connected sites.
+    parked_bytes: u64,
+}
+
+/// Payload wire size (both chunks), for the parked-bytes gauge.
+fn payload_len(p: &Payload) -> u64 {
+    let [head, body] = p.chunks();
+    (head.len() + body.len()) as u64
 }
 
 impl<'a> Core<'a> {
     fn push(&mut self, worker: usize, cmd: OutCmd) {
-        lock(&self.workers[worker].outbox).push_back(cmd);
+        let w = &self.workers[worker];
+        let depth = {
+            let mut q = lock(&w.outbox);
+            q.push_back(cmd);
+            q.len() as u64
+        };
+        w.outbox_depth.store(depth, Ordering::Relaxed);
+        w.outbox_high_water.fetch_max(depth, Ordering::Relaxed);
         self.touched[worker] = true;
     }
 
@@ -671,6 +822,7 @@ impl<'a> Core<'a> {
             None => {
                 let parked = &mut self.parked[idx];
                 if parked.len() < MAX_PARKED_PER_SITE {
+                    self.parked_bytes += payload_len(&payload);
                     parked.push_back(payload);
                 } else {
                     self.dropped_broadcasts += 1;
@@ -685,6 +837,7 @@ impl<'a> Core<'a> {
                 *r = None;
             }
         }
+        self.stats.evicted.fetch_add(1, Ordering::Relaxed);
         self.push(worker, OutCmd::Close { conn });
     }
 
@@ -755,6 +908,7 @@ impl<'a> Core<'a> {
         // Flush everything integrated while this site was still
         // connecting — its stream must begin at op 1.
         while let Some(payload) = self.parked[idx].pop_front() {
+            self.parked_bytes = self.parked_bytes.saturating_sub(payload_len(&payload));
             self.push(worker, OutCmd::Frame { conn, payload });
         }
     }
@@ -776,6 +930,15 @@ impl<'a> Core<'a> {
         match self.notifier.try_on_client_op_outcome(op.clone()) {
             Ok(outcome) => {
                 self.ops_integrated += 1;
+                if self.tracing() {
+                    // The server sees no client rings, but integration
+                    // proves the op was generated and sent; synthesize
+                    // those lines so attached tailers get full
+                    // lifecycles. Timestamps collapse to arrival time.
+                    let seq = op.stamp.get(2);
+                    self.synth_line(site, "generate", site.0, seq);
+                    self.synth_line(site, "send", site.0, seq);
+                }
                 if self.cfg.capture_integrations {
                     self.integration_log.push(op);
                 }
@@ -809,16 +972,166 @@ impl<'a> Core<'a> {
             }
         }
     }
+
+    /// True when ring streaming is active (admin plane + trace flag).
+    fn tracing(&self) -> bool {
+        self.cfg.trace_rings && self.admin.is_some()
+    }
+
+    /// Append one synthesized client-side dump line (same 14-field
+    /// format as [`dump_event_line`]; unused fields zeroed).
+    fn synth_line(&mut self, site: SiteId, kind: &str, op_site: u32, op_seq: u64) {
+        let idx = site.client_index();
+        let seq = self.synth_seq[idx];
+        self.synth_seq[idx] += 1;
+        let _ = writeln!(
+            self.synth,
+            "{} {seq} {} {kind} {op_site} {op_seq} 0 0 0 0 0 - - 0",
+            site.0, self.now_us
+        );
+    }
+
+    /// The publish hook: push fresh ring-dump lines and a registry delta
+    /// into the admin plane. Runs on the core thread between message
+    /// batches — integration never pauses for a scraper, and each mutex
+    /// is held only for a bounded append/diff, never across I/O.
+    fn publish(&mut self, eof: bool) {
+        let Some(admin) = self.admin.clone() else {
+            return;
+        };
+        self.publish_rings(&admin, eof);
+        self.refresh_registry();
+        lock(&admin.deltas).publish(&self.live);
+    }
+
+    /// Drain fresh recorder events (plus synthesized client-side lines)
+    /// into the admin ring log. Called after *every* message batch, not
+    /// on the registry cadence: a concurrency burst can record more
+    /// transform events in 100 ms than the recorder ring holds, and a
+    /// per-batch drain bounds the loss window to one batch.
+    fn publish_rings(&mut self, admin: &Arc<AdminShared>, eof: bool) {
+        if self.tracing() {
+            // Ack-frontier advancement is the client-side execution
+            // evidence: a client acks position `p` only after executing
+            // ops `1..=p` of its stream — bare acks and the implicit
+            // `T[1]` carried by its own ops both land in `acked_by`.
+            // `op_site = NO_SITE` + the stream position is exactly the
+            // tailer's broadcast join key.
+            let frontier = self.notifier.acked_by().to_vec();
+            for (idx, &acked) in frontier.iter().take(self.cfg.n_clients).enumerate() {
+                while self.ack_published[idx] < acked {
+                    self.ack_published[idx] += 1;
+                    let pos = self.ack_published[idx];
+                    self.synth_line(SiteId(idx as u32 + 1), "execute", NO_SITE, pos);
+                }
+            }
+            let (events, lost) = self.notifier.recorder().events_since(self.recorder_cursor);
+            let mut text = std::mem::take(&mut self.synth);
+            if lost > 0 {
+                // Ring overwrite outran the publish cadence: surface the
+                // gap the way a wrapped ring dump would, so downstream
+                // assembly marks affected traces truncated instead of
+                // silently reporting them incomplete.
+                let _ = writeln!(
+                    text,
+                    "0 0 {} ring-truncated {NO_SITE} 0 0 0 {lost} 0 0 ring-wrapped - 0",
+                    self.now_us
+                );
+            }
+            for ev in &events {
+                dump_event_line(&mut text, NOTIFIER, ev);
+            }
+            self.recorder_cursor += lost + events.len() as u64;
+            let mut rings = lock(&admin.rings);
+            rings.append(&text);
+            if eof {
+                rings.mark_eof();
+            }
+        } else if eof {
+            lock(&admin.rings).mark_eof();
+        }
+    }
+
+    /// Refresh the live registry image from the notifier, the I/O-tier
+    /// atomics, the WAL, and the core's own gauges.
+    fn refresh_registry(&mut self) {
+        let counters = self.notifier.metrics().counter_fields();
+        let high_waters = self.notifier.metrics().high_water_fields();
+        let live = &mut self.live;
+        for (field, v) in counters {
+            // Absolute set, not add: the source is already cumulative.
+            live.set_counter(&format!("notifier.{field}"), v);
+        }
+        for (field, v) in high_waters {
+            live.set_gauge(&format!("notifier.{field}"), v as f64);
+        }
+        let s = self.stats;
+        live.set_counter("net.accepted", s.accepted.load(Ordering::Relaxed));
+        live.set_counter("net.frames_in", s.frames_in.load(Ordering::Relaxed));
+        live.set_counter("net.msgs_in", s.msgs_in.load(Ordering::Relaxed));
+        live.set_counter("net.frames_out", s.frames_out.load(Ordering::Relaxed));
+        live.set_counter("net.msgs_out", s.msgs_out.load(Ordering::Relaxed));
+        live.set_counter(
+            "net.compound_frames_out",
+            s.compound_frames_out.load(Ordering::Relaxed),
+        );
+        live.set_counter("net.frame_errors", s.frame_errors.load(Ordering::Relaxed));
+        live.set_counter("net.closed", s.closed.load(Ordering::Relaxed));
+        live.set_counter("net.evicted", s.evicted.load(Ordering::Relaxed));
+        live.set_counter("net.io_errors", s.io_errors.load(Ordering::Relaxed));
+        live.set_gauge(
+            "core.queue_depth",
+            s.core_queue.load(Ordering::Relaxed) as f64,
+        );
+        let mut active_total = 0u64;
+        for (wi, w) in self.workers.iter().enumerate() {
+            let active = w.active_conns.load(Ordering::Relaxed);
+            active_total += active;
+            live.set_gauge(&format!("net.worker{wi}.active_conns"), active as f64);
+            live.set_gauge(
+                &format!("net.worker{wi}.outbox_depth"),
+                w.outbox_depth.load(Ordering::Relaxed) as f64,
+            );
+            live.set_gauge(
+                &format!("net.worker{wi}.outbox_high_water"),
+                w.outbox_high_water.load(Ordering::Relaxed) as f64,
+            );
+            live.set_gauge(
+                &format!("net.worker{wi}.pending_out_high_water"),
+                w.pending_out_high_water.load(Ordering::Relaxed) as f64,
+            );
+        }
+        live.set_gauge("net.active_connections", active_total as f64);
+        live.set_counter("core.ops_integrated", self.ops_integrated);
+        live.set_counter("core.dropped_broadcasts", self.dropped_broadcasts);
+        live.set_gauge("core.parked_bytes", self.parked_bytes as f64);
+        live.set_counter("wal.appends", self.wal.appends());
+        live.set_counter("wal.bytes_appended", self.wal.bytes_appended());
+        live.set_counter("wal.compactions", self.wal.compactions());
+        live.set_gauge("wal.live_bytes", self.wal.live_bytes() as f64);
+        live.set_gauge("wal.amplification", self.wal.amplification());
+        live.set_gauge("net.uptime_us", self.now_us as f64);
+    }
 }
+
+/// Publish cadence for the admin plane (registry delta + ring lines).
+const PUBLISH_INTERVAL: Duration = Duration::from_millis(100);
 
 fn core_loop(
     cfg: &ServerConfig,
     rx: mpsc::Receiver<CoreMsg>,
     workers: &[Arc<WorkerShared>],
     stats: &IoStats,
+    admin: Option<Arc<AdminShared>>,
 ) -> ServerReport {
+    let started = Instant::now();
     let mut notifier = Notifier::new(cfg.n_clients, "");
     notifier.set_send_acks(cfg.send_acks);
+    if cfg.trace_rings && admin.is_some() {
+        notifier.set_flight_recorder_capacity(cfg.trace_ring_capacity.max(1024));
+        notifier.set_flight_recorder(true);
+    }
+    let has_admin = admin.is_some();
     let mut core = Core {
         cfg,
         workers,
@@ -831,41 +1144,103 @@ fn core_loop(
         dropped_broadcasts: 0,
         integration_log: Vec::new(),
         ops_integrated: 0,
+        stats,
+        admin,
+        now_us: 0,
+        live: MetricsRegistry::new(),
+        recorder_cursor: 0,
+        synth: String::new(),
+        synth_seq: vec![0; cfg.n_clients],
+        ack_published: vec![0; cfg.n_clients],
+        parked_bytes: 0,
     };
 
     // Block for the first message, then drain greedily so a burst is
-    // processed (and workers woken) in one pass.
-    'outer: while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < 512 {
-            match rx.try_recv() {
-                Ok(m) => batch.push(m),
-                Err(_) => break,
+    // processed (and workers woken) in one pass. With an admin plane the
+    // block carries a deadline so the publish cadence holds even while
+    // the editor port is idle.
+    let mut next_publish = Instant::now() + PUBLISH_INTERVAL;
+    'outer: loop {
+        let first = if has_admin {
+            match rx.recv_timeout(next_publish.saturating_duration_since(Instant::now())) {
+                Ok(m) => Some(m),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break 'outer,
             }
-        }
-        for m in batch {
-            match m {
-                CoreMsg::Frames { worker, conn, msgs } => {
-                    for msg in msgs {
-                        core.on_msg(worker, conn, msg);
-                    }
+        } else {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break 'outer,
+            }
+        };
+        if let Some(first) = first {
+            core.now_us = started.elapsed().as_micros() as u64;
+            core.notifier.set_now(core.now_us);
+            let mut batch = vec![first];
+            while batch.len() < 512 {
+                match rx.try_recv() {
+                    Ok(m) => batch.push(m),
+                    Err(_) => break,
                 }
-                CoreMsg::Disconnected { worker, conn } => {
-                    if let Some(site) = core.bound.remove(&(worker, conn)) {
-                        if let Some(r) = core.routes.get_mut(site.client_index()) {
-                            *r = None;
+            }
+            let mut since_drain = 0usize;
+            for m in batch {
+                match m {
+                    CoreMsg::Frames { worker, conn, msgs } => {
+                        stats.core_queue.fetch_sub(1, Ordering::Relaxed);
+                        for msg in msgs {
+                            core.on_msg(worker, conn, msg);
+                            // Mid-batch ring drain: transform recording
+                            // is O(|HB|) per op, and one socket read can
+                            // decode thousands of ops into a single
+                            // Frames message, so the drain counts editor
+                            // messages, not batch items — every 32 ops
+                            // bounds recorder-ring growth far below its
+                            // capacity. A no-op unless tracing is on.
+                            since_drain += 1;
+                            if since_drain >= 32 {
+                                since_drain = 0;
+                                if let Some(admin) = core.admin.clone() {
+                                    core.publish_rings(&admin, false);
+                                }
+                            }
                         }
                     }
-                }
-                CoreMsg::Shutdown => {
-                    core.wake_touched();
-                    break 'outer;
+                    CoreMsg::Disconnected { worker, conn } => {
+                        stats.core_queue.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(site) = core.bound.remove(&(worker, conn)) {
+                            if let Some(r) = core.routes.get_mut(site.client_index()) {
+                                *r = None;
+                            }
+                        }
+                    }
+                    CoreMsg::Shutdown => {
+                        // The final publish eof-marks the ring log so an
+                        // attached tailer knows the stream is complete.
+                        core.now_us = started.elapsed().as_micros() as u64;
+                        core.publish(true);
+                        core.wake_touched();
+                        break 'outer;
+                    }
                 }
             }
+            core.wake_touched();
+            // Ring drain is per-batch, not per-cadence: a concurrency
+            // burst can outrun the recorder ring inside one publish
+            // interval, and lines lost to overwrite are lost for good.
+            if let Some(admin) = core.admin.clone() {
+                core.publish_rings(&admin, false);
+            }
         }
-        core.wake_touched();
+        if has_admin && Instant::now() >= next_publish {
+            core.now_us = started.elapsed().as_micros() as u64;
+            core.publish(false);
+            next_publish = Instant::now() + PUBLISH_INTERVAL;
+        }
     }
 
+    let frames_out = stats.frames_out.load(Ordering::Relaxed);
+    let msgs_out = stats.msgs_out.load(Ordering::Relaxed);
     let m = core.notifier.metrics();
     ServerReport {
         doc: core.notifier.doc(),
@@ -877,9 +1252,21 @@ fn core_loop(
         accepted: stats.accepted.load(Ordering::Relaxed),
         frames_in: stats.frames_in.load(Ordering::Relaxed),
         msgs_in: stats.msgs_in.load(Ordering::Relaxed),
-        frames_out: stats.frames_out.load(Ordering::Relaxed),
-        msgs_out: stats.msgs_out.load(Ordering::Relaxed),
+        frames_out,
+        msgs_out,
         compound_frames_out: stats.compound_frames_out.load(Ordering::Relaxed),
+        // Guarded ratio: a zero-op run has no frames, and NaN must never
+        // reach a JSON report.
+        msgs_per_frame: (frames_out > 0).then(|| msgs_out as f64 / frames_out as f64),
+        active_connections: workers
+            .iter()
+            .map(|w| w.active_conns.load(Ordering::Relaxed))
+            .sum(),
+        evicted: stats.evicted.load(Ordering::Relaxed),
+        outbox_high_water: workers
+            .iter()
+            .map(|w| w.outbox_high_water.load(Ordering::Relaxed))
+            .collect(),
         dropped_broadcasts: core.dropped_broadcasts,
         wal_appends: core.wal.appends(),
         wal_amplification: core.wal.amplification(),

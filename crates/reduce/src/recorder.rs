@@ -430,6 +430,30 @@ impl FlightRecorder {
         out
     }
 
+    /// Incremental drain for live streaming: every retained event with
+    /// `seq >= from`, oldest first, plus how many events in `[from,
+    /// next_seq)` were already overwritten before this call. Unlike
+    /// [`FlightRecorder::events`] no truncation marker is synthesised —
+    /// the caller owns the cursor and decides how to surface loss. A
+    /// cursor at the current sequence frontier returns `(empty, 0)`, so
+    /// polling with `from = last + events.len()` drains exactly once.
+    pub fn events_since(&self, from: u64) -> (Vec<FlightEvent>, u64) {
+        let oldest = self.next_seq - self.buf.len() as u64;
+        let lost = oldest
+            .saturating_sub(from)
+            .min(self.next_seq.saturating_sub(from));
+        let mut out = Vec::new();
+        for ev in self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+        {
+            if ev.seq >= from {
+                out.push(*ev);
+            }
+        }
+        (out, lost)
+    }
+
     /// Drop all retained events (keeps the ring allocation and the
     /// sequence counter, so later dumps stay globally ordered).
     pub fn clear(&mut self) {
@@ -588,6 +612,52 @@ mod tests {
         assert!(r.is_empty());
         r.record(ev(EventKind::Send));
         assert_eq!(r.events()[0].seq, 1, "numbering continues after clear");
+    }
+
+    #[test]
+    fn events_since_drains_incrementally_without_duplication() {
+        let mut r = FlightRecorder::new(SiteId(1));
+        r.set_enabled(true);
+        let mut cursor = 0u64;
+        let mut seen = Vec::new();
+        for round in 0..3u64 {
+            for k in 0..4u64 {
+                r.record(ev(EventKind::Execute).with_ab(round * 4 + k, 0));
+            }
+            let (evs, lost) = r.events_since(cursor);
+            assert_eq!(lost, 0);
+            assert_eq!(evs.len(), 4);
+            cursor = evs.last().map(|e| e.seq + 1).unwrap_or(cursor);
+            seen.extend(evs.iter().map(|e| e.a));
+        }
+        assert_eq!(seen, (0..12).collect::<Vec<u64>>());
+        let (evs, lost) = r.events_since(cursor);
+        assert!(evs.is_empty(), "frontier cursor drains nothing");
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn events_since_reports_overwritten_events_as_lost() {
+        let mut r = FlightRecorder::with_capacity(SiteId(1), 4);
+        r.set_enabled(true);
+        for k in 0..10u64 {
+            r.record(ev(EventKind::Execute).with_ab(k, 0));
+        }
+        // Seqs 0..=5 were overwritten; only 6..=9 remain.
+        let (evs, lost) = r.events_since(0);
+        assert_eq!(lost, 6);
+        assert_eq!(
+            evs.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        // A cursor inside the retained window loses nothing.
+        let (evs, lost) = r.events_since(8);
+        assert_eq!(lost, 0);
+        assert_eq!(evs.len(), 2);
+        // A cursor past the frontier never reports negative loss.
+        let (evs, lost) = r.events_since(10);
+        assert!(evs.is_empty());
+        assert_eq!(lost, 0);
     }
 
     #[test]
